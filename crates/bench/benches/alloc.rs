@@ -1,0 +1,143 @@
+//! Criterion benches for the variable-unit allocators (E5/E7 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsa_core::access::AllocEvent;
+use dsa_freelist::buddy::BuddyAllocator;
+use dsa_freelist::compaction::compact;
+use dsa_freelist::freelist::{FreeListAllocator, Placement};
+use dsa_freelist::rice::RiceAllocator;
+use dsa_trace::allocstream::{AllocStreamCfg, SizeDist};
+use dsa_trace::rng::Rng64;
+
+fn stream() -> Vec<AllocEvent> {
+    AllocStreamCfg {
+        sizes: SizeDist::Exponential {
+            mean: 80.0,
+            cap: 2000,
+        },
+        mean_lifetime: 300.0,
+        target_live_words: 26_000,
+    }
+    .generate(20_000, &mut Rng64::new(1))
+}
+
+fn drive_freelist(policy: Placement, events: &[AllocEvent]) -> u64 {
+    let mut a = FreeListAllocator::new(32_768, policy);
+    let mut failures = 0;
+    let mut dropped = std::collections::HashSet::new();
+    for e in events {
+        match *e {
+            AllocEvent::Alloc(r) => {
+                if a.alloc(r.id, r.size).is_err() {
+                    failures += 1;
+                    dropped.insert(r.id);
+                }
+            }
+            AllocEvent::Free { id } => {
+                if !dropped.remove(&id) {
+                    a.free(id).expect("live");
+                }
+            }
+        }
+    }
+    failures
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let events = stream();
+    let mut g = c.benchmark_group("freelist_churn_20k_events");
+    for policy in [
+        Placement::FirstFit,
+        Placement::NextFit,
+        Placement::BestFit,
+        Placement::WorstFit,
+        Placement::TwoEnds { threshold: 256 },
+    ] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &events,
+            |b, ev| {
+                b.iter(|| drive_freelist(policy, ev));
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_rice_and_buddy(c: &mut Criterion) {
+    let events = stream();
+    c.bench_function("rice_churn_20k_events", |b| {
+        b.iter(|| {
+            let mut a = RiceAllocator::new(32_768);
+            let mut dropped = std::collections::HashSet::new();
+            for e in &events {
+                match *e {
+                    AllocEvent::Alloc(r) => {
+                        if a.alloc(r.id, r.size, r.id).is_err() {
+                            dropped.insert(r.id);
+                        }
+                    }
+                    AllocEvent::Free { id } => {
+                        if !dropped.remove(&id) {
+                            a.free(id).expect("live");
+                        }
+                    }
+                }
+            }
+            a.chain_len()
+        });
+    });
+    c.bench_function("buddy_churn_20k_events", |b| {
+        b.iter(|| {
+            let mut a = BuddyAllocator::new(15);
+            let mut dropped = std::collections::HashSet::new();
+            for e in &events {
+                match *e {
+                    AllocEvent::Alloc(r) => {
+                        if a.alloc(r.id, r.size).is_err() {
+                            dropped.insert(r.id);
+                        }
+                    }
+                    AllocEvent::Free { id } => {
+                        if !dropped.remove(&id) {
+                            a.free(id).expect("live");
+                        }
+                    }
+                }
+            }
+            a.free_words()
+        });
+    });
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    c.bench_function("compact_200_blocks", |b| {
+        b.iter_with_setup(
+            || {
+                let mut a = FreeListAllocator::new(65_536, Placement::FirstFit);
+                for i in 0..400u64 {
+                    a.alloc(i, 128).expect("fits");
+                }
+                for i in (0..400u64).step_by(2) {
+                    a.free(i).expect("live");
+                }
+                a
+            },
+            |mut a| {
+                let r = compact(&mut a, |_, _, _, _| {});
+                assert_eq!(r.blocks_moved, 200);
+                a
+            },
+        );
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_placement, bench_rice_and_buddy, bench_compaction
+}
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion benches for the composed machines (E9 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsa_core::access::ProgramOp;
+use dsa_machines::presets::{all_machines, atlas, b5000, m44_44x, model67, multics};
+use dsa_machines::report::Machine;
+use dsa_trace::allocstream::SizeDist;
+use dsa_trace::program::ProgramCfg;
+use dsa_trace::rng::Rng64;
+
+fn program() -> Vec<ProgramOp> {
+    ProgramCfg {
+        segments: 24,
+        seg_sizes: SizeDist::Exponential {
+            mean: 500.0,
+            cap: 3000,
+        },
+        touches: 8_000,
+        phase_set: 4,
+        phase_len: 300,
+        write_fraction: 0.3,
+        resize_prob: 0.05,
+        advice_accuracy: None,
+        wild_touch_prob: 0.0,
+        compute_between: 0,
+    }
+    .generate(&mut Rng64::new(4))
+    .ops
+}
+
+fn bench_each_machine(c: &mut Criterion) {
+    let ops = program();
+    let mut g = c.benchmark_group("machine_run_8k_touches");
+    type Factory = Box<dyn Fn() -> Box<dyn Machine>>;
+    let factories: Vec<(&str, Factory)> = vec![
+        ("atlas", Box::new(|| Box::new(atlas()))),
+        ("m44", Box::new(|| Box::new(m44_44x()))),
+        ("b5000", Box::new(|| Box::new(b5000()))),
+        ("multics", Box::new(|| Box::new(multics()))),
+        ("model67", Box::new(|| Box::new(model67()))),
+    ];
+    for (name, factory) in &factories {
+        g.bench_with_input(BenchmarkId::from_parameter(*name), &ops, |b, ops| {
+            b.iter(|| {
+                let mut m = factory();
+                m.run(ops).expect("runs").faults
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_survey(c: &mut Criterion) {
+    let ops = program();
+    c.bench_function("survey_all_seven", |b| {
+        b.iter(|| {
+            all_machines()
+                .into_iter()
+                .map(|mut m| m.run(&ops).expect("runs").faults)
+                .sum::<u64>()
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_each_machine, bench_survey
+}
+criterion_main!(benches);

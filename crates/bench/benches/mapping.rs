@@ -1,0 +1,113 @@
+//! Criterion benches for the addressing mechanisms (E1/E3 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsa_core::clock::Cycles;
+use dsa_core::ids::{FrameNo, Name, PageNo, PhysAddr, SegId};
+use dsa_mapping::associative::{AssocPolicy, FrameAssociativeMap};
+use dsa_mapping::block_map::BlockMap;
+use dsa_mapping::cost::MapCosts;
+use dsa_mapping::relocation::{IdentityMap, RelocationLimit};
+use dsa_mapping::two_level::TwoLevelMap;
+use dsa_mapping::AddressMap;
+use dsa_trace::refstring::RefStringCfg;
+use dsa_trace::rng::Rng64;
+
+fn names() -> Vec<Name> {
+    let mut rng = Rng64::new(3);
+    RefStringCfg::LruStack {
+        pages: 4096,
+        theta: 1.0,
+    }
+    .generate(100_000, 0.0, &mut rng)
+    .into_iter()
+    .map(|a| a.name)
+    .collect()
+}
+
+fn bench_simple_devices(c: &mut Criterion) {
+    let names = names();
+    let costs = MapCosts::for_core_cycle(Cycles::from_micros(1));
+    let mut g = c.benchmark_group("translate_100k");
+    g.bench_function("identity", |b| {
+        let mut m = IdentityMap::new(4096, costs);
+        b.iter(|| {
+            names
+                .iter()
+                .filter(|&&n| m.translate(n).outcome.is_ok())
+                .count()
+        });
+    });
+    g.bench_function("relocation+limit", |b| {
+        let mut m = RelocationLimit::new(PhysAddr(10_000), 4096, costs);
+        b.iter(|| {
+            names
+                .iter()
+                .filter(|&&n| m.translate(n).outcome.is_ok())
+                .count()
+        });
+    });
+    g.bench_function("block_map", |b| {
+        let mut m = BlockMap::new(64, 6, costs);
+        for i in 0..64 {
+            m.map_block(i, PhysAddr(i * 64));
+        }
+        b.iter(|| {
+            names
+                .iter()
+                .filter(|&&n| m.translate(n).outcome.is_ok())
+                .count()
+        });
+    });
+    g.bench_function("frame_associative", |b| {
+        let mut m = FrameAssociativeMap::new(64, 6, 4096, costs);
+        for i in 0..64u64 {
+            m.load(FrameNo(i), PageNo(i));
+        }
+        b.iter(|| {
+            names
+                .iter()
+                .filter(|&&n| m.translate(n).outcome.is_ok())
+                .count()
+        });
+    });
+    g.finish();
+}
+
+fn bench_two_level(c: &mut Criterion) {
+    let names = names();
+    let costs = MapCosts::for_core_cycle(Cycles::from_micros(1));
+    let mut g = c.benchmark_group("two_level_translate_100k");
+    for tlb in [0usize, 8, 44] {
+        g.bench_with_input(BenchmarkId::from_parameter(tlb), &names, |b, names| {
+            let mut m = TwoLevelMap::new(8, 512, 6, tlb, AssocPolicy::Lru, costs);
+            for s in 0..8u32 {
+                m.create_segment(SegId(s), 512).expect("fits");
+                for p in 0..8 {
+                    m.map_page(SegId(s), p, FrameNo(u64::from(s) * 8 + p))
+                        .expect("page");
+                }
+            }
+            b.iter(|| {
+                names
+                    .iter()
+                    .filter(|&&n| {
+                        let seg = SegId((n.value() / 512) as u32 % 8);
+                        let off = n.value() % 512;
+                        m.translate_pair(seg, off).outcome.is_ok()
+                    })
+                    .count()
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_simple_devices, bench_two_level
+}
+criterion_main!(benches);

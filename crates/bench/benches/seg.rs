@@ -1,0 +1,98 @@
+//! Criterion benches for the segmentation machinery (E9/E15 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsa_core::ids::SegId;
+use dsa_freelist::freelist::{FreeListAllocator, Placement};
+use dsa_freelist::rice::RiceAllocator;
+use dsa_seg::sharing::{AccessMode, AccessType, SharedSegments};
+use dsa_seg::store::{SegReplacement, SegmentStore, StoreBackend};
+use dsa_trace::rng::Rng64;
+
+fn touches() -> Vec<(u32, u64, bool)> {
+    let mut rng = Rng64::new(5);
+    (0..20_000)
+        .map(|_| (rng.below(16) as u32, rng.below(100), rng.chance(0.3)))
+        .collect()
+}
+
+fn bench_store_backends(c: &mut Criterion) {
+    let touches = touches();
+    let mut g = c.benchmark_group("segment_store_20k_touches");
+    type Factory = fn() -> SegmentStore;
+    let cases: Vec<(&str, Factory)> = vec![
+        ("freelist_cyclic", || {
+            SegmentStore::new(
+                StoreBackend::FreeList(FreeListAllocator::new(1200, Placement::BestFit)),
+                SegReplacement::Cyclic,
+                1024,
+            )
+        }),
+        ("rice_iterative", || {
+            SegmentStore::new(
+                StoreBackend::Rice(RiceAllocator::new(1200)),
+                SegReplacement::RiceIterative,
+                1024,
+            )
+        }),
+    ];
+    for (name, factory) in cases {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &touches, |b, touches| {
+            b.iter(|| {
+                let mut store = factory();
+                for s in 0..16u32 {
+                    store.define(SegId(s), 100).expect("declared");
+                }
+                let mut faults = 0u64;
+                for &(s, off, w) in touches {
+                    if store.touch(SegId(s), off, w).expect("evictable").fetched {
+                        faults += 1;
+                    }
+                }
+                faults
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_capability_check(c: &mut Criterion) {
+    let touches = touches();
+    c.bench_function("shared_access_20k_capability_checks", |b| {
+        b.iter(|| {
+            let mut shared = SharedSegments::new(SegmentStore::new(
+                StoreBackend::FreeList(FreeListAllocator::new(4096, Placement::BestFit)),
+                SegReplacement::Cyclic,
+                1024,
+            ));
+            for s in 0..16u32 {
+                shared
+                    .publish(0, SegId(s), 100, AccessMode::RW)
+                    .expect("fits");
+                shared.grant(0, 1, SegId(s), AccessMode::RO).expect("owner");
+            }
+            let mut ok = 0u64;
+            for &(s, off, w) in &touches {
+                let kind = if w {
+                    AccessType::Write
+                } else {
+                    AccessType::Read
+                };
+                // Program 1 holds read-only grants: writes are refused.
+                if shared.access(1, SegId(s), off, kind).is_ok() {
+                    ok += 1;
+                }
+            }
+            ok
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_store_backends, bench_capability_check
+}
+criterion_main!(benches);

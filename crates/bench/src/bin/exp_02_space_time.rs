@@ -1,0 +1,111 @@
+//! E2 — Figure 3: the space-time product under demand paging.
+//!
+//! A single demand-paged program alternately executes and waits for
+//! pages; while it waits it still occupies working storage, so its
+//! space-time product grows with the page-fetch time. Multiprogramming
+//! does not shrink any one program's space-time product, but it
+//! overlaps the waits so the *processor* stays busy — the paper's
+//! resolution of the Figure 3 danger ("demand paging however can be
+//! quite effective ... when the time taken to fetch a page is very
+//! small", and overlap "will certainly be the case when ... a
+//! sufficient reserve of programs can be kept in working storage").
+
+use dsa_core::clock::Cycles;
+use dsa_core::ids::JobId;
+use dsa_metrics::table::Table;
+use dsa_paging::replacement::lru::LruRepl;
+use dsa_sched::sim::{JobSpec, MultiprogramSim, SimConfig};
+use dsa_trace::refstring::RefStringCfg;
+use dsa_trace::rng::Rng64;
+
+fn job_trace(seed: u64) -> Vec<dsa_core::ids::PageNo> {
+    let cfg = RefStringCfg::LruStack {
+        pages: 64,
+        theta: 1.4,
+    };
+    cfg.generate_pages(20_000, &mut Rng64::new(seed))
+}
+
+fn run(fetch: Cycles, jobs: usize) -> (f64, f64, f64) {
+    run_with_channels(fetch, jobs, None)
+}
+
+fn run_with_channels(fetch: Cycles, jobs: usize, channels: Option<usize>) -> (f64, f64, f64) {
+    let cfg = SimConfig {
+        instr_time: Cycles::from_micros(10),
+        fetch_time: fetch,
+        page_size: 512,
+        quantum_refs: 100,
+        fetch_channels: channels,
+    };
+    let specs = (0..jobs)
+        .map(|i| JobSpec {
+            id: JobId(i as u32),
+            trace: job_trace(100 + i as u64),
+            frames: 32,
+            replacer: Box::new(LruRepl::new()),
+        })
+        .collect();
+    let r = MultiprogramSim::new(cfg, specs).run().expect("no pinning");
+    let st = r.total_space_time();
+    let per_job = st.total_word_millis() / jobs as f64;
+    (r.cpu_utilization(), st.waiting_fraction(), per_job)
+}
+
+fn main() {
+    println!("E2: storage utilization with demand paging (Figure 3)\n");
+    let devices = [
+        ("fast store (20 us)", Cycles::from_micros(20)),
+        ("drum (8 ms)", Cycles::from_millis(8)),
+        ("disk (165 ms)", Cycles::from_millis(165)),
+    ];
+
+    let mut t = Table::new(&[
+        "backing store",
+        "jobs",
+        "cpu util",
+        "wait share of space-time",
+        "space-time/job (word-ms)",
+    ])
+    .with_title("64-page program, 32 frames, LRU, 10 us/ref");
+    for &(name, fetch) in &devices {
+        for jobs in [1usize, 2, 4, 8] {
+            let (util, wait_frac, st) = run(fetch, jobs);
+            t.row_owned(vec![
+                name.to_owned(),
+                jobs.to_string(),
+                format!("{:.1}%", util * 100.0),
+                format!("{:.1}%", wait_frac * 100.0),
+                format!("{st:.1}"),
+            ]);
+        }
+    }
+    println!("{t}");
+
+    // The fine print of the overlap argument: it assumes "extra page
+    // transmission" capacity. With one drum channel the fetches queue
+    // and multiprogramming's rescue saturates early.
+    let mut t = Table::new(&["channels", "cpu util (8 jobs)", "wait share"])
+        .with_title("drum, 8 jobs, limited transfer channels");
+    for (label, channels) in [
+        ("1", Some(1)),
+        ("2", Some(2)),
+        ("4", Some(4)),
+        ("ample", None),
+    ] {
+        let (util, wait, _) = run_with_channels(Cycles::from_millis(8), 8, channels);
+        t.row_owned(vec![
+            label.to_owned(),
+            format!("{:.1}%", util * 100.0),
+            format!("{:.1}%", wait * 100.0),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "reading the table: with a slow backing store a lone program's\n\
+         space-time is almost all wait (Figure 3's shaded area) and the\n\
+         processor idles; adding programs overlaps the waits and restores\n\
+         processor utilization, while a very fast store makes even the\n\
+         lone program's wait share small."
+    );
+}

@@ -1,0 +1,116 @@
+//! E4 — the replacement-strategy study (Belady \[1\], §Replacement
+//! Strategies).
+//!
+//! Fault rate of every fixed-allocation policy against core size, on
+//! reference strings spanning the regimes the paper and Belady discuss:
+//! program-like locality (LRU-stack), phase behaviour (working sets),
+//! cyclic sweeps (LRU's nemesis), strict loop nests (the ATLAS learning
+//! program's home), and uniform random (the control where nothing
+//! helps). MIN is the unbeatable offline bound.
+
+use dsa_core::ids::PageNo;
+use dsa_metrics::table::Table;
+use dsa_paging::paged::PagedMemory;
+use dsa_paging::replacement::atlas::AtlasLearning;
+use dsa_paging::replacement::clock::ClockRepl;
+use dsa_paging::replacement::fifo::FifoRepl;
+use dsa_paging::replacement::lfu::LfuRepl;
+use dsa_paging::replacement::lru::LruRepl;
+use dsa_paging::replacement::min::MinRepl;
+use dsa_paging::replacement::nru::ClassRandomRepl;
+use dsa_paging::replacement::random::RandomRepl;
+use dsa_paging::replacement::Replacer;
+use dsa_trace::refstring::RefStringCfg;
+use dsa_trace::rng::Rng64;
+
+const LEN: usize = 60_000;
+
+fn policies(frames: usize, trace: &[PageNo]) -> Vec<Box<dyn Replacer>> {
+    vec![
+        Box::new(MinRepl::new(trace)),
+        Box::new(LruRepl::new()),
+        Box::new(ClockRepl::new(frames)),
+        Box::new(FifoRepl::new()),
+        Box::new(ClassRandomRepl::new(4, 8)),
+        Box::new(RandomRepl::new(4)),
+        Box::new(AtlasLearning::new()),
+        Box::new(LfuRepl::with_aging(32)),
+    ]
+}
+
+fn main() {
+    println!("E4: replacement strategies — fault rate vs core size\n");
+    let traces: Vec<(&str, RefStringCfg)> = vec![
+        (
+            "lru-stack th=0.9",
+            RefStringCfg::LruStack {
+                pages: 64,
+                theta: 0.9,
+            },
+        ),
+        (
+            "working-set 12/600",
+            RefStringCfg::WorkingSetPhases {
+                pages: 64,
+                set: 12,
+                phase_len: 600,
+            },
+        ),
+        ("sweep 40", RefStringCfg::SequentialSweep { pages: 40 }),
+        (
+            "loop-nest 8+32/8",
+            RefStringCfg::LoopNest {
+                inner: 8,
+                outer: 32,
+                period: 8,
+            },
+        ),
+        ("uniform 64", RefStringCfg::Uniform { pages: 64 }),
+        (
+            "hot-cold 8/56 p=.9",
+            RefStringCfg::HotCold {
+                hot: 8,
+                cold: 56,
+                p_hot: 0.9,
+            },
+        ),
+    ];
+    for (tname, cfg) in traces {
+        let trace = cfg.generate_pages(LEN, &mut Rng64::new(4_000));
+        let mut t = Table::new(&["policy", "8 frames", "16", "24", "32", "48"])
+            .with_title(&format!("trace: {tname} ({LEN} refs)"));
+        let frame_counts = [8usize, 16, 24, 32, 48];
+        // One row per policy.
+        let names = [
+            "MIN (Belady)",
+            "LRU",
+            "Clock",
+            "FIFO",
+            "class-random (M44)",
+            "Random",
+            "ATLAS learning",
+            "LFU (aged)",
+        ];
+        let mut rates = vec![Vec::new(); names.len()];
+        for &frames in &frame_counts {
+            for (i, policy) in policies(frames, &trace).into_iter().enumerate() {
+                let mut mem = PagedMemory::new(frames, policy);
+                let stats = mem.run_pages(&trace).expect("no pinning");
+                rates[i].push(stats.fault_rate());
+            }
+        }
+        for (i, name) in names.iter().enumerate() {
+            let mut row = vec![(*name).to_owned()];
+            row.extend(rates[i].iter().map(|r| format!("{:.3}", r)));
+            t.row_owned(row);
+        }
+        println!("{t}");
+    }
+    println!(
+        "expected shape: MIN bounds everyone from below; LRU and Clock track\n\
+         each other on locality-bearing traces; the ATLAS learning program\n\
+         wins on the strict loop nest and the sweep (it predicts periodic\n\
+         reuse) but gives ground on irregular references; on uniform random\n\
+         every policy collapses to the same fault rate."
+    );
+}

@@ -1,0 +1,228 @@
+//! E5 — §Placement Strategies: best-fit, two-ends, and friends.
+//!
+//! "Once it is decided that some information is to be fetched, then some
+//! strategy is needed for deciding where to put the information ... On
+//! such systems, careful placement can considerably reduce storage
+//! fragmentation." We drive every placement policy (plus the Rice chain
+//! and a buddy baseline) with the same allocation/free stream at several
+//! load factors and report the costs the paper says the choice trades
+//! off: fragmentation, failures, and search ("bookkeeping") length.
+
+use dsa_core::access::AllocEvent;
+use dsa_freelist::frag::FragReport;
+use dsa_freelist::freelist::{FreeListAllocator, Placement};
+use dsa_freelist::rice::RiceAllocator;
+use dsa_freelist::segregated::SegregatedAllocator;
+use dsa_metrics::table::Table;
+use dsa_trace::allocstream::{AllocStreamCfg, SizeDist};
+use dsa_trace::rng::Rng64;
+
+const CAPACITY: u64 = 32_768;
+const EVENTS: usize = 60_000;
+
+struct Outcome {
+    failures: u64,
+    utilization: f64,
+    ext_frag: f64,
+    holes: u64,
+    mean_search: f64,
+}
+
+fn drive_freelist(policy: Placement, events: &[AllocEvent]) -> Outcome {
+    let mut a = FreeListAllocator::new(CAPACITY, policy);
+    let mut failures = 0;
+    let mut util_sum = 0.0;
+    let mut frag_sum = 0.0;
+    let mut hole_sum = 0u64;
+    let mut samples = 0u64;
+    let mut dropped: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        match *e {
+            AllocEvent::Alloc(r) => {
+                if a.alloc(r.id, r.size).is_err() {
+                    failures += 1;
+                    dropped.insert(r.id);
+                }
+            }
+            AllocEvent::Free { id } => {
+                if !dropped.remove(&id) {
+                    a.free(id).expect("live id");
+                }
+            }
+        }
+        if i % 64 == 0 {
+            let f = FragReport::capture(&a);
+            util_sum += a.utilization();
+            frag_sum += f.external_frag;
+            hole_sum += f.holes;
+            samples += 1;
+        }
+    }
+    Outcome {
+        failures,
+        utilization: util_sum / samples as f64,
+        ext_frag: frag_sum / samples as f64,
+        holes: hole_sum / samples,
+        mean_search: a.stats().mean_search(),
+    }
+}
+
+fn drive_rice(events: &[AllocEvent]) -> Outcome {
+    let mut a = RiceAllocator::new(CAPACITY);
+    let mut failures = 0;
+    let mut util_sum = 0.0;
+    let mut chain_sum = 0u64;
+    let mut samples = 0u64;
+    let mut dropped: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        match *e {
+            AllocEvent::Alloc(r) => {
+                if a.alloc(r.id, r.size, r.id).is_err() {
+                    failures += 1;
+                    dropped.insert(r.id);
+                }
+            }
+            AllocEvent::Free { id } => {
+                if !dropped.remove(&id) {
+                    a.free(id).expect("live id");
+                }
+            }
+        }
+        if i % 64 == 0 {
+            util_sum += 1.0 - a.free_words() as f64 / CAPACITY as f64;
+            chain_sum += a.chain_len() as u64;
+            samples += 1;
+        }
+    }
+    let probes = a.stats().probes as f64;
+    let attempts = (a.stats().allocs + a.stats().failures) as f64;
+    Outcome {
+        failures,
+        utilization: util_sum / samples as f64,
+        ext_frag: f64::NAN, // chain never coalesces eagerly; holes stand in
+        holes: chain_sum / samples,
+        mean_search: probes / attempts,
+    }
+}
+
+fn drive_segregated(events: &[AllocEvent]) -> Outcome {
+    let mut a = SegregatedAllocator::power_of_two(CAPACITY, 16, 2048);
+    let mut failures = 0;
+    let mut util_sum = 0.0;
+    let mut samples = 0u64;
+    let mut dropped: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for (i, e) in events.iter().enumerate() {
+        match *e {
+            AllocEvent::Alloc(r) => {
+                if a.alloc(r.id, r.size).is_err() {
+                    failures += 1;
+                    dropped.insert(r.id);
+                }
+            }
+            AllocEvent::Free { id } => {
+                if !dropped.remove(&id) {
+                    a.free(id).expect("live id");
+                }
+            }
+        }
+        if i % 64 == 0 {
+            util_sum += 1.0 - a.free_words() as f64 / CAPACITY as f64;
+            samples += 1;
+        }
+    }
+    Outcome {
+        failures,
+        utilization: util_sum / samples as f64,
+        ext_frag: f64::NAN,
+        holes: 0,
+        mean_search: 1.0, // a pop from the class list
+    }
+}
+
+fn main() {
+    println!("E5: placement strategies under steady allocation churn\n");
+    for (dist_name, sizes) in [
+        (
+            "exponential mean 80",
+            SizeDist::Exponential {
+                mean: 80.0,
+                cap: 2000,
+            },
+        ),
+        (
+            "bimodal 16/900 (90% small)",
+            SizeDist::Bimodal {
+                small: 16,
+                large: 900,
+                p_small: 0.9,
+            },
+        ),
+    ] {
+        for target in [0.70f64, 0.85, 0.95] {
+            let cfg = AllocStreamCfg {
+                sizes,
+                mean_lifetime: 300.0,
+                target_live_words: (CAPACITY as f64 * target) as u64,
+            };
+            let events = cfg.generate(EVENTS, &mut Rng64::new(55));
+            let mut t = Table::new(&[
+                "policy",
+                "failures",
+                "mean util",
+                "ext frag",
+                "holes",
+                "search len",
+            ])
+            .with_title(&format!(
+                "{dist_name}, target load {target:.0}%",
+                target = target * 100.0
+            ));
+            for policy in [
+                Placement::FirstFit,
+                Placement::NextFit,
+                Placement::BestFit,
+                Placement::WorstFit,
+                Placement::TwoEnds { threshold: 256 },
+            ] {
+                let o = drive_freelist(policy, &events);
+                t.row_owned(vec![
+                    policy.label().to_owned(),
+                    o.failures.to_string(),
+                    format!("{:.1}%", o.utilization * 100.0),
+                    format!("{:.3}", o.ext_frag),
+                    o.holes.to_string(),
+                    format!("{:.1}", o.mean_search),
+                ]);
+            }
+            let o = drive_rice(&events);
+            t.row_owned(vec![
+                "Rice chain".to_owned(),
+                o.failures.to_string(),
+                format!("{:.1}%", o.utilization * 100.0),
+                "n/a".to_owned(),
+                o.holes.to_string(),
+                format!("{:.1}", o.mean_search),
+            ]);
+            let o = drive_segregated(&events);
+            t.row_owned(vec![
+                "segregated 2^k".to_owned(),
+                o.failures.to_string(),
+                format!("{:.1}%", o.utilization * 100.0),
+                "n/a".to_owned(),
+                "-".to_owned(),
+                format!("{:.1}", o.mean_search),
+            ]);
+            println!("{t}");
+        }
+    }
+    println!(
+        "best-fit and first-fit hold fragmentation down at the price of a\n\
+         longer search; two-ends buys a short search by keeping small and\n\
+         large blocks apart (its advantage grows on the bimodal stream);\n\
+         worst-fit destroys large holes and fails first; the Rice chain's\n\
+         deferred coalescing keeps more, smaller holes but searches only\n\
+         the inactive chain; segregated lists answer in one probe but pay\n\
+         with rounding waste and storage trapped in the wrong class —\n\
+         the 'number of different allocation units' trade, both ends."
+    );
+}

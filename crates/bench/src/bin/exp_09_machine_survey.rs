@@ -1,0 +1,80 @@
+//! E9 — the appendix survey, measured.
+//!
+//! One phase-structured program runs on all seven machines; the output
+//! is the appendix as a table: each machine's position on the four
+//! characteristic axes, then what actually happened — faults, traffic,
+//! addressing overhead, bounds interception.
+
+use dsa_bench::workloads::survey_program_cfg;
+use dsa_machines::presets::{all_machines, favoured};
+use dsa_metrics::table::Table;
+use dsa_trace::rng::Rng64;
+
+fn main() {
+    println!("E9: the seven appendix machines under one workload\n");
+    let mut rng = Rng64::new(9);
+    let mut cfg = survey_program_cfg();
+    cfg.wild_touch_prob = 0.002;
+    let program = cfg.generate(&mut rng);
+    println!(
+        "workload: {} segments, {} declared words, {} touches (0.2% wild)\n",
+        cfg.segments,
+        program.total_declared_words(),
+        program.touch_count()
+    );
+
+    let mut chars = Table::new(&["machine", "name space", "predictive", "contiguity", "unit"])
+        .with_title("the four characteristics (paper's classification)");
+    let mut results = Table::new(&[
+        "machine",
+        "faults",
+        "fault rate",
+        "words in",
+        "words out",
+        "ns/touch map",
+        "bounds caught",
+        "wild missed",
+        "fetch wait",
+    ])
+    .with_title("measured on the survey workload");
+    let mut machines = all_machines();
+    machines.push(Box::new(favoured()));
+    for mut m in machines {
+        let c = m.characteristics();
+        chars.row_owned(vec![
+            m.name().to_owned(),
+            c.name_space.label().to_owned(),
+            c.predictive.label().to_owned(),
+            c.contiguity.label().to_owned(),
+            c.unit.label().to_owned(),
+        ]);
+        let r = m
+            .run(&program.ops)
+            .expect("survey workload runs everywhere");
+        results.row_owned(vec![
+            m.name().to_owned(),
+            r.faults.to_string(),
+            format!("{:.4}", r.fault_rate()),
+            r.fetched_words.to_string(),
+            r.writeback_words.to_string(),
+            format!("{:.0}", r.mean_map_overhead_nanos()),
+            r.bounds_caught.to_string(),
+            r.wild_undetected.to_string(),
+            r.fetch_time.to_string(),
+        ]);
+    }
+    println!("{chars}");
+    println!("{results}");
+    println!(
+        "things to see: the segmented machines (B5000, Rice, B8500,\n\
+         MULTICS) intercept every wild subscript while the linear and\n\
+         packed-segment machines let them through; the Rice machine pays\n\
+         its tape latency on every segment fault; the B8500's associative\n\
+         memory undercuts the B5000's descriptor-access overhead; the big\n\
+         cores (M44, 360/67, MULTICS) fault only on first touch. the\n\
+         eighth row is the combination the authors themselves favoured —\n\
+         no 1967 machine built it, but the components compose it: symbolic\n\
+         segments with full bounds interception, advice accepted, cheap\n\
+         cached descriptor access, and large segments in separate blocks."
+    );
+}

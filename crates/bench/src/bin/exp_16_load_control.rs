@@ -1,0 +1,107 @@
+//! E16 — conclusion (i): storage allocation integrated with scheduling.
+//!
+//! "A system in which entirely independent decisions are taken as to
+//! processor scheduling and storage allocation is unlikely to perform
+//! acceptably in any but the most undemanding of environments."
+//!
+//! A shared pool of frames, one drum channel, and a growing batch of
+//! identical phase-structured jobs. The independent scheduler admits
+//! every job at once; the integrated one admits jobs only while their
+//! working-set estimates (measured beforehand with the working-set
+//! simulator — the storage side talking to the scheduling side) fit in
+//! core. Past saturation the independent system thrashes; the
+//! integrated one runs in shifts.
+
+use dsa_core::clock::Cycles;
+use dsa_core::ids::JobId;
+use dsa_metrics::table::Table;
+use dsa_paging::replacement::lru::LruRepl;
+use dsa_paging::replacement::ws::working_set_sim;
+use dsa_sched::load_control::{Admission, GlobalJobSpec, GlobalMultiprogramSim};
+use dsa_sched::sim::SimConfig;
+use dsa_trace::refstring::RefStringCfg;
+use dsa_trace::rng::Rng64;
+
+const FRAMES: usize = 32;
+const REFS: usize = 6_000;
+
+fn job_specs(n: usize) -> Vec<GlobalJobSpec> {
+    (0..n)
+        .map(|i| {
+            let trace = RefStringCfg::WorkingSetPhases {
+                pages: 24,
+                set: 8,
+                phase_len: 500,
+            }
+            .generate_pages(REFS, &mut Rng64::new(160 + i as u64));
+            // The integration: measure the job's appetite with the
+            // working-set simulator and hand it to the scheduler.
+            let ws = working_set_sim(&trace, 400).mean_resident.ceil() as usize + 2;
+            GlobalJobSpec {
+                id: JobId(i as u32),
+                trace,
+                est_working_set: ws,
+            }
+        })
+        .collect()
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        instr_time: Cycles::from_micros(10),
+        fetch_time: Cycles::from_millis(4),
+        page_size: 512,
+        quantum_refs: 50,
+        fetch_channels: Some(1), // one drum channel
+    }
+}
+
+fn main() {
+    println!("E16: independent vs integrated scheduling and storage allocation\n");
+    let mut t = Table::new(&[
+        "jobs",
+        "policy",
+        "peak admitted",
+        "faults",
+        "cpu util",
+        "makespan",
+        "jobs/s",
+    ])
+    .with_title(&format!(
+        "{FRAMES} shared frames, one drum channel, ~10-page working sets"
+    ));
+    for n in [2usize, 4, 8, 16] {
+        for (label, admission) in [
+            ("independent", Admission::All),
+            ("integrated", Admission::WorkingSet),
+        ] {
+            let r = GlobalMultiprogramSim::new(
+                cfg(),
+                FRAMES,
+                Box::new(LruRepl::new()),
+                admission,
+                job_specs(n),
+            )
+            .run()
+            .expect("no pinning");
+            t.row_owned(vec![
+                n.to_string(),
+                label.to_owned(),
+                r.peak_admitted.to_string(),
+                r.faults.to_string(),
+                format!("{:.1}%", r.cpu_utilization() * 100.0),
+                r.makespan.to_string(),
+                format!("{:.2}", r.throughput_per_second()),
+            ]);
+        }
+    }
+    println!("{t}");
+    println!(
+        "below saturation (2-3 jobs' working sets fit in 32 frames) the two\n\
+         policies are identical. past it, the independent scheduler's jobs\n\
+         steal each other's pages: faults multiply, the single channel\n\
+         queues, and throughput collapses. the integrated scheduler holds\n\
+         the surplus jobs back and loses nothing — conclusion (i),\n\
+         measured."
+    );
+}

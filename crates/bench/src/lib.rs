@@ -1,0 +1,9 @@
+//! Experiment harness library.
+//!
+//! The `exp_*` binaries in `src/bin/` regenerate every figure and
+//! quantitative claim of the paper (see DESIGN.md's experiment index and
+//! EXPERIMENTS.md for paper-vs-measured); the Criterion benches in
+//! `benches/` time the underlying mechanisms. Shared workload builders
+//! live here.
+
+pub mod workloads;

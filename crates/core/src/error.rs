@@ -1,0 +1,226 @@
+//! Error and fault types.
+//!
+//! The paper distinguishes *errors* (requests the system cannot honour,
+//! e.g. exhausted storage) from *faults* (events the addressing hardware
+//! traps and the allocation system services, e.g. a reference to a page
+//! not currently in working storage — the heart of demand paging, special
+//! hardware facility (v)).
+
+use core::fmt;
+
+use crate::ids::{Name, PageNo, SegId, Words};
+
+/// An allocation request could not be satisfied.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AllocError {
+    /// No free block (or frame) large enough exists, even after any
+    /// permitted coalescing or compaction.
+    OutOfStorage {
+        /// The size that was requested, in words.
+        requested: Words,
+        /// The largest contiguous free extent at the time of failure.
+        largest_free: Words,
+    },
+    /// The request exceeds the maximum the system permits (e.g. a B5000
+    /// segment larger than 1024 words).
+    RequestTooLarge {
+        /// The size that was requested, in words.
+        requested: Words,
+        /// The maximum size the system permits for one unit.
+        max: Words,
+    },
+    /// The request was for zero words, which no allocator accepts.
+    ZeroSize,
+    /// The identifier in the request is already in use.
+    AlreadyAllocated,
+    /// The identifier in the request is unknown (e.g. freeing twice).
+    UnknownUnit,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AllocError::OutOfStorage {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of storage: requested {requested} words, largest free extent {largest_free}"
+            ),
+            AllocError::RequestTooLarge { requested, max } => {
+                write!(
+                    f,
+                    "request of {requested} words exceeds maximum unit size {max}"
+                )
+            }
+            AllocError::ZeroSize => write!(f, "zero-size allocation request"),
+            AllocError::AlreadyAllocated => write!(f, "unit identifier already allocated"),
+            AllocError::UnknownUnit => write!(f, "unknown unit identifier"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A fault raised on the addressing path.
+///
+/// Faults are not (necessarily) program errors: a [`AccessFault::MissingPage`]
+/// or [`AccessFault::MissingSegment`] is the trap that *drives* a demand
+/// fetch strategy. [`AccessFault::BoundsViolation`] is the illegal-subscript
+/// interception the paper lists as segmentation advantage (iii).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessFault {
+    /// The name lies outside the program's name space (or the limit
+    /// register check failed).
+    InvalidName {
+        /// The offending name.
+        name: Name,
+        /// The extent of the name space against which it was checked.
+        extent: Words,
+    },
+    /// The referenced segment does not exist.
+    UnknownSegment {
+        /// The offending segment.
+        seg: SegId,
+    },
+    /// The offset exceeds the segment's declared extent — an attempted
+    /// violation of array bounds, intercepted automatically.
+    BoundsViolation {
+        /// The segment whose bound was violated.
+        seg: SegId,
+        /// The offending offset.
+        offset: Words,
+        /// The segment's extent at the time of the access.
+        limit: Words,
+    },
+    /// The referenced page is not in any page frame; a page fetch must be
+    /// initiated (demand paging).
+    MissingPage {
+        /// The page that must be fetched.
+        page: PageNo,
+    },
+    /// The referenced segment is not in working storage; a segment fetch
+    /// must be initiated (B5000 / Rice fetch-on-first-reference).
+    MissingSegment {
+        /// The segment that must be fetched.
+        seg: SegId,
+    },
+    /// The access mode is not permitted by the program's capability for
+    /// the segment (segmentation advantage (ii): segments as the unit
+    /// of information protection).
+    ProtectionViolation {
+        /// The protected segment.
+        seg: SegId,
+        /// A short label of the attempted access ("write", "execute").
+        attempted: &'static str,
+    },
+}
+
+impl fmt::Display for AccessFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AccessFault::InvalidName { name, extent } => {
+                write!(f, "invalid name {name} (name-space extent {extent})")
+            }
+            AccessFault::UnknownSegment { seg } => write!(f, "unknown segment {seg}"),
+            AccessFault::BoundsViolation { seg, offset, limit } => {
+                write!(
+                    f,
+                    "bounds violation in {seg}: offset {offset} >= limit {limit}"
+                )
+            }
+            AccessFault::MissingPage { page } => write!(f, "page fault on {page}"),
+            AccessFault::MissingSegment { seg } => write!(f, "segment fault on {seg}"),
+            AccessFault::ProtectionViolation { seg, attempted } => {
+                write!(
+                    f,
+                    "protection violation: {attempted} access to {seg} not permitted"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessFault {}
+
+/// Top-level error type for composed systems.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreError {
+    /// An allocation failed.
+    Alloc(AllocError),
+    /// An access faulted and the fault could not be serviced (e.g. a
+    /// bounds violation, which no amount of fetching cures).
+    Access(AccessFault),
+    /// A configuration is internally inconsistent (e.g. a page size of
+    /// zero, or a TLB larger than the frame count it indexes).
+    BadConfig(&'static str),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Alloc(e) => write!(f, "allocation error: {e}"),
+            CoreError::Access(e) => write!(f, "access fault: {e}"),
+            CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<AllocError> for CoreError {
+    fn from(e: AllocError) -> Self {
+        CoreError::Alloc(e)
+    }
+}
+
+impl From<AccessFault> for CoreError {
+    fn from(e: AccessFault) -> Self {
+        CoreError::Access(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_informative() {
+        let e = AllocError::OutOfStorage {
+            requested: 100,
+            largest_free: 60,
+        };
+        let s = e.to_string();
+        assert!(s.contains("100") && s.contains("60"), "{s}");
+
+        let fault = AccessFault::BoundsViolation {
+            seg: SegId(4),
+            offset: 1024,
+            limit: 1000,
+        };
+        let s = fault.to_string();
+        assert!(
+            s.contains("s4") && s.contains("1024") && s.contains("1000"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn conversions_into_core_error() {
+        let e: CoreError = AllocError::ZeroSize.into();
+        assert_eq!(e, CoreError::Alloc(AllocError::ZeroSize));
+        let e: CoreError = AccessFault::MissingPage { page: PageNo(3) }.into();
+        assert!(matches!(
+            e,
+            CoreError::Access(AccessFault::MissingPage { .. })
+        ));
+    }
+
+    #[test]
+    fn faults_are_copy_and_comparable() {
+        let a = AccessFault::MissingPage { page: PageNo(1) };
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, AccessFault::MissingPage { page: PageNo(2) });
+    }
+}

@@ -1,0 +1,224 @@
+//! Fundamental identifier and quantity types.
+//!
+//! The paper is careful to distinguish the *name* used by a program to
+//! specify an informational item from the *address* used by the computer
+//! system to access the location in which the item is stored. We keep the
+//! same distinction at the type level: [`Name`] values flow into mapping
+//! devices, [`PhysAddr`] values come out, and the two cannot be confused.
+//!
+//! All quantities are measured in *words*, the natural unit of a
+//! 1960s-era machine; [`Words`] is a plain `u64` alias used for extents
+//! and capacities.
+
+use core::fmt;
+
+/// A storage extent or capacity, in words.
+pub type Words = u64;
+
+/// A name in a program's name space.
+///
+/// For a linear name space this is simply an integer in `0..n`. For a
+/// segmented name space the name is the pair *(segment, item within
+/// segment)*; such pairs are carried as [`crate::access::Access`] fields
+/// rather than packed into a single `Name`, except where a machine (IBM
+/// 360/67, MULTICS) explicitly packs the segment number into the most
+/// significant bits of a linear name — see `dsa-mapping`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Name(pub u64);
+
+impl Name {
+    /// Returns the raw integer value of the name.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Offsets the name by `delta` words (address arithmetic).
+    ///
+    /// The whole point of name contiguity is that this operation is
+    /// meaningful: `name.offset(k)` denotes the item `k` places after
+    /// `name` in the same linear name space.
+    #[must_use]
+    pub const fn offset(self, delta: u64) -> Name {
+        Name(self.0 + delta)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Name {
+    fn from(v: u64) -> Self {
+        Name(v)
+    }
+}
+
+/// An absolute address of a physical working-storage location.
+///
+/// Produced only by mapping devices (or used directly on systems without
+/// artificial contiguity).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// Returns the raw address value.
+    #[must_use]
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+
+    /// Offsets the address by `delta` words.
+    #[must_use]
+    pub const fn offset(self, delta: u64) -> PhysAddr {
+        PhysAddr(self.0 + delta)
+    }
+}
+
+impl fmt::Debug for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PhysAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+/// A page number within a name space (a "page" is the set of items that
+/// fit within a page frame).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct PageNo(pub u64);
+
+impl fmt::Display for PageNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u64> for PageNo {
+    fn from(v: u64) -> Self {
+        PageNo(v)
+    }
+}
+
+/// A page-frame number within physical working storage.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct FrameNo(pub u64);
+
+impl FrameNo {
+    /// Returns the frame number as a `usize` index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FrameNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<u64> for FrameNo {
+    fn from(v: u64) -> Self {
+        FrameNo(v)
+    }
+}
+
+/// An internal segment identifier.
+///
+/// Machines with a *linearly* segmented name space expose segment numbers
+/// to programs directly; machines with a *symbolically* segmented name
+/// space hide them behind a dictionary (see `dsa-seg::names`). Either way
+/// the allocator works in terms of `SegId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SegId(pub u32);
+
+impl fmt::Display for SegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SegId {
+    fn from(v: u32) -> Self {
+        SegId(v)
+    }
+}
+
+/// Identifier for a job (program) in a multiprogrammed mix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct JobId(pub u32);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "j{}", self.0)
+    }
+}
+
+impl From<u32> for JobId {
+    fn from(v: u32) -> Self {
+        JobId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_offset_is_address_arithmetic() {
+        let n = Name(0x100);
+        assert_eq!(n.offset(0), n);
+        assert_eq!(n.offset(5), Name(0x105));
+        assert_eq!(n.offset(5).offset(3), n.offset(8));
+    }
+
+    #[test]
+    fn phys_addr_offset() {
+        let a = PhysAddr(40);
+        assert_eq!(a.offset(2), PhysAddr(42));
+    }
+
+    #[test]
+    fn names_and_addresses_are_distinct_types() {
+        // A compile-time property, but we at least check the display
+        // forms differ so logs cannot be misread.
+        assert_eq!(Name(16).to_string(), "0x10");
+        assert_eq!(PageNo(16).to_string(), "p16");
+        assert_eq!(FrameNo(16).to_string(), "f16");
+    }
+
+    #[test]
+    fn conversions_from_raw() {
+        assert_eq!(Name::from(7).value(), 7);
+        assert_eq!(PhysAddr::from(7).value(), 7);
+        assert_eq!(FrameNo::from(3).index(), 3);
+        assert_eq!(SegId::from(3), SegId(3));
+        assert_eq!(JobId::from(9), JobId(9));
+    }
+
+    #[test]
+    fn ordering_follows_raw_values() {
+        assert!(Name(1) < Name(2));
+        assert!(PageNo(1) < PageNo(2));
+        assert!(FrameNo(0) < FrameNo(1));
+    }
+}

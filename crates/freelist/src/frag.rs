@@ -1,0 +1,214 @@
+//! Fragmentation measures.
+//!
+//! Conclusion (v) of the paper: "Storage fragmentation is not prevented,
+//! but just obscured, by paging techniques. In fact such techniques are
+//! of no assistance in handling the problem of fragmentation within
+//! pages." This module measures both kinds:
+//!
+//! * **external** fragmentation of a variable-unit allocator — free
+//!   storage scattered into holes too small to use ([`FragReport`]);
+//! * **internal** fragmentation of paged allocation — the partly used
+//!   page frames of requests that do not fill an integral number of
+//!   frames ([`internal_waste`], [`paged_overhead`]), including the
+//!   MULTICS two-page-size variant ([`dual_size_waste`]).
+
+use dsa_core::ids::Words;
+use dsa_metrics::histogram::Histogram;
+
+use crate::freelist::FreeListAllocator;
+
+/// A snapshot of a variable-unit allocator's external fragmentation.
+#[derive(Clone, Debug)]
+pub struct FragReport {
+    /// Free words in total.
+    pub free_words: Words,
+    /// Largest single hole.
+    pub largest_hole: Words,
+    /// Number of holes.
+    pub holes: u64,
+    /// `1 - largest/free`: 0 when all free storage is one hole, →1 as
+    /// free storage shatters.
+    pub external_frag: f64,
+    /// Histogram of hole sizes (log₂ buckets).
+    pub hole_sizes: Histogram,
+}
+
+impl FragReport {
+    /// Measures `a` now.
+    #[must_use]
+    pub fn capture(a: &FreeListAllocator) -> FragReport {
+        let free_words = a.free_words();
+        let largest_hole = a.largest_free();
+        let mut hole_sizes = Histogram::log2(32);
+        for (_, size) in a.holes() {
+            hole_sizes.record(size);
+        }
+        FragReport {
+            free_words,
+            largest_hole,
+            holes: a.hole_count() as u64,
+            external_frag: if free_words == 0 {
+                0.0
+            } else {
+                1.0 - largest_hole as f64 / free_words as f64
+            },
+            hole_sizes,
+        }
+    }
+}
+
+/// Internal waste of one request under uniform pages: the unused tail
+/// of its last page frame.
+#[must_use]
+pub fn internal_waste(request: Words, page_size: Words) -> Words {
+    debug_assert!(page_size > 0);
+    let rem = request % page_size;
+    if request == 0 || rem == 0 {
+        0
+    } else {
+        page_size - rem
+    }
+}
+
+/// Internal waste of one request under the MULTICS two-page-size scheme:
+/// the bulk is carried in `large` pages and the tail in `small` pages
+/// (A.6: "at the cost of somewhat added complexity to the placement and
+/// replacement strategies, the loss in storage utilization caused by
+/// fragmentation occurring within pages can be reduced").
+///
+/// # Panics
+///
+/// Panics (in debug builds) unless `small` divides `large`.
+#[must_use]
+pub fn dual_size_waste(request: Words, small: Words, large: Words) -> Words {
+    debug_assert!(small > 0 && large.is_multiple_of(small) && large >= small);
+    let bulk = (request / large) * large;
+    let tail = request - bulk;
+    internal_waste(tail, small)
+}
+
+/// The total overhead of running a request population on `page_size`
+/// pages: in-page waste plus the words the page tables themselves
+/// occupy. This is the quantity whose U-shape drives the paper's "if it
+/// is too small, there will be an unacceptable amount of overhead. If it
+/// is too large, too much space will be wasted" (experiment E6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagedOverhead {
+    /// Words wasted inside partly-filled pages.
+    pub internal_waste: Words,
+    /// Words of page-table entries (`table_entry_words` per page).
+    pub table_words: Words,
+    /// Number of pages used.
+    pub pages: u64,
+}
+
+impl PagedOverhead {
+    /// Total overhead in words.
+    #[must_use]
+    pub fn total(&self) -> Words {
+        self.internal_waste + self.table_words
+    }
+}
+
+/// Computes [`PagedOverhead`] for a population of request sizes.
+#[must_use]
+pub fn paged_overhead(
+    requests: &[Words],
+    page_size: Words,
+    table_entry_words: Words,
+) -> PagedOverhead {
+    assert!(page_size > 0, "page size must be positive");
+    let mut waste = 0;
+    let mut pages = 0;
+    for &r in requests {
+        waste += internal_waste(r, page_size);
+        pages += r.div_ceil(page_size);
+    }
+    PagedOverhead {
+        internal_waste: waste,
+        table_words: pages * table_entry_words,
+        pages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freelist::Placement;
+
+    #[test]
+    fn internal_waste_basics() {
+        assert_eq!(internal_waste(0, 512), 0);
+        assert_eq!(internal_waste(512, 512), 0);
+        assert_eq!(internal_waste(513, 512), 511);
+        assert_eq!(internal_waste(1, 512), 511);
+        assert_eq!(internal_waste(1000, 512), 24);
+    }
+
+    #[test]
+    fn dual_size_reduces_tail_waste() {
+        // A 1100-word request: one 1024 page + tail 76 -> two 64-pages
+        // (128) wastes 52, versus a second 1024 page wasting 948.
+        assert_eq!(dual_size_waste(1100, 64, 1024), 52);
+        assert_eq!(internal_waste(1100, 1024), 948);
+        assert!(dual_size_waste(1100, 64, 1024) < internal_waste(1100, 1024));
+        // Exact multiples waste nothing either way.
+        assert_eq!(dual_size_waste(2048, 64, 1024), 0);
+    }
+
+    #[test]
+    fn paged_overhead_u_shape() {
+        // 100 requests of 300 words. Small pages: low waste, many table
+        // entries; large pages: few entries, high waste.
+        let requests = vec![300u64; 100];
+        let tiny = paged_overhead(&requests, 2, 1);
+        let mid = paged_overhead(&requests, 16, 1);
+        let huge = paged_overhead(&requests, 4096, 1);
+        assert!(tiny.table_words > mid.table_words);
+        assert!(huge.internal_waste > mid.internal_waste);
+        assert!(mid.total() < tiny.total(), "tiny {tiny:?} vs mid {mid:?}");
+        assert!(mid.total() < huge.total(), "huge {huge:?} vs mid {mid:?}");
+    }
+
+    #[test]
+    fn paged_overhead_counts_pages() {
+        let o = paged_overhead(&[100, 600], 512, 2);
+        assert_eq!(o.pages, 1 + 2);
+        assert_eq!(o.internal_waste, 412 + 424);
+        assert_eq!(o.table_words, 6);
+        assert_eq!(o.total(), 412 + 424 + 6);
+    }
+
+    #[test]
+    fn frag_report_captures_holes() {
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        for i in 0..5 {
+            a.alloc(i, 20).unwrap();
+        }
+        a.free(1).unwrap();
+        a.free(3).unwrap();
+        let r = FragReport::capture(&a);
+        assert_eq!(r.free_words, 40);
+        assert_eq!(r.largest_hole, 20);
+        assert_eq!(r.holes, 2);
+        assert!((r.external_frag - 0.5).abs() < 1e-12);
+        assert_eq!(r.hole_sizes.count(), 2);
+    }
+
+    #[test]
+    fn frag_report_on_empty_and_full() {
+        let a = FreeListAllocator::new(100, Placement::FirstFit);
+        let r = FragReport::capture(&a);
+        assert_eq!(r.external_frag, 0.0);
+        assert_eq!(r.holes, 1);
+
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        a.alloc(1, 100).unwrap();
+        let r = FragReport::capture(&a);
+        assert_eq!(r.free_words, 0);
+        assert_eq!(
+            r.external_frag, 0.0,
+            "no free storage means no external frag"
+        );
+    }
+}

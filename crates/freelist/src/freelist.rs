@@ -1,0 +1,599 @@
+//! The address-ordered free list and its placement strategies.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dsa_core::error::AllocError;
+use dsa_core::ids::{PhysAddr, Words};
+
+/// A placement strategy for variable-unit allocation.
+///
+/// §Placement Strategies: "A common and frequently satisfactory strategy
+/// is to place the information in the smallest space which is sufficient
+/// to contain it. An alternative strategy, which involves less
+/// bookkeeping, is to place large blocks of information starting at one
+/// end of storage and small blocks starting at the other end."
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Placement {
+    /// Lowest-addressed hole that fits.
+    FirstFit,
+    /// First fit, resuming from where the previous search ended (a
+    /// roving pointer).
+    NextFit,
+    /// Smallest hole that fits.
+    BestFit,
+    /// Largest hole (a known-poor control).
+    WorstFit,
+    /// Requests smaller than `threshold` words are first-fit from the
+    /// low end; larger requests are first-fit from the high end and
+    /// placed at the top of the hole.
+    TwoEnds {
+        /// Requests of at least this many words count as "large".
+        threshold: Words,
+    },
+}
+
+impl Placement {
+    /// A short label for experiment tables.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Placement::FirstFit => "first-fit",
+            Placement::NextFit => "next-fit",
+            Placement::BestFit => "best-fit",
+            Placement::WorstFit => "worst-fit",
+            Placement::TwoEnds { .. } => "two-ends",
+        }
+    }
+}
+
+/// Cumulative allocator statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FreeListStats {
+    /// Successful allocations.
+    pub allocs: u64,
+    /// Frees.
+    pub frees: u64,
+    /// Allocation failures (no hole large enough).
+    pub failures: u64,
+    /// Free blocks examined across all searches — the "bookkeeping"
+    /// cost placement strategies trade against fragmentation.
+    pub probes: u64,
+    /// Coalesce operations performed on free.
+    pub coalesces: u64,
+}
+
+impl FreeListStats {
+    /// Mean search length per allocation attempt.
+    #[must_use]
+    pub fn mean_search(&self) -> f64 {
+        let attempts = self.allocs + self.failures;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.probes as f64 / attempts as f64
+        }
+    }
+}
+
+/// An address-ordered free-list allocator with immediate coalescing.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_freelist::freelist::{FreeListAllocator, Placement};
+///
+/// let mut a = FreeListAllocator::new(1000, Placement::BestFit);
+/// let addr = a.alloc(1, 100).unwrap();
+/// assert_eq!(addr.value(), 0);
+/// a.free(1).unwrap();
+/// assert_eq!(a.free_words(), 1000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FreeListAllocator {
+    capacity: Words,
+    policy: Placement,
+    /// Free holes, keyed by start address.
+    free: BTreeMap<u64, Words>,
+    /// Live allocations: id -> (address, size).
+    allocated: HashMap<u64, (u64, Words)>,
+    /// Roving pointer for next-fit.
+    rover: u64,
+    stats: FreeListStats,
+}
+
+impl FreeListAllocator {
+    /// Creates an allocator over `capacity` words, all free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: Words, policy: Placement) -> FreeListAllocator {
+        assert!(capacity > 0, "capacity must be positive");
+        let mut free = BTreeMap::new();
+        free.insert(0, capacity);
+        FreeListAllocator {
+            capacity,
+            policy,
+            free,
+            allocated: HashMap::new(),
+            rover: 0,
+            stats: FreeListStats::default(),
+        }
+    }
+
+    /// Total capacity in words.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        self.capacity
+    }
+
+    /// The placement strategy in use.
+    #[must_use]
+    pub fn policy(&self) -> Placement {
+        self.policy
+    }
+
+    /// Words currently free.
+    #[must_use]
+    pub fn free_words(&self) -> Words {
+        self.free.values().sum()
+    }
+
+    /// Words currently allocated.
+    #[must_use]
+    pub fn allocated_words(&self) -> Words {
+        self.capacity - self.free_words()
+    }
+
+    /// Utilization: allocated / capacity.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.allocated_words() as f64 / self.capacity as f64
+    }
+
+    /// The largest free hole, or 0 when storage is exhausted.
+    #[must_use]
+    pub fn largest_free(&self) -> Words {
+        self.free.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of free holes.
+    #[must_use]
+    pub fn hole_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Iterates `(address, size)` over free holes in address order.
+    pub fn holes(&self) -> impl Iterator<Item = (u64, Words)> + '_ {
+        self.free.iter().map(|(&a, &s)| (a, s))
+    }
+
+    /// Iterates `(id, address, size)` over live allocations in address
+    /// order.
+    #[must_use]
+    pub fn allocations_by_address(&self) -> Vec<(u64, u64, Words)> {
+        let mut v: Vec<(u64, u64, Words)> = self
+            .allocated
+            .iter()
+            .map(|(&id, &(addr, size))| (id, addr, size))
+            .collect();
+        v.sort_unstable_by_key(|&(_, addr, _)| addr);
+        v
+    }
+
+    /// Looks up a live allocation.
+    #[must_use]
+    pub fn lookup(&self, id: u64) -> Option<(PhysAddr, Words)> {
+        self.allocated
+            .get(&id)
+            .map(|&(addr, size)| (PhysAddr(addr), size))
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &FreeListStats {
+        &self.stats
+    }
+
+    /// Allocates `size` words under identifier `id`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AllocError::ZeroSize`] for a zero-word request;
+    /// * [`AllocError::AlreadyAllocated`] if `id` is live;
+    /// * [`AllocError::OutOfStorage`] if no hole fits (external
+    ///   fragmentation may leave `free_words() >= size` yet no
+    ///   contiguous hole).
+    pub fn alloc(&mut self, id: u64, size: Words) -> Result<PhysAddr, AllocError> {
+        if size == 0 {
+            return Err(AllocError::ZeroSize);
+        }
+        if self.allocated.contains_key(&id) {
+            return Err(AllocError::AlreadyAllocated);
+        }
+        let chosen = self.choose_hole(size);
+        let Some((hole_addr, hole_size, place_high)) = chosen else {
+            self.stats.failures += 1;
+            return Err(AllocError::OutOfStorage {
+                requested: size,
+                largest_free: self.largest_free(),
+            });
+        };
+        self.free.remove(&hole_addr);
+        let addr = if place_high {
+            // Two-ends large request: take the top of the hole.
+            let addr = hole_addr + hole_size - size;
+            if hole_size > size {
+                self.free.insert(hole_addr, hole_size - size);
+            }
+            addr
+        } else {
+            if hole_size > size {
+                self.free.insert(hole_addr + size, hole_size - size);
+            }
+            hole_addr
+        };
+        self.rover = addr + size;
+        self.allocated.insert(id, (addr, size));
+        self.stats.allocs += 1;
+        Ok(PhysAddr(addr))
+    }
+
+    /// Frees the allocation `id`, coalescing with free neighbours.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError::UnknownUnit`] if `id` is not live.
+    pub fn free(&mut self, id: u64) -> Result<(), AllocError> {
+        let (addr, size) = self.allocated.remove(&id).ok_or(AllocError::UnknownUnit)?;
+        self.stats.frees += 1;
+        self.insert_free(addr, size);
+        Ok(())
+    }
+
+    /// Inserts a free hole, merging with adjacent holes.
+    fn insert_free(&mut self, mut addr: u64, mut size: Words) {
+        // Merge with predecessor.
+        if let Some((&paddr, &psize)) = self.free.range(..addr).next_back() {
+            debug_assert!(paddr + psize <= addr, "overlapping free blocks");
+            if paddr + psize == addr {
+                self.free.remove(&paddr);
+                addr = paddr;
+                size += psize;
+                self.stats.coalesces += 1;
+            }
+        }
+        // Merge with successor.
+        if let Some((&saddr, &ssize)) = self.free.range(addr + size..).next() {
+            if addr + size == saddr {
+                self.free.remove(&saddr);
+                size += ssize;
+                self.stats.coalesces += 1;
+            }
+        }
+        self.free.insert(addr, size);
+    }
+
+    /// Chooses a hole per the placement policy. Returns
+    /// `(hole address, hole size, place-at-high-end)`.
+    fn choose_hole(&mut self, size: Words) -> Option<(u64, Words, bool)> {
+        match self.policy {
+            Placement::FirstFit => {
+                for (&addr, &hsize) in &self.free {
+                    self.stats.probes += 1;
+                    if hsize >= size {
+                        return Some((addr, hsize, false));
+                    }
+                }
+                None
+            }
+            Placement::NextFit => {
+                let rover = self.rover;
+                for (&addr, &hsize) in self.free.range(rover..).chain(self.free.range(..rover)) {
+                    self.stats.probes += 1;
+                    if hsize >= size {
+                        return Some((addr, hsize, false));
+                    }
+                }
+                None
+            }
+            Placement::BestFit => {
+                let mut best: Option<(u64, Words)> = None;
+                for (&addr, &hsize) in &self.free {
+                    self.stats.probes += 1;
+                    if hsize >= size && best.is_none_or(|(_, b)| hsize < b) {
+                        best = Some((addr, hsize));
+                        if hsize == size {
+                            break; // exact fit: the classic early exit
+                        }
+                    }
+                }
+                best.map(|(a, s)| (a, s, false))
+            }
+            Placement::WorstFit => {
+                let mut worst: Option<(u64, Words)> = None;
+                for (&addr, &hsize) in &self.free {
+                    self.stats.probes += 1;
+                    if hsize >= size && worst.is_none_or(|(_, w)| hsize > w) {
+                        worst = Some((addr, hsize));
+                    }
+                }
+                worst.map(|(a, s)| (a, s, false))
+            }
+            Placement::TwoEnds { threshold } => {
+                if size < threshold {
+                    for (&addr, &hsize) in &self.free {
+                        self.stats.probes += 1;
+                        if hsize >= size {
+                            return Some((addr, hsize, false));
+                        }
+                    }
+                    None
+                } else {
+                    for (&addr, &hsize) in self.free.iter().rev() {
+                        self.stats.probes += 1;
+                        if hsize >= size {
+                            return Some((addr, hsize, true));
+                        }
+                    }
+                    None
+                }
+            }
+        }
+    }
+
+    /// Slides every allocation toward address zero, preserving address
+    /// order, leaving a single hole at the top of storage. Returns
+    /// `(id, old address, new address, size)` for each block that moved,
+    /// in the order the moves must be performed (ascending addresses, so
+    /// overlapping slides are safe).
+    pub(crate) fn pack_down(&mut self) -> Vec<(u64, u64, u64, Words)> {
+        let blocks = self.allocations_by_address();
+        let mut moves = Vec::new();
+        let mut cursor = 0u64;
+        for (id, addr, size) in blocks {
+            if addr != cursor {
+                debug_assert!(cursor < addr, "pack_down must slide downwards");
+                self.allocated.insert(id, (cursor, size));
+                moves.push((id, addr, cursor, size));
+            }
+            cursor += size;
+        }
+        self.free.clear();
+        if cursor < self.capacity {
+            self.free.insert(cursor, self.capacity - cursor);
+        }
+        self.rover = cursor;
+        moves
+    }
+
+    /// Verifies internal invariants; used by tests and property tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if free/allocated regions overlap, accounting is wrong, or
+    /// two free holes are adjacent (coalescing must be maximal).
+    pub fn check_invariants(&self) {
+        // Free holes: in-bounds, disjoint, non-adjacent.
+        let mut prev_end: Option<u64> = None;
+        for (&addr, &size) in &self.free {
+            assert!(size > 0, "zero-size hole at {addr}");
+            assert!(addr + size <= self.capacity, "hole beyond capacity");
+            if let Some(end) = prev_end {
+                assert!(end < addr, "holes overlap or are adjacent at {addr}");
+            }
+            prev_end = Some(addr + size);
+        }
+        // Allocations: in-bounds, disjoint from each other and from
+        // holes.
+        let mut regions: Vec<(u64, u64)> = self
+            .free
+            .iter()
+            .map(|(&a, &s)| (a, a + s))
+            .chain(self.allocated.values().map(|&(a, s)| (a, a + s)))
+            .collect();
+        regions.sort_unstable();
+        for w in regions.windows(2) {
+            assert!(w[0].1 <= w[1].0, "regions overlap: {w:?}");
+        }
+        // Accounting.
+        let total: Words =
+            self.free_words() + self.allocated.values().map(|&(_, s)| s).sum::<Words>();
+        assert_eq!(total, self.capacity, "words leaked or duplicated");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_alloc_free_cycle() {
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        let p1 = a.alloc(1, 30).unwrap();
+        let p2 = a.alloc(2, 30).unwrap();
+        assert_eq!(p1, PhysAddr(0));
+        assert_eq!(p2, PhysAddr(30));
+        assert_eq!(a.allocated_words(), 60);
+        a.free(1).unwrap();
+        a.free(2).unwrap();
+        assert_eq!(a.free_words(), 100);
+        assert_eq!(a.hole_count(), 1, "frees must coalesce back to one hole");
+        a.check_invariants();
+    }
+
+    #[test]
+    fn error_cases() {
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        assert_eq!(a.alloc(1, 0), Err(AllocError::ZeroSize));
+        a.alloc(1, 10).unwrap();
+        assert_eq!(a.alloc(1, 10), Err(AllocError::AlreadyAllocated));
+        assert_eq!(a.free(99), Err(AllocError::UnknownUnit));
+        let err = a.alloc(2, 1000).unwrap_err();
+        assert!(matches!(
+            err,
+            AllocError::OutOfStorage {
+                requested: 1000,
+                largest_free: 90
+            }
+        ));
+        assert_eq!(a.stats().failures, 1);
+    }
+
+    #[test]
+    fn external_fragmentation_blocks_fitting_total() {
+        // Holes of 30+30 = 60 free words, but a 40-word request fails.
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        a.alloc(1, 30).unwrap(); // [0,30)
+        a.alloc(2, 10).unwrap(); // [30,40)
+        a.alloc(3, 30).unwrap(); // [40,70)
+        a.alloc(4, 30).unwrap(); // [70,100)
+        a.free(1).unwrap();
+        a.free(3).unwrap();
+        assert_eq!(a.free_words(), 60);
+        assert!(a.alloc(5, 40).is_err());
+        assert_eq!(a.largest_free(), 30);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn best_fit_picks_smallest_adequate_hole() {
+        let mut a = FreeListAllocator::new(100, Placement::BestFit);
+        // Create holes of sizes 20 ([0,20)) and 10 ([30,40)).
+        a.alloc(1, 20).unwrap();
+        a.alloc(2, 10).unwrap();
+        a.alloc(3, 10).unwrap();
+        a.alloc(4, 60).unwrap();
+        a.free(1).unwrap(); // hole [0,20)
+        a.free(3).unwrap(); // hole [30,40)
+        let p = a.alloc(5, 8).unwrap();
+        assert_eq!(p, PhysAddr(30), "best-fit must choose the 10-word hole");
+        a.check_invariants();
+    }
+
+    #[test]
+    fn worst_fit_picks_largest_hole() {
+        let mut a = FreeListAllocator::new(100, Placement::WorstFit);
+        a.alloc(1, 20).unwrap();
+        a.alloc(2, 10).unwrap();
+        a.alloc(3, 10).unwrap();
+        a.alloc(4, 60).unwrap();
+        a.free(1).unwrap(); // hole [0,20)
+        a.free(3).unwrap(); // hole [30,40)
+        let p = a.alloc(5, 8).unwrap();
+        assert_eq!(p, PhysAddr(0), "worst-fit must choose the 20-word hole");
+    }
+
+    #[test]
+    fn first_fit_takes_lowest_hole() {
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        a.alloc(1, 20).unwrap();
+        a.alloc(2, 10).unwrap();
+        a.alloc(3, 10).unwrap();
+        a.alloc(4, 60).unwrap();
+        a.free(1).unwrap();
+        a.free(3).unwrap();
+        let p = a.alloc(5, 8).unwrap();
+        assert_eq!(p, PhysAddr(0));
+    }
+
+    #[test]
+    fn next_fit_resumes_from_rover() {
+        let mut a = FreeListAllocator::new(100, Placement::NextFit);
+        a.alloc(1, 20).unwrap();
+        a.alloc(2, 10).unwrap();
+        a.alloc(3, 10).unwrap();
+        a.alloc(4, 60).unwrap();
+        a.free(1).unwrap(); // hole [0,20)
+        a.free(3).unwrap(); // hole [30,40)
+                            // Rover is at 100 (end of last alloc), wraps to the start.
+        let p = a.alloc(5, 8).unwrap();
+        assert_eq!(p, PhysAddr(0));
+        // Rover now at 8: the next small alloc comes from [8,20), not
+        // rescanning [0,8).
+        let p2 = a.alloc(6, 8).unwrap();
+        assert_eq!(p2, PhysAddr(8));
+        // And the next one skips to [30,40).
+        let p3 = a.alloc(7, 8).unwrap();
+        assert_eq!(p3, PhysAddr(30));
+    }
+
+    #[test]
+    fn two_ends_separates_small_and_large() {
+        let mut a = FreeListAllocator::new(1000, Placement::TwoEnds { threshold: 100 });
+        let small = a.alloc(1, 10).unwrap();
+        let large = a.alloc(2, 200).unwrap();
+        let small2 = a.alloc(3, 10).unwrap();
+        let large2 = a.alloc(4, 200).unwrap();
+        assert_eq!(small, PhysAddr(0));
+        assert_eq!(large, PhysAddr(800));
+        assert_eq!(small2, PhysAddr(10));
+        assert_eq!(large2, PhysAddr(600));
+        a.check_invariants();
+    }
+
+    #[test]
+    fn exact_fit_consumes_whole_hole() {
+        let mut a = FreeListAllocator::new(100, Placement::BestFit);
+        a.alloc(1, 40).unwrap();
+        a.alloc(2, 60).unwrap();
+        a.free(1).unwrap();
+        a.alloc(3, 40).unwrap();
+        assert_eq!(a.free_words(), 0);
+        assert_eq!(a.hole_count(), 0);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn coalescing_merges_both_sides() {
+        let mut a = FreeListAllocator::new(90, Placement::FirstFit);
+        a.alloc(1, 30).unwrap();
+        a.alloc(2, 30).unwrap();
+        a.alloc(3, 30).unwrap();
+        a.free(1).unwrap();
+        a.free(3).unwrap();
+        assert_eq!(a.hole_count(), 2);
+        a.free(2).unwrap(); // merges with both neighbours
+        assert_eq!(a.hole_count(), 1);
+        assert_eq!(a.largest_free(), 90);
+        assert!(a.stats().coalesces >= 2);
+    }
+
+    #[test]
+    fn probe_counting_reflects_search_length() {
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        a.alloc(1, 10).unwrap(); // 1 probe (single hole)
+        a.alloc(2, 10).unwrap(); // 1 probe
+        assert_eq!(a.stats().probes, 2);
+        assert_eq!(a.stats().mean_search(), 1.0);
+    }
+
+    #[test]
+    fn best_fit_probes_whole_list_without_exact_fit() {
+        let mut a = FreeListAllocator::new(300, Placement::BestFit);
+        for i in 0..5 {
+            a.alloc(i, 30).unwrap();
+        }
+        for i in [0u64, 2, 4] {
+            a.free(i).unwrap();
+        }
+        // Holes: [0,30), [60,90), and [120,300) (the last coalesced with
+        // the tail).
+        assert_eq!(a.hole_count(), 3);
+        let probes_before = a.stats().probes;
+        a.alloc(10, 5).unwrap(); // no exact fit: must scan all 3 holes
+        assert_eq!(a.stats().probes - probes_before, 3);
+    }
+
+    #[test]
+    fn lookup_and_listing() {
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        a.alloc(7, 25).unwrap();
+        assert_eq!(a.lookup(7), Some((PhysAddr(0), 25)));
+        assert_eq!(a.lookup(8), None);
+        let list = a.allocations_by_address();
+        assert_eq!(list, vec![(7, 0, 25)]);
+        assert!((a.utilization() - 0.25).abs() < 1e-12);
+    }
+}

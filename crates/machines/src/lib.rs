@@ -1,0 +1,33 @@
+//! The seven appendix machines, composed and runnable.
+//!
+//! "This brief survey of relevant aspects of several computer systems is
+//! intended to illustrate the many combinations of functional
+//! capability, underlying strategies, and special hardware facilities
+//! that have been chosen by system designers" — Appendix. Each preset
+//! here assembles the workspace's components into one of those
+//! combinations, with the appendix's published parameters, behind a
+//! common [`Machine`] interface that executes machine-independent
+//! [`dsa_core::ProgramOp`] workloads. Experiment E9 runs one workload
+//! across all seven and prints the survey as a measured table.
+//!
+//! | Preset | Name space | Mapping | Unit | Replacement |
+//! |---|---|---|---|---|
+//! | [`atlas`] | linear | frame-associative | 512-word pages | learning program, vacant reserve |
+//! | [`m44_44x`] | linear | mapping store (block map) | 1024-word pages | class-random; advice instructions |
+//! | [`b5000`] | symbolically segmented | PRT descriptors | variable (seg ≤ 1024) | cyclic |
+//! | [`rice`] | segmented (codewords) | codewords | variable (chain) | Rice iterative |
+//! | [`b8500`] | symbolically segmented | PRT + 44-word associative memory | variable | cyclic |
+//! | [`multics`] | linearly segmented (used symbolically) | two-level + associative | 64/1024-word pages | class-random |
+//! | [`model67`] | linearly segmented | two-level + 8-entry associative | 1024-word pages | class-random |
+
+pub mod linear;
+pub mod multilevel;
+pub mod presets;
+pub mod report;
+pub mod segmented;
+
+pub use linear::LinearPagedMachine;
+pub use multilevel::PagedSegmentedMachine;
+pub use presets::{all_machines, atlas, b5000, b8500, favoured, m44_44x, model67, multics, rice};
+pub use report::{Machine, MachineReport};
+pub use segmented::SegmentedMachine;

@@ -1,0 +1,350 @@
+//! Bucketed histograms with percentile queries.
+
+use core::fmt;
+
+/// How sample values are mapped to buckets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Bucketing {
+    /// Equal-width buckets of `width` covering `[0, width * n)`.
+    Linear { width: u64 },
+    /// Power-of-two buckets: bucket *i* covers `[2^i, 2^(i+1))`, with
+    /// bucket 0 covering `[0, 2)`.
+    Log2,
+}
+
+/// A histogram over `u64` samples.
+///
+/// Samples beyond the last bucket are counted in an overflow bucket so
+/// totals and means remain exact; percentiles saturate at the overflow
+/// bucket's lower bound.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_metrics::histogram::Histogram;
+///
+/// let mut h = Histogram::linear(10, 10); // buckets [0,10), [10,20), ... [90,100)
+/// for v in [1, 5, 15, 95, 250] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bucket_count(0), 2);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    bucketing: Bucketing,
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `n` equal-width buckets of `width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` or `n` is zero.
+    #[must_use]
+    pub fn linear(width: u64, n: usize) -> Histogram {
+        assert!(width > 0, "bucket width must be positive");
+        assert!(n > 0, "bucket count must be positive");
+        Histogram {
+            bucketing: Bucketing::Linear { width },
+            buckets: vec![0; n],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Creates a histogram with `n` power-of-two buckets; bucket *i*
+    /// covers `[2^i, 2^(i+1))` (bucket 0 covers `[0, 2)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds 64.
+    #[must_use]
+    pub fn log2(n: usize) -> Histogram {
+        assert!(n > 0 && n <= 64, "log2 bucket count must be in 1..=64");
+        Histogram {
+            bucketing: Bucketing::Log2,
+            buckets: vec![0; n],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(&self, v: u64) -> Option<usize> {
+        let idx = match self.bucketing {
+            Bucketing::Linear { width } => (v / width) as usize,
+            Bucketing::Log2 => {
+                if v < 2 {
+                    0
+                } else {
+                    (63 - v.leading_zeros()) as usize
+                }
+            }
+        };
+        (idx < self.buckets.len()).then_some(idx)
+    }
+
+    /// Lower bound of bucket `i`.
+    #[must_use]
+    pub fn bucket_low(&self, i: usize) -> u64 {
+        match self.bucketing {
+            Bucketing::Linear { width } => i as u64 * width,
+            Bucketing::Log2 => {
+                if i == 0 {
+                    0
+                } else {
+                    1u64 << i
+                }
+            }
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        match self.bucket_of(v) {
+            Some(i) => self.buckets[i] += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records `n` identical samples.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        match self.bucket_of(v) {
+            Some(i) => self.buckets[i] += n,
+            None => self.overflow += n,
+        }
+        self.count += n;
+        self.sum += u128::from(v) * u128::from(n);
+        self.max = self.max.max(v);
+    }
+
+    /// Total number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all samples.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Exact mean of all samples, or 0 if empty.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen, or 0 if empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Number of samples in bucket `i`.
+    #[must_use]
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Number of samples beyond the last bucket.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The lower bound of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`), or 0 if the histogram is empty. Saturates at the
+    /// overflow region's lower bound.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return self.bucket_low(i);
+            }
+        }
+        // Target lies in the overflow region.
+        self.bucket_low(self.buckets.len() - 1)
+            + match self.bucketing {
+                Bucketing::Linear { width } => width,
+                Bucketing::Log2 => self.bucket_low(self.buckets.len() - 1),
+            }
+    }
+
+    /// Iterates `(bucket_low, count)` over non-empty buckets.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_low(i), c))
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "n={} mean={:.1} max={}",
+            self.count,
+            self.mean(),
+            self.max
+        )?;
+        let peak = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        for (low, c) in self.nonempty_buckets() {
+            let bar = "#".repeat((c * 40 / peak) as usize);
+            writeln!(f, "{low:>10} | {bar} {c}")?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  overflow | {}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_bucketing() {
+        let mut h = Histogram::linear(10, 5);
+        h.record(0);
+        h.record(9);
+        h.record(10);
+        h.record(49);
+        h.record(50); // overflow
+        assert_eq!(h.bucket_count(0), 2);
+        assert_eq!(h.bucket_count(1), 1);
+        assert_eq!(h.bucket_count(4), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 118);
+        assert_eq!(h.max(), 50);
+    }
+
+    #[test]
+    fn log2_bucketing() {
+        let mut h = Histogram::log2(8);
+        for v in [0, 1, 2, 3, 4, 7, 8, 127, 128] {
+            h.record(v);
+        }
+        assert_eq!(h.bucket_count(0), 2); // 0, 1
+        assert_eq!(h.bucket_count(1), 2); // 2, 3
+        assert_eq!(h.bucket_count(2), 2); // 4, 7
+        assert_eq!(h.bucket_count(3), 1); // 8
+        assert_eq!(h.bucket_count(6), 1); // 127
+        assert_eq!(h.bucket_count(7), 1); // 128
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn log2_overflow() {
+        let mut h = Histogram::log2(4); // covers up to [8,16)
+        h.record(16);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::linear(1, 101);
+        for v in 0..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(1.0), 100);
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = Histogram::linear(1, 4);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn record_n_equals_loop() {
+        let mut a = Histogram::linear(10, 4);
+        let mut b = Histogram::linear(10, 4);
+        a.record_n(25, 7);
+        for _ in 0..7 {
+            b.record(25);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.sum(), b.sum());
+        assert_eq!(a.bucket_count(2), b.bucket_count(2));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::log2(10);
+        h.record(3);
+        h.record(5);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_panics() {
+        let _ = Histogram::linear(0, 4);
+    }
+
+    #[test]
+    fn display_draws_bars() {
+        let mut h = Histogram::linear(10, 4);
+        h.record(5);
+        h.record(5);
+        h.record(35);
+        let s = h.to_string();
+        assert!(s.contains('#'), "{s}");
+        assert!(s.contains("n=3"), "{s}");
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    #[test]
+    fn quantile_saturates_in_overflow_region() {
+        let mut h = Histogram::linear(10, 2); // covers [0, 20)
+        h.record(5);
+        h.record(500);
+        h.record(600);
+        // The 1.0-quantile lies among the overflowed samples; the
+        // reported bound saturates at the overflow region's floor.
+        assert_eq!(h.quantile(1.0), 20);
+        assert_eq!(h.overflow(), 2);
+    }
+
+    #[test]
+    fn log2_quantile_overflow_floor() {
+        let mut h = Histogram::log2(3); // covers [0, 8)
+        h.record(100);
+        assert_eq!(h.quantile(0.5), 8);
+    }
+}

@@ -1,0 +1,221 @@
+//! The space-time product of Figure 3.
+//!
+//! The paper argues that the significant measure of a fetch strategy is
+//! not the amount of storage allocated but the *space-time product*: a
+//! program awaiting the arrival of a page continues to occupy working
+//! storage, so "if page fetching is a slow process, a large part of the
+//! space-time product for a program may well be due to space occupied
+//! while the program is inactive awaiting further pages". Figure 3 draws
+//! exactly this: occupied space against real time, shaded by whether the
+//! program is active or awaiting a page.
+//!
+//! [`SpaceTimeMeter`] integrates that figure: call [`SpaceTimeMeter::record`]
+//! whenever occupancy or activity changes, and read off the integral
+//! split into its active and waiting components.
+
+use core::fmt;
+
+use dsa_core::clock::Cycles;
+use dsa_core::ids::Words;
+
+/// What the program is doing during an interval.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Executing instructions.
+    Active,
+    /// Blocked awaiting the arrival of a page or segment.
+    AwaitingFetch,
+    /// Ready but not running (another program holds the processor).
+    ReadyIdle,
+}
+
+/// Integrates occupied-words × time, split by [`Phase`].
+///
+/// # Examples
+///
+/// ```
+/// use dsa_core::clock::Cycles;
+/// use dsa_metrics::spacetime::{Phase, SpaceTimeMeter};
+///
+/// let mut m = SpaceTimeMeter::new();
+/// // 100 words occupied, active, for 10 us.
+/// m.record(Cycles::from_micros(0), 100, Phase::Active);
+/// // Then a page wait of 40 us at 100 words.
+/// m.record(Cycles::from_micros(10), 100, Phase::AwaitingFetch);
+/// m.finish(Cycles::from_micros(50));
+///
+/// let r = m.report();
+/// assert_eq!(r.active_word_nanos, 100 * 10_000);
+/// assert_eq!(r.waiting_word_nanos, 100 * 40_000);
+/// // 80% of this program's space-time is wait — Figure 3's point.
+/// assert!((r.waiting_fraction() - 0.8).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SpaceTimeMeter {
+    last_time: Option<Cycles>,
+    cur_words: Words,
+    cur_phase: Option<Phase>,
+    active: u128,
+    waiting: u128,
+    ready_idle: u128,
+}
+
+/// The integrated space-time product, in word-nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SpaceTimeReport {
+    /// Word-nanoseconds accumulated while executing.
+    pub active_word_nanos: u128,
+    /// Word-nanoseconds accumulated while awaiting a fetch.
+    pub waiting_word_nanos: u128,
+    /// Word-nanoseconds accumulated while ready but preempted.
+    pub ready_idle_word_nanos: u128,
+}
+
+impl SpaceTimeReport {
+    /// Total space-time product.
+    #[must_use]
+    pub fn total(&self) -> u128 {
+        self.active_word_nanos + self.waiting_word_nanos + self.ready_idle_word_nanos
+    }
+
+    /// Fraction of the space-time product spent awaiting fetches, or 0
+    /// if nothing was accumulated.
+    #[must_use]
+    pub fn waiting_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.waiting_word_nanos as f64 / t as f64
+        }
+    }
+
+    /// Total expressed in word-milliseconds (the unit experiment tables
+    /// print).
+    #[must_use]
+    pub fn total_word_millis(&self) -> f64 {
+        self.total() as f64 / 1e6
+    }
+}
+
+impl fmt::Display for SpaceTimeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "space-time {:.1} word-ms ({:.1}% waiting)",
+            self.total_word_millis(),
+            self.waiting_fraction() * 100.0
+        )
+    }
+}
+
+impl SpaceTimeMeter {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> SpaceTimeMeter {
+        SpaceTimeMeter::default()
+    }
+
+    fn accumulate(&mut self, until: Cycles) {
+        if let (Some(t0), Some(phase)) = (self.last_time, self.cur_phase) {
+            let dt = until.saturating_sub(t0).as_nanos();
+            let wt = u128::from(dt) * u128::from(self.cur_words);
+            match phase {
+                Phase::Active => self.active += wt,
+                Phase::AwaitingFetch => self.waiting += wt,
+                Phase::ReadyIdle => self.ready_idle += wt,
+            }
+        }
+    }
+
+    /// Declares that from instant `now` the program occupies `words` of
+    /// working storage in phase `phase`. The interval since the previous
+    /// `record` is charged at the *previous* occupancy and phase.
+    pub fn record(&mut self, now: Cycles, words: Words, phase: Phase) {
+        self.accumulate(now);
+        self.last_time = Some(now);
+        self.cur_words = words;
+        self.cur_phase = Some(phase);
+    }
+
+    /// Closes the final interval at instant `now`.
+    pub fn finish(&mut self, now: Cycles) {
+        self.accumulate(now);
+        self.last_time = Some(now);
+        self.cur_phase = None;
+    }
+
+    /// Reads the integral so far.
+    #[must_use]
+    pub fn report(&self) -> SpaceTimeReport {
+        SpaceTimeReport {
+            active_word_nanos: self.active,
+            waiting_word_nanos: self.waiting,
+            ready_idle_word_nanos: self.ready_idle,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_meter_reports_zero() {
+        let m = SpaceTimeMeter::new();
+        assert_eq!(m.report().total(), 0);
+        assert_eq!(m.report().waiting_fraction(), 0.0);
+    }
+
+    #[test]
+    fn intervals_charged_at_previous_state() {
+        let mut m = SpaceTimeMeter::new();
+        m.record(Cycles::from_nanos(0), 10, Phase::Active);
+        m.record(Cycles::from_nanos(100), 50, Phase::Active); // 10 words for 100 ns
+        m.finish(Cycles::from_nanos(200)); // 50 words for 100 ns
+        let r = m.report();
+        assert_eq!(r.active_word_nanos, 10 * 100 + 50 * 100);
+        assert_eq!(r.waiting_word_nanos, 0);
+    }
+
+    #[test]
+    fn phases_are_separated() {
+        let mut m = SpaceTimeMeter::new();
+        m.record(Cycles::from_nanos(0), 100, Phase::Active);
+        m.record(Cycles::from_nanos(10), 100, Phase::AwaitingFetch);
+        m.record(Cycles::from_nanos(30), 100, Phase::ReadyIdle);
+        m.finish(Cycles::from_nanos(60));
+        let r = m.report();
+        assert_eq!(r.active_word_nanos, 1000);
+        assert_eq!(r.waiting_word_nanos, 2000);
+        assert_eq!(r.ready_idle_word_nanos, 3000);
+        assert_eq!(r.total(), 6000);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut m = SpaceTimeMeter::new();
+        m.record(Cycles::from_nanos(0), 10, Phase::Active);
+        m.finish(Cycles::from_nanos(100));
+        m.finish(Cycles::from_nanos(100));
+        assert_eq!(m.report().total(), 1000);
+    }
+
+    #[test]
+    fn out_of_order_times_do_not_underflow() {
+        let mut m = SpaceTimeMeter::new();
+        m.record(Cycles::from_nanos(100), 10, Phase::Active);
+        m.record(Cycles::from_nanos(50), 10, Phase::Active); // earlier: charged as 0
+        m.finish(Cycles::from_nanos(60));
+        assert_eq!(m.report().active_word_nanos, 100);
+    }
+
+    #[test]
+    fn display_mentions_waiting_share() {
+        let mut m = SpaceTimeMeter::new();
+        m.record(Cycles::from_micros(0), 1000, Phase::AwaitingFetch);
+        m.finish(Cycles::from_micros(10));
+        let s = m.report().to_string();
+        assert!(s.contains("100.0% waiting"), "{s}");
+    }
+}

@@ -1,0 +1,201 @@
+//! Fixed-width table rendering for experiment output.
+//!
+//! Every `exp_*` binary prints its results as rows of a plain-text table
+//! so that EXPERIMENTS.md can quote them verbatim.
+
+use core::fmt;
+
+/// Alignment of a column's cells.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width text table.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_metrics::table::Table;
+///
+/// let mut t = Table::new(&["policy", "faults"]);
+/// t.row(&["LRU", "123"]);
+/// t.row(&["FIFO", "154"]);
+/// let s = t.to_string();
+/// assert!(s.contains("policy"));
+/// assert!(s.contains("154"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column is
+    /// left-aligned, the rest right-aligned (the common label+numbers
+    /// shape); use [`Table::with_aligns`] to override.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Table {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
+    }
+
+    /// Overrides per-column alignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `aligns.len()` differs from the header count.
+    #[must_use]
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Sets a title line printed above the table.
+    #[must_use]
+    pub fn with_title(mut self, title: &str) -> Table {
+        self.title = Some(title.to_owned());
+        self
+    }
+
+    /// Appends a row of preformatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows
+            .push(cells.iter().map(|s| (*s).to_owned()).collect());
+    }
+
+    /// Appends a row of already-owned cells (convenient with `format!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        if let Some(title) = &self.title {
+            writeln!(f, "## {title}")?;
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for i in 0..ncols {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                match self.aligns[i] {
+                    Align::Left => write!(f, "{:<width$}", cells[i], width = widths[i])?,
+                    Align::Right => write!(f, "{:>width$}", cells[i], width = widths[i])?,
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a", "1"]);
+        t.row(&["longer", "12345"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "name    value");
+        assert_eq!(lines[2], "a           1");
+        assert_eq!(lines[3], "longer  12345");
+    }
+
+    #[test]
+    fn title_is_printed() {
+        let t = Table::new(&["x"]).with_title("E4 replacement");
+        assert!(t.to_string().starts_with("## E4 replacement"));
+    }
+
+    #[test]
+    fn row_owned_matches_row() {
+        let mut a = Table::new(&["c1", "c2"]);
+        a.row(&["x", "y"]);
+        let mut b = Table::new(&["c1", "c2"]);
+        b.row_owned(vec!["x".into(), "y".into()]);
+        assert_eq!(a.to_string(), b.to_string());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn custom_alignment() {
+        let mut t = Table::new(&["n", "label"]).with_aligns(&[Align::Right, Align::Left]);
+        t.row(&["1", "abc"]);
+        t.row(&["10", "d"]);
+        let s = t.to_string();
+        assert!(s.contains(" 1  abc"), "{s}");
+        assert!(s.contains("10  d"), "{s}");
+    }
+
+    #[test]
+    fn emptiness() {
+        let mut t = Table::new(&["a"]);
+        assert!(t.is_empty());
+        t.row(&["x"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,692 @@
+//! The demand-paging engine.
+//!
+//! "Demand paging uses the address mapping device to deflect reference
+//! to a page which is not currently in one of the page frames. A page
+//! fetch will then be initiated. Demand paging thus tends to minimize
+//! the amount of working storage allocated to each program, since only
+//! pages which are referenced are loaded" — §Fetch Strategies.
+//!
+//! [`PagedMemory`] drives a [`Replacer`] over a fixed pool of page
+//! frames, maintains the use/modify [`Sensors`], honours advisory
+//! directives (prefetch on will-need, demote on wont-need, pin, release
+//! — the M44/MULTICS repertoire), and optionally keeps one frame vacant
+//! at all times, as the ATLAS replacement machinery did ("the
+//! replacement strategy ... is used to ensure that one page frame is
+//! kept vacant, ready for the next page demand").
+
+use std::collections::{HashMap, HashSet};
+
+use dsa_core::access::{Access, AccessKind};
+use dsa_core::advice::{Advice, AdviceUnit};
+use dsa_core::clock::VirtualTime;
+use dsa_core::error::{AllocError, CoreError};
+use dsa_core::ids::{FrameNo, PageNo};
+
+use crate::replacement::Replacer;
+use crate::sensors::Sensors;
+
+/// A page pushed out of working storage.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct EvictedPage {
+    /// The page that was removed.
+    pub page: PageNo,
+    /// The frame it occupied.
+    pub frame: FrameNo,
+    /// Whether its modify sensor was set (a write-back is needed).
+    pub dirty: bool,
+}
+
+/// The outcome of one reference.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TouchOutcome {
+    /// The page was resident.
+    Hit {
+        /// The frame holding it.
+        frame: FrameNo,
+    },
+    /// The page was fetched on demand.
+    Fault {
+        /// The frame it was loaded into.
+        frame: FrameNo,
+        /// The page evicted to make room, if any.
+        evicted: Option<EvictedPage>,
+    },
+}
+
+impl TouchOutcome {
+    /// True for [`TouchOutcome::Fault`].
+    #[must_use]
+    pub fn is_fault(&self) -> bool {
+        matches!(self, TouchOutcome::Fault { .. })
+    }
+}
+
+/// Cumulative paging statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PagingStats {
+    /// References processed.
+    pub references: u64,
+    /// Demand faults.
+    pub faults: u64,
+    /// Pages evicted (for any reason).
+    pub evictions: u64,
+    /// Evictions that required a write-back.
+    pub dirty_evictions: u64,
+    /// Pages loaded by will-need prefetch.
+    pub prefetches: u64,
+    /// Prefetched pages that were later actually referenced.
+    pub useful_prefetches: u64,
+    /// Pages evicted by release advice.
+    pub advised_evictions: u64,
+}
+
+impl PagingStats {
+    /// Faults per reference.
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.faults as f64 / self.references as f64
+        }
+    }
+}
+
+/// What an advisory directive actually did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AdviceOutcome {
+    /// A page was brought in: `(page, frame)`.
+    pub loaded: Option<(PageNo, FrameNo)>,
+    /// A page was pushed out (to make room for a prefetch, or by a
+    /// release directive).
+    pub evicted: Option<EvictedPage>,
+}
+
+/// A fixed pool of page frames under a replacement strategy.
+pub struct PagedMemory {
+    frames: Vec<Option<PageNo>>,
+    page_table: HashMap<PageNo, FrameNo>,
+    free: Vec<FrameNo>,
+    sensors: Sensors,
+    replacer: Box<dyn Replacer>,
+    pinned: HashSet<PageNo>,
+    prefetched: HashSet<PageNo>,
+    reserve_vacant: bool,
+    /// One-block lookahead: on a demand fault for page *p*, page *p+1*
+    /// is prefetched as well.
+    lookahead: bool,
+    stats: PagingStats,
+}
+
+impl PagedMemory {
+    /// Creates a memory of `n_frames` frames driven by `replacer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_frames` is zero.
+    #[must_use]
+    pub fn new(n_frames: usize, replacer: Box<dyn Replacer>) -> PagedMemory {
+        assert!(n_frames > 0, "need at least one frame");
+        PagedMemory {
+            frames: vec![None; n_frames],
+            page_table: HashMap::new(),
+            free: (0..n_frames as u64).rev().map(FrameNo).collect(),
+            sensors: Sensors::new(n_frames),
+            replacer,
+            pinned: HashSet::new(),
+            prefetched: HashSet::new(),
+            reserve_vacant: false,
+            lookahead: false,
+            stats: PagingStats::default(),
+        }
+    }
+
+    /// Enables the ATLAS discipline of keeping one frame vacant at all
+    /// times, evicting eagerly after each load.
+    #[must_use]
+    pub fn with_vacant_reserve(mut self) -> PagedMemory {
+        self.reserve_vacant = true;
+        self
+    }
+
+    /// Enables one-block lookahead — the simplest anticipatory fetch
+    /// strategy of §Fetch Strategies ("information can be fetched before
+    /// it is needed"): every demand fault for page *p* also brings in
+    /// page *p+1*, through the same path as a will-need directive.
+    ///
+    /// Note for machine adapters that mirror residency into a mapping
+    /// device: lookahead loads are internal and not reported through
+    /// [`TouchOutcome`]; use explicit advice instead.
+    #[must_use]
+    pub fn with_lookahead(mut self) -> PagedMemory {
+        self.lookahead = true;
+        self
+    }
+
+    /// Number of frames.
+    #[must_use]
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Number of resident pages.
+    #[must_use]
+    pub fn resident_count(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// The frame holding `page`, if resident.
+    #[must_use]
+    pub fn frame_of(&self, page: PageNo) -> Option<FrameNo> {
+        self.page_table.get(&page).copied()
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &PagingStats {
+        &self.stats
+    }
+
+    /// The replacement strategy's label.
+    #[must_use]
+    pub fn policy_name(&self) -> &'static str {
+        self.replacer.name()
+    }
+
+    /// Frames eligible for eviction: resident and not pinned.
+    fn eligible(&self) -> Vec<FrameNo> {
+        self.frames
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| match p {
+                Some(page) if !self.pinned.contains(page) => Some(FrameNo(i as u64)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn evict_one(&mut self, now: VirtualTime) -> Result<EvictedPage, CoreError> {
+        let eligible = self.eligible();
+        if eligible.is_empty() {
+            return Err(CoreError::Alloc(AllocError::OutOfStorage {
+                requested: 1,
+                largest_free: 0,
+            }));
+        }
+        let frame = self.replacer.victim(&eligible, &mut self.sensors, now);
+        debug_assert!(
+            eligible.contains(&frame),
+            "policy returned ineligible frame"
+        );
+        let page = self.frames[frame.index()].expect("victim frame must be resident");
+        let dirty = self.sensors.modified(frame);
+        self.frames[frame.index()] = None;
+        self.page_table.remove(&page);
+        self.sensors.clear(frame);
+        self.replacer.evicted(frame);
+        self.free.push(frame);
+        self.stats.evictions += 1;
+        if dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        Ok(EvictedPage { page, frame, dirty })
+    }
+
+    fn load_into_free(&mut self, page: PageNo, now: VirtualTime) -> FrameNo {
+        let frame = self.free.pop().expect("caller ensured a free frame");
+        self.frames[frame.index()] = Some(page);
+        self.page_table.insert(page, frame);
+        self.sensors.clear(frame);
+        self.replacer.loaded(frame, page, now);
+        frame
+    }
+
+    /// References `page` at reference-time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Alloc`] if the page is absent and every
+    /// frame is pinned.
+    pub fn touch(
+        &mut self,
+        page: PageNo,
+        write: bool,
+        now: VirtualTime,
+    ) -> Result<TouchOutcome, CoreError> {
+        self.stats.references += 1;
+        if let Some(frame) = self.page_table.get(&page).copied() {
+            if self.prefetched.remove(&page) {
+                self.stats.useful_prefetches += 1;
+            }
+            self.sensors.touch(frame, write);
+            self.replacer.touched(frame, page, now, write);
+            return Ok(TouchOutcome::Hit { frame });
+        }
+        // Demand fault.
+        self.stats.faults += 1;
+        let mut evicted = None;
+        if self.free.is_empty() {
+            evicted = Some(self.evict_one(now)?);
+        }
+        let frame = self.load_into_free(page, now);
+        self.sensors.touch(frame, write);
+        self.prefetched.remove(&page);
+        // One-block lookahead rides the advice path (and is therefore
+        // also counted in the prefetch statistics).
+        if self.lookahead {
+            self.advise(Advice::WillNeed(AdviceUnit::Page(PageNo(page.0 + 1))), now);
+        }
+        // The ATLAS vacant-frame reserve: evict now so the *next* demand
+        // finds a frame waiting.
+        if self.reserve_vacant && self.free.is_empty() {
+            let extra = self.evict_one(now)?;
+            evicted = evicted.or(Some(extra));
+        }
+        Ok(TouchOutcome::Fault { frame, evicted })
+    }
+
+    /// Applies an advisory directive at reference-time `now`, reporting
+    /// what actually happened so callers keeping a mapping device in
+    /// step (the machine adapters) can mirror it. Advice on segments is
+    /// ignored here (segment advice is interpreted by the segment
+    /// store).
+    pub fn advise(&mut self, advice: Advice, now: VirtualTime) -> AdviceOutcome {
+        let AdviceUnit::Page(page) = advice.unit() else {
+            return AdviceOutcome::default();
+        };
+        let mut out = AdviceOutcome::default();
+        match advice {
+            Advice::WillNeed(_) => {
+                // "Brought into working storage if possible": a free
+                // frame is used if one exists; otherwise the replacement
+                // strategy gives one up — unless everything is pinned,
+                // in which case the advice is quietly dropped (it is
+                // advisory, never an error).
+                if self.page_table.contains_key(&page) {
+                    return out;
+                }
+                if self.free.is_empty() {
+                    match self.evict_one(now) {
+                        Ok(e) => out.evicted = Some(e),
+                        Err(_) => return out,
+                    }
+                }
+                let frame = self.load_into_free(page, now);
+                // The arrival marks the use sensor, as a hardware fetch
+                // would; otherwise sensor-driven policies see the
+                // still-untouched prefetched pages as prime victims and
+                // prefetches cannibalize each other.
+                self.sensors.touch(frame, false);
+                self.prefetched.insert(page);
+                self.stats.prefetches += 1;
+                out.loaded = Some((page, frame));
+            }
+            Advice::WontNeed(_) => {
+                if let Some(frame) = self.page_table.get(&page).copied() {
+                    // Make it look idle to sensor-driven policies and
+                    // tell history-driven ones directly.
+                    self.sensors.reset_use(frame);
+                    self.replacer.hint_idle(frame);
+                }
+            }
+            Advice::Pin(_) => {
+                self.pinned.insert(page);
+            }
+            Advice::Unpin(_) => {
+                self.pinned.remove(&page);
+            }
+            Advice::Release(_) => {
+                self.pinned.remove(&page);
+                if let Some(frame) = self.page_table.get(&page).copied() {
+                    let dirty = self.sensors.modified(frame);
+                    self.frames[frame.index()] = None;
+                    self.page_table.remove(&page);
+                    self.sensors.clear(frame);
+                    self.replacer.evicted(frame);
+                    self.free.push(frame);
+                    self.stats.evictions += 1;
+                    self.stats.advised_evictions += 1;
+                    if dirty {
+                        self.stats.dirty_evictions += 1;
+                    }
+                    out.evicted = Some(EvictedPage { page, frame, dirty });
+                }
+            }
+        }
+        out
+    }
+
+    /// Replays a page-granular reference string (all reads), returning
+    /// the final statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CoreError`] (possible only with pinning).
+    pub fn run_pages(&mut self, trace: &[PageNo]) -> Result<PagingStats, CoreError> {
+        for (i, &page) in trace.iter().enumerate() {
+            self.touch(page, false, i as VirtualTime)?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Replays an [`Access`] string whose names are page numbers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CoreError`] (possible only with pinning).
+    pub fn run_accesses(&mut self, trace: &[Access]) -> Result<PagingStats, CoreError> {
+        for (i, a) in trace.iter().enumerate() {
+            self.touch(
+                PageNo(a.name.value()),
+                a.kind == AccessKind::Write,
+                i as VirtualTime,
+            )?;
+        }
+        Ok(self.stats)
+    }
+
+    /// Verifies internal invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page table and frame array disagree or frames are
+    /// double-booked.
+    pub fn check_invariants(&self) {
+        let mut seen = HashSet::new();
+        for (i, slot) in self.frames.iter().enumerate() {
+            if let Some(page) = slot {
+                assert_eq!(
+                    self.page_table.get(page),
+                    Some(&FrameNo(i as u64)),
+                    "frame/page-table disagreement for {page}"
+                );
+                assert!(seen.insert(*page), "page resident twice");
+            }
+        }
+        assert_eq!(
+            seen.len(),
+            self.page_table.len(),
+            "stale page-table entries"
+        );
+        let resident = self.frames.iter().filter(|s| s.is_some()).count();
+        assert_eq!(
+            resident + self.free.len(),
+            self.frames.len(),
+            "frames leaked"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replacement::fifo::FifoRepl;
+    use crate::replacement::lru::LruRepl;
+    use crate::replacement::min::MinRepl;
+
+    fn pages(xs: &[u64]) -> Vec<PageNo> {
+        xs.iter().map(|&x| PageNo(x)).collect()
+    }
+
+    fn lru(frames: usize) -> PagedMemory {
+        PagedMemory::new(frames, Box::new(LruRepl::new()))
+    }
+
+    #[test]
+    fn cold_faults_then_hits() {
+        let mut m = lru(2);
+        assert!(m.touch(PageNo(1), false, 0).unwrap().is_fault());
+        assert!(m.touch(PageNo(2), false, 1).unwrap().is_fault());
+        assert!(!m.touch(PageNo(1), false, 2).unwrap().is_fault());
+        assert_eq!(m.stats().faults, 2);
+        assert_eq!(m.stats().references, 3);
+        assert_eq!(m.resident_count(), 2);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn eviction_happens_when_full() {
+        let mut m = lru(2);
+        m.touch(PageNo(1), false, 0).unwrap();
+        m.touch(PageNo(2), false, 1).unwrap();
+        let out = m.touch(PageNo(3), false, 2).unwrap();
+        match out {
+            TouchOutcome::Fault {
+                evicted: Some(e), ..
+            } => {
+                assert_eq!(e.page, PageNo(1), "LRU evicts page 1");
+                assert!(!e.dirty);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(m.frame_of(PageNo(1)), None);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn dirty_pages_report_writeback() {
+        let mut m = lru(1);
+        m.touch(PageNo(1), true, 0).unwrap();
+        let out = m.touch(PageNo(2), false, 1).unwrap();
+        match out {
+            TouchOutcome::Fault {
+                evicted: Some(e), ..
+            } => assert!(e.dirty),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert_eq!(m.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn lru_sequence_fault_count_matches_hand_computation() {
+        // Classic example: 3 frames, trace 1 2 3 4 1 2 5 1 2 3 4 5.
+        // LRU faults: 10.
+        let trace = pages(&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]);
+        let mut m = lru(3);
+        let stats = m.run_pages(&trace).unwrap();
+        assert_eq!(stats.faults, 10);
+    }
+
+    #[test]
+    fn fifo_belady_anomaly_exists() {
+        // The canonical anomaly trace: FIFO with 4 frames faults MORE
+        // than with 3.
+        let trace = pages(&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]);
+        let mut m3 = PagedMemory::new(3, Box::new(FifoRepl::new()));
+        let mut m4 = PagedMemory::new(4, Box::new(FifoRepl::new()));
+        let f3 = m3.run_pages(&trace).unwrap().faults;
+        let f4 = m4.run_pages(&trace).unwrap().faults;
+        assert_eq!(f3, 9);
+        assert_eq!(f4, 10);
+        assert!(f4 > f3, "Belady's anomaly must reproduce");
+    }
+
+    #[test]
+    fn min_is_optimal_on_the_classic_trace() {
+        let trace = pages(&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]);
+        let mut m = PagedMemory::new(3, Box::new(MinRepl::new(&trace)));
+        let stats = m.run_pages(&trace).unwrap();
+        assert_eq!(stats.faults, 7, "Belady's published optimum for this trace");
+    }
+
+    #[test]
+    fn pinned_pages_are_never_evicted() {
+        let mut m = lru(2);
+        m.touch(PageNo(1), false, 0).unwrap();
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(1))), 0);
+        m.touch(PageNo(2), false, 1).unwrap();
+        m.touch(PageNo(3), false, 2).unwrap(); // must evict 2, not 1
+        assert!(m.frame_of(PageNo(1)).is_some());
+        assert!(m.frame_of(PageNo(2)).is_none());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn all_pinned_faults_out_of_storage() {
+        let mut m = lru(1);
+        m.touch(PageNo(1), false, 0).unwrap();
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(1))), 0);
+        let err = m.touch(PageNo(2), false, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Alloc(AllocError::OutOfStorage { .. })
+        ));
+    }
+
+    #[test]
+    fn unpin_restores_eligibility() {
+        let mut m = lru(1);
+        m.touch(PageNo(1), false, 0).unwrap();
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(1))), 0);
+        m.advise(Advice::Unpin(AdviceUnit::Page(PageNo(1))), 1);
+        assert!(m.touch(PageNo(2), false, 2).is_ok());
+    }
+
+    #[test]
+    fn will_need_prefetches_and_may_replace() {
+        let mut m = lru(2);
+        m.advise(Advice::WillNeed(AdviceUnit::Page(PageNo(7))), 0);
+        assert!(m.frame_of(PageNo(7)).is_some());
+        assert_eq!(m.stats().prefetches, 1);
+        // A later touch is a hit and counts the prefetch useful.
+        assert!(!m.touch(PageNo(7), false, 1).unwrap().is_fault());
+        assert_eq!(m.stats().useful_prefetches, 1);
+        // With memory full, a prefetch displaces the LRU page — the
+        // danger of inaccurate advice.
+        m.touch(PageNo(8), false, 2).unwrap();
+        m.advise(Advice::WillNeed(AdviceUnit::Page(PageNo(9))), 3);
+        assert!(m.frame_of(PageNo(9)).is_some());
+        assert!(m.frame_of(PageNo(7)).is_none(), "LRU page displaced");
+        assert_eq!(m.stats().prefetches, 2);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn will_need_is_dropped_when_all_pinned() {
+        let mut m = lru(1);
+        m.touch(PageNo(1), false, 0).unwrap();
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(1))), 0);
+        m.advise(Advice::WillNeed(AdviceUnit::Page(PageNo(2))), 1);
+        assert!(m.frame_of(PageNo(2)).is_none(), "advice is never an error");
+        assert_eq!(m.stats().prefetches, 0);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn release_evicts_immediately() {
+        let mut m = lru(2);
+        m.touch(PageNo(1), true, 0).unwrap();
+        m.advise(Advice::Release(AdviceUnit::Page(PageNo(1))), 1);
+        assert!(m.frame_of(PageNo(1)).is_none());
+        assert_eq!(m.stats().advised_evictions, 1);
+        assert_eq!(
+            m.stats().dirty_evictions,
+            1,
+            "released dirty page still writes back"
+        );
+        m.check_invariants();
+    }
+
+    #[test]
+    fn wont_need_makes_page_the_next_victim_for_sensor_policies() {
+        use crate::replacement::nru::ClassRandomRepl;
+        let mut m = PagedMemory::new(2, Box::new(ClassRandomRepl::new(1, 1000)));
+        m.touch(PageNo(1), false, 0).unwrap();
+        m.touch(PageNo(2), false, 1).unwrap();
+        m.advise(Advice::WontNeed(AdviceUnit::Page(PageNo(1))), 2);
+        let out = m.touch(PageNo(3), false, 3).unwrap();
+        match out {
+            TouchOutcome::Fault {
+                evicted: Some(e), ..
+            } => assert_eq!(e.page, PageNo(1)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vacant_reserve_keeps_a_frame_free() {
+        let mut m = lru(3).with_vacant_reserve();
+        for (t, p) in [1u64, 2, 3, 4, 5].into_iter().enumerate() {
+            m.touch(PageNo(p), false, t as u64).unwrap();
+            assert!(
+                m.resident_count() < m.frame_count(),
+                "one frame must stay vacant after servicing"
+            );
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn run_accesses_tracks_writes() {
+        use dsa_core::access::Access;
+        let mut m = lru(2);
+        let trace = vec![Access::write(0u64), Access::read(1u64), Access::read(2u64)];
+        m.run_accesses(&trace).unwrap();
+        assert_eq!(
+            m.stats().dirty_evictions,
+            1,
+            "page 0 was written, then evicted"
+        );
+    }
+}
+
+#[cfg(test)]
+mod lookahead_tests {
+    use super::*;
+    use crate::replacement::lru::LruRepl;
+
+    fn pages(xs: &[u64]) -> Vec<PageNo> {
+        xs.iter().map(|&x| PageNo(x)).collect()
+    }
+
+    #[test]
+    fn sequential_scan_faults_halve_with_lookahead() {
+        let trace: Vec<PageNo> = (0..64u64).map(PageNo).collect();
+        let mut demand = PagedMemory::new(8, Box::new(LruRepl::new()));
+        let mut obl = PagedMemory::new(8, Box::new(LruRepl::new())).with_lookahead();
+        let d = demand.run_pages(&trace).unwrap();
+        let o = obl.run_pages(&trace).unwrap();
+        assert_eq!(d.faults, 64);
+        assert_eq!(o.faults, 32, "every other page arrives by lookahead");
+        assert!(o.useful_prefetches >= 31);
+    }
+
+    #[test]
+    fn random_references_gain_nothing_but_pay_transfers() {
+        // Page n+1 is almost never the next touch on a scattered trace.
+        let trace = pages(&[40, 3, 17, 29, 8, 55, 12, 47, 21, 60, 5, 33]);
+        let mut demand = PagedMemory::new(6, Box::new(LruRepl::new()));
+        let mut obl = PagedMemory::new(6, Box::new(LruRepl::new())).with_lookahead();
+        let d = demand.run_pages(&trace).unwrap();
+        let o = obl.run_pages(&trace).unwrap();
+        assert!(
+            o.faults >= d.faults,
+            "lookahead cannot help scattered access"
+        );
+        assert!(o.prefetches > 0);
+        assert_eq!(o.useful_prefetches, 0);
+    }
+
+    #[test]
+    fn lookahead_respects_pins() {
+        let mut m = PagedMemory::new(2, Box::new(LruRepl::new())).with_lookahead();
+        // The fault on page 0 lookahead-loads page 1 into the second
+        // frame; pin both.
+        m.touch(PageNo(0), false, 0).unwrap();
+        assert!(m.frame_of(PageNo(1)).is_some(), "lookahead loaded page 1");
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(0))), 0);
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(1))), 0);
+        // Fault on a new page is impossible (all pinned) — and the
+        // lookahead attempt must not panic either.
+        assert!(m.touch(PageNo(5), false, 1).is_err());
+        m.check_invariants();
+    }
+
+    #[test]
+    fn lookahead_invariants_hold_under_churn() {
+        let trace: Vec<PageNo> = (0..200u64).map(|i| PageNo((i * 7) % 40)).collect();
+        let mut m = PagedMemory::new(8, Box::new(LruRepl::new())).with_lookahead();
+        m.run_pages(&trace).unwrap();
+        m.check_invariants();
+    }
+}

@@ -1,0 +1,152 @@
+//! Clock (second-chance) replacement.
+//!
+//! The essentially cyclical strategy the B5000 developers "found to be
+//! effective" (A.3), upgraded with the use-bit sensors of special
+//! hardware facility (iv): the hand sweeps frames in a fixed circular
+//! order, clearing use bits and evicting the first frame found unused
+//! since the previous sweep.
+
+use dsa_core::clock::VirtualTime;
+use dsa_core::ids::{FrameNo, PageNo};
+
+use crate::replacement::Replacer;
+use crate::sensors::Sensors;
+
+/// The clock hand over a fixed set of frames.
+#[derive(Clone, Debug)]
+pub struct ClockRepl {
+    frames: usize,
+    hand: usize,
+    /// When true, the use bit is ignored and the policy degenerates to
+    /// pure cyclic replacement (the original B5000 form).
+    pure_cyclic: bool,
+}
+
+impl ClockRepl {
+    /// Second-chance clock over `frames` frames.
+    #[must_use]
+    pub fn new(frames: usize) -> ClockRepl {
+        ClockRepl {
+            frames,
+            hand: 0,
+            pure_cyclic: false,
+        }
+    }
+
+    /// Pure cyclic replacement (no use-bit consultation) — the B5000
+    /// variant, useful as an ablation.
+    #[must_use]
+    pub fn cyclic(frames: usize) -> ClockRepl {
+        ClockRepl {
+            frames,
+            hand: 0,
+            pure_cyclic: true,
+        }
+    }
+}
+
+impl Replacer for ClockRepl {
+    fn loaded(&mut self, _frame: FrameNo, _page: PageNo, _now: VirtualTime) {}
+
+    fn victim(
+        &mut self,
+        eligible: &[FrameNo],
+        sensors: &mut Sensors,
+        _now: VirtualTime,
+    ) -> FrameNo {
+        // Sweep at most two full turns: one may be spent clearing use
+        // bits, after which some eligible frame must show clear.
+        for _ in 0..2 * self.frames {
+            let f = FrameNo(self.hand as u64);
+            self.hand = (self.hand + 1) % self.frames;
+            if !eligible.contains(&f) {
+                continue;
+            }
+            if self.pure_cyclic {
+                return f;
+            }
+            if sensors.used(f) {
+                sensors.reset_use(f); // second chance
+            } else {
+                return f;
+            }
+        }
+        // All eligible frames were re-used during the sweep; take the
+        // one now under the hand.
+        *eligible
+            .iter()
+            .find(|f| f.index() >= self.hand)
+            .unwrap_or(&eligible[0])
+    }
+
+    fn name(&self) -> &'static str {
+        if self.pure_cyclic {
+            "cyclic"
+        } else {
+            "Clock"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut r = ClockRepl::new(3);
+        let mut s = Sensors::new(3);
+        let all = [FrameNo(0), FrameNo(1), FrameNo(2)];
+        s.touch(FrameNo(0), false);
+        s.touch(FrameNo(1), false);
+        // Frame 2 unused: hand clears 0 and 1, evicts 2.
+        assert_eq!(r.victim(&all, &mut s, 0), FrameNo(2));
+        assert!(!s.used(FrameNo(0)), "use bit cleared in passing");
+        assert!(!s.used(FrameNo(1)));
+    }
+
+    #[test]
+    fn clock_advances_hand_between_victims() {
+        let mut r = ClockRepl::new(3);
+        let mut s = Sensors::new(3);
+        let all = [FrameNo(0), FrameNo(1), FrameNo(2)];
+        assert_eq!(r.victim(&all, &mut s, 0), FrameNo(0));
+        assert_eq!(r.victim(&all, &mut s, 1), FrameNo(1));
+        assert_eq!(r.victim(&all, &mut s, 2), FrameNo(2));
+        assert_eq!(r.victim(&all, &mut s, 3), FrameNo(0));
+    }
+
+    #[test]
+    fn all_used_frames_still_yield_a_victim() {
+        let mut r = ClockRepl::new(2);
+        let mut s = Sensors::new(2);
+        let all = [FrameNo(0), FrameNo(1)];
+        s.touch(FrameNo(0), false);
+        s.touch(FrameNo(1), false);
+        let v = r.victim(&all, &mut s, 0);
+        assert!(all.contains(&v));
+    }
+
+    #[test]
+    fn cyclic_ignores_use_bits() {
+        let mut r = ClockRepl::cyclic(2);
+        let mut s = Sensors::new(2);
+        s.touch(FrameNo(0), false);
+        let all = [FrameNo(0), FrameNo(1)];
+        assert_eq!(
+            r.victim(&all, &mut s, 0),
+            FrameNo(0),
+            "cyclic takes the hand's frame"
+        );
+        assert!(s.used(FrameNo(0)), "cyclic must not clear use bits");
+        assert_eq!(r.name(), "cyclic");
+    }
+
+    #[test]
+    fn skips_ineligible_frames() {
+        let mut r = ClockRepl::new(3);
+        let mut s = Sensors::new(3);
+        // Only frame 2 eligible.
+        assert_eq!(r.victim(&[FrameNo(2)], &mut s, 0), FrameNo(2));
+    }
+}

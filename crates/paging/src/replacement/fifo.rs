@@ -1,0 +1,96 @@
+//! First-in, first-out replacement.
+
+use std::collections::VecDeque;
+
+use dsa_core::clock::VirtualTime;
+use dsa_core::ids::{FrameNo, PageNo};
+
+use crate::replacement::Replacer;
+use crate::sensors::Sensors;
+
+/// Evicts the page that has been resident longest, regardless of use.
+#[derive(Clone, Debug, Default)]
+pub struct FifoRepl {
+    queue: VecDeque<FrameNo>,
+}
+
+impl FifoRepl {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> FifoRepl {
+        FifoRepl::default()
+    }
+}
+
+impl Replacer for FifoRepl {
+    fn loaded(&mut self, frame: FrameNo, _page: PageNo, _now: VirtualTime) {
+        self.queue.push_back(frame);
+    }
+
+    fn victim(
+        &mut self,
+        eligible: &[FrameNo],
+        _sensors: &mut Sensors,
+        _now: VirtualTime,
+    ) -> FrameNo {
+        // The oldest-loaded eligible frame.
+        let pos = self
+            .queue
+            .iter()
+            .position(|f| eligible.contains(f))
+            .expect("some eligible frame must be in the load queue");
+        self.queue[pos]
+    }
+
+    fn evicted(&mut self, frame: FrameNo) {
+        if let Some(pos) = self.queue.iter().position(|&f| f == frame) {
+            self.queue.remove(pos);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_in_load_order() {
+        let mut r = FifoRepl::new();
+        let mut s = Sensors::new(3);
+        r.loaded(FrameNo(0), PageNo(10), 0);
+        r.loaded(FrameNo(1), PageNo(11), 1);
+        r.loaded(FrameNo(2), PageNo(12), 2);
+        // Touching must not matter.
+        r.touched(FrameNo(0), PageNo(10), 3, false);
+        let all = [FrameNo(0), FrameNo(1), FrameNo(2)];
+        assert_eq!(r.victim(&all, &mut s, 4), FrameNo(0));
+        r.evicted(FrameNo(0));
+        assert_eq!(r.victim(&all[1..], &mut s, 5), FrameNo(1));
+    }
+
+    #[test]
+    fn respects_eligibility() {
+        let mut r = FifoRepl::new();
+        let mut s = Sensors::new(3);
+        r.loaded(FrameNo(0), PageNo(10), 0);
+        r.loaded(FrameNo(1), PageNo(11), 1);
+        // Frame 0 pinned (not eligible): the next oldest is chosen.
+        assert_eq!(r.victim(&[FrameNo(1)], &mut s, 2), FrameNo(1));
+    }
+
+    #[test]
+    fn reload_moves_to_back() {
+        let mut r = FifoRepl::new();
+        let mut s = Sensors::new(2);
+        r.loaded(FrameNo(0), PageNo(10), 0);
+        r.loaded(FrameNo(1), PageNo(11), 1);
+        r.evicted(FrameNo(0));
+        r.loaded(FrameNo(0), PageNo(12), 2); // reused frame, new page
+        let all = [FrameNo(0), FrameNo(1)];
+        assert_eq!(r.victim(&all, &mut s, 3), FrameNo(1));
+    }
+}

@@ -1,0 +1,97 @@
+//! Least-recently-used replacement.
+
+use std::collections::HashMap;
+
+use dsa_core::clock::VirtualTime;
+use dsa_core::ids::{FrameNo, PageNo};
+
+use crate::replacement::Replacer;
+use crate::sensors::Sensors;
+
+/// Evicts the page whose last reference is oldest.
+///
+/// True LRU requires a timestamp (or stack) per frame — hardware no
+/// 1967 machine could afford, which is why the paper's systems
+/// approximate it with use bits (see [`crate::replacement::clock`]) or
+/// learning periods (see [`crate::replacement::atlas`]). It is included
+/// as the recency-ideal reference point.
+#[derive(Clone, Debug, Default)]
+pub struct LruRepl {
+    last_use: HashMap<FrameNo, VirtualTime>,
+}
+
+impl LruRepl {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new() -> LruRepl {
+        LruRepl::default()
+    }
+}
+
+impl Replacer for LruRepl {
+    fn loaded(&mut self, frame: FrameNo, _page: PageNo, now: VirtualTime) {
+        self.last_use.insert(frame, now);
+    }
+
+    fn touched(&mut self, frame: FrameNo, _page: PageNo, now: VirtualTime, _write: bool) {
+        self.last_use.insert(frame, now);
+    }
+
+    fn victim(
+        &mut self,
+        eligible: &[FrameNo],
+        _sensors: &mut Sensors,
+        _now: VirtualTime,
+    ) -> FrameNo {
+        *eligible
+            .iter()
+            .min_by_key(|f| self.last_use.get(f).copied().unwrap_or(0))
+            .expect("eligible is never empty")
+    }
+
+    fn evicted(&mut self, frame: FrameNo) {
+        self.last_use.remove(&frame);
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut r = LruRepl::new();
+        let mut s = Sensors::new(3);
+        r.loaded(FrameNo(0), PageNo(10), 0);
+        r.loaded(FrameNo(1), PageNo(11), 1);
+        r.loaded(FrameNo(2), PageNo(12), 2);
+        r.touched(FrameNo(0), PageNo(10), 3, false); // 0 is now recent
+        let all = [FrameNo(0), FrameNo(1), FrameNo(2)];
+        assert_eq!(r.victim(&all, &mut s, 4), FrameNo(1));
+    }
+
+    #[test]
+    fn loading_counts_as_use() {
+        let mut r = LruRepl::new();
+        let mut s = Sensors::new(2);
+        r.loaded(FrameNo(0), PageNo(1), 5);
+        r.loaded(FrameNo(1), PageNo(2), 6);
+        assert_eq!(r.victim(&[FrameNo(0), FrameNo(1)], &mut s, 7), FrameNo(0));
+    }
+
+    #[test]
+    fn eviction_forgets_frame_state() {
+        let mut r = LruRepl::new();
+        let mut s = Sensors::new(2);
+        r.loaded(FrameNo(0), PageNo(1), 10);
+        r.evicted(FrameNo(0));
+        // Reused frame with no recorded use sorts as oldest.
+        r.loaded(FrameNo(1), PageNo(2), 11);
+        assert!(!r.last_use.contains_key(&FrameNo(0)));
+        assert_eq!(r.victim(&[FrameNo(1)], &mut s, 12), FrameNo(1));
+    }
+}

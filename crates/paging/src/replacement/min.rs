@@ -1,0 +1,135 @@
+//! Belady's MIN — the offline optimal replacement policy.
+//!
+//! MIN evicts the resident page whose next use lies farthest in the
+//! future (or never comes). It requires the full future reference
+//! string, so it is not a realizable strategy; Belady's study \[1\] —
+//! the evaluation the paper defers to — used it as the yardstick every
+//! realizable policy is measured against, and so do experiments E4 and
+//! E12. A property test in this crate checks the defining bound: no
+//! policy faults less than MIN on any trace.
+
+use std::collections::HashMap;
+
+use dsa_core::clock::VirtualTime;
+use dsa_core::ids::{FrameNo, PageNo};
+
+use crate::replacement::Replacer;
+use crate::sensors::Sensors;
+
+/// The offline optimum, constructed from the full reference string.
+#[derive(Clone, Debug)]
+pub struct MinRepl {
+    /// For each page, the sorted positions at which it is referenced.
+    uses: HashMap<PageNo, Vec<VirtualTime>>,
+    /// Page currently in each frame.
+    resident: HashMap<FrameNo, PageNo>,
+}
+
+impl MinRepl {
+    /// Builds the oracle from the page-granular reference string that
+    /// will be replayed. Reference *i* of the replay must be made at
+    /// `now == i`.
+    #[must_use]
+    pub fn new(trace: &[PageNo]) -> MinRepl {
+        let mut uses: HashMap<PageNo, Vec<VirtualTime>> = HashMap::new();
+        for (i, &p) in trace.iter().enumerate() {
+            uses.entry(p).or_default().push(i as VirtualTime);
+        }
+        MinRepl {
+            uses,
+            resident: HashMap::new(),
+        }
+    }
+
+    /// The next use of `page` strictly after `now`, or `None`.
+    fn next_use(&self, page: PageNo, now: VirtualTime) -> Option<VirtualTime> {
+        let positions = self.uses.get(&page)?;
+        let idx = positions.partition_point(|&t| t <= now);
+        positions.get(idx).copied()
+    }
+}
+
+impl Replacer for MinRepl {
+    fn loaded(&mut self, frame: FrameNo, page: PageNo, _now: VirtualTime) {
+        self.resident.insert(frame, page);
+    }
+
+    fn victim(
+        &mut self,
+        eligible: &[FrameNo],
+        _sensors: &mut Sensors,
+        now: VirtualTime,
+    ) -> FrameNo {
+        *eligible
+            .iter()
+            .max_by_key(|f| {
+                let page = self.resident.get(f).copied().unwrap_or(PageNo(u64::MAX));
+                // Never-used-again sorts above everything.
+                self.next_use(page, now).unwrap_or(VirtualTime::MAX)
+            })
+            .expect("eligible is never empty")
+    }
+
+    fn evicted(&mut self, frame: FrameNo) {
+        self.resident.remove(&frame);
+    }
+
+    fn name(&self) -> &'static str {
+        "MIN (Belady)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(xs: &[u64]) -> Vec<PageNo> {
+        xs.iter().map(|&x| PageNo(x)).collect()
+    }
+
+    #[test]
+    fn next_use_lookup() {
+        let r = MinRepl::new(&pages(&[1, 2, 1, 3, 2]));
+        assert_eq!(r.next_use(PageNo(1), 0), Some(2));
+        assert_eq!(r.next_use(PageNo(1), 2), None);
+        assert_eq!(r.next_use(PageNo(2), 0), Some(1));
+        assert_eq!(r.next_use(PageNo(2), 1), Some(4));
+        assert_eq!(r.next_use(PageNo(9), 0), None);
+    }
+
+    #[test]
+    fn evicts_farthest_next_use() {
+        // Trace: 1 2 3 | at t=3 page 4 arrives. Next uses after 3:
+        // p1 at 4, p2 at 6, p3 at 5 -> evict p2's frame.
+        let trace = pages(&[1, 2, 3, 4, 1, 3, 2]);
+        let mut r = MinRepl::new(&trace);
+        let mut s = Sensors::new(3);
+        r.loaded(FrameNo(0), PageNo(1), 0);
+        r.loaded(FrameNo(1), PageNo(2), 1);
+        r.loaded(FrameNo(2), PageNo(3), 2);
+        let all = [FrameNo(0), FrameNo(1), FrameNo(2)];
+        assert_eq!(r.victim(&all, &mut s, 3), FrameNo(1));
+    }
+
+    #[test]
+    fn never_used_again_is_first_choice() {
+        let trace = pages(&[1, 2, 3, 4, 1, 2]);
+        let mut r = MinRepl::new(&trace);
+        let mut s = Sensors::new(3);
+        r.loaded(FrameNo(0), PageNo(1), 0);
+        r.loaded(FrameNo(1), PageNo(2), 1);
+        r.loaded(FrameNo(2), PageNo(3), 2);
+        // Page 3 never recurs after t=2: its frame must go.
+        let all = [FrameNo(0), FrameNo(1), FrameNo(2)];
+        assert_eq!(r.victim(&all, &mut s, 3), FrameNo(2));
+    }
+
+    #[test]
+    fn eviction_forgets_residency() {
+        let trace = pages(&[1, 2]);
+        let mut r = MinRepl::new(&trace);
+        r.loaded(FrameNo(0), PageNo(1), 0);
+        r.evicted(FrameNo(0));
+        assert!(r.resident.is_empty());
+    }
+}

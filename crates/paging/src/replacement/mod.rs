@@ -1,0 +1,126 @@
+//! Replacement strategies.
+//!
+//! "When it is necessary to make room in working storage for some new
+//! information, a replacement strategy is used to determine which
+//! informational units should be overlayed. The strategy should seek to
+//! avoid the overlaying of information which may be required again in
+//! the near future. Program and information structure ... or recent
+//! history of usage of information may guide the allocator toward this
+//! ideal" — §Replacement Strategies. The detailed evaluation the paper
+//! cites is Belady's study \[1\], whose cast we implement in full:
+//!
+//! | Policy | Module | Provenance |
+//! |---|---|---|
+//! | FIFO | [`fifo`] | Belady's baseline |
+//! | LRU | [`lru`] | recency of use |
+//! | Clock / second chance | [`clock`] | use-bit approximation of LRU |
+//! | Random | [`random`] | Belady's control |
+//! | Class-based random | [`nru`] | the M44/44X strategy (A.2): random among the least-recommended (use, modify) class |
+//! | LFU | [`lfu`] | the M44's "frequency of usage" criterion taken neat, with optional aging |
+//! | ATLAS learning program | [`atlas`] | Kilburn et al. (A.1): inactivity-period prediction |
+//! | MIN | [`min`] | Belady's offline optimum — a bound, not a realizable policy |
+//! | Working set | [`ws`] | variable-allocation counterpoint |
+//!
+//! All fixed-allocation policies implement [`Replacer`], the interface
+//! [`crate::paged::PagedMemory`] drives; they learn about loads and
+//! touches through callbacks (the software analogue of the paper's
+//! use/modify sensors, which are also available to them directly at
+//! victim-selection time).
+
+pub mod atlas;
+pub mod clock;
+pub mod fifo;
+pub mod lfu;
+pub mod lru;
+pub mod min;
+pub mod nru;
+pub mod random;
+pub mod ws;
+
+use dsa_core::clock::VirtualTime;
+use dsa_core::ids::{FrameNo, PageNo};
+
+use crate::sensors::Sensors;
+
+/// A fixed-allocation replacement strategy.
+///
+/// The engine calls [`Replacer::loaded`] when a page is placed in a
+/// frame, [`Replacer::touched`] on every reference to a resident page,
+/// and [`Replacer::victim`] when a frame must be vacated.
+/// [`Replacer::victim`] must return one of `eligible` (frames holding
+/// unpinned resident pages).
+pub trait Replacer {
+    /// A page was loaded into `frame`.
+    fn loaded(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime);
+
+    /// A resident page was referenced.
+    fn touched(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime, write: bool) {
+        let _ = (frame, page, now, write);
+    }
+
+    /// Chooses a frame to vacate among `eligible` (never empty).
+    fn victim(&mut self, eligible: &[FrameNo], sensors: &mut Sensors, now: VirtualTime) -> FrameNo;
+
+    /// The page in `frame` was evicted.
+    fn evicted(&mut self, frame: FrameNo) {
+        let _ = frame;
+    }
+
+    /// Advisory: the page in `frame` will not be needed for some time
+    /// (a "wont-need" directive landed on it). Default: ignored.
+    fn hint_idle(&mut self, frame: FrameNo) {
+        let _ = frame;
+    }
+
+    /// A short label for experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+/// A tiny deterministic xorshift generator used by the randomized
+/// policies, kept local so `dsa-paging` needs no workload-crate
+/// dependency.
+#[derive(Clone, Debug)]
+pub(crate) struct TinyRng(u64);
+
+impl TinyRng {
+    pub(crate) fn new(seed: u64) -> TinyRng {
+        TinyRng(seed | 1)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_rng_is_deterministic_and_in_range() {
+        let mut a = TinyRng::new(42);
+        let mut b = TinyRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next(), b.next());
+        }
+        for _ in 0..1000 {
+            assert!(a.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn tiny_rng_zero_seed_is_usable() {
+        let mut r = TinyRng::new(0);
+        let first = r.next();
+        assert_ne!(first, 0);
+    }
+}

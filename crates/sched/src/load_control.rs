@@ -1,0 +1,414 @@
+//! Integrated scheduling and storage allocation: load control.
+//!
+//! Conclusion (i) of the paper: "Storage allocation strategies must be
+//! fully integrated with the overall strategies for allocating and
+//! scheduling the use of computer system resources. For example, a
+//! system in which entirely independent decisions are taken as to
+//! processor scheduling and storage allocation is unlikely to perform
+//! acceptably in any but the most undemanding of environments."
+//!
+//! [`GlobalMultiprogramSim`] makes the claim testable. Unlike
+//! [`crate::sim::MultiprogramSim`] (private per-job allotments), every
+//! admitted job here pages against **one shared pool of frames** under a
+//! global replacement policy. The scheduler's admission decision is the
+//! integration point:
+//!
+//! * [`Admission::All`] — the "entirely independent decisions" case: the
+//!   processor scheduler admits every job at once and lets the storage
+//!   allocator cope. Past saturation the jobs steal frames from each
+//!   other and the system thrashes.
+//! * [`Admission::WorkingSet`] — integrated: a job is admitted only
+//!   while the sum of admitted jobs' estimated working sets fits in the
+//!   pool; the rest wait in a backlog and enter as earlier jobs finish.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use dsa_core::clock::{Cycles, VirtualTime};
+use dsa_core::error::CoreError;
+use dsa_core::ids::{JobId, PageNo};
+use dsa_paging::paged::PagedMemory;
+use dsa_paging::replacement::Replacer;
+
+use crate::sim::SimConfig;
+
+/// One job of the mix, with an estimate of its storage appetite.
+pub struct GlobalJobSpec {
+    /// Identifier used in the report.
+    pub id: JobId,
+    /// Page-granular reference string (pages are per-job; they are
+    /// namespaced internally so jobs never share pages).
+    pub trace: Vec<PageNo>,
+    /// The job's estimated working-set size in pages — what an
+    /// integrated scheduler believes the job needs to run without
+    /// thrashing (measure it with
+    /// [`dsa_paging::replacement::ws::working_set_sim`]).
+    pub est_working_set: usize,
+}
+
+/// The admission policy: the scheduler/allocator integration knob.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// Admit every job immediately (independent decisions).
+    All,
+    /// Admit a job only while the admitted jobs' working-set estimates
+    /// sum to at most the frame pool.
+    WorkingSet,
+}
+
+/// Whole-run results.
+#[derive(Clone, Debug)]
+pub struct GlobalReport {
+    /// Per-job `(id, references, faults, finished_at)`.
+    pub jobs: Vec<(JobId, u64, u64, Cycles)>,
+    /// Total processor-busy time.
+    pub cpu_busy: Cycles,
+    /// Completion time of the last job.
+    pub makespan: Cycles,
+    /// Total demand faults.
+    pub faults: u64,
+    /// Peak number of concurrently admitted jobs.
+    pub peak_admitted: usize,
+}
+
+impl GlobalReport {
+    /// Processor utilization over the makespan.
+    #[must_use]
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            0.0
+        } else {
+            self.cpu_busy.as_nanos() as f64 / self.makespan.as_nanos() as f64
+        }
+    }
+
+    /// Jobs completed per simulated second.
+    #[must_use]
+    pub fn throughput_per_second(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            0.0
+        } else {
+            self.jobs.len() as f64 / (self.makespan.as_nanos() as f64 / 1e9)
+        }
+    }
+}
+
+struct JobState {
+    id: JobId,
+    trace: Vec<PageNo>,
+    pos: usize,
+    est_ws: usize,
+    faults: u64,
+    finished_at: Option<Cycles>,
+}
+
+/// A shared frame pool under a global policy, with admission control.
+pub struct GlobalMultiprogramSim {
+    cfg: SimConfig,
+    memory: PagedMemory,
+    admission: Admission,
+    jobs: Vec<JobState>,
+}
+
+impl GlobalMultiprogramSim {
+    /// Builds the simulator over `frames` shared frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    #[must_use]
+    pub fn new(
+        cfg: SimConfig,
+        frames: usize,
+        replacer: Box<dyn Replacer>,
+        admission: Admission,
+        specs: Vec<GlobalJobSpec>,
+    ) -> GlobalMultiprogramSim {
+        let jobs = specs
+            .into_iter()
+            .map(|s| JobState {
+                id: s.id,
+                trace: s.trace,
+                pos: 0,
+                est_ws: s.est_working_set.max(1),
+                faults: 0,
+                finished_at: None,
+            })
+            .collect();
+        GlobalMultiprogramSim {
+            cfg,
+            memory: PagedMemory::new(frames, replacer),
+            admission,
+            jobs,
+        }
+    }
+
+    fn namespaced(job: usize, page: PageNo) -> PageNo {
+        PageNo(((job as u64) << 40) | page.0)
+    }
+
+    /// Runs all jobs to completion.
+    ///
+    /// # Errors
+    ///
+    /// Propagates paging errors (impossible without pinning).
+    pub fn run(mut self) -> Result<GlobalReport, CoreError> {
+        let cfg = self.cfg;
+        let frames = self.memory.frame_count();
+        let mut clock = Cycles::ZERO;
+        let mut cpu_busy = Cycles::ZERO;
+        let mut vt: VirtualTime = 0;
+
+        // Backlog in arrival order; the admission policy moves jobs from
+        // backlog to the ready queue.
+        let mut backlog: VecDeque<usize> = (0..self.jobs.len())
+            .filter(|&i| !self.jobs[i].trace.is_empty())
+            .collect();
+        for job in self.jobs.iter_mut().filter(|j| j.trace.is_empty()) {
+            job.finished_at = Some(Cycles::ZERO);
+        }
+        let mut ready: VecDeque<usize> = VecDeque::new();
+        let mut blocked: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
+        // Next-free instants of the transfer channels (empty = ample).
+        let mut channels: Vec<u64> = vec![0; cfg.fetch_channels.unwrap_or(0)];
+        let mut admitted_ws = 0usize;
+        let mut admitted: Vec<bool> = vec![false; self.jobs.len()];
+        let mut peak_admitted = 0usize;
+
+        loop {
+            // Admission: move backlog jobs in while the policy allows.
+            while let Some(&cand) = backlog.front() {
+                let fits = match self.admission {
+                    Admission::All => true,
+                    Admission::WorkingSet => {
+                        admitted_ws == 0 || admitted_ws + self.jobs[cand].est_ws <= frames
+                    }
+                };
+                if fits {
+                    backlog.pop_front();
+                    admitted[cand] = true;
+                    admitted_ws += self.jobs[cand].est_ws;
+                    ready.push_back(cand);
+                } else {
+                    break;
+                }
+            }
+            peak_admitted = peak_admitted.max(admitted.iter().filter(|&&a| a).count());
+
+            if ready.is_empty() {
+                let Some(&Reverse((wake, _))) = blocked.peek() else {
+                    if backlog.is_empty() {
+                        break;
+                    }
+                    // Admission refused everything while nothing runs:
+                    // force one in to preserve progress.
+                    let cand = backlog.pop_front().expect("non-empty");
+                    admitted[cand] = true;
+                    admitted_ws += self.jobs[cand].est_ws;
+                    ready.push_back(cand);
+                    continue;
+                };
+                clock = Cycles::from_nanos(wake);
+                while let Some(&Reverse((w, j))) = blocked.peek() {
+                    if w <= clock.as_nanos() {
+                        blocked.pop();
+                        ready.push_back(j);
+                    } else {
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            let i = ready.pop_front().expect("checked non-empty");
+            let mut blocked_now = false;
+            for _ in 0..cfg.quantum_refs {
+                let Some(&page) = self.jobs[i].trace.get(self.jobs[i].pos) else {
+                    break;
+                };
+                vt += 1;
+                let global = Self::namespaced(i, page);
+                let outcome = self.memory.touch(global, false, vt)?;
+                if outcome.is_fault() {
+                    self.jobs[i].faults += 1;
+                    let start = match channels.iter_mut().min() {
+                        Some(slot) => {
+                            let start = (*slot).max(clock.as_nanos());
+                            *slot = start + cfg.fetch_time.as_nanos();
+                            Cycles::from_nanos(start)
+                        }
+                        None => clock,
+                    };
+                    blocked.push(Reverse(((start + cfg.fetch_time).as_nanos(), i)));
+                    blocked_now = true;
+                    break;
+                }
+                clock += cfg.instr_time;
+                cpu_busy += cfg.instr_time;
+                self.jobs[i].pos += 1;
+            }
+            while let Some(&Reverse((w, j))) = blocked.peek() {
+                if w <= clock.as_nanos() {
+                    blocked.pop();
+                    ready.push_back(j);
+                } else {
+                    break;
+                }
+            }
+            if blocked_now {
+                continue;
+            }
+            if self.jobs[i].pos >= self.jobs[i].trace.len() {
+                self.jobs[i].finished_at = Some(clock);
+                admitted[i] = false;
+                admitted_ws -= self.jobs[i].est_ws;
+            } else {
+                ready.push_back(i);
+            }
+        }
+
+        let makespan = clock;
+        let faults = self.jobs.iter().map(|j| j.faults).sum();
+        Ok(GlobalReport {
+            jobs: self
+                .jobs
+                .into_iter()
+                .map(|j| {
+                    (
+                        j.id,
+                        j.pos as u64,
+                        j.faults,
+                        j.finished_at.unwrap_or(makespan),
+                    )
+                })
+                .collect(),
+            cpu_busy,
+            makespan,
+            faults,
+            peak_admitted,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_paging::replacement::lru::LruRepl;
+    use dsa_trace::refstring::RefStringCfg;
+    use dsa_trace::rng::Rng64;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            instr_time: Cycles::from_micros(10),
+            fetch_time: Cycles::from_millis(2),
+            page_size: 512,
+            quantum_refs: 20,
+            // One drum channel: fetches queue, so thrash hurts wall
+            // clock, not just fault counts.
+            fetch_channels: Some(1),
+        }
+    }
+
+    fn jobs(n: usize, pages: u64, refs: usize) -> Vec<GlobalJobSpec> {
+        (0..n)
+            .map(|i| GlobalJobSpec {
+                id: JobId(i as u32),
+                // Phase-structured: a genuine working set of 8 pages.
+                trace: RefStringCfg::WorkingSetPhases {
+                    pages,
+                    set: 8,
+                    phase_len: 400,
+                }
+                .generate_pages(refs, &mut Rng64::new(i as u64 + 1)),
+                est_working_set: 10,
+            })
+            .collect()
+    }
+
+    fn run(admission: Admission, n: usize, frames: usize) -> GlobalReport {
+        GlobalMultiprogramSim::new(
+            cfg(),
+            frames,
+            Box::new(LruRepl::new()),
+            admission,
+            jobs(n, 24, 3000),
+        )
+        .run()
+        .expect("no pinning")
+    }
+
+    #[test]
+    fn all_jobs_complete_under_both_policies() {
+        for admission in [Admission::All, Admission::WorkingSet] {
+            let r = run(admission, 6, 30);
+            assert_eq!(r.jobs.len(), 6);
+            for &(_, refs, _, finished) in &r.jobs {
+                assert_eq!(refs, 3000, "{admission:?}");
+                assert!(finished <= r.makespan);
+            }
+        }
+    }
+
+    #[test]
+    fn over_admission_thrashes_load_control_does_not() {
+        // 8 jobs of ~12-page working sets over 24 frames: admitting all
+        // floods the pool; working-set admission runs ~2 at a time.
+        let all = run(Admission::All, 8, 24);
+        let ws = run(Admission::WorkingSet, 8, 24);
+        assert!(ws.peak_admitted < all.peak_admitted);
+        assert!(
+            ws.faults * 2 < all.faults,
+            "load control must cut faults sharply: {} vs {}",
+            ws.faults,
+            all.faults
+        );
+        assert!(
+            ws.makespan < all.makespan,
+            "finishing jobs in shifts beats thrashing: {} vs {}",
+            ws.makespan,
+            all.makespan
+        );
+    }
+
+    #[test]
+    fn ample_storage_makes_the_policies_agree() {
+        let all = run(Admission::All, 4, 200);
+        let ws = run(Admission::WorkingSet, 4, 200);
+        assert_eq!(
+            all.faults, ws.faults,
+            "no pressure, no difference in faults"
+        );
+    }
+
+    #[test]
+    fn oversized_single_job_is_still_admitted() {
+        // A job whose estimate exceeds the pool must not deadlock the
+        // backlog.
+        let spec = GlobalJobSpec {
+            id: JobId(0),
+            trace: RefStringCfg::SequentialSweep { pages: 8 }
+                .generate_pages(100, &mut Rng64::new(1)),
+            est_working_set: 1000,
+        };
+        let r = GlobalMultiprogramSim::new(
+            cfg(),
+            16,
+            Box::new(LruRepl::new()),
+            Admission::WorkingSet,
+            vec![spec],
+        )
+        .run()
+        .expect("no pinning");
+        assert_eq!(r.jobs[0].1, 100);
+    }
+
+    #[test]
+    fn empty_mix_reports_zero() {
+        let r =
+            GlobalMultiprogramSim::new(cfg(), 8, Box::new(LruRepl::new()), Admission::All, vec![])
+                .run()
+                .expect("no pinning");
+        assert_eq!(r.makespan, Cycles::ZERO);
+        assert_eq!(r.throughput_per_second(), 0.0);
+    }
+}

@@ -1,0 +1,305 @@
+//! A small deterministic PRNG.
+//!
+//! Experiments must be exactly reproducible from a printed seed, across
+//! crate versions and platforms, so we carry our own generator rather
+//! than depending on an external crate's stream stability. The generator
+//! is xoshiro256++ (Blackman & Vigna), seeded through SplitMix64 — the
+//! standard recipe — plus the handful of distributions the workload
+//! models need.
+
+/// Deterministic xoshiro256++ generator with distribution helpers.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_trace::rng::Rng64;
+///
+/// let mut a = Rng64::new(42);
+/// let mut b = Rng64::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64()); // same seed, same stream
+/// ```
+#[derive(Clone, Debug)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Any seed (including 0) is valid.
+    #[must_use]
+    pub fn new(seed: u64) -> Rng64 {
+        let mut sm = seed;
+        Rng64 {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`. Uses Lemire's unbiased method.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire's multiply-shift rejection method.
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(n);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value in `[lo, hi]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range");
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponentially distributed value with the given mean (> 0),
+    /// truncated to at least `1.0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        let u = 1.0 - self.f64(); // in (0, 1]
+        (-u.ln() * mean).max(1.0)
+    }
+
+    /// Geometric number of trials until first success (>= 1) with
+    /// success probability `p` in `(0, 1]`.
+    pub fn geometric(&mut self, p: f64) -> u64 {
+        if p >= 1.0 {
+            return 1;
+        }
+        let u = 1.0 - self.f64(); // in (0, 1]
+        (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64
+    }
+
+    /// Zipf-distributed rank in `[0, n)` with exponent `theta` (> 0).
+    ///
+    /// Uses the rejection-inversion sampler of Hörmann & Derflinger; for
+    /// the modest `n` of our workloads a simple inverse-CDF over a
+    /// precomputed table would also do, but this keeps the generator
+    /// allocation-free.
+    pub fn zipf(&mut self, n: u64, theta: f64) -> u64 {
+        debug_assert!(n > 0 && theta > 0.0);
+        // Inverse-CDF by bisection over the harmonic CDF approximation:
+        // cheap, deterministic, and accurate enough for workload shaping.
+        let h = |x: f64| -> f64 {
+            if (theta - 1.0).abs() < 1e-9 {
+                x.ln()
+            } else {
+                (x.powf(1.0 - theta) - 1.0) / (1.0 - theta)
+            }
+        };
+        let total = h(n as f64 + 0.5) - h(0.5);
+        let target = self.f64() * total;
+        let (mut lo, mut hi) = (0.5f64, n as f64 + 0.5);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if h(mid) - h(0.5) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        (lo.round() as u64).clamp(1, n) - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        assert!(!xs.is_empty(), "pick from empty slice");
+        &xs[self.below(xs.len() as u64) as usize]
+    }
+
+    /// Derives an independent generator (for splitting one seed into
+    /// several deterministic streams).
+    pub fn fork(&mut self) -> Rng64 {
+        Rng64::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng64::new(7);
+        let mut b = Rng64::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::new(8);
+        assert_ne!(Rng64::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut r = Rng64::new(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = r.below(7);
+            assert!(v < 7);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = Rng64::new(2);
+        let n = 10u64;
+        let trials = 100_000;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..trials {
+            counts[r.below(n) as usize] += 1;
+        }
+        let expect = trials as f64 / n as f64;
+        for &c in &counts {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "bucket count {c} deviates from {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn range_inclusive() {
+        let mut r = Rng64::new(3);
+        for _ in 0..1000 {
+            let v = r.range(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+        assert_eq!(r.range(4, 4), 4);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = Rng64::new(4);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = Rng64::new(5);
+        let mean = 50.0;
+        let n = 50_000;
+        let total: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let got = total / n as f64;
+        assert!((got - mean).abs() < mean * 0.05, "mean {got}");
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut r = Rng64::new(6);
+        let p = 0.25;
+        let n = 50_000;
+        let total: u64 = (0..n).map(|_| r.geometric(p)).sum();
+        let got = total as f64 / n as f64;
+        assert!((got - 4.0).abs() < 0.2, "mean {got}");
+        assert_eq!(r.geometric(1.0), 1);
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let mut r = Rng64::new(7);
+        let n = 100u64;
+        let mut counts = vec![0u64; n as usize];
+        for _ in 0..100_000 {
+            let v = r.zipf(n, 1.0);
+            assert!(v < n);
+            counts[v as usize] += 1;
+        }
+        // Rank 0 must dominate rank 9 roughly 10:1 under theta=1.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!(ratio > 5.0 && ratio < 20.0, "zipf ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = Rng64::new(8);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fork_produces_independent_streams() {
+        let mut r = Rng64::new(9);
+        let mut f1 = r.fork();
+        let mut f2 = r.fork();
+        assert_ne!(f1.next_u64(), f2.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng64::new(10);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+}

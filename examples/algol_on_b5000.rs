@@ -1,0 +1,93 @@
+//! An ALGOL-shaped workload on the Burroughs B5000.
+//!
+//! The paper's B5000 discussion in miniature: "the maximum size vector
+//! that an ALGOL programmer can declare is 1024 words. However by virtue
+//! of the way the compiler implements multidimensional arrays, the
+//! programmer can declare, for instance a 1024 x 1024 word matrix. In
+//! other words, the limitation is on contiguous naming and not on
+//! apparently accessible information."
+//!
+//! We declare a 256 x 256 matrix (the compiler splits it into 1024-word
+//! row chunks), sweep it, and then make the classic off-by-one mistake —
+//! which the descriptor limit check intercepts.
+//!
+//! ```text
+//! cargo run --release --example algol_on_b5000
+//! ```
+
+use dsa::core::access::{AccessKind, ProgramOp};
+use dsa::core::ids::SegId;
+use dsa::machines::{b5000, Machine};
+
+const N: u64 = 256; // matrix dimension; each row is 256 words
+
+fn main() {
+    // "The compiler" lays the matrix out as one big logical segment;
+    // the machine adapter performs the B5000 split into 1024-word
+    // chunks internally.
+    let matrix = SegId(0);
+    let vector = SegId(1);
+    let mut ops = vec![
+        ProgramOp::Define {
+            seg: matrix,
+            size: N * N,
+        },
+        ProgramOp::Define {
+            seg: vector,
+            size: N,
+        },
+    ];
+
+    // y = A x: row-major sweep of the matrix with repeated vector use.
+    for i in 0..N {
+        for j in (0..N).step_by(8) {
+            ops.push(ProgramOp::Touch {
+                seg: matrix,
+                offset: i * N + j,
+                kind: AccessKind::Read,
+            });
+            ops.push(ProgramOp::Touch {
+                seg: vector,
+                offset: j,
+                kind: AccessKind::Read,
+            });
+        }
+    }
+    // The classic mistake: x[N] on a 0..N-1 vector.
+    ops.push(ProgramOp::Touch {
+        seg: vector,
+        offset: N,
+        kind: AccessKind::Read,
+    });
+    // And a wilder one: A[N][0].
+    ops.push(ProgramOp::Touch {
+        seg: matrix,
+        offset: N * N + 5,
+        kind: AccessKind::Read,
+    });
+    ops.push(ProgramOp::Delete { seg: matrix });
+    ops.push(ProgramOp::Delete { seg: vector });
+
+    let mut machine = b5000();
+    let report = machine.run(&ops).expect("well-formed program");
+    println!("{report}\n");
+    println!(
+        "matrix words: {} — sixty-four times the 1024-word segment limit,\n\
+         yet fully accessible: only contiguous *naming* is limited.",
+        N * N
+    );
+    println!(
+        "segment faults: {} (each fetched a 1024-word row chunk on first\n\
+         reference; the 24K-word core cannot hold all {} chunks at once,\n\
+         so the cyclic strategy recycled them).",
+        report.faults,
+        (N * N) / 1024
+    );
+    println!(
+        "bounds violations intercepted: {} of 2 injected — the checking of\n\
+         illegal subscripting performed automatically (advantage iii).",
+        report.bounds_caught
+    );
+    assert_eq!(report.bounds_caught, 2);
+    assert_eq!(report.wild_undetected, 0);
+}

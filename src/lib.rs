@@ -1,0 +1,49 @@
+//! Dynamic storage allocation systems — an executable reproduction of
+//! B. Randell & C. J. Kuehner, *Dynamic Storage Allocation Systems*
+//! (ACM Symposium on Operating System Principles, Gatlinburg, 1967;
+//! CACM 11(5), 1968).
+//!
+//! This facade crate re-exports the whole workspace under one name:
+//!
+//! * [`core`] — the four-axis taxonomy, shared types, faults, advice;
+//! * [`storage`] — simulated storage levels, hierarchies, memory,
+//!   packing channels;
+//! * [`mapping`] — addressing mechanisms: relocation registers, block
+//!   maps, the ATLAS frame-associative map, two-level segment+page maps
+//!   with associative memories;
+//! * [`freelist`] — variable-unit allocation: placement policies, the
+//!   Rice inactive-block chain, the buddy system, compaction;
+//! * [`paging`] — uniform-unit allocation: demand paging and
+//!   replacement policies (FIFO, LRU, Clock, Random, the ATLAS learning
+//!   program, Belady's MIN, M44 class-random, working set);
+//! * [`seg`] — segmentation: descriptors, codewords, dynamic segments,
+//!   symbolic and linear name dictionaries;
+//! * [`sched`] — multiprogramming, page-wait overlap, space-time
+//!   products;
+//! * [`machines`] — the seven appendix machines as runnable presets;
+//! * [`trace`] — deterministic synthetic workloads;
+//! * [`metrics`] — stats, histograms, space-time meters, tables.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dsa::machines::{atlas, Machine};
+//! use dsa::trace::{ProgramCfg, Rng64};
+//!
+//! let mut rng = Rng64::new(1);
+//! let program = ProgramCfg::default().generate(&mut rng);
+//! let mut machine = atlas();
+//! let report = machine.run(&program.ops).unwrap();
+//! assert!(report.touches > 0);
+//! ```
+
+pub use dsa_core as core;
+pub use dsa_freelist as freelist;
+pub use dsa_machines as machines;
+pub use dsa_mapping as mapping;
+pub use dsa_metrics as metrics;
+pub use dsa_paging as paging;
+pub use dsa_sched as sched;
+pub use dsa_seg as seg;
+pub use dsa_storage as storage;
+pub use dsa_trace as trace;

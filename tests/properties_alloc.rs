@@ -1,0 +1,252 @@
+//! Property-based tests on the variable-unit allocators.
+
+use dsa::freelist::compaction::compact;
+use dsa::freelist::freelist::{FreeListAllocator, Placement};
+use dsa::freelist::{BuddyAllocator, RiceAllocator};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// A random operation stream: sizes for allocs, indices for frees.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..200).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+fn placements() -> Vec<Placement> {
+    vec![
+        Placement::FirstFit,
+        Placement::NextFit,
+        Placement::BestFit,
+        Placement::WorstFit,
+        Placement::TwoEnds { threshold: 64 },
+    ]
+}
+
+proptest! {
+    /// Under any op stream and any placement, the free list never
+    /// overlaps blocks, never leaks words, and keeps coalescing maximal
+    /// (`check_invariants` asserts all three).
+    #[test]
+    fn freelist_invariants_hold(ops in arb_ops()) {
+        for policy in placements() {
+            let mut a = FreeListAllocator::new(4096, policy);
+            let mut live: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::Alloc(size) => {
+                        if a.alloc(next, size).is_ok() {
+                            live.push(next);
+                        }
+                        next += 1;
+                    }
+                    Op::FreeNth(i) => {
+                        if !live.is_empty() {
+                            let id = live.swap_remove(i % live.len());
+                            a.free(id).expect("live id");
+                        }
+                    }
+                }
+                a.check_invariants();
+            }
+            // Free everything: storage must return to one hole.
+            for id in live {
+                a.free(id).expect("live id");
+            }
+            a.check_invariants();
+            prop_assert_eq!(a.free_words(), 4096);
+            prop_assert_eq!(a.hole_count(), 1);
+        }
+    }
+
+    /// Allocated blocks never change address or size until freed, and
+    /// distinct blocks never alias.
+    #[test]
+    fn freelist_blocks_are_stable_and_disjoint(ops in arb_ops()) {
+        let mut a = FreeListAllocator::new(4096, Placement::FirstFit);
+        let mut expected: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut next = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Alloc(size) => {
+                    if let Ok(addr) = a.alloc(next, size) {
+                        expected.insert(next, (addr.value(), size));
+                    }
+                    next += 1;
+                }
+                Op::FreeNth(i) => {
+                    let keys: Vec<u64> = {
+                        let mut k: Vec<u64> = expected.keys().copied().collect();
+                        k.sort_unstable();
+                        k
+                    };
+                    if !keys.is_empty() {
+                        let id = keys[i % keys.len()];
+                        expected.remove(&id);
+                        a.free(id).expect("live id");
+                    }
+                }
+            }
+            for (&id, &(addr, size)) in &expected {
+                let (got_addr, got_size) = a.lookup(id).expect("still live");
+                prop_assert_eq!(got_addr.value(), addr);
+                prop_assert_eq!(got_size, size);
+            }
+        }
+    }
+
+    /// Compaction preserves every live block's identity and size,
+    /// preserves address order, and leaves exactly one hole.
+    #[test]
+    fn compaction_preserves_blocks(ops in arb_ops()) {
+        let mut a = FreeListAllocator::new(4096, Placement::BestFit);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Alloc(size) => {
+                    if a.alloc(next, size).is_ok() {
+                        live.push(next);
+                    }
+                    next += 1;
+                }
+                Op::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(i % live.len());
+                        a.free(id).expect("live id");
+                    }
+                }
+            }
+        }
+        let before = a.allocations_by_address();
+        let free_before = a.free_words();
+        let mut moves: Vec<(u64, u64)> = Vec::new();
+        let _report = compact(&mut a, |_, old, new, _| {
+            moves.push((old.value(), new.value()));
+        });
+        for &(old, new) in &moves {
+            prop_assert!(new < old, "compaction only slides downward");
+        }
+        a.check_invariants();
+        let after = a.allocations_by_address();
+        prop_assert_eq!(a.free_words(), free_before, "no words created or lost");
+        prop_assert!(a.hole_count() <= 1);
+        // Same ids, same sizes, same relative order.
+        let ids_before: Vec<(u64, u64)> = before.iter().map(|&(id, _, s)| (id, s)).collect();
+        let ids_after: Vec<(u64, u64)> = after.iter().map(|&(id, _, s)| (id, s)).collect();
+        prop_assert_eq!(ids_before, ids_after);
+        // Packed: blocks start at 0 and are contiguous.
+        let mut cursor = 0;
+        for &(_, addr, size) in &after {
+            prop_assert_eq!(addr, cursor);
+            cursor += size;
+        }
+    }
+
+    /// The Rice allocator's invariants hold under churn, and combining
+    /// never loses words.
+    #[test]
+    fn rice_invariants_hold(ops in arb_ops()) {
+        let mut a = RiceAllocator::new(4096);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Alloc(size) => {
+                    if a.alloc(next, size, next).is_ok() {
+                        live.push(next);
+                    }
+                    next += 1;
+                }
+                Op::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(i % live.len());
+                        a.free(id).expect("live id");
+                    }
+                }
+            }
+            a.check_invariants();
+        }
+        let free_before = a.free_words();
+        a.combine_adjacent();
+        a.check_invariants();
+        prop_assert_eq!(a.free_words(), free_before, "combining conserves words");
+    }
+
+    /// Buddy invariants hold under churn; blocks stay aligned and the
+    /// arena reassembles fully after freeing everything.
+    #[test]
+    fn buddy_invariants_hold(ops in arb_ops()) {
+        let mut a = BuddyAllocator::new(12); // 4096 words
+        let mut live: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Alloc(size) => {
+                    if a.alloc(next, size).is_ok() {
+                        live.push(next);
+                    }
+                    next += 1;
+                }
+                Op::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(i % live.len());
+                        a.free(id).expect("live id");
+                    }
+                }
+            }
+            a.check_invariants();
+        }
+        for id in live {
+            a.free(id).expect("live id");
+        }
+        a.check_invariants();
+        prop_assert_eq!(a.free_words(), 4096);
+    }
+
+    /// Metamorphic: for the same op stream, best-fit never ends with a
+    /// larger hole count than worst-fit after full free-down (both
+    /// coalesce to one hole), and both conserve words throughout.
+    #[test]
+    fn placements_agree_on_conservation(ops in arb_ops()) {
+        let mut results = Vec::new();
+        for policy in placements() {
+            let mut a = FreeListAllocator::new(4096, policy);
+            let mut live: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            let mut served_words = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::Alloc(size) => {
+                        if a.alloc(next, size).is_ok() {
+                            live.push(next);
+                            served_words += size;
+                        }
+                        next += 1;
+                    }
+                    Op::FreeNth(i) => {
+                        if !live.is_empty() {
+                            let id = live.swap_remove(i % live.len());
+                            let (_, size) = a.lookup(id).expect("live");
+                            served_words -= size;
+                            a.free(id).expect("live id");
+                        }
+                    }
+                }
+                prop_assert_eq!(a.allocated_words(), served_words);
+            }
+            results.push(a.allocated_words());
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests on the addressing mechanisms.
+
+use dsa::core::clock::Cycles;
+use dsa::core::error::AccessFault;
+use dsa::core::ids::{FrameNo, Name, PhysAddr, SegId};
+use dsa::mapping::associative::AssocPolicy;
+use dsa::mapping::{
+    AddressMap, AssocMemory, BlockMap, FrameAssociativeMap, MapCosts, RelocationLimit, TwoLevelMap,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn costs() -> MapCosts {
+    MapCosts::for_core_cycle(Cycles::from_micros(1))
+}
+
+proptest! {
+    /// A block map is injective over mapped names when its blocks are
+    /// disjoint: two different names never translate to the same
+    /// address.
+    #[test]
+    fn block_map_is_injective(perm in prop::sample::subsequence((0u64..16).collect::<Vec<_>>(), 4..16)) {
+        // Map blocks to disjoint physical slots given by a permutation
+        // sample.
+        let mut m = BlockMap::new(16, 4, costs());
+        for (i, &slot) in perm.iter().enumerate() {
+            m.map_block(i as u64, PhysAddr(slot * 16));
+        }
+        let mut seen: HashMap<u64, u64> = HashMap::new();
+        for name in 0..(perm.len() as u64 * 16) {
+            let t = m.translate(Name(name));
+            let addr = t.outcome.expect("mapped").value();
+            if let Some(prev) = seen.insert(addr, name) {
+                prop_assert!(false, "names {prev} and {name} alias address {addr}");
+            }
+        }
+    }
+
+    /// Consecutive names inside one block map to consecutive addresses
+    /// (name contiguity within the block is real).
+    #[test]
+    fn block_map_preserves_in_block_contiguity(base in 0u64..1000) {
+        let mut m = BlockMap::new(4, 6, costs());
+        for b in 0..4 {
+            m.map_block(b, PhysAddr(base + b * 1000));
+        }
+        for name in 0..(4 * 64 - 1) {
+            let a = m.translate(Name(name)).outcome.expect("mapped");
+            let b = m.translate(Name(name + 1)).outcome.expect("mapped");
+            if (name + 1) % 64 != 0 {
+                prop_assert_eq!(b.value(), a.value() + 1);
+            }
+        }
+    }
+
+    /// The frame-associative map and a shadow table always agree.
+    #[test]
+    fn frame_associative_matches_shadow(loads in prop::collection::vec((0u64..8, 0u64..32), 1..40)) {
+        let mut m = FrameAssociativeMap::new(8, 4, 32 * 16, costs());
+        let mut shadow: HashMap<u64, u64> = HashMap::new(); // page -> frame
+        for &(frame, page) in &loads {
+            // Unload whatever the frame held, and any other frame
+            // holding this page (a page lives in at most one frame).
+            shadow.retain(|_, &mut f| f != frame);
+            if let Some(old_frame) = shadow.get(&page).copied() {
+                m.unload(FrameNo(old_frame));
+                shadow.remove(&page);
+            }
+            m.load(FrameNo(frame), dsa::core::ids::PageNo(page));
+            shadow.insert(page, frame);
+        }
+        for page in 0..32u64 {
+            let name = Name(page * 16 + 3);
+            let t = m.translate(name);
+            match shadow.get(&page) {
+                Some(&frame) => {
+                    prop_assert_eq!(t.outcome.expect("resident"), PhysAddr(frame * 16 + 3));
+                }
+                None => {
+                    let missing = matches!(t.outcome, Err(AccessFault::MissingPage { .. }));
+                    prop_assert!(missing, "expected a page trap for page {}", page);
+                }
+            }
+        }
+    }
+
+    /// The TLB is invisible to correctness: a two-level map with and
+    /// without an associative memory translates every access to the
+    /// same outcome (only the cost differs).
+    #[test]
+    fn tlb_never_changes_outcomes(
+        accesses in prop::collection::vec((0u32..6, 0u64..300), 1..300),
+        tlb in 1usize..16,
+    ) {
+        let build = |tlb: usize| {
+            let mut m = TwoLevelMap::new(6, 256, 4, tlb, AssocPolicy::Lru, costs());
+            for s in 0..6u32 {
+                let limit = 64 + u64::from(s) * 32; // varied limits
+                m.create_segment(SegId(s), limit).expect("fits");
+                for p in 0..limit.div_ceil(16) {
+                    if (p + u64::from(s)) % 3 != 0 {
+                        m.map_page(SegId(s), p, FrameNo(u64::from(s) * 16 + p)).expect("page");
+                    }
+                }
+            }
+            m
+        };
+        let mut with = build(tlb);
+        let mut without = build(0);
+        for &(seg, off) in &accesses {
+            let a = with.translate_pair(SegId(seg), off);
+            let b = without.translate_pair(SegId(seg), off);
+            match (a.outcome, b.outcome) {
+                (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+                (Err(x), Err(y)) => prop_assert_eq!(format!("{x:?}"), format!("{y:?}")),
+                (x, y) => prop_assert!(false, "diverged: {x:?} vs {y:?}"),
+            }
+            prop_assert!(a.cost <= b.cost, "the TLB may only make access cheaper");
+        }
+    }
+
+    /// Relocation is transparent: moving the base changes every address
+    /// by exactly the base delta and faults identically.
+    #[test]
+    fn relocation_is_uniform_shift(base1 in 0u64..5000, base2 in 0u64..5000, limit in 1u64..500) {
+        let mut m1 = RelocationLimit::new(PhysAddr(base1), limit, costs());
+        let mut m2 = RelocationLimit::new(PhysAddr(base2), limit, costs());
+        for name in 0..(limit + 10) {
+            let a = m1.translate(Name(name));
+            let b = m2.translate(Name(name));
+            match (a.outcome, b.outcome) {
+                (Ok(x), Ok(y)) => {
+                    prop_assert_eq!(x.value() as i128 - base1 as i128,
+                                    y.value() as i128 - base2 as i128);
+                }
+                (Err(_), Err(_)) => {}
+                (x, y) => prop_assert!(false, "fault behaviour diverged: {x:?} vs {y:?}"),
+            }
+        }
+    }
+
+    /// An LRU associative memory behaves like a textbook LRU cache.
+    #[test]
+    fn assoc_memory_is_lru(keys in prop::collection::vec(0u64..12, 1..200), cap in 1usize..8) {
+        let mut mem = AssocMemory::new(cap, AssocPolicy::Lru);
+        // Shadow model: recency list, most recent last.
+        let mut shadow: Vec<u64> = Vec::new();
+        for &k in &keys {
+            let hit = mem.lookup(k).is_some();
+            let shadow_hit = shadow.contains(&k);
+            prop_assert_eq!(hit, shadow_hit, "hit state diverged on key {}", k);
+            shadow.retain(|&x| x != k);
+            shadow.push(k);
+            if !hit {
+                mem.insert(k, k * 10);
+                if shadow.len() > cap {
+                    shadow.remove(0);
+                }
+            }
+        }
+    }
+}

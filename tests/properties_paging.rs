@@ -1,0 +1,128 @@
+//! Property-based tests on the paging engine and replacement policies.
+
+use dsa::core::ids::PageNo;
+use dsa::paging::paged::PagedMemory;
+use dsa::paging::replacement::ws::working_set_sim;
+use dsa::paging::{
+    AtlasLearning, ClassRandomRepl, ClockRepl, FifoRepl, LruRepl, MinRepl, RandomRepl, Replacer,
+};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<PageNo>> {
+    prop::collection::vec(0u64..24, 1..600).prop_map(|v| v.into_iter().map(PageNo).collect())
+}
+
+fn all_policies(frames: usize, trace: &[PageNo]) -> Vec<Box<dyn Replacer>> {
+    vec![
+        Box::new(LruRepl::new()),
+        Box::new(FifoRepl::new()),
+        Box::new(ClockRepl::new(frames)),
+        Box::new(ClockRepl::cyclic(frames)),
+        Box::new(RandomRepl::new(9)),
+        Box::new(ClassRandomRepl::new(9, 4)),
+        Box::new(AtlasLearning::new()),
+        Box::new(MinRepl::new(trace)),
+    ]
+}
+
+fn faults(frames: usize, trace: &[PageNo], policy: Box<dyn Replacer>) -> u64 {
+    let mut mem = PagedMemory::new(frames, policy);
+    let stats = mem.run_pages(trace).expect("no pinning");
+    mem.check_invariants();
+    stats.faults
+}
+
+fn distinct(trace: &[PageNo]) -> u64 {
+    let mut v: Vec<u64> = trace.iter().map(|p| p.0).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.len() as u64
+}
+
+proptest! {
+    /// MIN is a lower bound for every realizable policy on every trace
+    /// — the defining property of Belady's optimum.
+    #[test]
+    fn min_is_optimal(trace in arb_trace(), frames in 1usize..16) {
+        let min_faults = faults(frames, &trace, Box::new(MinRepl::new(&trace)));
+        for policy in all_policies(frames, &trace) {
+            if policy.name() == "MIN (Belady)" {
+                continue;
+            }
+            let name = policy.name();
+            let f = faults(frames, &trace, policy);
+            prop_assert!(
+                f >= min_faults,
+                "{name} took {f} faults, below MIN's {min_faults}"
+            );
+        }
+    }
+
+    /// Every policy faults at least once per distinct page (cold
+    /// misses), and never more than once per reference.
+    #[test]
+    fn fault_counts_are_bounded(trace in arb_trace(), frames in 1usize..16) {
+        let d = distinct(&trace);
+        for policy in all_policies(frames, &trace) {
+            let name = policy.name();
+            let f = faults(frames, &trace, policy);
+            prop_assert!(f >= d, "{name}: {f} faults < {d} distinct pages");
+            prop_assert!(f <= trace.len() as u64, "{name}");
+        }
+    }
+
+    /// LRU has the stack (inclusion) property: more frames never means
+    /// more faults. (FIFO famously lacks this — Belady's anomaly.)
+    #[test]
+    fn lru_inclusion_property(trace in arb_trace(), frames in 1usize..12) {
+        let small = faults(frames, &trace, Box::new(LruRepl::new()));
+        let large = faults(frames + 1, &trace, Box::new(LruRepl::new()));
+        prop_assert!(large <= small, "LRU faulted more with more frames: {large} > {small}");
+    }
+
+    /// MIN also has the inclusion property.
+    #[test]
+    fn min_inclusion_property(trace in arb_trace(), frames in 1usize..12) {
+        let small = faults(frames, &trace, Box::new(MinRepl::new(&trace)));
+        let large = faults(frames + 1, &trace, Box::new(MinRepl::new(&trace)));
+        prop_assert!(large <= small);
+    }
+
+    /// When the whole page universe fits in core, every policy takes
+    /// exactly the cold misses.
+    #[test]
+    fn ample_storage_means_cold_misses_only(trace in arb_trace()) {
+        let d = distinct(&trace);
+        for policy in all_policies(24, &trace) {
+            let name = policy.name();
+            let f = faults(24, &trace, policy);
+            prop_assert_eq!(f, d, "{} with ample frames", name);
+        }
+    }
+
+    /// The working-set simulator agrees with a direct recomputation of
+    /// residency, and its fault count is monotone in the window.
+    #[test]
+    fn working_set_window_monotone(trace in arb_trace(), tau in 1u64..50) {
+        let small = working_set_sim(&trace, tau);
+        let large = working_set_sim(&trace, tau + 10);
+        prop_assert!(large.faults <= small.faults);
+        prop_assert!(small.references == trace.len() as u64);
+        prop_assert!(small.mean_resident <= small.peak_resident as f64 + 1e-9);
+    }
+
+    /// The vacant-reserve variant keeps a frame free after every touch
+    /// and never beats the plain variant by more than the cold-miss
+    /// bound allows (sanity of the ATLAS discipline).
+    #[test]
+    fn vacant_reserve_invariant(trace in arb_trace()) {
+        let frames = 8;
+        let mut mem = PagedMemory::new(frames, Box::new(AtlasLearning::new()))
+            .with_vacant_reserve();
+        for (i, &p) in trace.iter().enumerate() {
+            mem.touch(p, false, i as u64).expect("no pinning");
+            prop_assert!(mem.resident_count() < frames, "a frame must stay vacant");
+        }
+        mem.check_invariants();
+    }
+}

@@ -1,0 +1,67 @@
+//! Probe-layer overhead benches.
+//!
+//! The probe trait is monomorphized: with `NullProbe` every emission
+//! site must const-fold away (`is_enabled()` is a constant `false`), so
+//! `run` — which routes through the probed code paths — must cost the
+//! same as it did before the probe layer existed. The `null_probe`
+//! group measures that directly against an attached `CountingProbe`,
+//! on the linear paged machine's hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsa_core::access::ProgramOp;
+use dsa_machines::presets::atlas;
+use dsa_machines::report::Machine;
+use dsa_probe::CountingProbe;
+use dsa_trace::allocstream::SizeDist;
+use dsa_trace::program::ProgramCfg;
+use dsa_trace::rng::Rng64;
+
+fn program() -> Vec<ProgramOp> {
+    ProgramCfg {
+        segments: 24,
+        seg_sizes: SizeDist::Exponential {
+            mean: 500.0,
+            cap: 3000,
+        },
+        touches: 8_000,
+        phase_set: 4,
+        phase_len: 300,
+        write_fraction: 0.3,
+        resize_prob: 0.05,
+        advice_accuracy: None,
+        wild_touch_prob: 0.0,
+        compute_between: 0,
+    }
+    .generate(&mut Rng64::new(4))
+    .ops
+}
+
+fn bench_null_probe_overhead(c: &mut Criterion) {
+    let ops = program();
+    let mut g = c.benchmark_group("null_probe");
+    g.bench_function("plain_run", |b| {
+        b.iter(|| {
+            let mut m = atlas();
+            m.run(&ops).expect("runs").faults
+        });
+    });
+    g.bench_function("run_with_null_probe", |b| {
+        b.iter(|| {
+            let mut m = atlas();
+            m.run_with(&ops, &mut dsa_probe::NullProbe)
+                .expect("runs")
+                .faults
+        });
+    });
+    g.bench_function("run_with_counting_probe", |b| {
+        b.iter(|| {
+            let mut m = atlas();
+            let mut probe = CountingProbe::new();
+            m.run_with(&ops, &mut probe).expect("runs").faults
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_null_probe_overhead);
+criterion_main!(benches);

@@ -7,6 +7,9 @@
 //! cyclic sweeps (LRU's nemesis), strict loop nests (the ATLAS learning
 //! program's home), and uniform random (the control where nothing
 //! helps). MIN is the unbeatable offline bound.
+//!
+//! Pass `--trace-out <path>` to dump the probe event stream of one
+//! representative run (LRU on the first trace, 24 frames) as JSONL.
 
 use dsa_core::ids::PageNo;
 use dsa_metrics::table::Table;
@@ -20,10 +23,29 @@ use dsa_paging::replacement::min::MinRepl;
 use dsa_paging::replacement::nru::ClassRandomRepl;
 use dsa_paging::replacement::random::RandomRepl;
 use dsa_paging::replacement::Replacer;
+use dsa_probe::{JsonlRecorder, LatencyProbe};
 use dsa_trace::refstring::RefStringCfg;
 use dsa_trace::rng::Rng64;
+use std::path::PathBuf;
 
 const LEN: usize = 60_000;
+
+/// Frame count at which the percentile-latency column is measured.
+const PROBED_FRAMES: usize = 24;
+
+fn trace_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            let p = args.next().unwrap_or_else(|| {
+                eprintln!("--trace-out requires a path");
+                std::process::exit(2);
+            });
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
 
 fn policies(frames: usize, trace: &[PageNo]) -> Vec<Box<dyn Replacer>> {
     vec![
@@ -39,6 +61,7 @@ fn policies(frames: usize, trace: &[PageNo]) -> Vec<Box<dyn Replacer>> {
 }
 
 fn main() {
+    let trace_out = trace_out_path();
     println!("E4: replacement strategies — fault rate vs core size\n");
     let traces: Vec<(&str, RefStringCfg)> = vec![
         (
@@ -75,10 +98,18 @@ fn main() {
             },
         ),
     ];
-    for (tname, cfg) in traces {
+    for (ti, (tname, cfg)) in traces.into_iter().enumerate() {
         let trace = cfg.generate_pages(LEN, &mut Rng64::new(4_000));
-        let mut t = Table::new(&["policy", "8 frames", "16", "24", "32", "48"])
-            .with_title(&format!("trace: {tname} ({LEN} refs)"));
+        let mut t = Table::new(&[
+            "policy",
+            "8 frames",
+            "16",
+            "24",
+            "32",
+            "48",
+            "p95 inter-fault @24",
+        ])
+        .with_title(&format!("trace: {tname} ({LEN} refs)"));
         let frame_counts = [8usize, 16, 24, 32, 48];
         // One row per policy.
         let names = [
@@ -92,16 +123,43 @@ fn main() {
             "LFU (aged)",
         ];
         let mut rates = vec![Vec::new(); names.len()];
+        let mut p95_inter_fault = vec![0u64; names.len()];
         for &frames in &frame_counts {
             for (i, policy) in policies(frames, &trace).into_iter().enumerate() {
                 let mut mem = PagedMemory::new(frames, policy);
-                let stats = mem.run_pages(&trace).expect("no pinning");
-                rates[i].push(stats.fault_rate());
+                if frames == PROBED_FRAMES {
+                    let mut probe = LatencyProbe::new();
+                    let stats = mem
+                        .run_pages_probed(&trace, &mut probe)
+                        .expect("no pinning");
+                    rates[i].push(stats.fault_rate());
+                    p95_inter_fault[i] = probe.inter_fault().quantile(0.95);
+                } else {
+                    let stats = mem.run_pages(&trace).expect("no pinning");
+                    rates[i].push(stats.fault_rate());
+                }
+            }
+        }
+        // Dump one representative probed run (LRU on the first trace)
+        // when asked; the recorder keeps the trace tail.
+        if ti == 0 {
+            if let Some(path) = &trace_out {
+                let mut rec = JsonlRecorder::new(200_000);
+                let mut mem = PagedMemory::new(PROBED_FRAMES, Box::new(LruRepl::new()));
+                mem.run_pages_probed(&trace, &mut rec).expect("no pinning");
+                rec.write_to(path).expect("writable --trace-out path");
+                println!(
+                    "trace-out: {} events ({} dropped) -> {}\n",
+                    rec.len(),
+                    rec.dropped(),
+                    path.display()
+                );
             }
         }
         for (i, name) in names.iter().enumerate() {
             let mut row = vec![(*name).to_owned()];
             row.extend(rates[i].iter().map(|r| format!("{:.3}", r)));
+            row.push(format!("{} refs", p95_inter_fault[i]));
             t.row_owned(row);
         }
         println!("{t}");

@@ -7,6 +7,10 @@
 //! and a buddy baseline) with the same allocation/free stream at several
 //! load factors and report the costs the paper says the choice trades
 //! off: fragmentation, failures, and search ("bookkeeping") length.
+//!
+//! Pass `--trace-out <path>` to dump the probe event stream of one
+//! representative run (best-fit, first size distribution, highest
+//! load) as JSONL.
 
 use dsa_core::access::AllocEvent;
 use dsa_freelist::frag::FragReport;
@@ -14,11 +18,27 @@ use dsa_freelist::freelist::{FreeListAllocator, Placement};
 use dsa_freelist::rice::RiceAllocator;
 use dsa_freelist::segregated::SegregatedAllocator;
 use dsa_metrics::table::Table;
+use dsa_probe::{JsonlRecorder, LatencyProbe, Probe, Stamp};
 use dsa_trace::allocstream::{AllocStreamCfg, SizeDist};
 use dsa_trace::rng::Rng64;
+use std::path::PathBuf;
 
 const CAPACITY: u64 = 32_768;
 const EVENTS: usize = 60_000;
+
+fn trace_out_path() -> Option<PathBuf> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            let p = args.next().unwrap_or_else(|| {
+                eprintln!("--trace-out requires a path");
+                std::process::exit(2);
+            });
+            return Some(PathBuf::from(p));
+        }
+    }
+    None
+}
 
 struct Outcome {
     failures: u64,
@@ -28,7 +48,11 @@ struct Outcome {
     mean_search: f64,
 }
 
-fn drive_freelist(policy: Placement, events: &[AllocEvent]) -> Outcome {
+fn drive_freelist<P: Probe + ?Sized>(
+    policy: Placement,
+    events: &[AllocEvent],
+    probe: &mut P,
+) -> Outcome {
     let mut a = FreeListAllocator::new(CAPACITY, policy);
     let mut failures = 0;
     let mut util_sum = 0.0;
@@ -37,16 +61,17 @@ fn drive_freelist(policy: Placement, events: &[AllocEvent]) -> Outcome {
     let mut samples = 0u64;
     let mut dropped: std::collections::HashSet<u64> = std::collections::HashSet::new();
     for (i, e) in events.iter().enumerate() {
+        let at = Stamp::vtime(i as u64);
         match *e {
             AllocEvent::Alloc(r) => {
-                if a.alloc(r.id, r.size).is_err() {
+                if a.alloc_probed(r.id, r.size, at, probe).is_err() {
                     failures += 1;
                     dropped.insert(r.id);
                 }
             }
             AllocEvent::Free { id } => {
                 if !dropped.remove(&id) {
-                    a.free(id).expect("live id");
+                    a.free_probed(id, at, probe).expect("live id");
                 }
             }
         }
@@ -67,7 +92,7 @@ fn drive_freelist(policy: Placement, events: &[AllocEvent]) -> Outcome {
     }
 }
 
-fn drive_rice(events: &[AllocEvent]) -> Outcome {
+fn drive_rice<P: Probe + ?Sized>(events: &[AllocEvent], probe: &mut P) -> Outcome {
     let mut a = RiceAllocator::new(CAPACITY);
     let mut failures = 0;
     let mut util_sum = 0.0;
@@ -75,16 +100,17 @@ fn drive_rice(events: &[AllocEvent]) -> Outcome {
     let mut samples = 0u64;
     let mut dropped: std::collections::HashSet<u64> = std::collections::HashSet::new();
     for (i, e) in events.iter().enumerate() {
+        let at = Stamp::vtime(i as u64);
         match *e {
             AllocEvent::Alloc(r) => {
-                if a.alloc(r.id, r.size, r.id).is_err() {
+                if a.alloc_probed(r.id, r.size, r.id, at, probe).is_err() {
                     failures += 1;
                     dropped.insert(r.id);
                 }
             }
             AllocEvent::Free { id } => {
                 if !dropped.remove(&id) {
-                    a.free(id).expect("live id");
+                    a.free_probed(id, at, probe).expect("live id");
                 }
             }
         }
@@ -140,8 +166,9 @@ fn drive_segregated(events: &[AllocEvent]) -> Outcome {
 }
 
 fn main() {
+    let trace_out = trace_out_path();
     println!("E5: placement strategies under steady allocation churn\n");
-    for (dist_name, sizes) in [
+    for (di, (dist_name, sizes)) in [
         (
             "exponential mean 80",
             SizeDist::Exponential {
@@ -157,7 +184,10 @@ fn main() {
                 p_small: 0.9,
             },
         ),
-    ] {
+    ]
+    .into_iter()
+    .enumerate()
+    {
         for target in [0.70f64, 0.85, 0.95] {
             let cfg = AllocStreamCfg {
                 sizes,
@@ -165,6 +195,21 @@ fn main() {
                 target_live_words: (CAPACITY as f64 * target) as u64,
             };
             let events = cfg.generate(EVENTS, &mut Rng64::new(55));
+            // Dump one representative probed run (best-fit, first
+            // distribution, highest load) when asked.
+            if di == 0 && target == 0.95 {
+                if let Some(path) = &trace_out {
+                    let mut rec = JsonlRecorder::new(200_000);
+                    drive_freelist(Placement::BestFit, &events, &mut rec);
+                    rec.write_to(path).expect("writable --trace-out path");
+                    println!(
+                        "trace-out: {} events ({} dropped) -> {}\n",
+                        rec.len(),
+                        rec.dropped(),
+                        path.display()
+                    );
+                }
+            }
             let mut t = Table::new(&[
                 "policy",
                 "failures",
@@ -172,6 +217,7 @@ fn main() {
                 "ext frag",
                 "holes",
                 "search len",
+                "p95 search",
             ])
             .with_title(&format!(
                 "{dist_name}, target load {target:.0}%",
@@ -184,7 +230,8 @@ fn main() {
                 Placement::WorstFit,
                 Placement::TwoEnds { threshold: 256 },
             ] {
-                let o = drive_freelist(policy, &events);
+                let mut probe = LatencyProbe::new();
+                let o = drive_freelist(policy, &events, &mut probe);
                 t.row_owned(vec![
                     policy.label().to_owned(),
                     o.failures.to_string(),
@@ -192,9 +239,11 @@ fn main() {
                     format!("{:.3}", o.ext_frag),
                     o.holes.to_string(),
                     format!("{:.1}", o.mean_search),
+                    probe.search_len().quantile(0.95).to_string(),
                 ]);
             }
-            let o = drive_rice(&events);
+            let mut probe = LatencyProbe::new();
+            let o = drive_rice(&events, &mut probe);
             t.row_owned(vec![
                 "Rice chain".to_owned(),
                 o.failures.to_string(),
@@ -202,6 +251,7 @@ fn main() {
                 "n/a".to_owned(),
                 o.holes.to_string(),
                 format!("{:.1}", o.mean_search),
+                probe.search_len().quantile(0.95).to_string(),
             ]);
             let o = drive_segregated(&events);
             t.row_owned(vec![
@@ -211,6 +261,7 @@ fn main() {
                 "n/a".to_owned(),
                 "-".to_owned(),
                 format!("{:.1}", o.mean_search),
+                "1".to_owned(),
             ]);
             println!("{t}");
         }

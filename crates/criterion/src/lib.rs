@@ -1,0 +1,259 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, exposing exactly the API surface this workspace's benches
+//! use: `Criterion` with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`, `benchmark_group` (+ `bench_with_input` and
+//! `BenchmarkId::from_parameter`), `Bencher::iter`/`iter_with_setup`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is wall-clock (`std::time::Instant`): each benchmark is warmed
+//! up, then run for `sample_size` samples and the median ns/iter is
+//! printed. That is enough to compare two in-tree implementations (the
+//! probe-overhead acceptance bench) without any network dependency; it
+//! does not attempt criterion's statistical machinery.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement configuration plus the entry points benches call.
+#[derive(Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size, self.warm_up, self.measurement);
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+        }
+    }
+}
+
+/// Identifies one benchmark inside a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.bench_function(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.bench_function(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Runs the measured routine and records per-iteration timing.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    /// Median ns per iteration, filled in by `iter`/`iter_with_setup`.
+    median_ns: Option<f64>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warm_up: Duration, measurement: Duration) -> Self {
+        Bencher {
+            sample_size,
+            warm_up,
+            measurement,
+            median_ns: None,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.run_samples(|iters| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            start.elapsed()
+        });
+    }
+
+    pub fn iter_with_setup<S, O, FS, F>(&mut self, mut setup: FS, mut routine: F)
+    where
+        FS: FnMut() -> S,
+        F: FnMut(S) -> O,
+    {
+        self.run_samples(|iters| {
+            let mut timed = Duration::ZERO;
+            for _ in 0..iters {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                timed += start.elapsed();
+            }
+            timed
+        });
+    }
+
+    /// Warm up, pick an iteration count that fills roughly one sample
+    /// slice, then take `sample_size` timed samples and keep the median.
+    fn run_samples<F: FnMut(u64) -> Duration>(&mut self, mut sample: F) {
+        // Warm-up: keep running single iterations until the budget is
+        // spent, and use the observations to size the measured samples.
+        let mut warm_iters: u64 = 0;
+        let mut warm_spent = Duration::ZERO;
+        while warm_spent < self.warm_up {
+            warm_spent += sample(1);
+            warm_iters += 1;
+        }
+        let est_per_iter = warm_spent.as_secs_f64() / warm_iters.max(1) as f64;
+        let slice = self.measurement.as_secs_f64() / self.sample_size as f64;
+        let iters_per_sample = ((slice / est_per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let mut per_iter_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let elapsed = sample(iters_per_sample);
+            per_iter_ns.push(elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.median_ns = Some(per_iter_ns[per_iter_ns.len() / 2]);
+    }
+
+    fn report(&self, name: &str) {
+        match self.median_ns {
+            Some(ns) => println!("  {name}: median {ns:.1} ns/iter"),
+            None => println!("  {name}: no measurement taken"),
+        }
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets with a
+/// shared `Criterion` configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| black_box(1u64 + 1)));
+    }
+
+    #[test]
+    fn groups_and_inputs_compose() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter(4u64), &4u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_function("setup", |b| b.iter_with_setup(|| vec![1u8; 8], |v| v.len()));
+        g.finish();
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::{BTreeSet, HashMap};
 
 use dsa_core::error::AllocError;
 use dsa_core::ids::{PhysAddr, Words};
+use dsa_probe::{EventKind, Probe, Stamp};
 
 /// Statistics for the buddy allocator.
 #[derive(Clone, Copy, Debug, Default)]
@@ -157,6 +158,35 @@ impl BuddyAllocator {
         Ok(PhysAddr(addr))
     }
 
+    /// [`BuddyAllocator::alloc`] with event emission: a successful
+    /// allocation emits `Alloc { words, searched }`. The buddy system
+    /// has no free-list walk, so `searched` counts block splits
+    /// performed — the work this request cost the allocator.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyAllocator::alloc`]; no event is emitted on failure.
+    pub fn alloc_probed<P: Probe + ?Sized>(
+        &mut self,
+        id: u64,
+        size: Words,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<PhysAddr, AllocError> {
+        let before = self.stats.splits;
+        let r = self.alloc(id, size);
+        if r.is_ok() {
+            probe.emit(
+                EventKind::Alloc {
+                    words: size,
+                    searched: self.stats.splits - before,
+                },
+                at,
+            );
+        }
+        r
+    }
+
     /// Frees `id`, merging buddies as far as possible.
     ///
     /// # Errors
@@ -177,6 +207,32 @@ impl BuddyAllocator {
         }
         self.free[order as usize].insert(addr);
         Ok(())
+    }
+
+    /// [`BuddyAllocator::free`] with event emission: a successful
+    /// release emits `Free { words }` carrying the requested (net) size,
+    /// balancing the matching `Alloc`.
+    ///
+    /// # Errors
+    ///
+    /// As [`BuddyAllocator::free`]; no event is emitted on failure.
+    pub fn free_probed<P: Probe + ?Sized>(
+        &mut self,
+        id: u64,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<(), AllocError> {
+        let net = self.allocated.get(&id).map(|&(_, _, size)| size);
+        let r = self.free(id);
+        if r.is_ok() {
+            probe.emit(
+                EventKind::Free {
+                    words: net.unwrap_or(0),
+                },
+                at,
+            );
+        }
+        r
     }
 
     /// Verifies internal invariants.

@@ -19,6 +19,7 @@
 //! (§Storage Addressing).
 
 use dsa_core::ids::{PhysAddr, Words};
+use dsa_probe::{EventKind, Probe, Stamp};
 
 use crate::freelist::FreeListAllocator;
 
@@ -67,6 +68,26 @@ pub fn compact(
         largest_free_after: a.largest_free(),
         holes_before,
     }
+}
+
+/// [`compact`] with event emission: `CompactionStart` before the pass,
+/// `CompactionDone { moved_words }` after, bracketing the packing
+/// channel's burst of data movement.
+pub fn compact_probed<P: Probe + ?Sized>(
+    a: &mut FreeListAllocator,
+    on_move: impl FnMut(u64, PhysAddr, PhysAddr, Words),
+    at: Stamp,
+    probe: &mut P,
+) -> CompactionReport {
+    probe.emit(EventKind::CompactionStart, at);
+    let report = compact(a, on_move);
+    probe.emit(
+        EventKind::CompactionDone {
+            moved_words: report.words_moved,
+        },
+        at,
+    );
+    report
 }
 
 #[cfg(test)]

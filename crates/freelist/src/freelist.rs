@@ -4,6 +4,7 @@ use std::collections::{BTreeMap, HashMap};
 
 use dsa_core::error::AllocError;
 use dsa_core::ids::{PhysAddr, Words};
+use dsa_probe::{EventKind, Probe, Stamp};
 
 /// A placement strategy for variable-unit allocation.
 ///
@@ -240,6 +241,36 @@ impl FreeListAllocator {
         Ok(PhysAddr(addr))
     }
 
+    /// [`FreeListAllocator::alloc`] with event emission: a successful
+    /// allocation emits `Alloc { words, searched }`, where `searched` is
+    /// the number of holes the placement strategy inspected for this
+    /// request — the per-request view of the search-length concern in
+    /// §Placement Strategies.
+    ///
+    /// # Errors
+    ///
+    /// As [`FreeListAllocator::alloc`]; no event is emitted on failure.
+    pub fn alloc_probed<P: Probe + ?Sized>(
+        &mut self,
+        id: u64,
+        size: Words,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<PhysAddr, AllocError> {
+        let before = self.stats.probes;
+        let r = self.alloc(id, size);
+        if r.is_ok() {
+            probe.emit(
+                EventKind::Alloc {
+                    words: size,
+                    searched: self.stats.probes - before,
+                },
+                at,
+            );
+        }
+        r
+    }
+
     /// Frees the allocation `id`, coalescing with free neighbours.
     ///
     /// # Errors
@@ -250,6 +281,31 @@ impl FreeListAllocator {
         self.stats.frees += 1;
         self.insert_free(addr, size);
         Ok(())
+    }
+
+    /// [`FreeListAllocator::free`] with event emission: a successful
+    /// release emits `Free { words }`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FreeListAllocator::free`]; no event is emitted on failure.
+    pub fn free_probed<P: Probe + ?Sized>(
+        &mut self,
+        id: u64,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<(), AllocError> {
+        let size = self.allocated.get(&id).map(|&(_, s)| s);
+        let r = self.free(id);
+        if r.is_ok() {
+            probe.emit(
+                EventKind::Free {
+                    words: size.unwrap_or(0),
+                },
+                at,
+            );
+        }
+        r
     }
 
     /// Inserts a free hole, merging with adjacent holes.
@@ -595,5 +651,38 @@ mod tests {
         let list = a.allocations_by_address();
         assert_eq!(list, vec![(7, 0, 25)]);
         assert!((a.utilization() - 0.25).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use dsa_probe::CountingProbe;
+
+    #[test]
+    fn alloc_and_free_emit_balanced_events() {
+        let mut a = FreeListAllocator::new(200, Placement::BestFit);
+        let mut probe = CountingProbe::new();
+        let at = Stamp::vtime(0);
+        a.alloc_probed(1, 40, at, &mut probe).unwrap();
+        a.alloc_probed(2, 60, at, &mut probe).unwrap();
+        a.free_probed(1, at, &mut probe).unwrap();
+        // A third allocation must now search past hole [0,40).
+        a.alloc_probed(3, 50, at, &mut probe).unwrap();
+        assert_eq!(probe.allocs, 3);
+        assert_eq!(probe.alloc_words, 150);
+        assert_eq!(probe.frees, 1);
+        assert_eq!(probe.freed_words, 40);
+        assert!(probe.alloc_searched >= 3, "searches were counted");
+    }
+
+    #[test]
+    fn failed_requests_emit_nothing() {
+        let mut a = FreeListAllocator::new(10, Placement::FirstFit);
+        let mut probe = CountingProbe::new();
+        let at = Stamp::vtime(0);
+        assert!(a.alloc_probed(1, 99, at, &mut probe).is_err());
+        assert!(a.free_probed(9, at, &mut probe).is_err());
+        assert_eq!(probe.total_events(), 0);
     }
 }

@@ -25,6 +25,7 @@ use std::collections::HashMap;
 
 use dsa_core::error::AllocError;
 use dsa_core::ids::{PhysAddr, Words};
+use dsa_probe::{EventKind, Probe, Stamp};
 
 /// Words of overhead per active block (the back-reference word).
 pub const BACK_REF_WORDS: Words = 1;
@@ -175,6 +176,36 @@ impl RiceAllocator {
         })
     }
 
+    /// [`RiceAllocator::alloc`] with event emission: a successful
+    /// allocation emits `Alloc { words, searched }`, where `searched`
+    /// counts inactive-chain blocks inspected (across the combine-retry
+    /// too, if one was needed).
+    ///
+    /// # Errors
+    ///
+    /// As [`RiceAllocator::alloc`]; no event is emitted on failure.
+    pub fn alloc_probed<P: Probe + ?Sized>(
+        &mut self,
+        id: u64,
+        size: Words,
+        owner: u64,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<PhysAddr, AllocError> {
+        let before = self.stats.probes;
+        let r = self.alloc(id, size, owner);
+        if r.is_ok() {
+            probe.emit(
+                EventKind::Alloc {
+                    words: size,
+                    searched: self.stats.probes - before,
+                },
+                at,
+            );
+        }
+        r
+    }
+
     /// One placement attempt: chain first, then frontier.
     fn try_place(&mut self, gross: Words) -> Option<u64> {
         for i in 0..self.chain.len() {
@@ -210,6 +241,35 @@ impl RiceAllocator {
         self.chain.insert(0, (addr, gross));
         self.stats.frees += 1;
         Ok(())
+    }
+
+    /// [`RiceAllocator::free`] with event emission: a successful release
+    /// emits `Free { words }` carrying the net (requested) size, so a
+    /// space accountant sees Alloc and Free balance.
+    ///
+    /// # Errors
+    ///
+    /// As [`RiceAllocator::free`]; no event is emitted on failure.
+    pub fn free_probed<P: Probe + ?Sized>(
+        &mut self,
+        id: u64,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<(), AllocError> {
+        let net = self
+            .active
+            .get(&id)
+            .map(|&(_, gross, _)| gross - BACK_REF_WORDS);
+        let r = self.free(id);
+        if r.is_ok() {
+            probe.emit(
+                EventKind::Free {
+                    words: net.unwrap_or(0),
+                },
+                at,
+            );
+        }
+        r
     }
 
     /// Combines groups of adjacent inactive blocks and retracts the

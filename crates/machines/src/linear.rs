@@ -20,6 +20,7 @@ use dsa_mapping::associative::FrameAssociativeMap;
 use dsa_mapping::block_map::BlockMap;
 use dsa_mapping::{AddressMap, Translation};
 use dsa_paging::paged::{PagedMemory, TouchOutcome};
+use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 
 use crate::report::{Machine, MachineReport};
 
@@ -99,7 +100,8 @@ impl LinearPagedMachine {
             page_size,
             name_extent,
             device,
-            memory,
+            // Traced transfers must carry the machine's page size.
+            memory: memory.with_words_per_page(page_size),
             page_fetch,
             accepts_advice,
             layout: HashMap::new(),
@@ -115,26 +117,53 @@ impl LinearPagedMachine {
         (first..=last).map(PageNo)
     }
 
-    fn service_fault(
+    fn service_fault<P: Probe + ?Sized>(
         &mut self,
         page: PageNo,
         write: bool,
         report: &mut MachineReport,
+        clock: &mut Cycles,
+        probe: &mut P,
     ) -> Result<(), CoreError> {
-        let outcome = self.memory.touch(page, write, self.now)?;
+        // The engine emits `Fault` and per-victim `Evict`; the machine
+        // owns the transfer events, because only it knows the channel
+        // timing.
+        let outcome = self
+            .memory
+            .touch_probed(page, write, Stamp::at(*clock, self.now), probe)?;
         match outcome {
             TouchOutcome::Fault { frame, evicted } => {
+                probe.emit(
+                    EventKind::FetchStart {
+                        words: self.page_size,
+                    },
+                    Stamp::at(*clock, self.now),
+                );
                 if let Some(e) = evicted {
                     self.device.unload(e.page, e.frame);
                     if e.dirty {
                         report.writeback_words += self.page_size;
                         report.fetch_time += self.page_fetch;
+                        probe.emit(
+                            EventKind::Writeback {
+                                words: self.page_size,
+                            },
+                            Stamp::at(*clock, self.now),
+                        );
+                        *clock += self.page_fetch;
                     }
                 }
                 self.device.load(page, frame, self.page_size);
                 report.faults += 1;
                 report.fetched_words += self.page_size;
                 report.fetch_time += self.page_fetch;
+                *clock += self.page_fetch;
+                probe.emit(
+                    EventKind::FetchDone {
+                        words: self.page_size,
+                    },
+                    Stamp::at(*clock, self.now),
+                );
             }
             TouchOutcome::Hit { .. } => {
                 // Raced with a prefetch; nothing more to do.
@@ -142,18 +171,19 @@ impl LinearPagedMachine {
         }
         Ok(())
     }
-}
 
-impl Machine for LinearPagedMachine {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn characteristics(&self) -> SystemCharacteristics {
-        self.chars.clone()
-    }
-
-    fn run(&mut self, ops: &[ProgramOp]) -> Result<MachineReport, CoreError> {
+    /// [`Machine::run`] generically over any probe; `run` and
+    /// `run_probed` both land here.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_with<P: Probe + ?Sized>(
+        &mut self,
+        ops: &[ProgramOp],
+        probe: &mut P,
+    ) -> Result<MachineReport, CoreError> {
+        let mut clock = Cycles::ZERO;
         let mut report = MachineReport {
             machine: self.name.to_owned(),
             ..MachineReport::default()
@@ -168,6 +198,13 @@ impl Machine for LinearPagedMachine {
                     }
                     self.layout.insert(seg, (self.bump, size));
                     self.bump += size;
+                    probe.emit(
+                        EventKind::Alloc {
+                            words: size,
+                            searched: 0,
+                        },
+                        Stamp::at(clock, self.now),
+                    );
                 }
                 ProgramOp::Resize { seg, size } => {
                     // A linear space cannot grow in place: a grown
@@ -190,7 +227,9 @@ impl Machine for LinearPagedMachine {
                     // Names are not reclaimed (no dynamic name
                     // reallocation on these systems); the pages simply
                     // stop being referenced.
-                    self.layout.remove(&seg);
+                    if let Some((_, size)) = self.layout.remove(&seg) {
+                        probe.emit(EventKind::Free { words: size }, Stamp::at(clock, self.now));
+                    }
                 }
                 ProgramOp::Touch { seg, offset, kind } => {
                     let Some(&(base, size)) = self.layout.get(&seg) else {
@@ -198,6 +237,12 @@ impl Machine for LinearPagedMachine {
                     };
                     report.touches += 1;
                     self.now += 1;
+                    probe.emit(
+                        EventKind::Touch {
+                            write: kind.is_write(),
+                        },
+                        Stamp::at(clock, self.now),
+                    );
                     let name = base + offset;
                     if offset >= size && name < self.name_extent {
                         // An illegal subscript that lands on valid names:
@@ -206,18 +251,37 @@ impl Machine for LinearPagedMachine {
                     }
                     let t = self.device.translate(name);
                     report.map_time += t.cost;
+                    clock += t.cost;
+                    probe.emit(
+                        EventKind::MapLookup {
+                            hit: t.outcome.is_ok(),
+                        },
+                        Stamp::at(clock, self.now),
+                    );
                     match t.outcome {
                         Ok(_) => {
                             // Keep the paging engine's recency state in
                             // step with the hardware hit.
                             let page = PageNo(name / self.page_size);
-                            self.memory.touch(page, kind.is_write(), self.now)?;
+                            self.memory.touch_probed(
+                                page,
+                                kind.is_write(),
+                                Stamp::at(clock, self.now),
+                                probe,
+                            )?;
                         }
                         Err(AccessFault::MissingPage { page }) => {
-                            self.service_fault(page, kind.is_write(), &mut report)?;
+                            self.service_fault(
+                                page,
+                                kind.is_write(),
+                                &mut report,
+                                &mut clock,
+                                probe,
+                            )?;
                         }
                         Err(AccessFault::InvalidName { .. }) => {
                             report.bounds_caught += 1;
+                            probe.emit(EventKind::BoundsTrap, Stamp::at(clock, self.now));
                         }
                         Err(f) => return Err(f.into()),
                     }
@@ -237,6 +301,7 @@ impl Machine for LinearPagedMachine {
                     };
                     for p in advised {
                         report.advice_ops += 1;
+                        probe.emit(EventKind::Advice, Stamp::at(clock, self.now));
                         let lowered = match advice {
                             Advice::WillNeed(_) => Advice::WillNeed(AdviceUnit::Page(p)),
                             Advice::WontNeed(_) => Advice::WontNeed(AdviceUnit::Page(p)),
@@ -244,7 +309,9 @@ impl Machine for LinearPagedMachine {
                             Advice::Unpin(_) => Advice::Unpin(AdviceUnit::Page(p)),
                             Advice::Release(_) => Advice::Release(AdviceUnit::Page(p)),
                         };
-                        let outcome = self.memory.advise(lowered, self.now);
+                        let outcome =
+                            self.memory
+                                .advise_probed(lowered, Stamp::at(clock, self.now), probe);
                         // Mirror what actually happened into the mapping
                         // device.
                         if let Some(e) = outcome.evicted {
@@ -252,12 +319,32 @@ impl Machine for LinearPagedMachine {
                             if e.dirty {
                                 report.writeback_words += self.page_size;
                                 report.fetch_time += self.page_fetch;
+                                probe.emit(
+                                    EventKind::Writeback {
+                                        words: self.page_size,
+                                    },
+                                    Stamp::at(clock, self.now),
+                                );
+                                clock += self.page_fetch;
                             }
                         }
                         if let Some((page, frame)) = outcome.loaded {
                             self.device.load(page, frame, self.page_size);
                             report.fetched_words += self.page_size;
                             report.fetch_time += self.page_fetch;
+                            probe.emit(
+                                EventKind::FetchStart {
+                                    words: self.page_size,
+                                },
+                                Stamp::at(clock, self.now),
+                            );
+                            clock += self.page_fetch;
+                            probe.emit(
+                                EventKind::FetchDone {
+                                    words: self.page_size,
+                                },
+                                Stamp::at(clock, self.now),
+                            );
                         }
                     }
                 }
@@ -267,6 +354,28 @@ impl Machine for LinearPagedMachine {
         report.prefetches = self.memory.stats().prefetches;
         report.useful_prefetches = self.memory.stats().useful_prefetches;
         Ok(report)
+    }
+}
+
+impl Machine for LinearPagedMachine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn characteristics(&self) -> SystemCharacteristics {
+        self.chars.clone()
+    }
+
+    fn run(&mut self, ops: &[ProgramOp]) -> Result<MachineReport, CoreError> {
+        self.run_with(ops, &mut NullProbe)
+    }
+
+    fn run_probed(
+        &mut self,
+        ops: &[ProgramOp],
+        probe: &mut dyn Probe,
+    ) -> Result<MachineReport, CoreError> {
+        self.run_with(ops, probe)
     }
 }
 

@@ -25,6 +25,7 @@ use dsa_core::ids::{PageNo, SegId, Words};
 use dsa_core::taxonomy::SystemCharacteristics;
 use dsa_mapping::two_level::TwoLevelMap;
 use dsa_paging::paged::{PagedMemory, TouchOutcome};
+use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 
 use crate::report::{Machine, MachineReport};
 
@@ -87,7 +88,8 @@ impl PagedSegmentedMachine {
             name,
             chars,
             map,
-            memory,
+            // Traced transfers must carry the machine's page size.
+            memory: memory.with_words_per_page(page_size),
             page_size,
             page_fetch,
             seg_use,
@@ -112,15 +114,29 @@ impl PagedSegmentedMachine {
         }
     }
 
-    fn service_fault(
+    fn service_fault<P: Probe + ?Sized>(
         &mut self,
         page: PageNo,
         write: bool,
         report: &mut MachineReport,
+        clock: &mut Cycles,
+        probe: &mut P,
     ) -> Result<(), CoreError> {
         let (mseg, index) = TwoLevelMap::decode_page(page);
-        match self.memory.touch(page, write, self.now)? {
+        // The engine emits `Fault` and per-victim `Evict`; the machine
+        // owns the transfer events, because only it knows the channel
+        // timing.
+        match self
+            .memory
+            .touch_probed(page, write, Stamp::at(*clock, self.now), probe)?
+        {
             TouchOutcome::Fault { frame, evicted } => {
+                probe.emit(
+                    EventKind::FetchStart {
+                        words: self.page_size,
+                    },
+                    Stamp::at(*clock, self.now),
+                );
                 if let Some(e) = evicted {
                     let (eseg, eindex) = TwoLevelMap::decode_page(e.page);
                     // The evicted page's segment may have been deleted.
@@ -128,6 +144,13 @@ impl PagedSegmentedMachine {
                     if e.dirty {
                         report.writeback_words += self.page_size;
                         report.fetch_time += self.page_fetch;
+                        probe.emit(
+                            EventKind::Writeback {
+                                words: self.page_size,
+                            },
+                            Stamp::at(*clock, self.now),
+                        );
+                        *clock += self.page_fetch;
                     }
                 }
                 self.map
@@ -136,6 +159,13 @@ impl PagedSegmentedMachine {
                 report.faults += 1;
                 report.fetched_words += self.page_size;
                 report.fetch_time += self.page_fetch;
+                *clock += self.page_fetch;
+                probe.emit(
+                    EventKind::FetchDone {
+                        words: self.page_size,
+                    },
+                    Stamp::at(*clock, self.now),
+                );
             }
             TouchOutcome::Hit { .. } => {}
         }
@@ -143,30 +173,34 @@ impl PagedSegmentedMachine {
     }
 
     /// Evicts every resident page of machine segment `mseg` from the
-    /// paging engine (used on delete/release).
-    fn drop_segment_pages(&mut self, mseg: SegId, limit: Words) {
+    /// paging engine (used on delete/release), tracing each `Evict`.
+    fn drop_segment_pages<P: Probe + ?Sized>(&mut self, mseg: SegId, limit: Words, probe: &mut P) {
         let pages = limit.div_ceil(self.page_size);
         for index in 0..pages {
             let global = self.map.global_page(mseg, index);
             if self.memory.frame_of(global).is_some() {
-                self.memory
-                    .advise(Advice::Release(AdviceUnit::Page(global)), self.now);
+                self.memory.advise_probed(
+                    Advice::Release(AdviceUnit::Page(global)),
+                    Stamp::vtime(self.now),
+                    probe,
+                );
             }
             let _ = self.map.unmap_page(mseg, index);
         }
     }
-}
 
-impl Machine for PagedSegmentedMachine {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn characteristics(&self) -> SystemCharacteristics {
-        self.chars.clone()
-    }
-
-    fn run(&mut self, ops: &[ProgramOp]) -> Result<MachineReport, CoreError> {
+    /// [`Machine::run`] generically over any probe; `run` and
+    /// `run_probed` both land here.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_with<P: Probe + ?Sized>(
+        &mut self,
+        ops: &[ProgramOp],
+        probe: &mut P,
+    ) -> Result<MachineReport, CoreError> {
+        let mut clock = Cycles::ZERO;
         let mut report = MachineReport {
             machine: self.name.to_owned(),
             ..MachineReport::default()
@@ -177,6 +211,13 @@ impl Machine for PagedSegmentedMachine {
                     SegmentUse::PerObject => {
                         if self.map.create_segment(seg, size).is_ok() {
                             self.packed_layout.insert(seg, (0, size));
+                            probe.emit(
+                                EventKind::Alloc {
+                                    words: size,
+                                    searched: 0,
+                                },
+                                Stamp::at(clock, self.now),
+                            );
                         } else {
                             report.alloc_failures += 1;
                         }
@@ -187,6 +228,13 @@ impl Machine for PagedSegmentedMachine {
                         } else {
                             self.packed_layout.insert(seg, (self.packed_bump, size));
                             self.packed_bump += size;
+                            probe.emit(
+                                EventKind::Alloc {
+                                    words: size,
+                                    searched: 0,
+                                },
+                                Stamp::at(clock, self.now),
+                            );
                         }
                     }
                 },
@@ -213,15 +261,19 @@ impl Machine for PagedSegmentedMachine {
                 ProgramOp::Delete { seg } => match self.seg_use {
                     SegmentUse::PerObject => {
                         if let Some(limit) = self.map.segment_limit(seg) {
-                            self.drop_segment_pages(seg, limit);
+                            self.drop_segment_pages(seg, limit, probe);
                         }
                         self.map.delete_segment(seg);
-                        self.packed_layout.remove(&seg);
+                        if let Some((_, size)) = self.packed_layout.remove(&seg) {
+                            probe.emit(EventKind::Free { words: size }, Stamp::at(clock, self.now));
+                        }
                     }
                     SegmentUse::PackedIntoOne { .. } => {
                         // Packed names are not reclaimed; the pages decay
                         // out of working storage by replacement.
-                        self.packed_layout.remove(&seg);
+                        if let Some((_, size)) = self.packed_layout.remove(&seg) {
+                            probe.emit(EventKind::Free { words: size }, Stamp::at(clock, self.now));
+                        }
                     }
                 },
                 ProgramOp::Touch { seg, offset, kind } => {
@@ -230,9 +282,21 @@ impl Machine for PagedSegmentedMachine {
                     };
                     report.touches += 1;
                     self.now += 1;
+                    probe.emit(
+                        EventKind::Touch {
+                            write: kind.is_write(),
+                        },
+                        Stamp::at(clock, self.now),
+                    );
                     let wild = offset >= user_size;
-                    let t = self.map.translate_pair(mseg, moffset);
+                    let t = self.map.translate_pair_probed(
+                        mseg,
+                        moffset,
+                        Stamp::at(clock, self.now),
+                        probe,
+                    );
                     report.map_time += t.cost;
+                    clock += t.cost;
                     match t.outcome {
                         Ok(_) => {
                             if wild {
@@ -241,16 +305,28 @@ impl Machine for PagedSegmentedMachine {
                                 report.wild_undetected += 1;
                             }
                             let page = self.map.global_page(mseg, moffset / self.page_size);
-                            self.memory.touch(page, kind.is_write(), self.now)?;
+                            self.memory.touch_probed(
+                                page,
+                                kind.is_write(),
+                                Stamp::at(clock, self.now),
+                                probe,
+                            )?;
                         }
                         Err(AccessFault::MissingPage { page }) => {
                             if wild {
                                 report.wild_undetected += 1;
                             }
-                            self.service_fault(page, kind.is_write(), &mut report)?;
+                            self.service_fault(
+                                page,
+                                kind.is_write(),
+                                &mut report,
+                                &mut clock,
+                                probe,
+                            )?;
                         }
                         Err(AccessFault::BoundsViolation { .. }) => {
                             report.bounds_caught += 1;
+                            probe.emit(EventKind::BoundsTrap, Stamp::at(clock, self.now));
                         }
                         Err(AccessFault::UnknownSegment { .. }) => {
                             report.alloc_failures += 1;
@@ -272,6 +348,7 @@ impl Machine for PagedSegmentedMachine {
                     let last = (base + size.max(1) - 1) / self.page_size;
                     for index in (first..=last).take(16) {
                         report.advice_ops += 1;
+                        probe.emit(EventKind::Advice, Stamp::at(clock, self.now));
                         let global = self.map.global_page(mseg, index);
                         let unit = AdviceUnit::Page(global);
                         let lowered = match advice {
@@ -281,19 +358,41 @@ impl Machine for PagedSegmentedMachine {
                             Advice::Unpin(_) => Advice::Unpin(unit),
                             Advice::Release(_) => Advice::Release(unit),
                         };
-                        let outcome = self.memory.advise(lowered, self.now);
+                        let outcome =
+                            self.memory
+                                .advise_probed(lowered, Stamp::at(clock, self.now), probe);
                         if let Some(e) = outcome.evicted {
                             let (eseg, eindex) = TwoLevelMap::decode_page(e.page);
                             let _ = self.map.unmap_page(eseg, eindex);
                             if e.dirty {
                                 report.writeback_words += self.page_size;
                                 report.fetch_time += self.page_fetch;
+                                probe.emit(
+                                    EventKind::Writeback {
+                                        words: self.page_size,
+                                    },
+                                    Stamp::at(clock, self.now),
+                                );
+                                clock += self.page_fetch;
                             }
                         }
                         if let Some((_, frame)) = outcome.loaded {
                             if self.map.map_page(mseg, index, frame).is_ok() {
                                 report.fetched_words += self.page_size;
                                 report.fetch_time += self.page_fetch;
+                                probe.emit(
+                                    EventKind::FetchStart {
+                                        words: self.page_size,
+                                    },
+                                    Stamp::at(clock, self.now),
+                                );
+                                clock += self.page_fetch;
+                                probe.emit(
+                                    EventKind::FetchDone {
+                                        words: self.page_size,
+                                    },
+                                    Stamp::at(clock, self.now),
+                                );
                             }
                         }
                     }
@@ -304,6 +403,28 @@ impl Machine for PagedSegmentedMachine {
         report.prefetches = self.memory.stats().prefetches;
         report.useful_prefetches = self.memory.stats().useful_prefetches;
         Ok(report)
+    }
+}
+
+impl Machine for PagedSegmentedMachine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn characteristics(&self) -> SystemCharacteristics {
+        self.chars.clone()
+    }
+
+    fn run(&mut self, ops: &[ProgramOp]) -> Result<MachineReport, CoreError> {
+        self.run_with(ops, &mut NullProbe)
+    }
+
+    fn run_probed(
+        &mut self,
+        ops: &[ProgramOp],
+        probe: &mut dyn Probe,
+    ) -> Result<MachineReport, CoreError> {
+        self.run_with(ops, probe)
     }
 }
 

@@ -7,6 +7,7 @@ use dsa_core::clock::Cycles;
 use dsa_core::error::CoreError;
 use dsa_core::ids::Words;
 use dsa_core::taxonomy::SystemCharacteristics;
+use dsa_probe::Probe;
 
 /// What running a workload on a machine produced.
 #[derive(Clone, Debug, Default)]
@@ -99,6 +100,22 @@ pub trait Machine {
     /// Returns [`CoreError`] for unrecoverable conditions (a workload
     /// that cannot be expressed on this machine at all).
     fn run(&mut self, ops: &[ProgramOp]) -> Result<MachineReport, CoreError>;
+
+    /// [`Machine::run`] with event emission: every touch, fault,
+    /// transfer, eviction, advisory directive, and bounds trap is
+    /// reported to `probe`, stamped with the machine's own clock and the
+    /// workload's reference time. The returned report and the event
+    /// stream are two views of one execution: the `CountingProbe` totals
+    /// reconcile exactly with the report's fields.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    fn run_probed(
+        &mut self,
+        ops: &[ProgramOp],
+        probe: &mut dyn Probe,
+    ) -> Result<MachineReport, CoreError>;
 }
 
 #[cfg(test)]

@@ -12,11 +12,13 @@ use std::collections::HashMap;
 
 use dsa_core::access::ProgramOp;
 use dsa_core::clock::Cycles;
+use dsa_core::clock::VirtualTime;
 use dsa_core::error::{AccessFault, AllocError, CoreError};
 use dsa_core::ids::{SegId, Words};
 use dsa_core::taxonomy::SystemCharacteristics;
 use dsa_mapping::associative::{AssocMemory, AssocPolicy};
 use dsa_mapping::cost::MapCosts;
+use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 use dsa_seg::store::SegmentStore;
 
 use crate::report::{Machine, MachineReport};
@@ -102,22 +104,32 @@ impl SegmentedMachine {
     }
 
     /// Charges the descriptor-access cost for one touch of `chunk`,
-    /// consulting the descriptor cache if the machine has one.
-    fn charge_descriptor(&mut self, chunk: SegId, report: &mut MachineReport) {
-        match &mut self.descriptor_cache {
+    /// consulting the descriptor cache if the machine has one. Emits one
+    /// `MapLookup`: on a cached machine `hit` means the descriptor was
+    /// in the associative memory; without a cache every PRT reference
+    /// resolves directly and counts as a hit.
+    fn charge_descriptor<P: Probe + ?Sized>(
+        &mut self,
+        chunk: SegId,
+        report: &mut MachineReport,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Cycles {
+        let (cost, hit) = match &mut self.descriptor_cache {
             Some(cache) => {
                 if cache.lookup(u64::from(chunk.0)).is_some() {
-                    report.map_time += self.costs.assoc_search;
+                    (self.costs.assoc_search, true)
                 } else {
-                    report.map_time += self.costs.assoc_search + self.costs.table_ref;
                     cache.insert(u64::from(chunk.0), 0);
+                    (self.costs.assoc_search + self.costs.table_ref, false)
                 }
             }
-            None => {
-                // A PRT reference in core.
-                report.map_time += self.costs.table_ref;
-            }
-        }
+            // A PRT reference in core.
+            None => (self.costs.table_ref, true),
+        };
+        report.map_time += cost;
+        probe.emit(EventKind::MapLookup { hit }, at);
+        cost
     }
 
     fn define_user_segment(
@@ -145,25 +157,30 @@ impl SegmentedMachine {
         Ok(())
     }
 
-    fn delete_user_segment(&mut self, seg: SegId) {
-        if let Some((chunks, _)) = self.split_map.remove(&seg) {
+    fn delete_user_segment(&mut self, seg: SegId) -> Words {
+        if let Some((chunks, size)) = self.split_map.remove(&seg) {
             for c in chunks {
                 let _ = self.store.delete(c);
             }
+            size
+        } else {
+            0
         }
     }
-}
 
-impl Machine for SegmentedMachine {
-    fn name(&self) -> &'static str {
-        self.name
-    }
-
-    fn characteristics(&self) -> SystemCharacteristics {
-        self.chars.clone()
-    }
-
-    fn run(&mut self, ops: &[ProgramOp]) -> Result<MachineReport, CoreError> {
+    /// [`Machine::run`] generically over any probe; `run` and
+    /// `run_probed` both land here.
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run`].
+    pub fn run_with<P: Probe + ?Sized>(
+        &mut self,
+        ops: &[ProgramOp],
+        probe: &mut P,
+    ) -> Result<MachineReport, CoreError> {
+        let mut clock = Cycles::ZERO;
+        let mut now: VirtualTime = 0;
         let mut report = MachineReport {
             machine: self.name.to_owned(),
             ..MachineReport::default()
@@ -172,6 +189,13 @@ impl Machine for SegmentedMachine {
             match *op {
                 ProgramOp::Define { seg, size } => {
                     self.define_user_segment(seg, size, &mut report)?;
+                    probe.emit(
+                        EventKind::Alloc {
+                            words: size,
+                            searched: 0,
+                        },
+                        Stamp::at(clock, now),
+                    );
                 }
                 ProgramOp::Resize { seg, size } => {
                     // Dynamic segments: re-declare at the new size.
@@ -179,18 +203,29 @@ impl Machine for SegmentedMachine {
                     self.define_user_segment(seg, size, &mut report)?;
                 }
                 ProgramOp::Delete { seg } => {
-                    self.delete_user_segment(seg);
+                    let freed = self.delete_user_segment(seg);
+                    if freed > 0 {
+                        probe.emit(EventKind::Free { words: freed }, Stamp::at(clock, now));
+                    }
                 }
                 ProgramOp::Touch { seg, offset, kind } => {
                     let Some((chunks, user_size)) = self.split_map.get(&seg) else {
                         continue;
                     };
                     report.touches += 1;
+                    now += 1;
+                    probe.emit(
+                        EventKind::Touch {
+                            write: kind.is_write(),
+                        },
+                        Stamp::at(clock, now),
+                    );
                     // The illegal-subscript interception the paper lists
                     // as segmentation advantage (iii): the *user's*
                     // declared bound is enforced by the chunk bounds.
                     if offset >= *user_size {
                         report.bounds_caught += 1;
+                        probe.emit(EventKind::BoundsTrap, Stamp::at(clock, now));
                         continue;
                     }
                     let chunk_idx = (offset / self.split_at) as usize;
@@ -201,21 +236,50 @@ impl Machine for SegmentedMachine {
                         report.alloc_failures += 1;
                         continue;
                     };
-                    self.charge_descriptor(chunk, &mut report);
-                    match self.store.touch(chunk, within, kind.is_write()) {
+                    let cost =
+                        self.charge_descriptor(chunk, &mut report, Stamp::at(clock, now), probe);
+                    clock += cost;
+                    match self.store.touch_probed(
+                        chunk,
+                        within,
+                        kind.is_write(),
+                        Stamp::at(clock, now),
+                        probe,
+                    ) {
                         Ok(r) => {
                             if r.fetched {
+                                probe.emit(
+                                    EventKind::FetchStart {
+                                        words: r.fetched_words,
+                                    },
+                                    Stamp::at(clock, now),
+                                );
+                                if r.writeback_words > 0 {
+                                    report.writeback_words += r.writeback_words;
+                                    report.fetch_time += self.transfer_time(r.writeback_words);
+                                    probe.emit(
+                                        EventKind::Writeback {
+                                            words: r.writeback_words,
+                                        },
+                                        Stamp::at(clock, now),
+                                    );
+                                    clock += self.transfer_time(r.writeback_words);
+                                }
                                 report.faults += 1;
                                 report.fetched_words += r.fetched_words;
                                 report.fetch_time += self.transfer_time(r.fetched_words);
-                            }
-                            if r.writeback_words > 0 {
-                                report.writeback_words += r.writeback_words;
-                                report.fetch_time += self.transfer_time(r.writeback_words);
+                                clock += self.transfer_time(r.fetched_words);
+                                probe.emit(
+                                    EventKind::FetchDone {
+                                        words: r.fetched_words,
+                                    },
+                                    Stamp::at(clock, now),
+                                );
                             }
                         }
                         Err(CoreError::Access(AccessFault::BoundsViolation { .. })) => {
                             report.bounds_caught += 1;
+                            probe.emit(EventKind::BoundsTrap, Stamp::at(clock, now));
                         }
                         Err(CoreError::Alloc(AllocError::OutOfStorage { .. })) => {
                             report.alloc_failures += 1;
@@ -237,6 +301,7 @@ impl Machine for SegmentedMachine {
                     };
                     for &chunk in chunks.clone().iter() {
                         report.advice_ops += 1;
+                        probe.emit(EventKind::Advice, Stamp::at(clock, now));
                         let unit = dsa_core::advice::AdviceUnit::Segment(chunk);
                         use dsa_core::advice::Advice as A;
                         let lowered = match advice {
@@ -246,12 +311,35 @@ impl Machine for SegmentedMachine {
                             A::Unpin(_) => A::Unpin(unit),
                             A::Release(_) => A::Release(unit),
                         };
-                        let before = self.store.stats().fetched_words;
-                        self.store.advise(lowered);
-                        let brought = self.store.stats().fetched_words - before;
+                        let before_fetched = self.store.stats().fetched_words;
+                        let before_writeback = self.store.stats().writeback_words;
+                        self.store
+                            .advise_probed(lowered, Stamp::at(clock, now), probe);
+                        // Evictions forced by a will-need fetch (and any
+                        // release write-back) must be charged like the
+                        // demand-path ones.
+                        let wrote = self.store.stats().writeback_words - before_writeback;
+                        if wrote > 0 {
+                            report.writeback_words += wrote;
+                            report.fetch_time += self.transfer_time(wrote);
+                            probe
+                                .emit(EventKind::Writeback { words: wrote }, Stamp::at(clock, now));
+                            clock += self.transfer_time(wrote);
+                        }
+                        let brought = self.store.stats().fetched_words - before_fetched;
                         if brought > 0 {
+                            report.prefetches += 1;
                             report.fetched_words += brought;
                             report.fetch_time += self.transfer_time(brought);
+                            probe.emit(
+                                EventKind::FetchStart { words: brought },
+                                Stamp::at(clock, now),
+                            );
+                            clock += self.transfer_time(brought);
+                            probe.emit(
+                                EventKind::FetchDone { words: brought },
+                                Stamp::at(clock, now),
+                            );
                         }
                     }
                 }
@@ -259,5 +347,27 @@ impl Machine for SegmentedMachine {
             }
         }
         Ok(report)
+    }
+}
+
+impl Machine for SegmentedMachine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn characteristics(&self) -> SystemCharacteristics {
+        self.chars.clone()
+    }
+
+    fn run(&mut self, ops: &[ProgramOp]) -> Result<MachineReport, CoreError> {
+        self.run_with(ops, &mut NullProbe)
+    }
+
+    fn run_probed(
+        &mut self,
+        ops: &[ProgramOp],
+        probe: &mut dyn Probe,
+    ) -> Result<MachineReport, CoreError> {
+        self.run_with(ops, probe)
     }
 }

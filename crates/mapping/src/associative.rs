@@ -368,4 +368,19 @@ mod tests {
         m.load(FrameNo(3), PageNo(2));
         assert_eq!(m.translate(Name(16)).unwrap_addr(), PhysAddr(24));
     }
+
+    #[test]
+    fn probed_translation_traces_hits_and_misses() {
+        use dsa_probe::{CountingProbe, Stamp};
+        let mut m = atlas_map();
+        let mut probe = CountingProbe::new();
+        m.load(FrameNo(2), PageNo(5));
+        let t = m.translate_probed(Name(43), Stamp::vtime(0), &mut probe);
+        assert!(t.outcome.is_ok());
+        m.translate_probed(Name(0), Stamp::vtime(1), &mut probe); // missing page
+        m.translate_probed(Name(64), Stamp::vtime(2), &mut probe); // invalid name
+        assert_eq!(probe.map_lookups, 3);
+        assert_eq!(probe.map_hits, 1);
+        assert_eq!(probe.map_misses, 2);
+    }
 }

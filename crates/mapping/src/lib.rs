@@ -34,6 +34,7 @@ pub mod two_level;
 use dsa_core::clock::Cycles;
 use dsa_core::error::AccessFault;
 use dsa_core::ids::{Name, PhysAddr};
+use dsa_probe::{EventKind, Probe, Stamp};
 
 pub use associative::{AssocMemory, AssocPolicy, FrameAssociativeMap};
 pub use block_map::BlockMap;
@@ -86,6 +87,29 @@ pub trait AddressMap {
     /// Translates `name` to an absolute address, charging the mapping
     /// cost.
     fn translate(&mut self, name: Name) -> Translation;
+
+    /// [`AddressMap::translate`] with event emission: one `MapLookup`
+    /// per lookup, `hit` iff the translation resolved to an address
+    /// (a missing page or an invalid name is a miss — the deflection
+    /// the paper's trapping hardware exists to catch).
+    fn translate_probed<P: Probe + ?Sized>(
+        &mut self,
+        name: Name,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Translation
+    where
+        Self: Sized,
+    {
+        let t = self.translate(name);
+        probe.emit(
+            EventKind::MapLookup {
+                hit: t.outcome.is_ok(),
+            },
+            at,
+        );
+        t
+    }
 
     /// Cumulative statistics for the device.
     fn stats(&self) -> &MapStats;

@@ -17,6 +17,7 @@
 use dsa_core::clock::Cycles;
 use dsa_core::error::AccessFault;
 use dsa_core::ids::{FrameNo, Name, PageNo, PhysAddr, SegId, Words};
+use dsa_probe::{EventKind, Probe, Stamp};
 
 use crate::associative::{AssocMemory, AssocPolicy};
 use crate::cost::{MapCosts, MapStats};
@@ -308,6 +309,27 @@ impl TwoLevelMap {
         }
     }
 
+    /// [`TwoLevelMap::translate_pair`] with event emission: one
+    /// `MapLookup` per lookup, `hit` iff the pair resolved to an
+    /// address (bounds violations, unknown segments and missing pages
+    /// are misses — the traps the mapping hardware exists to spring).
+    pub fn translate_pair_probed<P: Probe + ?Sized>(
+        &mut self,
+        seg: SegId,
+        offset: Words,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Translation {
+        let t = self.translate_pair(seg, offset);
+        probe.emit(
+            EventKind::MapLookup {
+                hit: t.outcome.is_ok(),
+            },
+            at,
+        );
+        t
+    }
+
     /// Hit ratio of the associative memory so far.
     #[must_use]
     pub fn tlb_hit_ratio(&self) -> f64 {
@@ -593,5 +615,29 @@ mod edge_tests {
             Err(AccessFault::BoundsViolation { limit: 0, .. })
         ));
         assert_eq!(m.pages_for(0), 0);
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use dsa_probe::{CountingProbe, Stamp};
+
+    #[test]
+    fn probed_pair_translation_traces_hits_and_misses() {
+        let costs = MapCosts::for_core_cycle(Cycles::from_micros(1));
+        let mut m = TwoLevelMap::new(4, 64, 4, 8, AssocPolicy::Lru, costs);
+        m.create_segment(SegId(0), 64).expect("fits");
+        m.map_page(SegId(0), 0, FrameNo(3)).expect("page");
+        let mut probe = CountingProbe::new();
+        let ok = m.translate_pair_probed(SegId(0), 5, Stamp::vtime(0), &mut probe);
+        assert!(ok.outcome.is_ok());
+        // Missing page, unknown segment, bounds violation: all misses.
+        m.translate_pair_probed(SegId(0), 17, Stamp::vtime(1), &mut probe);
+        m.translate_pair_probed(SegId(3), 0, Stamp::vtime(2), &mut probe);
+        m.translate_pair_probed(SegId(0), 900, Stamp::vtime(3), &mut probe);
+        assert_eq!(probe.map_lookups, 4);
+        assert_eq!(probe.map_hits, 1);
+        assert_eq!(probe.map_misses, 3);
     }
 }

@@ -20,7 +20,8 @@ use dsa_core::access::{Access, AccessKind};
 use dsa_core::advice::{Advice, AdviceUnit};
 use dsa_core::clock::VirtualTime;
 use dsa_core::error::{AllocError, CoreError};
-use dsa_core::ids::{FrameNo, PageNo};
+use dsa_core::ids::{FrameNo, PageNo, Words};
+use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 
 use crate::replacement::Replacer;
 use crate::sensors::Sensors;
@@ -115,6 +116,9 @@ pub struct PagedMemory {
     /// One-block lookahead: on a demand fault for page *p*, page *p+1*
     /// is prefetched as well.
     lookahead: bool,
+    /// Words a page stands for in probe events (machine adapters set
+    /// this to their page size so traced transfer sizes are real).
+    words_per_page: Words,
     stats: PagingStats,
 }
 
@@ -137,8 +141,16 @@ impl PagedMemory {
             prefetched: HashSet::new(),
             reserve_vacant: false,
             lookahead: false,
+            words_per_page: 1,
             stats: PagingStats::default(),
         }
+    }
+
+    /// Sets how many words a page stands for in traced events.
+    #[must_use]
+    pub fn with_words_per_page(mut self, words: Words) -> PagedMemory {
+        self.words_per_page = words.max(1);
+        self
     }
 
     /// Enables the ATLAS discipline of keeping one frame vacant at all
@@ -205,7 +217,12 @@ impl PagedMemory {
             .collect()
     }
 
-    fn evict_one(&mut self, now: VirtualTime) -> Result<EvictedPage, CoreError> {
+    fn evict_one_probed<P: Probe + ?Sized>(
+        &mut self,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<EvictedPage, CoreError> {
+        let now = at.vtime;
         let eligible = self.eligible();
         if eligible.is_empty() {
             return Err(CoreError::Alloc(AllocError::OutOfStorage {
@@ -229,6 +246,13 @@ impl PagedMemory {
         if dirty {
             self.stats.dirty_evictions += 1;
         }
+        probe.emit(
+            EventKind::Evict {
+                dirty,
+                words: self.words_per_page,
+            },
+            at,
+        );
         Ok(EvictedPage { page, frame, dirty })
     }
 
@@ -253,6 +277,27 @@ impl PagedMemory {
         write: bool,
         now: VirtualTime,
     ) -> Result<TouchOutcome, CoreError> {
+        self.touch_probed(page, write, Stamp::vtime(now), &mut NullProbe)
+    }
+
+    /// [`PagedMemory::touch`] with event emission: `Fault` when the
+    /// reference misses, `Evict` for every page pushed out (demand,
+    /// vacant-reserve, or prefetch displacement), `Prefetch` for
+    /// lookahead loads. The caller supplies the stamp so machine
+    /// adapters can carry their cycle clock into the trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Alloc`] if the page is absent and every
+    /// frame is pinned.
+    pub fn touch_probed<P: Probe + ?Sized>(
+        &mut self,
+        page: PageNo,
+        write: bool,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<TouchOutcome, CoreError> {
+        let now = at.vtime;
         self.stats.references += 1;
         if let Some(frame) = self.page_table.get(&page).copied() {
             if self.prefetched.remove(&page) {
@@ -264,9 +309,10 @@ impl PagedMemory {
         }
         // Demand fault.
         self.stats.faults += 1;
+        probe.emit(EventKind::Fault, at);
         let mut evicted = None;
         if self.free.is_empty() {
-            evicted = Some(self.evict_one(now)?);
+            evicted = Some(self.evict_one_probed(at, probe)?);
         }
         let frame = self.load_into_free(page, now);
         self.sensors.touch(frame, write);
@@ -274,12 +320,16 @@ impl PagedMemory {
         // One-block lookahead rides the advice path (and is therefore
         // also counted in the prefetch statistics).
         if self.lookahead {
-            self.advise(Advice::WillNeed(AdviceUnit::Page(PageNo(page.0 + 1))), now);
+            self.advise_probed(
+                Advice::WillNeed(AdviceUnit::Page(PageNo(page.0 + 1))),
+                at,
+                probe,
+            );
         }
         // The ATLAS vacant-frame reserve: evict now so the *next* demand
         // finds a frame waiting.
         if self.reserve_vacant && self.free.is_empty() {
-            let extra = self.evict_one(now)?;
+            let extra = self.evict_one_probed(at, probe)?;
             evicted = evicted.or(Some(extra));
         }
         Ok(TouchOutcome::Fault { frame, evicted })
@@ -291,6 +341,18 @@ impl PagedMemory {
     /// ignored here (segment advice is interpreted by the segment
     /// store).
     pub fn advise(&mut self, advice: Advice, now: VirtualTime) -> AdviceOutcome {
+        self.advise_probed(advice, Stamp::vtime(now), &mut NullProbe)
+    }
+
+    /// [`PagedMemory::advise`] with event emission: `Prefetch` for every
+    /// will-need load, `Evict` for every page displaced or released.
+    pub fn advise_probed<P: Probe + ?Sized>(
+        &mut self,
+        advice: Advice,
+        at: Stamp,
+        probe: &mut P,
+    ) -> AdviceOutcome {
+        let now = at.vtime;
         let AdviceUnit::Page(page) = advice.unit() else {
             return AdviceOutcome::default();
         };
@@ -306,7 +368,7 @@ impl PagedMemory {
                     return out;
                 }
                 if self.free.is_empty() {
-                    match self.evict_one(now) {
+                    match self.evict_one_probed(at, probe) {
                         Ok(e) => out.evicted = Some(e),
                         Err(_) => return out,
                     }
@@ -319,6 +381,12 @@ impl PagedMemory {
                 self.sensors.touch(frame, false);
                 self.prefetched.insert(page);
                 self.stats.prefetches += 1;
+                probe.emit(
+                    EventKind::Prefetch {
+                        words: self.words_per_page,
+                    },
+                    at,
+                );
                 out.loaded = Some((page, frame));
             }
             Advice::WontNeed(_) => {
@@ -349,6 +417,13 @@ impl PagedMemory {
                     if dirty {
                         self.stats.dirty_evictions += 1;
                     }
+                    probe.emit(
+                        EventKind::Evict {
+                            dirty,
+                            words: self.words_per_page,
+                        },
+                        at,
+                    );
                     out.evicted = Some(EvictedPage { page, frame, dirty });
                 }
             }
@@ -363,8 +438,25 @@ impl PagedMemory {
     ///
     /// Propagates the first [`CoreError`] (possible only with pinning).
     pub fn run_pages(&mut self, trace: &[PageNo]) -> Result<PagingStats, CoreError> {
+        self.run_pages_probed(trace, &mut NullProbe)
+    }
+
+    /// [`PagedMemory::run_pages`] with event emission: a `Touch` per
+    /// reference plus the fault/evict/prefetch stream, stamped with
+    /// reference time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CoreError`] (possible only with pinning).
+    pub fn run_pages_probed<P: Probe + ?Sized>(
+        &mut self,
+        trace: &[PageNo],
+        probe: &mut P,
+    ) -> Result<PagingStats, CoreError> {
         for (i, &page) in trace.iter().enumerate() {
-            self.touch(page, false, i as VirtualTime)?;
+            let at = Stamp::vtime(i as VirtualTime);
+            probe.emit(EventKind::Touch { write: false }, at);
+            self.touch_probed(page, false, at, probe)?;
         }
         Ok(self.stats)
     }

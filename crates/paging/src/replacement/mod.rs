@@ -124,3 +124,83 @@ mod tests {
         assert_ne!(first, 0);
     }
 }
+
+#[cfg(test)]
+mod probe_tests {
+    use crate::paged::PagedMemory;
+    use crate::replacement::atlas::AtlasLearning;
+    use crate::replacement::clock::ClockRepl;
+    use crate::replacement::fifo::FifoRepl;
+    use crate::replacement::lfu::LfuRepl;
+    use crate::replacement::lru::LruRepl;
+    use crate::replacement::min::MinRepl;
+    use crate::replacement::nru::ClassRandomRepl;
+    use crate::replacement::random::RandomRepl;
+    use crate::replacement::Replacer;
+    use dsa_core::ids::PageNo;
+    use dsa_probe::CountingProbe;
+
+    /// The engine emits events centrally, so one test run per policy
+    /// proves the whole cast traces identically: touch/fault/evict
+    /// totals from the probe must equal the engine's own statistics.
+    #[test]
+    fn every_policy_traces_consistently_with_stats() {
+        let trace: Vec<PageNo> = (0..400u64).map(|i| PageNo((i * 13) % 24)).collect();
+        let frames = 8;
+        let policies: Vec<Box<dyn Replacer>> = vec![
+            Box::new(LruRepl::new()),
+            Box::new(FifoRepl::new()),
+            Box::new(ClockRepl::new(frames)),
+            Box::new(RandomRepl::new(5)),
+            Box::new(ClassRandomRepl::new(5, 8)),
+            Box::new(AtlasLearning::new()),
+            Box::new(LfuRepl::with_aging(32)),
+            Box::new(MinRepl::new(&trace)),
+        ];
+        for policy in policies {
+            let name = policy.name();
+            let mut mem = PagedMemory::new(frames, policy);
+            let mut probe = CountingProbe::new();
+            let stats = mem
+                .run_pages_probed(&trace, &mut probe)
+                .expect("no pinning");
+            assert_eq!(probe.touches, stats.references, "{name}: touches");
+            assert_eq!(probe.faults, stats.faults, "{name}: faults");
+            assert_eq!(probe.evictions, stats.evictions, "{name}: evictions");
+            assert_eq!(
+                probe.dirty_evictions, stats.dirty_evictions,
+                "{name}: dirty evictions"
+            );
+            assert_eq!(probe.prefetches, stats.prefetches, "{name}: prefetches");
+        }
+    }
+
+    /// `run_pages` and `run_pages_probed` with a sink attached must
+    /// drive the engine identically — probing never perturbs behaviour.
+    #[test]
+    fn probing_does_not_change_fault_counts() {
+        let trace: Vec<PageNo> = (0..300u64).map(|i| PageNo((i * 7) % 20)).collect();
+        let mut plain = PagedMemory::new(6, Box::new(LruRepl::new()));
+        let mut probed = PagedMemory::new(6, Box::new(LruRepl::new()));
+        let mut probe = CountingProbe::new();
+        let a = plain.run_pages(&trace).expect("no pinning");
+        let b = probed
+            .run_pages_probed(&trace, &mut probe)
+            .expect("no pinning");
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.evictions, b.evictions);
+        probed.check_invariants();
+    }
+
+    /// `words_per_page` scales the word quantities carried by evictions.
+    #[test]
+    fn words_per_page_scales_traced_transfers() {
+        let trace: Vec<PageNo> = (0..10u64).map(PageNo).collect();
+        let mut mem = PagedMemory::new(4, Box::new(LruRepl::new())).with_words_per_page(512);
+        let mut probe = CountingProbe::new();
+        mem.run_pages_probed(&trace, &mut probe)
+            .expect("no pinning");
+        assert_eq!(probe.evictions, 6);
+        assert_eq!(probe.evicted_words, 6 * 512);
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-event-kind counters that reconcile with `MachineReport`.
+
+use crate::{Event, EventKind, Probe};
+use dsa_core::ids::Words;
+
+/// Counts every event kind (and the word quantities events carry).
+///
+/// The integration tests assert that, for every appendix-machine
+/// preset, these totals equal the corresponding `MachineReport` fields:
+/// the probe stream and the report are two views of one execution and
+/// must never disagree.
+#[derive(Clone, Debug, Default)]
+pub struct CountingProbe {
+    pub touches: u64,
+    pub writes: u64,
+    pub faults: u64,
+    pub fetch_starts: u64,
+    pub fetches: u64,
+    pub fetched_words: Words,
+    pub evictions: u64,
+    pub dirty_evictions: u64,
+    pub evicted_words: Words,
+    pub writebacks: u64,
+    pub writeback_words: Words,
+    pub allocs: u64,
+    pub alloc_words: Words,
+    pub alloc_searched: u64,
+    pub frees: u64,
+    pub freed_words: Words,
+    pub compactions: u64,
+    pub compaction_moved_words: Words,
+    pub advice: u64,
+    pub prefetches: u64,
+    pub prefetched_words: Words,
+    pub bounds_traps: u64,
+    pub map_lookups: u64,
+    pub map_hits: u64,
+    pub map_misses: u64,
+}
+
+impl CountingProbe {
+    #[must_use]
+    pub fn new() -> CountingProbe {
+        CountingProbe::default()
+    }
+
+    /// Total number of events seen.
+    #[must_use]
+    pub fn total_events(&self) -> u64 {
+        self.touches
+            + self.faults
+            + self.fetch_starts
+            + self.fetches
+            + self.evictions
+            + self.writebacks
+            + self.allocs
+            + self.frees
+            + 2 * self.compactions
+            + self.advice
+            + self.prefetches
+            + self.bounds_traps
+            + self.map_lookups
+    }
+}
+
+impl Probe for CountingProbe {
+    fn record(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::Touch { write } => {
+                self.touches += 1;
+                if write {
+                    self.writes += 1;
+                }
+            }
+            EventKind::Fault => self.faults += 1,
+            EventKind::FetchStart { .. } => self.fetch_starts += 1,
+            EventKind::FetchDone { words } => {
+                self.fetches += 1;
+                self.fetched_words += words;
+            }
+            EventKind::Evict { dirty, words } => {
+                self.evictions += 1;
+                if dirty {
+                    self.dirty_evictions += 1;
+                }
+                self.evicted_words += words;
+            }
+            EventKind::Writeback { words } => {
+                self.writebacks += 1;
+                self.writeback_words += words;
+            }
+            EventKind::Alloc { words, searched } => {
+                self.allocs += 1;
+                self.alloc_words += words;
+                self.alloc_searched += searched;
+            }
+            EventKind::Free { words } => {
+                self.frees += 1;
+                self.freed_words += words;
+            }
+            EventKind::CompactionStart => {}
+            EventKind::CompactionDone { moved_words } => {
+                self.compactions += 1;
+                self.compaction_moved_words += moved_words;
+            }
+            EventKind::Advice => self.advice += 1,
+            EventKind::Prefetch { words } => {
+                self.prefetches += 1;
+                self.prefetched_words += words;
+            }
+            EventKind::BoundsTrap => self.bounds_traps += 1,
+            EventKind::MapLookup { hit } => {
+                self.map_lookups += 1;
+                if hit {
+                    self.map_hits += 1;
+                } else {
+                    self.map_misses += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stamp;
+
+    #[test]
+    fn every_kind_lands_in_its_counter() {
+        let mut c = CountingProbe::new();
+        let s = Stamp::vtime(0);
+        c.emit(EventKind::Touch { write: true }, s);
+        c.emit(EventKind::Touch { write: false }, s);
+        c.emit(EventKind::Fault, s);
+        c.emit(EventKind::FetchStart { words: 512 }, s);
+        c.emit(EventKind::FetchDone { words: 512 }, s);
+        c.emit(
+            EventKind::Evict {
+                dirty: true,
+                words: 512,
+            },
+            s,
+        );
+        c.emit(EventKind::Writeback { words: 512 }, s);
+        c.emit(
+            EventKind::Alloc {
+                words: 40,
+                searched: 3,
+            },
+            s,
+        );
+        c.emit(EventKind::Free { words: 40 }, s);
+        c.emit(EventKind::CompactionStart, s);
+        c.emit(EventKind::CompactionDone { moved_words: 99 }, s);
+        c.emit(EventKind::Advice, s);
+        c.emit(EventKind::Prefetch { words: 512 }, s);
+        c.emit(EventKind::BoundsTrap, s);
+        c.emit(EventKind::MapLookup { hit: true }, s);
+        c.emit(EventKind::MapLookup { hit: false }, s);
+
+        assert_eq!(c.touches, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(c.faults, 1);
+        assert_eq!(c.fetch_starts, 1);
+        assert_eq!(c.fetches, 1);
+        assert_eq!(c.fetched_words, 512);
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.dirty_evictions, 1);
+        assert_eq!(c.evicted_words, 512);
+        assert_eq!(c.writebacks, 1);
+        assert_eq!(c.writeback_words, 512);
+        assert_eq!(c.allocs, 1);
+        assert_eq!(c.alloc_words, 40);
+        assert_eq!(c.alloc_searched, 3);
+        assert_eq!(c.frees, 1);
+        assert_eq!(c.freed_words, 40);
+        assert_eq!(c.compactions, 1);
+        assert_eq!(c.compaction_moved_words, 99);
+        assert_eq!(c.advice, 1);
+        assert_eq!(c.prefetches, 1);
+        assert_eq!(c.prefetched_words, 512);
+        assert_eq!(c.bounds_traps, 1);
+        assert_eq!(c.map_lookups, 2);
+        assert_eq!(c.map_hits, 1);
+        assert_eq!(c.map_misses, 1);
+        assert_eq!(c.total_events(), 16);
+    }
+}

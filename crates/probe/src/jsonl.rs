@@ -1,0 +1,211 @@
+//! Bounded in-memory event recorder with JSONL export.
+
+use crate::{Event, EventKind, Probe};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Keeps the most recent `capacity` events in a ring buffer and
+/// serializes them as JSON Lines — one object per event, e.g.
+///
+/// ```json
+/// {"t_ns":123,"vt":45,"kind":"evict","dirty":true,"words":512}
+/// ```
+///
+/// Serialization is hand-rolled: every field is a bool or an unsigned
+/// integer, so no escaping or external dependency is needed. When the
+/// buffer is full the oldest event is dropped and counted, so a bounded
+/// recorder on an unbounded run keeps the tail of the trace.
+#[derive(Clone, Debug)]
+pub struct JsonlRecorder {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl JsonlRecorder {
+    /// `capacity` bounds the retained events (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> JsonlRecorder {
+        JsonlRecorder {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events discarded because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the retained events as JSON Lines.
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for e in &self.events {
+            append_event(&mut out, e);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSONL trace to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating or writing the file.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_jsonl().as_bytes())?;
+        f.flush()
+    }
+}
+
+fn append_event(out: &mut String, e: &Event) {
+    let _ = write!(out, "{{\"t_ns\":{},\"vt\":{}", e.cycles.as_nanos(), e.vtime);
+    match e.kind {
+        EventKind::Touch { write } => {
+            let _ = write!(out, ",\"kind\":\"touch\",\"write\":{write}");
+        }
+        EventKind::Fault => out.push_str(",\"kind\":\"fault\""),
+        EventKind::FetchStart { words } => {
+            let _ = write!(out, ",\"kind\":\"fetch_start\",\"words\":{words}");
+        }
+        EventKind::FetchDone { words } => {
+            let _ = write!(out, ",\"kind\":\"fetch_done\",\"words\":{words}");
+        }
+        EventKind::Evict { dirty, words } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"evict\",\"dirty\":{dirty},\"words\":{words}"
+            );
+        }
+        EventKind::Writeback { words } => {
+            let _ = write!(out, ",\"kind\":\"writeback\",\"words\":{words}");
+        }
+        EventKind::Alloc { words, searched } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"alloc\",\"words\":{words},\"searched\":{searched}"
+            );
+        }
+        EventKind::Free { words } => {
+            let _ = write!(out, ",\"kind\":\"free\",\"words\":{words}");
+        }
+        EventKind::CompactionStart => out.push_str(",\"kind\":\"compaction_start\""),
+        EventKind::CompactionDone { moved_words } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"compaction_done\",\"moved_words\":{moved_words}"
+            );
+        }
+        EventKind::Advice => out.push_str(",\"kind\":\"advice\""),
+        EventKind::Prefetch { words } => {
+            let _ = write!(out, ",\"kind\":\"prefetch\",\"words\":{words}");
+        }
+        EventKind::BoundsTrap => out.push_str(",\"kind\":\"bounds_trap\""),
+        EventKind::MapLookup { hit } => {
+            let _ = write!(out, ",\"kind\":\"map_lookup\",\"hit\":{hit}");
+        }
+    }
+    out.push('}');
+}
+
+impl Probe for JsonlRecorder {
+    fn record(&mut self, event: &Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stamp;
+    use dsa_core::clock::Cycles;
+
+    #[test]
+    fn serializes_every_kind_as_one_line() {
+        let mut r = JsonlRecorder::new(32);
+        let s = Stamp::at(Cycles::from_nanos(123), 45);
+        r.emit(EventKind::Touch { write: false }, s);
+        r.emit(EventKind::Fault, s);
+        r.emit(EventKind::FetchStart { words: 512 }, s);
+        r.emit(EventKind::FetchDone { words: 512 }, s);
+        r.emit(
+            EventKind::Evict {
+                dirty: true,
+                words: 512,
+            },
+            s,
+        );
+        r.emit(EventKind::Writeback { words: 512 }, s);
+        r.emit(
+            EventKind::Alloc {
+                words: 7,
+                searched: 2,
+            },
+            s,
+        );
+        r.emit(EventKind::Free { words: 7 }, s);
+        r.emit(EventKind::CompactionStart, s);
+        r.emit(EventKind::CompactionDone { moved_words: 3 }, s);
+        r.emit(EventKind::Advice, s);
+        r.emit(EventKind::Prefetch { words: 512 }, s);
+        r.emit(EventKind::BoundsTrap, s);
+        r.emit(EventKind::MapLookup { hit: false }, s);
+        let text = r.to_jsonl();
+        assert_eq!(text.lines().count(), 14);
+        assert!(text.contains(r#"{"t_ns":123,"vt":45,"kind":"evict","dirty":true,"words":512}"#));
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            // Crude balance check in lieu of a JSON parser.
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+            assert_eq!(line.matches('"').count() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut r = JsonlRecorder::new(2);
+        for vt in 0..5u64 {
+            r.emit(EventKind::Fault, Stamp::vtime(vt));
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 3);
+        let kept: Vec<u64> = r.events().map(|e| e.vtime).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn writes_a_file() {
+        let mut r = JsonlRecorder::new(4);
+        r.emit(EventKind::Fault, Stamp::vtime(9));
+        let path = std::env::temp_dir().join("dsa_probe_jsonl_test.jsonl");
+        r.write_to(&path).expect("writable temp dir");
+        let read = std::fs::read_to_string(&path).expect("just written");
+        assert_eq!(read, r.to_jsonl());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,166 @@
+//! Latency and effort histograms derived from the event stream.
+
+use crate::{Event, EventKind, Probe};
+use dsa_core::clock::{Cycles, VirtualTime};
+use dsa_metrics::histogram::Histogram;
+
+/// Histograms of the dynamics the paper reasons about but end-of-run
+/// totals hide: how long each fault stalls the program (machine time
+/// between `FetchStart` and `FetchDone`), how far apart faults are in
+/// reference time, and how many free-list entries each allocation
+/// probed.
+#[derive(Clone, Debug)]
+pub struct LatencyProbe {
+    /// Fault-service latency in nanoseconds, log2-bucketed.
+    fault_service: Histogram,
+    /// Inter-fault distance in references, log2-bucketed.
+    inter_fault: Histogram,
+    /// Free-list entries examined per successful allocation.
+    search_len: Histogram,
+    pending_fetch: Option<Cycles>,
+    last_fault_vtime: Option<VirtualTime>,
+}
+
+impl Default for LatencyProbe {
+    fn default() -> Self {
+        LatencyProbe {
+            fault_service: Histogram::log2(40),
+            inter_fault: Histogram::log2(32),
+            search_len: Histogram::linear(1, 256),
+            pending_fetch: None,
+            last_fault_vtime: None,
+        }
+    }
+}
+
+impl LatencyProbe {
+    #[must_use]
+    pub fn new() -> LatencyProbe {
+        LatencyProbe::default()
+    }
+
+    /// Machine-time nanoseconds from `FetchStart` to `FetchDone`.
+    #[must_use]
+    pub fn fault_service(&self) -> &Histogram {
+        &self.fault_service
+    }
+
+    /// References between consecutive faults.
+    #[must_use]
+    pub fn inter_fault(&self) -> &Histogram {
+        &self.inter_fault
+    }
+
+    /// Free-list entries examined per successful allocation.
+    #[must_use]
+    pub fn search_len(&self) -> &Histogram {
+        &self.search_len
+    }
+
+    /// One-line digest for experiment tables.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "faults: n={} p50={}ns p95={}ns | inter-fault p50={} refs | search p95={}",
+            self.fault_service.count(),
+            self.fault_service.quantile(0.5),
+            self.fault_service.quantile(0.95),
+            self.inter_fault.quantile(0.5),
+            self.search_len.quantile(0.95),
+        )
+    }
+}
+
+impl Probe for LatencyProbe {
+    fn record(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::Fault => {
+                if let Some(prev) = self.last_fault_vtime {
+                    self.inter_fault.record(event.vtime.saturating_sub(prev));
+                }
+                self.last_fault_vtime = Some(event.vtime);
+            }
+            EventKind::FetchStart { .. } => {
+                self.pending_fetch = Some(event.cycles);
+            }
+            EventKind::FetchDone { .. } => {
+                if let Some(start) = self.pending_fetch.take() {
+                    self.fault_service
+                        .record(event.cycles.saturating_sub(start).as_nanos());
+                }
+            }
+            EventKind::Alloc { searched, .. } => {
+                self.search_len.record(searched);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stamp;
+
+    #[test]
+    fn fetch_pairs_become_service_latency() {
+        let mut p = LatencyProbe::new();
+        p.emit(EventKind::Fault, Stamp::at(Cycles::from_nanos(100), 5));
+        p.emit(
+            EventKind::FetchStart { words: 512 },
+            Stamp::at(Cycles::from_nanos(100), 5),
+        );
+        p.emit(
+            EventKind::FetchDone { words: 512 },
+            Stamp::at(Cycles::from_nanos(4_100), 5),
+        );
+        assert_eq!(p.fault_service().count(), 1);
+        assert_eq!(p.fault_service().sum(), 4_000);
+    }
+
+    #[test]
+    fn inter_fault_distances_use_reference_time() {
+        let mut p = LatencyProbe::new();
+        for vt in [10u64, 18, 50] {
+            p.emit(EventKind::Fault, Stamp::vtime(vt));
+        }
+        assert_eq!(p.inter_fault().count(), 2);
+        assert_eq!(p.inter_fault().sum(), (18 - 10) + (50 - 18));
+    }
+
+    #[test]
+    fn search_lengths_are_recorded() {
+        let mut p = LatencyProbe::new();
+        p.emit(
+            EventKind::Alloc {
+                words: 10,
+                searched: 7,
+            },
+            Stamp::vtime(1),
+        );
+        p.emit(
+            EventKind::Alloc {
+                words: 10,
+                searched: 1,
+            },
+            Stamp::vtime(2),
+        );
+        assert_eq!(p.search_len().count(), 2);
+        assert_eq!(p.search_len().sum(), 8);
+    }
+
+    #[test]
+    fn unpaired_fetch_done_is_ignored() {
+        let mut p = LatencyProbe::new();
+        p.emit(EventKind::FetchDone { words: 1 }, Stamp::vtime(0));
+        assert_eq!(p.fault_service().count(), 0);
+    }
+
+    #[test]
+    fn summary_mentions_percentiles() {
+        let mut p = LatencyProbe::new();
+        p.emit(EventKind::Fault, Stamp::vtime(1));
+        let s = p.summary();
+        assert!(s.contains("p95"), "{s}");
+    }
+}

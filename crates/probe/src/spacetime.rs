@@ -1,0 +1,199 @@
+//! Incremental Figure-3 curves: occupancy over time, split by phase.
+
+use crate::{Event, EventKind, Probe};
+use dsa_core::ids::Words;
+use dsa_metrics::spacetime::{Phase, SpaceTimeMeter, SpaceTimeReport};
+
+/// Feeds a [`SpaceTimeMeter`] from the event stream, so the space-time
+/// product of Figure 3 can be *plotted over time* instead of only
+/// integrated: occupancy rises on `FetchDone`/`Alloc`, falls on
+/// `Evict`/`Free`, and the interval between `FetchStart` and
+/// `FetchDone` is charged as `AwaitingFetch`.
+///
+/// A bounded sample buffer keeps `(machine-time ns, occupied words)`
+/// points for plotting; when full, it decimates to every other sample
+/// and doubles its stride, so memory stays bounded on arbitrarily long
+/// runs while the curve keeps full range.
+#[derive(Clone, Debug)]
+pub struct SpaceTimeProbe {
+    meter: SpaceTimeMeter,
+    occupied: Words,
+    awaiting_fetch: bool,
+    samples: Vec<(u64, Words)>,
+    capacity: usize,
+    stride: u64,
+    events_since_sample: u64,
+}
+
+impl SpaceTimeProbe {
+    /// `capacity` bounds the number of retained curve samples (min 16).
+    #[must_use]
+    pub fn new(capacity: usize) -> SpaceTimeProbe {
+        SpaceTimeProbe {
+            meter: SpaceTimeMeter::new(),
+            occupied: 0,
+            awaiting_fetch: false,
+            samples: Vec::new(),
+            capacity: capacity.max(16),
+            stride: 1,
+            events_since_sample: 0,
+        }
+    }
+
+    /// Words currently resident according to the event stream.
+    #[must_use]
+    pub fn occupied(&self) -> Words {
+        self.occupied
+    }
+
+    /// The integrated space-time product so far.
+    #[must_use]
+    pub fn report(&self) -> SpaceTimeReport {
+        self.meter.report()
+    }
+
+    /// The retained `(machine-time ns, occupied words)` curve.
+    #[must_use]
+    pub fn curve(&self) -> &[(u64, Words)] {
+        &self.samples
+    }
+
+    fn phase(&self) -> Phase {
+        if self.awaiting_fetch {
+            Phase::AwaitingFetch
+        } else {
+            Phase::Active
+        }
+    }
+
+    fn sample(&mut self, t_ns: u64) {
+        self.events_since_sample += 1;
+        if self.events_since_sample < self.stride {
+            return;
+        }
+        self.events_since_sample = 0;
+        if self.samples.len() >= self.capacity {
+            // Decimate: keep every other point, double the stride.
+            let mut keep = 0;
+            self.samples.retain(|_| {
+                keep += 1;
+                keep % 2 == 1
+            });
+            self.stride *= 2;
+        }
+        self.samples.push((t_ns, self.occupied));
+    }
+}
+
+impl Probe for SpaceTimeProbe {
+    fn record(&mut self, event: &Event) {
+        let changed = match event.kind {
+            EventKind::FetchStart { .. } => {
+                self.awaiting_fetch = true;
+                true
+            }
+            EventKind::FetchDone { words } | EventKind::Prefetch { words } => {
+                // Prefetched pages arrive outside a demand stall; both
+                // raise occupancy. (Demand fetches emit both FetchDone
+                // and, never, Prefetch — the kinds are disjoint.)
+                self.awaiting_fetch = false;
+                self.occupied += words;
+                true
+            }
+            EventKind::Alloc { words, .. } => {
+                self.occupied += words;
+                true
+            }
+            EventKind::Evict { words, .. } | EventKind::Free { words } => {
+                self.occupied = self.occupied.saturating_sub(words);
+                true
+            }
+            _ => false,
+        };
+        if changed {
+            self.meter.record(event.cycles, self.occupied, self.phase());
+            self.sample(event.cycles.as_nanos());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stamp;
+    use dsa_core::clock::Cycles;
+
+    #[test]
+    fn occupancy_tracks_fetch_and_evict() {
+        let mut p = SpaceTimeProbe::new(64);
+        let s = |us| Stamp::at(Cycles::from_micros(us), 0);
+        p.emit(EventKind::FetchStart { words: 512 }, s(0));
+        p.emit(EventKind::FetchDone { words: 512 }, s(10));
+        assert_eq!(p.occupied(), 512);
+        p.emit(
+            EventKind::Evict {
+                dirty: false,
+                words: 512,
+            },
+            s(20),
+        );
+        assert_eq!(p.occupied(), 0);
+    }
+
+    #[test]
+    fn waiting_interval_is_charged_to_awaiting_fetch() {
+        let mut p = SpaceTimeProbe::new(64);
+        let s = |us| Stamp::at(Cycles::from_micros(us), 0);
+        p.emit(
+            EventKind::Alloc {
+                words: 100,
+                searched: 1,
+            },
+            s(0),
+        );
+        p.emit(EventKind::FetchStart { words: 512 }, s(10));
+        p.emit(EventKind::FetchDone { words: 512 }, s(50));
+        let r = p.report();
+        // 0..10us at 100 words active; 10..50us at 100 words awaiting.
+        assert_eq!(r.active_word_nanos, 100 * 10_000);
+        assert_eq!(r.waiting_word_nanos, 100 * 40_000);
+    }
+
+    #[test]
+    fn alloc_and_free_move_occupancy() {
+        let mut p = SpaceTimeProbe::new(64);
+        p.emit(
+            EventKind::Alloc {
+                words: 30,
+                searched: 2,
+            },
+            Stamp::vtime(0),
+        );
+        p.emit(
+            EventKind::Alloc {
+                words: 20,
+                searched: 1,
+            },
+            Stamp::vtime(1),
+        );
+        p.emit(EventKind::Free { words: 30 }, Stamp::vtime(2));
+        assert_eq!(p.occupied(), 20);
+    }
+
+    #[test]
+    fn curve_stays_bounded_under_decimation() {
+        let mut p = SpaceTimeProbe::new(16);
+        for i in 0..10_000u64 {
+            p.emit(
+                EventKind::Alloc {
+                    words: 1,
+                    searched: 1,
+                },
+                Stamp::at(Cycles::from_nanos(i), i),
+            );
+        }
+        assert!(p.curve().len() <= 17, "len = {}", p.curve().len());
+        assert!(p.curve().windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(p.occupied(), 10_000);
+    }
+}

@@ -1,0 +1,110 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate,
+//! exposing exactly the API surface this workspace's property tests
+//! use: the `proptest!` test macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, `prop_oneof!`, range and tuple strategies,
+//! `Strategy::prop_map`/`boxed`, `any::<T>()`, `prop::collection::vec`,
+//! and `prop::sample::subsequence`.
+//!
+//! Generation is deterministic: each test derives a seed from its own
+//! name and runs a fixed number of cases, so failures reproduce exactly
+//! across runs and machines. There is no shrinking — a failing case
+//! reports its case index and message and panics.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Mirrors proptest's `prop::` namespace (`prop::collection::vec`,
+/// `prop::sample::subsequence`).
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::subsequence;
+    }
+}
+
+pub use strategy::{any, Arbitrary, BoxedStrategy, Strategy, Union};
+pub use test_runner::TestRng;
+
+/// What `use proptest::prelude::*` must bring into scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Strategy, Union};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Wraps `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each generated test runs a fixed number of deterministic cases; the
+/// body may use `prop_assert!`-family macros, which abort the case with
+/// an error message rather than panicking mid-generation.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__dsa_rng| {
+                    $(let $pat = $crate::Strategy::generate(&{ $strat }, __dsa_rng);)+
+                    let __dsa_result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    __dsa_result
+                });
+            }
+        )+
+    };
+}
+
+/// A strategy choosing uniformly between the listed strategies (all of
+/// which must produce the same value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Fails the current case if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`", left, right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (counts as a pass) if the condition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}

@@ -1,0 +1,278 @@
+//! Value-generation strategies for the proptest shim.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Something that can produce a value of its `Value` type from an RNG.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies producing
+    /// the same value type can share a collection (`prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// `Strategy::prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct Union<V> {
+    branches: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.below(self.branches.len() as u64) as usize;
+        self.branches[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let width = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(width) as i128) as $t
+                }
+            }
+        )+
+    };
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))+) => {
+        $(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.gen_bool()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),+) => {
+        $(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )+
+    };
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+/// Strategy form of [`Arbitrary`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// `prop::collection::vec`: a vector whose length is drawn from
+/// `len_range` and whose elements come from `element`.
+pub struct VecStrategy<S> {
+    element: S,
+    len_range: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, len_range: Range<usize>) -> VecStrategy<S> {
+    assert!(len_range.start < len_range.end, "empty length range");
+    VecStrategy { element, len_range }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let width = (self.len_range.end - self.len_range.start) as u64;
+        let len = self.len_range.start + rng.below(width) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::sample::subsequence`: an order-preserving subsequence of
+/// `items` whose length is drawn from `len_range` (clamped to the
+/// number of items).
+pub struct Subsequence<T> {
+    items: Vec<T>,
+    len_range: Range<usize>,
+}
+
+pub fn subsequence<T: Clone>(items: Vec<T>, len_range: Range<usize>) -> Subsequence<T> {
+    assert!(len_range.start < len_range.end, "empty length range");
+    Subsequence { items, len_range }
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let width = (self.len_range.end - self.len_range.start) as u64;
+        let len = (self.len_range.start + rng.below(width) as usize).min(self.items.len());
+        // Partial Fisher-Yates over the index space, then restore
+        // original order so the result is a true subsequence.
+        let mut idx: Vec<usize> = (0..self.items.len()).collect();
+        for i in 0..len {
+            let j = i + rng.below((idx.len() - i) as u64) as usize;
+            idx.swap(i, j);
+        }
+        let mut chosen: Vec<usize> = idx[..len].to_vec();
+        chosen.sort_unstable();
+        chosen.into_iter().map(|i| self.items[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let v = (3u64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let s = (0usize..4).generate(&mut rng);
+            assert!(s < 4);
+            let n = (-5i64..5).generate(&mut rng);
+            assert!((-5..5).contains(&n));
+        }
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::new(2);
+        let strat = (1u64..10, 0u32..3).prop_map(|(a, b)| a + u64::from(b));
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn union_draws_from_every_branch() {
+        let mut rng = TestRng::new(3);
+        let u = Union::new(vec![(0u64..1).boxed(), (100u64..101).boxed()]);
+        let mut seen = [false, false];
+        for _ in 0..200 {
+            match u.generate(&mut rng) {
+                0 => seen[0] = true,
+                100 => seen[1] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn vec_respects_length_range() {
+        let mut rng = TestRng::new(4);
+        let strat = vec(0u8..10, 2..7);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::new(5);
+        let items: Vec<u64> = (0..16).collect();
+        let strat = subsequence(items, 4..16);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((4..16).contains(&v.len()));
+            assert!(
+                v.windows(2).all(|w| w[0] < w[1]),
+                "not a subsequence: {v:?}"
+            );
+        }
+    }
+}

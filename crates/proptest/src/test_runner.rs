@@ -1,0 +1,102 @@
+//! Deterministic case runner and RNG for the proptest shim.
+
+/// Cases per property. Small enough to keep `cargo test -q` fast across
+/// the whole workspace, large enough to exercise the op-stream spaces.
+const CASES: u64 = 48;
+
+/// SplitMix64: tiny, fast, full-period, and plenty good for test-case
+/// generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Modulo bias is irrelevant at test-generation quality.
+        self.next_u64() % n
+    }
+
+    pub fn gen_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// FNV-1a over the test name: a stable per-test seed, independent of
+/// link order or run environment.
+fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `CASES` deterministic cases of one property; panics with the
+/// case index and seed on the first failure.
+pub fn run<F>(name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    let seed = seed_from_name(name);
+    for i in 0..CASES {
+        let mut rng = TestRng::new(seed ^ i.wrapping_mul(0xA076_1D64_78BD_642F));
+        if let Err(msg) = case(&mut rng) {
+            panic!("property `{name}` failed on case {i} (seed {seed:#x}): {msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails`")]
+    fn failures_panic_with_context() {
+        run("always_fails", |_| Err("boom".into()));
+    }
+
+    #[test]
+    fn passing_property_runs_quietly() {
+        let mut count = 0;
+        run("counts_cases", |rng| {
+            count += 1;
+            let _ = rng.next_u64();
+            Ok(())
+        });
+        assert_eq!(count, CASES);
+    }
+}

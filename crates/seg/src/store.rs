@@ -21,6 +21,7 @@ use dsa_core::error::{AccessFault, AllocError, CoreError};
 use dsa_core::ids::{PhysAddr, SegId, Words};
 use dsa_freelist::freelist::FreeListAllocator;
 use dsa_freelist::rice::RiceAllocator;
+use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 
 /// Which variable-unit allocator places segments.
 #[derive(Debug)]
@@ -328,9 +329,10 @@ impl SegmentStore {
         }
     }
 
-    fn evict(&mut self, seg: SegId) -> Words {
+    fn evict_probed<P: Probe + ?Sized>(&mut self, seg: SegId, at: Stamp, probe: &mut P) -> Words {
         let st = self.segs.get_mut(&seg).expect("victim exists");
         debug_assert!(st.resident);
+        let size = st.size;
         st.resident = false;
         let mut writeback = 0;
         if st.dirty || !st.has_backing_copy {
@@ -344,12 +346,28 @@ impl SegmentStore {
         self.rotation.retain(|&s| s != seg);
         self.stats.evictions += 1;
         self.stats.writeback_words += writeback;
+        probe.emit(
+            EventKind::Evict {
+                dirty: writeback > 0,
+                words: size,
+            },
+            at,
+        );
         writeback
     }
 
     /// Fetches `seg` into working storage, evicting iteratively as
     /// needed. Returns `(evictions, writeback_words)`.
     fn fetch(&mut self, seg: SegId) -> Result<(u32, Words), CoreError> {
+        self.fetch_probed(seg, Stamp::vtime(0), &mut NullProbe)
+    }
+
+    fn fetch_probed<P: Probe + ?Sized>(
+        &mut self,
+        seg: SegId,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<(u32, Words), CoreError> {
         let size = self.segs[&seg].size;
         let mut evictions = 0u32;
         let mut writeback = 0;
@@ -365,7 +383,7 @@ impl SegmentStore {
                         }
                         .into());
                     };
-                    writeback += self.evict(victim);
+                    writeback += self.evict_probed(victim, at, probe);
                     evictions += 1;
                 }
                 Err(e) => return Err(e.into()),
@@ -396,6 +414,24 @@ impl SegmentStore {
         offset: Words,
         write: bool,
     ) -> Result<TouchReport, CoreError> {
+        self.touch_probed(seg, offset, write, Stamp::vtime(0), &mut NullProbe)
+    }
+
+    /// [`SegmentStore::touch`] with event emission: a demand fetch emits
+    /// `Fault` (before any evictions it forces), and each victim emits
+    /// `Evict { dirty, words }` — dirty when the eviction wrote back.
+    ///
+    /// # Errors
+    ///
+    /// As [`SegmentStore::touch`].
+    pub fn touch_probed<P: Probe + ?Sized>(
+        &mut self,
+        seg: SegId,
+        offset: Words,
+        write: bool,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<TouchReport, CoreError> {
         self.stats.accesses += 1;
         let state = self
             .segs
@@ -413,7 +449,12 @@ impl SegmentStore {
         }
         let mut report = TouchReport::default();
         if !state.resident {
-            let (evictions, writeback) = self.fetch(seg)?;
+            // `Fault` is recorded only once the fetch succeeds: a touch
+            // that dies of capacity failure is an error, not a serviced
+            // fault (its victims' `Evict` events still precede it at the
+            // same stamp).
+            let (evictions, writeback) = self.fetch_probed(seg, at, probe)?;
+            probe.emit(EventKind::Fault, at);
             report.fetched = true;
             report.fetched_words = state.size;
             report.evictions = evictions;
@@ -435,6 +476,13 @@ impl SegmentStore {
     /// Applies a segment-granular advisory directive. Page advice is
     /// ignored here.
     pub fn advise(&mut self, advice: Advice) {
+        self.advise_probed(advice, Stamp::vtime(0), &mut NullProbe);
+    }
+
+    /// [`SegmentStore::advise`] with event emission: a successful
+    /// `WillNeed` prefetch emits `Prefetch { words }` (not `Fault` — the
+    /// program did not wait); `Release` evictions emit `Evict`.
+    pub fn advise_probed<P: Probe + ?Sized>(&mut self, advice: Advice, at: Stamp, probe: &mut P) {
         let AdviceUnit::Segment(seg) = advice.unit() else {
             return;
         };
@@ -442,7 +490,10 @@ impl SegmentStore {
             Advice::WillNeed(_) => {
                 // Fetch if possible; failure to prefetch is not an error.
                 if self.segs.get(&seg).is_some_and(|s| !s.resident) {
-                    let _ = self.fetch(seg);
+                    let size = self.segs[&seg].size;
+                    if self.fetch_probed(seg, at, probe).is_ok() {
+                        probe.emit(EventKind::Prefetch { words: size }, at);
+                    }
                 }
             }
             Advice::WontNeed(_) => {
@@ -465,7 +516,7 @@ impl SegmentStore {
                     if let Some(st) = self.segs.get_mut(&seg) {
                         st.pinned = false;
                     }
-                    self.evict(seg);
+                    self.evict_probed(seg, at, probe);
                 }
             }
         }
@@ -728,5 +779,70 @@ mod tests {
             s.delete(SegId(5)),
             Err(CoreError::Access(AccessFault::UnknownSegment { .. }))
         ));
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use dsa_core::ids::SegId;
+    use dsa_freelist::freelist::Placement;
+    use dsa_probe::CountingProbe;
+
+    #[test]
+    fn touch_traces_faults_and_evictions_matching_stats() {
+        let mut store = SegmentStore::new(
+            StoreBackend::FreeList(FreeListAllocator::new(100, Placement::FirstFit)),
+            SegReplacement::Cyclic,
+            u64::MAX,
+        );
+        let mut probe = CountingProbe::new();
+        let at = Stamp::vtime(0);
+        for i in 0..4 {
+            store.define(SegId(i), 40).unwrap();
+        }
+        // Two fit; the third and fourth each force an eviction. Writes
+        // dirty the victims so later evictions write back.
+        for i in 0..4u32 {
+            store
+                .touch_probed(SegId(i), 0, true, at, &mut probe)
+                .unwrap();
+        }
+        let stats = *store.stats();
+        assert_eq!(probe.faults, stats.seg_faults);
+        assert_eq!(probe.evictions, stats.evictions);
+        assert!(probe.evictions >= 2);
+        assert_eq!(
+            probe.evicted_words,
+            stats.evictions * 40,
+            "every victim carries its extent"
+        );
+        store.check_invariants();
+    }
+
+    #[test]
+    fn advice_traces_prefetch_and_release() {
+        let mut store = SegmentStore::new(
+            StoreBackend::FreeList(FreeListAllocator::new(100, Placement::FirstFit)),
+            SegReplacement::Cyclic,
+            u64::MAX,
+        );
+        let mut probe = CountingProbe::new();
+        let at = Stamp::vtime(0);
+        store.define(SegId(1), 30).unwrap();
+        store.advise_probed(
+            Advice::WillNeed(AdviceUnit::Segment(SegId(1))),
+            at,
+            &mut probe,
+        );
+        assert_eq!(probe.prefetches, 1);
+        assert_eq!(probe.prefetched_words, 30);
+        assert_eq!(probe.faults, 0, "a prefetch is not a fault");
+        store.advise_probed(
+            Advice::Release(AdviceUnit::Segment(SegId(1))),
+            at,
+            &mut probe,
+        );
+        assert_eq!(probe.evictions, 1);
     }
 }

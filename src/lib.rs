@@ -22,7 +22,10 @@
 //!   products;
 //! * [`machines`] — the seven appendix machines as runnable presets;
 //! * [`trace`] — deterministic synthetic workloads;
-//! * [`metrics`] — stats, histograms, space-time meters, tables.
+//! * [`metrics`] — stats, histograms, space-time meters, tables;
+//! * [`probe`] — structured event tracing: the probe sink trait, the
+//!   event vocabulary, and ready-made sinks (counting, latency
+//!   histograms, space-time feeding, JSONL recording).
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@ pub use dsa_machines as machines;
 pub use dsa_mapping as mapping;
 pub use dsa_metrics as metrics;
 pub use dsa_paging as paging;
+pub use dsa_probe as probe;
 pub use dsa_sched as sched;
 pub use dsa_seg as seg;
 pub use dsa_storage as storage;

@@ -1,0 +1,81 @@
+//! The probe stream and the machine report are two views of one
+//! execution: for every appendix machine, the `CountingProbe` totals
+//! must equal the corresponding `MachineReport` fields exactly.
+
+use dsa::machines::presets::{all_machines, favoured};
+use dsa::machines::Machine;
+use dsa::probe::CountingProbe;
+use dsa::trace::program::ProgramCfg;
+use dsa::trace::rng::Rng64;
+
+fn workload() -> Vec<dsa::core::access::ProgramOp> {
+    let mut rng = Rng64::new(7);
+    let mut cfg = ProgramCfg {
+        segments: 12,
+        touches: 3000,
+        advice_accuracy: Some(1.0),
+        ..ProgramCfg::default()
+    };
+    cfg.wild_touch_prob = 0.02;
+    cfg.generate(&mut rng).ops
+}
+
+fn machines() -> Vec<Box<dyn Machine>> {
+    let mut v = all_machines();
+    v.push(Box::new(favoured()));
+    v
+}
+
+#[test]
+fn counting_probe_reconciles_with_every_machine_report() {
+    let ops = workload();
+    for mut m in machines() {
+        let mut probe = CountingProbe::new();
+        let report = m
+            .run_probed(&ops, &mut probe)
+            .unwrap_or_else(|_| panic!("{}", m.name()));
+        let name = m.name();
+        assert_eq!(probe.touches, report.touches, "{name}: touches");
+        assert_eq!(probe.faults, report.faults, "{name}: faults");
+        assert_eq!(
+            probe.fetched_words, report.fetched_words,
+            "{name}: fetched words"
+        );
+        assert_eq!(
+            probe.writeback_words, report.writeback_words,
+            "{name}: writeback words"
+        );
+        assert_eq!(probe.advice, report.advice_ops, "{name}: advice ops");
+        assert_eq!(
+            probe.bounds_traps, report.bounds_caught,
+            "{name}: bounds traps"
+        );
+        assert_eq!(probe.prefetches, report.prefetches, "{name}: prefetches");
+        assert_eq!(
+            probe.fetch_starts, probe.fetches,
+            "{name}: every FetchStart pairs with a FetchDone"
+        );
+        assert!(probe.map_lookups > 0, "{name}: map lookups were traced");
+    }
+}
+
+#[test]
+fn probing_does_not_perturb_any_machine() {
+    let ops = workload();
+    for (mut plain, mut probed) in machines().into_iter().zip(machines()) {
+        let a = plain.run(&ops).unwrap();
+        let mut probe = CountingProbe::new();
+        let b = probed.run_probed(&ops, &mut probe).unwrap();
+        let name = plain.name();
+        assert_eq!(a.touches, b.touches, "{name}");
+        assert_eq!(a.faults, b.faults, "{name}");
+        assert_eq!(a.fetched_words, b.fetched_words, "{name}");
+        assert_eq!(a.writeback_words, b.writeback_words, "{name}");
+        assert_eq!(a.bounds_caught, b.bounds_caught, "{name}");
+        assert_eq!(a.wild_undetected, b.wild_undetected, "{name}");
+        assert_eq!(a.advice_ops, b.advice_ops, "{name}");
+        assert_eq!(a.prefetches, b.prefetches, "{name}");
+        assert_eq!(a.map_time, b.map_time, "{name}");
+        assert_eq!(a.fetch_time, b.fetch_time, "{name}");
+    }
+}

@@ -1,0 +1,180 @@
+//! E6b — degradation curves under injected storage faults.
+//!
+//! The paper's systems lean on "special hardware facilities" that trap
+//! what software cannot foresee: transfer errors on the drum channel,
+//! frames whose storage has gone bad, exhaustion the allocator must
+//! survive. This experiment injects exactly those failures at
+//! controlled rates into three machines — one per mapping family — and
+//! measures what graceful recovery costs: throughput and fault-service
+//! latency versus injected transfer-error rate, plus what the recovery
+//! machinery did (retries, quarantines, degradation rungs).
+//!
+//! Every run is checked for exact reconciliation: the `RecoveryReport`
+//! the machine returns must match, count for count, the
+//! `FaultInjected`/`RetryAttempt`/`FrameQuarantined`/`DegradationStep`
+//! events the probe observed.
+
+use dsa_bench::workloads::survey_program_cfg;
+use dsa_core::access::ProgramOp;
+use dsa_core::clock::Cycles;
+use dsa_faults::FaultConfig;
+use dsa_machines::presets::{atlas, b5000, multics};
+use dsa_machines::MachineReport;
+use dsa_metrics::table::Table;
+use dsa_probe::{CountingProbe, Event, LatencyProbe, Probe};
+use dsa_trace::rng::Rng64;
+
+/// Feeds one event stream to both sinks.
+struct Tee {
+    counts: CountingProbe,
+    latency: LatencyProbe,
+}
+
+impl Probe for Tee {
+    fn record(&mut self, event: &Event) {
+        self.counts.record(event);
+        self.latency.record(event);
+    }
+}
+
+/// The injected failure mix at a given transfer-error rate: bad frames
+/// at a tenth of the rate, channel stalls at the rate itself.
+fn config_at(rate: f64) -> FaultConfig {
+    if rate == 0.0 {
+        FaultConfig::off()
+    } else {
+        FaultConfig::transfer_errors(rate)
+            .with_bad_frames(rate / 10.0)
+            .with_channel_delays(rate, Cycles::from_micros(20))
+    }
+}
+
+/// Asserts that the recovery report and the probe's totals are two
+/// views of one execution.
+fn assert_reconciles(name: &str, rate: f64, r: &MachineReport, c: &CountingProbe) {
+    let rec = &r.recovery;
+    let pairs: [(&str, u64, u64); 9] = [
+        ("faults_injected", c.faults_injected, rec.faults_injected),
+        (
+            "transfer_errors",
+            c.transfer_errors_injected,
+            rec.transfer_errors,
+        ),
+        ("bad_frames", c.bad_frames_injected, rec.bad_frames),
+        (
+            "channel_delays",
+            c.channel_delays_injected,
+            rec.channel_delays,
+        ),
+        (
+            "forced_alloc_failures",
+            c.alloc_failures_injected,
+            rec.forced_alloc_failures,
+        ),
+        ("retry_attempts", c.retry_attempts, rec.retry_attempts),
+        (
+            "frames_quarantined",
+            c.frames_quarantined,
+            rec.frames_quarantined,
+        ),
+        (
+            "degradation_steps",
+            c.degradation_steps,
+            rec.degradation_steps,
+        ),
+        ("shed_loads", c.shed_loads, rec.shed_loads),
+    ];
+    for (field, probe_total, report_total) in pairs {
+        assert_eq!(
+            probe_total, report_total,
+            "{name} @ rate {rate}: probe/report disagree on {field}"
+        );
+    }
+    assert_eq!(c.touches, r.touches, "{name} @ rate {rate}: touches");
+    assert_eq!(c.faults, r.faults, "{name} @ rate {rate}: faults");
+}
+
+fn run_one(name: &str, rate: f64, ops: &[ProgramOp], results: &mut Table) {
+    let seed = 6;
+    let mut tee = Tee {
+        counts: CountingProbe::new(),
+        latency: LatencyProbe::new(),
+    };
+    let report = match name {
+        "ATLAS" => atlas()
+            .with_fault_injection(seed, config_at(rate))
+            .run_with(ops, &mut tee),
+        "B5000" => b5000()
+            .with_fault_injection(seed, config_at(rate))
+            .run_with(ops, &mut tee),
+        "MULTICS" => multics()
+            .with_fault_injection(seed, config_at(rate))
+            .run_with(ops, &mut tee),
+        other => unreachable!("unknown preset {other}"),
+    };
+    let r = report.unwrap_or_else(|e| panic!("{name} @ rate {rate}: {e}"));
+    assert_reconciles(name, rate, &r, &tee.counts);
+
+    // Throughput: touches per millisecond of machine-busy time (fetch
+    // waits plus addressing); the denominator is what faults inflate.
+    let busy_ns = (r.fetch_time + r.map_time).as_nanos().max(1);
+    let throughput = r.touches as f64 * 1e6 / busy_ns as f64;
+    let service = tee.latency.fault_service();
+    results.row_owned(vec![
+        name.to_owned(),
+        format!("{rate:.0e}"),
+        r.touches.to_string(),
+        r.faults.to_string(),
+        r.recovery.transfer_errors.to_string(),
+        r.recovery.retry_attempts.to_string(),
+        r.recovery.frames_quarantined.to_string(),
+        r.recovery.degradation_steps.to_string(),
+        r.alloc_failures.to_string(),
+        format!("{throughput:.1}"),
+        service.quantile(0.5).to_string(),
+        service.quantile(0.95).to_string(),
+    ]);
+}
+
+fn main() {
+    println!("E6b: graceful degradation under injected storage faults\n");
+    let mut rng = Rng64::new(6);
+    let program = survey_program_cfg().generate(&mut rng);
+    println!(
+        "workload: {} touches; fault mix at transfer-error rate r: \
+         transfer errors r, bad frames r/10, channel stalls r (20 us)\n",
+        program.touch_count()
+    );
+
+    let mut results = Table::new(&[
+        "machine",
+        "rate",
+        "touches",
+        "faults",
+        "xfer errs",
+        "retries",
+        "quarantined",
+        "degradations",
+        "alloc fails",
+        "touches/ms busy",
+        "svc p50 ns",
+        "svc p95 ns",
+    ])
+    .with_title("degradation curves (one row per machine x error rate)");
+
+    for name in ["ATLAS", "B5000", "MULTICS"] {
+        for rate in [0.0, 1e-4, 1e-3, 1e-2] {
+            run_one(name, rate, &program.ops, &mut results);
+        }
+    }
+    println!("{results}");
+    println!(
+        "things to see: at 1e-4 the retry machinery is invisible in\n\
+         throughput; at 1e-2 every machine still completes the workload —\n\
+         no panic, no abort — but pays for it in fault-service latency\n\
+         (each retry re-waits the transfer plus backoff) and, on the\n\
+         paged machines, in quarantined frames permanently shrinking\n\
+         working storage. every row reconciled its RecoveryReport\n\
+         against the probe's event totals exactly."
+    );
+}

@@ -189,6 +189,8 @@ impl Bencher {
             let elapsed = sample(iters_per_sample);
             per_iter_ns.push(elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
         }
+        // Invariant: timings are finite elapsed durations, never NaN.
+        #[allow(clippy::expect_used)]
         per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
         self.median_ns = Some(per_iter_ns[per_iter_ns.len() / 2]);
     }

@@ -1,0 +1,131 @@
+//! Per-level fault rates and burst patterns.
+
+use dsa_core::clock::Cycles;
+
+/// Rates and shapes for one injector.
+///
+/// Each rate is a probability in `[0, 1]` rolled at the corresponding
+/// hazard site: `transfer_error_rate` per transfer attempt (including
+/// retries — a retried transfer can fail again), `bad_frame_rate` per
+/// demand load into a frame, `channel_delay_rate` per transfer, and
+/// `alloc_fail_rate` per allocation request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a backing-storage transfer fails (parity/transfer
+    /// error) and must be retried.
+    pub transfer_error_rate: f64,
+    /// Probability the frame a page was just loaded into is found bad,
+    /// forcing quarantine and a refetch elsewhere.
+    pub bad_frame_rate: f64,
+    /// Probability a transfer is delayed by channel congestion.
+    pub channel_delay_rate: f64,
+    /// The stall charged when a channel delay fires.
+    pub channel_delay: Cycles,
+    /// Probability an allocation request is refused outright.
+    pub alloc_fail_rate: f64,
+    /// When a transfer error fires, the `burst_len - 1` following
+    /// transfer-error rolls also fail — drum errors cluster (a speck on
+    /// the surface ruins consecutive sectors). `1` means independent
+    /// errors.
+    pub burst_len: u32,
+}
+
+impl FaultConfig {
+    /// No faults at all — the happy-path simulator of PRs 0–1.
+    #[must_use]
+    pub const fn off() -> FaultConfig {
+        FaultConfig {
+            transfer_error_rate: 0.0,
+            bad_frame_rate: 0.0,
+            channel_delay_rate: 0.0,
+            channel_delay: Cycles::ZERO,
+            alloc_fail_rate: 0.0,
+            burst_len: 1,
+        }
+    }
+
+    /// Only transfer errors, at `rate` per transfer attempt — the knob
+    /// the `exp_06_faults` degradation curves sweep.
+    #[must_use]
+    pub fn transfer_errors(rate: f64) -> FaultConfig {
+        FaultConfig {
+            transfer_error_rate: rate,
+            ..FaultConfig::off()
+        }
+    }
+
+    /// Sets the bad-frame rate.
+    #[must_use]
+    pub fn with_bad_frames(mut self, rate: f64) -> FaultConfig {
+        self.bad_frame_rate = rate;
+        self
+    }
+
+    /// Sets the channel-delay rate and stall length.
+    #[must_use]
+    pub fn with_channel_delays(mut self, rate: f64, delay: Cycles) -> FaultConfig {
+        self.channel_delay_rate = rate;
+        self.channel_delay = delay;
+        self
+    }
+
+    /// Sets the forced-allocation-failure rate.
+    #[must_use]
+    pub fn with_alloc_failures(mut self, rate: f64) -> FaultConfig {
+        self.alloc_fail_rate = rate;
+        self
+    }
+
+    /// Sets the transfer-error burst length.
+    #[must_use]
+    pub fn with_burst(mut self, burst_len: u32) -> FaultConfig {
+        self.burst_len = burst_len.max(1);
+        self
+    }
+
+    /// True when every rate is zero (the injector will never fire).
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.transfer_error_rate == 0.0
+            && self.bad_frame_rate == 0.0
+            && self.channel_delay_rate == 0.0
+            && self.alloc_fail_rate == 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig::off()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_off() {
+        assert!(FaultConfig::off().is_off());
+        assert!(!FaultConfig::transfer_errors(0.01).is_off());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = FaultConfig::transfer_errors(0.1)
+            .with_bad_frames(0.2)
+            .with_channel_delays(0.3, Cycles::from_micros(5))
+            .with_alloc_failures(0.4)
+            .with_burst(3);
+        assert_eq!(c.transfer_error_rate, 0.1);
+        assert_eq!(c.bad_frame_rate, 0.2);
+        assert_eq!(c.channel_delay_rate, 0.3);
+        assert_eq!(c.channel_delay, Cycles::from_micros(5));
+        assert_eq!(c.alloc_fail_rate, 0.4);
+        assert_eq!(c.burst_len, 3);
+    }
+
+    #[test]
+    fn burst_is_clamped_to_one() {
+        assert_eq!(FaultConfig::off().with_burst(0).burst_len, 1);
+    }
+}

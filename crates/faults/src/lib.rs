@@ -1,0 +1,37 @@
+//! Deterministic fault injection and recovery policies.
+//!
+//! The paper's systems assume hardware that fails and traps: parity and
+//! transfer errors on drum and disc channels, invalid-access trapping
+//! (special hardware facility (v)), storage exhaustion that ATLAS and
+//! the M44/44X had to survive rather than crash on. This crate makes
+//! those failures first-class, injectable, and recoverable:
+//!
+//! * [`FaultInjector`] — a seed-driven source of simulated hardware
+//!   failures: failed transfers, bad page frames, stalled channels, and
+//!   refused allocations, with per-mode rates and burst patterns
+//!   ([`FaultConfig`]). Same seed, same schedule — every run is exactly
+//!   reproducible.
+//! * [`RetryPolicy`] — bounded retry with exponential backoff, in
+//!   simulated cycles, for transient transfer errors.
+//! * [`FrameQuarantine`] — the permanent-frame book of record: frames
+//!   found bad are retired from service and never reused.
+//! * [`RecoveryReport`] — end-of-run accounting of every injection and
+//!   every recovery action, reconciling exactly with the probe layer's
+//!   `CountingProbe` totals.
+//!
+//! The graceful-degradation ladder itself (coalesce → compact → evict →
+//! shed load → typed error) lives where the storage is: the segment
+//! store and paging engine climb the rungs; this crate defines the
+//! vocabulary and the accounting.
+
+pub mod config;
+pub mod injector;
+pub mod quarantine;
+pub mod report;
+pub mod retry;
+
+pub use config::FaultConfig;
+pub use injector::FaultInjector;
+pub use quarantine::FrameQuarantine;
+pub use report::RecoveryReport;
+pub use retry::RetryPolicy;

@@ -1,0 +1,72 @@
+//! The permanent-frame quarantine book of record.
+
+use std::collections::BTreeSet;
+
+use dsa_core::ids::FrameNo;
+
+/// Frames found bad and retired from service.
+///
+/// Quarantine is permanent for the life of the machine: a frame whose
+/// storage failed parity is never trusted again, so the working-store
+/// pool shrinks and the replacement policy runs over the survivors.
+/// (A `BTreeSet` keeps iteration order deterministic for reporting.)
+#[derive(Clone, Debug, Default)]
+pub struct FrameQuarantine {
+    frames: BTreeSet<FrameNo>,
+}
+
+impl FrameQuarantine {
+    /// An empty quarantine.
+    #[must_use]
+    pub fn new() -> FrameQuarantine {
+        FrameQuarantine::default()
+    }
+
+    /// Records `frame` as bad. Returns `false` if it was already
+    /// quarantined.
+    pub fn quarantine(&mut self, frame: FrameNo) -> bool {
+        self.frames.insert(frame)
+    }
+
+    /// Whether `frame` is quarantined.
+    #[must_use]
+    pub fn contains(&self, frame: FrameNo) -> bool {
+        self.frames.contains(&frame)
+    }
+
+    /// Number of quarantined frames.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True when no frame has been quarantined.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The quarantined frames, in ascending order.
+    pub fn frames(&self) -> impl Iterator<Item = FrameNo> + '_ {
+        self.frames.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quarantine_is_idempotent_and_ordered() {
+        let mut q = FrameQuarantine::new();
+        assert!(q.is_empty());
+        assert!(q.quarantine(FrameNo(5)));
+        assert!(q.quarantine(FrameNo(2)));
+        assert!(!q.quarantine(FrameNo(5)), "already quarantined");
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(FrameNo(2)));
+        assert!(!q.contains(FrameNo(3)));
+        let order: Vec<FrameNo> = q.frames().collect();
+        assert_eq!(order, vec![FrameNo(2), FrameNo(5)]);
+    }
+}

@@ -1,0 +1,75 @@
+//! Bounded retry with exponential backoff, in simulated cycles.
+
+use dsa_core::clock::Cycles;
+
+/// How transient transfer errors are retried.
+///
+/// Attempt `n` (1-based) of a failed transfer waits
+/// `base_backoff * multiplier^(n-1)` simulated cycles before the
+/// channel is re-driven. After `max_attempts` retries the error is
+/// declared permanent: the caller stops retrying, counts the
+/// exhaustion, and completes the transfer from the duplexed copy the
+/// paper's drum systems kept (the simulation stays total — no words are
+/// lost — but the exhaustion is visible in the `RecoveryReport`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per transfer (0 disables retrying).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Cycles,
+    /// Backoff growth factor per further retry.
+    pub multiplier: u32,
+}
+
+impl RetryPolicy {
+    /// Three retries backing off 10 µs, 20 µs, 40 µs — a sensible
+    /// default against drum-latency-scale transfers.
+    #[must_use]
+    pub const fn default_policy() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Cycles::from_micros(10),
+            multiplier: 2,
+        }
+    }
+
+    /// The backoff charged before retry `attempt` (1-based). Attempts
+    /// beyond `max_attempts` saturate at the final backoff.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Cycles {
+        let capped = attempt.clamp(1, self.max_attempts.max(1));
+        let factor = u64::from(self.multiplier).pow(capped - 1);
+        self.base_backoff * factor
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::default_policy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles() {
+        let p = RetryPolicy::default_policy();
+        assert_eq!(p.backoff(1), Cycles::from_micros(10));
+        assert_eq!(p.backoff(2), Cycles::from_micros(20));
+        assert_eq!(p.backoff(3), Cycles::from_micros(40));
+        // Saturates at the final rung.
+        assert_eq!(p.backoff(9), Cycles::from_micros(40));
+    }
+
+    #[test]
+    fn zero_attempts_is_safe() {
+        let p = RetryPolicy {
+            max_attempts: 0,
+            base_backoff: Cycles::from_micros(1),
+            multiplier: 2,
+        };
+        assert_eq!(p.backoff(1), Cycles::from_micros(1));
+    }
+}

@@ -143,6 +143,8 @@ impl BuddyAllocator {
                 largest_free: largest,
             });
         };
+        // Invariant: `found` was selected as a class with a free block.
+        #[allow(clippy::expect_used)]
         let addr = *self.free[found as usize].iter().next().expect("non-empty");
         self.free[found as usize].remove(&addr);
         // Split down to the requested order, freeing the upper halves.

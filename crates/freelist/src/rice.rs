@@ -101,6 +101,21 @@ impl RiceAllocator {
         self.chain.len()
     }
 
+    /// Largest contiguous free extent: the biggest inactive block or the
+    /// untouched region beyond the frontier, whichever is larger. (Note
+    /// adjacent inactive blocks count separately until
+    /// [`RiceAllocator::combine_adjacent`] runs — combining is deferred
+    /// on the Rice machine.)
+    #[must_use]
+    pub fn largest_free(&self) -> Words {
+        self.chain
+            .iter()
+            .map(|&(_, s)| s)
+            .max()
+            .unwrap_or(0)
+            .max(self.capacity - self.frontier)
+    }
+
     /// Current frontier (next sequential placement address).
     #[must_use]
     pub fn frontier(&self) -> u64 {
@@ -166,13 +181,7 @@ impl RiceAllocator {
         self.stats.failures += 1;
         Err(AllocError::OutOfStorage {
             requested: gross,
-            largest_free: self
-                .chain
-                .iter()
-                .map(|&(_, s)| s)
-                .max()
-                .unwrap_or(0)
-                .max(self.capacity - self.frontier),
+            largest_free: self.largest_free(),
         })
     }
 

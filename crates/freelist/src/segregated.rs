@@ -154,6 +154,8 @@ impl SegregatedAllocator {
             return Err(AllocError::AlreadyAllocated);
         }
         let Some(class) = self.class_of(size) else {
+            // Invariant: construction rejects an empty class list.
+            #[allow(clippy::expect_used)]
             return Err(AllocError::RequestTooLarge {
                 requested: size,
                 max: *self.classes.last().expect("non-empty"),

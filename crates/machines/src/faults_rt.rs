@@ -1,0 +1,208 @@
+//! Shared fault-injection runtime for the machine drivers.
+//!
+//! Each driver optionally carries one [`FaultState`]: the seed-driven
+//! injector, the retry policy for transfer errors, the shed-load budget,
+//! and the [`RecoveryReport`] being accumulated for the current run.
+//! The free functions here roll one hazard each against an
+//! `Option<FaultState>`, so drivers without injection pay nothing and
+//! drivers with it keep their borrow structure simple. Every recovery
+//! action both counts in the report and emits the matching probe event,
+//! one for one — that is what makes the end-of-run reconciliation exact.
+
+use dsa_core::clock::Cycles;
+use dsa_faults::{FaultConfig, FaultInjector, RecoveryReport, RetryPolicy};
+use dsa_probe::{DegradationStep, EventKind, InjectedFault, Probe, Stamp};
+use dsa_sched::load_control::LoadShedder;
+
+/// Shed-load rungs a single machine may take per run before allocation
+/// failures are surfaced to the program.
+const SHED_BUDGET: u32 = 8;
+
+/// The per-machine fault state carried when injection is armed.
+pub(crate) struct FaultState {
+    injector: FaultInjector,
+    retry: RetryPolicy,
+    shedder: LoadShedder,
+    /// Recovery accounting for the current run (reset by `begin_run`).
+    pub(crate) recovery: RecoveryReport,
+}
+
+impl FaultState {
+    pub(crate) fn new(seed: u64, config: FaultConfig) -> FaultState {
+        FaultState {
+            injector: FaultInjector::new(seed, config),
+            retry: RetryPolicy::default_policy(),
+            shedder: LoadShedder::new(SHED_BUDGET),
+            recovery: RecoveryReport::default(),
+        }
+    }
+
+    /// Starts a fresh run: recovery accounting and the shed budget are
+    /// per-run, while the injector's random stream continues so distinct
+    /// runs of one machine see distinct fault schedules.
+    pub(crate) fn begin_run(&mut self) {
+        self.recovery = RecoveryReport::default();
+        self.shedder = LoadShedder::new(SHED_BUDGET);
+    }
+
+    /// Rolls the hazards for one transfer whose base duration is
+    /// `base`: a possible channel-congestion stall, then transfer
+    /// errors retried with exponential backoff (each retry re-drives
+    /// the transfer, charging `base` again). Returns the extra
+    /// simulated time recovery consumed, to be added to the transfer's
+    /// service time — fault-service latency is thus visible end to end
+    /// in the `FetchStart`/`FetchDone` interval.
+    fn transfer_hazard<P: Probe + ?Sized>(
+        &mut self,
+        base: Cycles,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Cycles {
+        let mut extra = Cycles::ZERO;
+        if let Some(delay) = self.injector.channel_delay() {
+            self.recovery.faults_injected += 1;
+            self.recovery.channel_delays += 1;
+            self.recovery.delay_time += delay;
+            probe.emit(
+                EventKind::FaultInjected {
+                    fault: InjectedFault::ChannelDelay,
+                },
+                at,
+            );
+            extra += delay;
+        }
+        let mut attempt = 0u32;
+        while self.injector.transfer_error() {
+            self.recovery.faults_injected += 1;
+            self.recovery.transfer_errors += 1;
+            probe.emit(
+                EventKind::FaultInjected {
+                    fault: InjectedFault::TransferError,
+                },
+                at,
+            );
+            if attempt >= self.retry.max_attempts {
+                // Declared permanent: complete from the duplexed backing
+                // copy (the simulation stays total), count the
+                // exhaustion, stop rolling.
+                self.recovery.retries_exhausted += 1;
+                break;
+            }
+            attempt += 1;
+            self.recovery.retry_attempts += 1;
+            probe.emit(EventKind::RetryAttempt { attempt }, at);
+            let pause = self.retry.backoff(attempt) + base;
+            self.recovery.retry_time += pause;
+            extra += pause;
+        }
+        extra
+    }
+
+    fn frame_hazard<P: Probe + ?Sized>(&mut self, at: Stamp, probe: &mut P) -> bool {
+        if self.injector.frame_bad() {
+            self.recovery.faults_injected += 1;
+            self.recovery.bad_frames += 1;
+            probe.emit(
+                EventKind::FaultInjected {
+                    fault: InjectedFault::BadFrame,
+                },
+                at,
+            );
+            true
+        } else {
+            false
+        }
+    }
+
+    fn alloc_hazard<P: Probe + ?Sized>(&mut self, at: Stamp, probe: &mut P) -> bool {
+        if self.injector.alloc_failure() {
+            self.recovery.faults_injected += 1;
+            self.recovery.forced_alloc_failures += 1;
+            probe.emit(
+                EventKind::FaultInjected {
+                    fault: InjectedFault::AllocFailure,
+                },
+                at,
+            );
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Extra service time for one transfer: channel stalls plus retried
+/// re-drives. Zero when injection is off.
+pub(crate) fn transfer_extra<P: Probe + ?Sized>(
+    faults: &mut Option<FaultState>,
+    base: Cycles,
+    at: Stamp,
+    probe: &mut P,
+) -> Cycles {
+    match faults.as_mut() {
+        Some(fs) => fs.transfer_hazard(base, at, probe),
+        None => Cycles::ZERO,
+    }
+}
+
+/// Whether the frame a demand load just filled turned out bad.
+pub(crate) fn frame_bad<P: Probe + ?Sized>(
+    faults: &mut Option<FaultState>,
+    at: Stamp,
+    probe: &mut P,
+) -> bool {
+    match faults.as_mut() {
+        Some(fs) => fs.frame_hazard(at, probe),
+        None => false,
+    }
+}
+
+/// Whether this allocation request is refused outright by the injector.
+pub(crate) fn alloc_refused<P: Probe + ?Sized>(
+    faults: &mut Option<FaultState>,
+    at: Stamp,
+    probe: &mut P,
+) -> bool {
+    match faults.as_mut() {
+        Some(fs) => fs.alloc_hazard(at, probe),
+        None => false,
+    }
+}
+
+/// Records a successful quarantine (the caller already retired the
+/// frame).
+pub(crate) fn note_quarantined<P: Probe + ?Sized>(
+    faults: &mut Option<FaultState>,
+    at: Stamp,
+    probe: &mut P,
+) {
+    if let Some(fs) = faults.as_mut() {
+        fs.recovery.frames_quarantined += 1;
+        probe.emit(EventKind::FrameQuarantined, at);
+    }
+}
+
+/// Attempts the shed-load rung of the degradation ladder. `true` means
+/// the caller should surrender advisory claims (unpin everything) and
+/// retry the failed demand once.
+pub(crate) fn try_shed<P: Probe + ?Sized>(
+    faults: &mut Option<FaultState>,
+    at: Stamp,
+    probe: &mut P,
+) -> bool {
+    let Some(fs) = faults.as_mut() else {
+        return false;
+    };
+    if !fs.shedder.try_shed() {
+        return false;
+    }
+    fs.recovery.degradation_steps += 1;
+    fs.recovery.shed_loads += 1;
+    probe.emit(
+        EventKind::DegradationStep {
+            step: DegradationStep::ShedLoad,
+        },
+        at,
+    );
+    true
+}

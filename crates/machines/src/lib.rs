@@ -20,6 +20,7 @@
 //! | [`multics`] | linearly segmented (used symbolically) | two-level + associative | 64/1024-word pages | class-random |
 //! | [`model67`] | linearly segmented | two-level + 8-entry associative | 1024-word pages | class-random |
 
+mod faults_rt;
 pub mod linear;
 pub mod multilevel;
 pub mod presets;

@@ -16,12 +16,14 @@ use dsa_core::clock::{Cycles, VirtualTime};
 use dsa_core::error::{AccessFault, CoreError};
 use dsa_core::ids::{PageNo, SegId, Words};
 use dsa_core::taxonomy::SystemCharacteristics;
+use dsa_faults::FaultConfig;
 use dsa_mapping::associative::FrameAssociativeMap;
 use dsa_mapping::block_map::BlockMap;
 use dsa_mapping::{AddressMap, Translation};
 use dsa_paging::paged::{PagedMemory, TouchOutcome};
 use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 
+use crate::faults_rt::{self, FaultState};
 use crate::report::{Machine, MachineReport};
 
 /// Which mapping hardware performs the name-to-address step.
@@ -75,6 +77,8 @@ pub struct LinearPagedMachine {
     layout: HashMap<SegId, (u64, Words)>,
     bump: u64,
     now: VirtualTime,
+    /// Armed fault injection and its recovery state, if any.
+    faults: Option<FaultState>,
 }
 
 impl LinearPagedMachine {
@@ -107,7 +111,29 @@ impl LinearPagedMachine {
             layout: HashMap::new(),
             bump: 0,
             now: 0,
+            faults: None,
         }
+    }
+
+    /// Arms seed-driven fault injection for subsequent runs: transfer
+    /// errors are retried with backoff, bad frames are quarantined with
+    /// the page refetched elsewhere, and storage exhaustion degrades
+    /// through shed-load instead of aborting the run. The per-run
+    /// recovery accounting lands in [`MachineReport::recovery`].
+    #[must_use]
+    pub fn with_fault_injection(mut self, seed: u64, config: FaultConfig) -> LinearPagedMachine {
+        self.faults = Some(FaultState::new(seed, config));
+        self
+    }
+
+    /// Verifies the paging engine's internal invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frame bookkeeping is inconsistent (see
+    /// [`PagedMemory::check_invariants`]).
+    pub fn check_invariants(&self) {
+        self.memory.check_invariants();
     }
 
     /// Pages spanned by segment `seg`, given its layout.
@@ -142,28 +168,55 @@ impl LinearPagedMachine {
                 if let Some(e) = evicted {
                     self.device.unload(e.page, e.frame);
                     if e.dirty {
-                        report.writeback_words += self.page_size;
-                        report.fetch_time += self.page_fetch;
                         probe.emit(
                             EventKind::Writeback {
                                 words: self.page_size,
                             },
                             Stamp::at(*clock, self.now),
                         );
-                        *clock += self.page_fetch;
+                        let extra = faults_rt::transfer_extra(
+                            &mut self.faults,
+                            self.page_fetch,
+                            Stamp::at(*clock, self.now),
+                            probe,
+                        );
+                        report.writeback_words += self.page_size;
+                        report.fetch_time += self.page_fetch + extra;
+                        *clock += self.page_fetch + extra;
                     }
                 }
                 self.device.load(page, frame, self.page_size);
                 report.faults += 1;
                 report.fetched_words += self.page_size;
-                report.fetch_time += self.page_fetch;
-                *clock += self.page_fetch;
+                let extra = faults_rt::transfer_extra(
+                    &mut self.faults,
+                    self.page_fetch,
+                    Stamp::at(*clock, self.now),
+                    probe,
+                );
+                report.fetch_time += self.page_fetch + extra;
+                *clock += self.page_fetch + extra;
                 probe.emit(
                     EventKind::FetchDone {
                         words: self.page_size,
                     },
                     Stamp::at(*clock, self.now),
                 );
+                // The transfer may have filled a frame whose storage is
+                // bad: quarantine it and refetch the page into a
+                // surviving frame (remap-and-refetch). The recursive
+                // service does the full accounting for the extra fetch.
+                let bad =
+                    faults_rt::frame_bad(&mut self.faults, Stamp::at(*clock, self.now), probe);
+                if bad && self.memory.retire_frame(frame) {
+                    faults_rt::note_quarantined(
+                        &mut self.faults,
+                        Stamp::at(*clock, self.now),
+                        probe,
+                    );
+                    self.device.unload(page, frame);
+                    self.service_fault(page, write, report, clock, probe)?;
+                }
             }
             TouchOutcome::Hit { .. } => {
                 // Raced with a prefetch; nothing more to do.
@@ -188,9 +241,17 @@ impl LinearPagedMachine {
             machine: self.name.to_owned(),
             ..MachineReport::default()
         };
+        if let Some(fs) = self.faults.as_mut() {
+            fs.begin_run();
+        }
         for op in ops {
             match *op {
                 ProgramOp::Define { seg, size } => {
+                    if faults_rt::alloc_refused(&mut self.faults, Stamp::at(clock, self.now), probe)
+                    {
+                        report.alloc_failures += 1;
+                        continue;
+                    }
                     // Lay the segment out at the next free names.
                     if self.bump + size > self.name_extent {
                         report.alloc_failures += 1;
@@ -271,13 +332,42 @@ impl LinearPagedMachine {
                             )?;
                         }
                         Err(AccessFault::MissingPage { page }) => {
-                            self.service_fault(
+                            match self.service_fault(
                                 page,
                                 kind.is_write(),
                                 &mut report,
                                 &mut clock,
                                 probe,
-                            )?;
+                            ) {
+                                Ok(()) => {}
+                                Err(CoreError::Alloc(e)) => {
+                                    // Everything pinned. Degradation:
+                                    // shed load (surrender the pins) and
+                                    // retry once; without injection this
+                                    // aborts, as it always did.
+                                    let shed = faults_rt::try_shed(
+                                        &mut self.faults,
+                                        Stamp::at(clock, self.now),
+                                        probe,
+                                    );
+                                    if !shed {
+                                        return Err(CoreError::Alloc(e));
+                                    }
+                                    self.memory.unpin_all();
+                                    match self.service_fault(
+                                        page,
+                                        kind.is_write(),
+                                        &mut report,
+                                        &mut clock,
+                                        probe,
+                                    ) {
+                                        Ok(()) => {}
+                                        Err(CoreError::Alloc(_)) => report.alloc_failures += 1,
+                                        Err(e) => return Err(e),
+                                    }
+                                }
+                                Err(e) => return Err(e),
+                            }
                         }
                         Err(AccessFault::InvalidName { .. }) => {
                             report.bounds_caught += 1;
@@ -317,28 +407,40 @@ impl LinearPagedMachine {
                         if let Some(e) = outcome.evicted {
                             self.device.unload(e.page, e.frame);
                             if e.dirty {
-                                report.writeback_words += self.page_size;
-                                report.fetch_time += self.page_fetch;
                                 probe.emit(
                                     EventKind::Writeback {
                                         words: self.page_size,
                                     },
                                     Stamp::at(clock, self.now),
                                 );
-                                clock += self.page_fetch;
+                                let extra = faults_rt::transfer_extra(
+                                    &mut self.faults,
+                                    self.page_fetch,
+                                    Stamp::at(clock, self.now),
+                                    probe,
+                                );
+                                report.writeback_words += self.page_size;
+                                report.fetch_time += self.page_fetch + extra;
+                                clock += self.page_fetch + extra;
                             }
                         }
                         if let Some((page, frame)) = outcome.loaded {
                             self.device.load(page, frame, self.page_size);
                             report.fetched_words += self.page_size;
-                            report.fetch_time += self.page_fetch;
                             probe.emit(
                                 EventKind::FetchStart {
                                     words: self.page_size,
                                 },
                                 Stamp::at(clock, self.now),
                             );
-                            clock += self.page_fetch;
+                            let extra = faults_rt::transfer_extra(
+                                &mut self.faults,
+                                self.page_fetch,
+                                Stamp::at(clock, self.now),
+                                probe,
+                            );
+                            report.fetch_time += self.page_fetch + extra;
+                            clock += self.page_fetch + extra;
                             probe.emit(
                                 EventKind::FetchDone {
                                     words: self.page_size,
@@ -353,6 +455,9 @@ impl LinearPagedMachine {
         }
         report.prefetches = self.memory.stats().prefetches;
         report.useful_prefetches = self.memory.stats().useful_prefetches;
+        if let Some(fs) = self.faults.as_ref() {
+            report.recovery = fs.recovery;
+        }
         Ok(report)
     }
 }

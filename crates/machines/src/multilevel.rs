@@ -23,10 +23,12 @@ use dsa_core::clock::{Cycles, VirtualTime};
 use dsa_core::error::{AccessFault, CoreError};
 use dsa_core::ids::{PageNo, SegId, Words};
 use dsa_core::taxonomy::SystemCharacteristics;
+use dsa_faults::FaultConfig;
 use dsa_mapping::two_level::TwoLevelMap;
 use dsa_paging::paged::{PagedMemory, TouchOutcome};
 use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 
+use crate::faults_rt::{self, FaultState};
 use crate::report::{Machine, MachineReport};
 
 /// How user segments map onto machine segments.
@@ -57,6 +59,8 @@ pub struct PagedSegmentedMachine {
     packed_layout: HashMap<SegId, (Words, Words)>,
     packed_bump: Words,
     now: VirtualTime,
+    /// Armed fault injection and its recovery state, if any.
+    faults: Option<FaultState>,
 }
 
 impl PagedSegmentedMachine {
@@ -97,7 +101,29 @@ impl PagedSegmentedMachine {
             packed_layout: HashMap::new(),
             packed_bump: 0,
             now: 0,
+            faults: None,
         })
+    }
+
+    /// Arms seed-driven fault injection for subsequent runs: transfer
+    /// errors are retried with backoff, bad frames are quarantined with
+    /// the page refetched elsewhere, and storage exhaustion degrades
+    /// through shed-load instead of aborting the run. The per-run
+    /// recovery accounting lands in [`MachineReport::recovery`].
+    #[must_use]
+    pub fn with_fault_injection(mut self, seed: u64, config: FaultConfig) -> PagedSegmentedMachine {
+        self.faults = Some(FaultState::new(seed, config));
+        self
+    }
+
+    /// Verifies the paging engine's internal invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frame bookkeeping is inconsistent (see
+    /// [`PagedMemory::check_invariants`]).
+    pub fn check_invariants(&self) {
+        self.memory.check_invariants();
     }
 
     /// Resolves a user touch to `(machine segment, offset, user size)`.
@@ -142,15 +168,21 @@ impl PagedSegmentedMachine {
                     // The evicted page's segment may have been deleted.
                     let _ = self.map.unmap_page(eseg, eindex);
                     if e.dirty {
-                        report.writeback_words += self.page_size;
-                        report.fetch_time += self.page_fetch;
                         probe.emit(
                             EventKind::Writeback {
                                 words: self.page_size,
                             },
                             Stamp::at(*clock, self.now),
                         );
-                        *clock += self.page_fetch;
+                        let extra = faults_rt::transfer_extra(
+                            &mut self.faults,
+                            self.page_fetch,
+                            Stamp::at(*clock, self.now),
+                            probe,
+                        );
+                        report.writeback_words += self.page_size;
+                        report.fetch_time += self.page_fetch + extra;
+                        *clock += self.page_fetch + extra;
                     }
                 }
                 self.map
@@ -158,14 +190,35 @@ impl PagedSegmentedMachine {
                     .map_err(CoreError::Access)?;
                 report.faults += 1;
                 report.fetched_words += self.page_size;
-                report.fetch_time += self.page_fetch;
-                *clock += self.page_fetch;
+                let extra = faults_rt::transfer_extra(
+                    &mut self.faults,
+                    self.page_fetch,
+                    Stamp::at(*clock, self.now),
+                    probe,
+                );
+                report.fetch_time += self.page_fetch + extra;
+                *clock += self.page_fetch + extra;
                 probe.emit(
                     EventKind::FetchDone {
                         words: self.page_size,
                     },
                     Stamp::at(*clock, self.now),
                 );
+                // The transfer may have filled a frame whose storage is
+                // bad: quarantine it and refetch the page into a
+                // surviving frame (remap-and-refetch). The recursive
+                // service does the full accounting for the extra fetch.
+                let bad =
+                    faults_rt::frame_bad(&mut self.faults, Stamp::at(*clock, self.now), probe);
+                if bad && self.memory.retire_frame(frame) {
+                    faults_rt::note_quarantined(
+                        &mut self.faults,
+                        Stamp::at(*clock, self.now),
+                        probe,
+                    );
+                    let _ = self.map.unmap_page(mseg, index);
+                    self.service_fault(page, write, report, clock, probe)?;
+                }
             }
             TouchOutcome::Hit { .. } => {}
         }
@@ -205,39 +258,49 @@ impl PagedSegmentedMachine {
             machine: self.name.to_owned(),
             ..MachineReport::default()
         };
+        if let Some(fs) = self.faults.as_mut() {
+            fs.begin_run();
+        }
         for op in ops {
             match *op {
-                ProgramOp::Define { seg, size } => match self.seg_use {
-                    SegmentUse::PerObject => {
-                        if self.map.create_segment(seg, size).is_ok() {
-                            self.packed_layout.insert(seg, (0, size));
-                            probe.emit(
-                                EventKind::Alloc {
-                                    words: size,
-                                    searched: 0,
-                                },
-                                Stamp::at(clock, self.now),
-                            );
-                        } else {
-                            report.alloc_failures += 1;
+                ProgramOp::Define { seg, size } => {
+                    if faults_rt::alloc_refused(&mut self.faults, Stamp::at(clock, self.now), probe)
+                    {
+                        report.alloc_failures += 1;
+                        continue;
+                    }
+                    match self.seg_use {
+                        SegmentUse::PerObject => {
+                            if self.map.create_segment(seg, size).is_ok() {
+                                self.packed_layout.insert(seg, (0, size));
+                                probe.emit(
+                                    EventKind::Alloc {
+                                        words: size,
+                                        searched: 0,
+                                    },
+                                    Stamp::at(clock, self.now),
+                                );
+                            } else {
+                                report.alloc_failures += 1;
+                            }
+                        }
+                        SegmentUse::PackedIntoOne { extent } => {
+                            if self.packed_bump + size > extent {
+                                report.alloc_failures += 1;
+                            } else {
+                                self.packed_layout.insert(seg, (self.packed_bump, size));
+                                self.packed_bump += size;
+                                probe.emit(
+                                    EventKind::Alloc {
+                                        words: size,
+                                        searched: 0,
+                                    },
+                                    Stamp::at(clock, self.now),
+                                );
+                            }
                         }
                     }
-                    SegmentUse::PackedIntoOne { extent } => {
-                        if self.packed_bump + size > extent {
-                            report.alloc_failures += 1;
-                        } else {
-                            self.packed_layout.insert(seg, (self.packed_bump, size));
-                            self.packed_bump += size;
-                            probe.emit(
-                                EventKind::Alloc {
-                                    words: size,
-                                    searched: 0,
-                                },
-                                Stamp::at(clock, self.now),
-                            );
-                        }
-                    }
-                },
+                }
                 ProgramOp::Resize { seg, size } => match self.seg_use {
                     SegmentUse::PerObject => {
                         if self.map.resize_segment(seg, size).is_ok() {
@@ -316,13 +379,42 @@ impl PagedSegmentedMachine {
                             if wild {
                                 report.wild_undetected += 1;
                             }
-                            self.service_fault(
+                            match self.service_fault(
                                 page,
                                 kind.is_write(),
                                 &mut report,
                                 &mut clock,
                                 probe,
-                            )?;
+                            ) {
+                                Ok(()) => {}
+                                Err(CoreError::Alloc(e)) => {
+                                    // Everything pinned. Degradation:
+                                    // shed load (surrender the pins) and
+                                    // retry once; without injection this
+                                    // aborts, as it always did.
+                                    let shed = faults_rt::try_shed(
+                                        &mut self.faults,
+                                        Stamp::at(clock, self.now),
+                                        probe,
+                                    );
+                                    if !shed {
+                                        return Err(CoreError::Alloc(e));
+                                    }
+                                    self.memory.unpin_all();
+                                    match self.service_fault(
+                                        page,
+                                        kind.is_write(),
+                                        &mut report,
+                                        &mut clock,
+                                        probe,
+                                    ) {
+                                        Ok(()) => {}
+                                        Err(CoreError::Alloc(_)) => report.alloc_failures += 1,
+                                        Err(e) => return Err(e),
+                                    }
+                                }
+                                Err(e) => return Err(e),
+                            }
                         }
                         Err(AccessFault::BoundsViolation { .. }) => {
                             report.bounds_caught += 1;
@@ -365,28 +457,40 @@ impl PagedSegmentedMachine {
                             let (eseg, eindex) = TwoLevelMap::decode_page(e.page);
                             let _ = self.map.unmap_page(eseg, eindex);
                             if e.dirty {
-                                report.writeback_words += self.page_size;
-                                report.fetch_time += self.page_fetch;
                                 probe.emit(
                                     EventKind::Writeback {
                                         words: self.page_size,
                                     },
                                     Stamp::at(clock, self.now),
                                 );
-                                clock += self.page_fetch;
+                                let extra = faults_rt::transfer_extra(
+                                    &mut self.faults,
+                                    self.page_fetch,
+                                    Stamp::at(clock, self.now),
+                                    probe,
+                                );
+                                report.writeback_words += self.page_size;
+                                report.fetch_time += self.page_fetch + extra;
+                                clock += self.page_fetch + extra;
                             }
                         }
                         if let Some((_, frame)) = outcome.loaded {
                             if self.map.map_page(mseg, index, frame).is_ok() {
                                 report.fetched_words += self.page_size;
-                                report.fetch_time += self.page_fetch;
                                 probe.emit(
                                     EventKind::FetchStart {
                                         words: self.page_size,
                                     },
                                     Stamp::at(clock, self.now),
                                 );
-                                clock += self.page_fetch;
+                                let extra = faults_rt::transfer_extra(
+                                    &mut self.faults,
+                                    self.page_fetch,
+                                    Stamp::at(clock, self.now),
+                                    probe,
+                                );
+                                report.fetch_time += self.page_fetch + extra;
+                                clock += self.page_fetch + extra;
                                 probe.emit(
                                     EventKind::FetchDone {
                                         words: self.page_size,
@@ -402,6 +506,9 @@ impl PagedSegmentedMachine {
         }
         report.prefetches = self.memory.stats().prefetches;
         report.useful_prefetches = self.memory.stats().useful_prefetches;
+        if let Some(fs) = self.faults.as_ref() {
+            report.recovery = fs.recovery;
+        }
         Ok(report)
     }
 }

@@ -188,6 +188,9 @@ pub fn b8500() -> SegmentedMachine {
 /// # Panics
 ///
 /// Never panics; the configuration is statically valid.
+// Invariant: the constructor's arguments are compile-time constants and
+// the tests below exercise this preset; the expect cannot fire at runtime.
+#[allow(clippy::expect_used)]
 #[must_use]
 pub fn multics() -> PagedSegmentedMachine {
     let core = levels::ge645_core();
@@ -226,6 +229,9 @@ pub fn multics() -> PagedSegmentedMachine {
 /// # Panics
 ///
 /// Never panics; the configuration is statically valid.
+// Invariant: the constructor's arguments are compile-time constants and
+// the tests below exercise this preset; the expect cannot fire at runtime.
+#[allow(clippy::expect_used)]
 #[must_use]
 pub fn model67() -> PagedSegmentedMachine {
     let core = levels::model67_core();

@@ -7,6 +7,7 @@ use dsa_core::clock::Cycles;
 use dsa_core::error::CoreError;
 use dsa_core::ids::Words;
 use dsa_core::taxonomy::SystemCharacteristics;
+use dsa_faults::RecoveryReport;
 use dsa_probe::Probe;
 
 /// What running a workload on a machine produced.
@@ -41,6 +42,11 @@ pub struct MachineReport {
     /// Requests the machine could not satisfy (storage exhausted even
     /// after replacement).
     pub alloc_failures: u64,
+    /// What the fault-injection recovery machinery did, when armed
+    /// (all-zero otherwise). Its counts reconcile one for one with the
+    /// `FaultInjected`/`RetryAttempt`/`FrameQuarantined`/
+    /// `DegradationStep` events of the same run.
+    pub recovery: RecoveryReport,
 }
 
 impl MachineReport {

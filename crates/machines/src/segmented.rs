@@ -16,11 +16,13 @@ use dsa_core::clock::VirtualTime;
 use dsa_core::error::{AccessFault, AllocError, CoreError};
 use dsa_core::ids::{SegId, Words};
 use dsa_core::taxonomy::SystemCharacteristics;
+use dsa_faults::FaultConfig;
 use dsa_mapping::associative::{AssocMemory, AssocPolicy};
 use dsa_mapping::cost::MapCosts;
 use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
 use dsa_seg::store::SegmentStore;
 
+use crate::faults_rt::{self, FaultState};
 use crate::report::{Machine, MachineReport};
 
 /// A segment-allocated machine.
@@ -45,6 +47,8 @@ pub struct SegmentedMachine {
     /// Whether advisory directives are honoured (the appendix machines
     /// in this family accept none; the authors' favoured design does).
     accepts_advice: bool,
+    /// Fault injection and recovery, when armed.
+    faults: Option<FaultState>,
 }
 
 impl SegmentedMachine {
@@ -75,6 +79,7 @@ impl SegmentedMachine {
             split_map: HashMap::new(),
             next_internal: 0,
             accepts_advice: false,
+            faults: None,
         }
     }
 
@@ -85,6 +90,23 @@ impl SegmentedMachine {
     pub fn with_advice(mut self) -> SegmentedMachine {
         self.accepts_advice = true;
         self
+    }
+
+    /// Arms deterministic fault injection with the given seed and
+    /// configuration, and enables the store's graceful-degradation
+    /// ladder (coalesce, compact, evict) so injected storage pressure is
+    /// survived rather than surfaced.
+    #[must_use]
+    pub fn with_fault_injection(mut self, seed: u64, config: FaultConfig) -> SegmentedMachine {
+        self.faults = Some(FaultState::new(seed, config));
+        self.store.enable_degradation();
+        self
+    }
+
+    /// Asserts the segment store's internal consistency. Panics on
+    /// violation; intended for tests.
+    pub fn check_invariants(&self) {
+        self.store.check_invariants();
     }
 
     /// The B8500's 44-word associative memory, preconfigured.
@@ -185,9 +207,20 @@ impl SegmentedMachine {
             machine: self.name.to_owned(),
             ..MachineReport::default()
         };
+        if let Some(fs) = self.faults.as_mut() {
+            fs.begin_run();
+        }
+        // The store counts its own degradation rungs (coalesce, compact,
+        // evict); fold this run's delta into the recovery report so it
+        // reconciles with the `DegradationStep` events emitted below.
+        let degradation_before = self.store.stats().degradation_steps;
         for op in ops {
             match *op {
                 ProgramOp::Define { seg, size } => {
+                    if faults_rt::alloc_refused(&mut self.faults, Stamp::at(clock, now), probe) {
+                        report.alloc_failures += 1;
+                        continue;
+                    }
                     self.define_user_segment(seg, size, &mut report)?;
                     probe.emit(
                         EventKind::Alloc {
@@ -239,52 +272,91 @@ impl SegmentedMachine {
                     let cost =
                         self.charge_descriptor(chunk, &mut report, Stamp::at(clock, now), probe);
                     clock += cost;
-                    match self.store.touch_probed(
-                        chunk,
-                        within,
-                        kind.is_write(),
-                        Stamp::at(clock, now),
-                        probe,
-                    ) {
-                        Ok(r) => {
-                            if r.fetched {
-                                probe.emit(
-                                    EventKind::FetchStart {
-                                        words: r.fetched_words,
-                                    },
-                                    Stamp::at(clock, now),
-                                );
-                                if r.writeback_words > 0 {
-                                    report.writeback_words += r.writeback_words;
-                                    report.fetch_time += self.transfer_time(r.writeback_words);
+                    let mut attempts = 0u32;
+                    loop {
+                        attempts += 1;
+                        match self.store.touch_probed(
+                            chunk,
+                            within,
+                            kind.is_write(),
+                            Stamp::at(clock, now),
+                            probe,
+                        ) {
+                            Ok(r) => {
+                                if r.fetched {
                                     probe.emit(
-                                        EventKind::Writeback {
-                                            words: r.writeback_words,
+                                        EventKind::FetchStart {
+                                            words: r.fetched_words,
                                         },
                                         Stamp::at(clock, now),
                                     );
-                                    clock += self.transfer_time(r.writeback_words);
+                                    if r.writeback_words > 0 {
+                                        probe.emit(
+                                            EventKind::Writeback {
+                                                words: r.writeback_words,
+                                            },
+                                            Stamp::at(clock, now),
+                                        );
+                                        let base = self.transfer_time(r.writeback_words);
+                                        let extra = faults_rt::transfer_extra(
+                                            &mut self.faults,
+                                            base,
+                                            Stamp::at(clock, now),
+                                            probe,
+                                        );
+                                        report.writeback_words += r.writeback_words;
+                                        report.fetch_time += base + extra;
+                                        clock += base + extra;
+                                    }
+                                    report.faults += 1;
+                                    report.fetched_words += r.fetched_words;
+                                    let base = self.transfer_time(r.fetched_words);
+                                    let extra = faults_rt::transfer_extra(
+                                        &mut self.faults,
+                                        base,
+                                        Stamp::at(clock, now),
+                                        probe,
+                                    );
+                                    report.fetch_time += base + extra;
+                                    clock += base + extra;
+                                    probe.emit(
+                                        EventKind::FetchDone {
+                                            words: r.fetched_words,
+                                        },
+                                        Stamp::at(clock, now),
+                                    );
                                 }
-                                report.faults += 1;
-                                report.fetched_words += r.fetched_words;
-                                report.fetch_time += self.transfer_time(r.fetched_words);
-                                clock += self.transfer_time(r.fetched_words);
-                                probe.emit(
-                                    EventKind::FetchDone {
-                                        words: r.fetched_words,
-                                    },
-                                    Stamp::at(clock, now),
-                                );
+                                break;
                             }
+                            Err(CoreError::Access(AccessFault::BoundsViolation { .. })) => {
+                                report.bounds_caught += 1;
+                                probe.emit(EventKind::BoundsTrap, Stamp::at(clock, now));
+                                break;
+                            }
+                            Err(CoreError::Alloc(AllocError::OutOfStorage { .. }))
+                                if attempts == 1 =>
+                            {
+                                // The store's ladder (coalesce, compact,
+                                // evict) is exhausted. Last rung: shed
+                                // load — surrender every pin — and retry
+                                // the demand once.
+                                if faults_rt::try_shed(
+                                    &mut self.faults,
+                                    Stamp::at(clock, now),
+                                    probe,
+                                ) {
+                                    self.store.unpin_all();
+                                    continue;
+                                }
+                                report.alloc_failures += 1;
+                                break;
+                            }
+                            Err(CoreError::Alloc(AllocError::OutOfStorage { .. })) => {
+                                report.alloc_failures += 1;
+                                break;
+                            }
+                            Err(e) => return Err(e),
                         }
-                        Err(CoreError::Access(AccessFault::BoundsViolation { .. })) => {
-                            report.bounds_caught += 1;
-                            probe.emit(EventKind::BoundsTrap, Stamp::at(clock, now));
-                        }
-                        Err(CoreError::Alloc(AllocError::OutOfStorage { .. })) => {
-                            report.alloc_failures += 1;
-                        }
-                        Err(e) => return Err(e),
                     }
                 }
                 ProgramOp::Advise(advice) => {
@@ -320,22 +392,36 @@ impl SegmentedMachine {
                         // demand-path ones.
                         let wrote = self.store.stats().writeback_words - before_writeback;
                         if wrote > 0 {
-                            report.writeback_words += wrote;
-                            report.fetch_time += self.transfer_time(wrote);
                             probe
                                 .emit(EventKind::Writeback { words: wrote }, Stamp::at(clock, now));
-                            clock += self.transfer_time(wrote);
+                            let base = self.transfer_time(wrote);
+                            let extra = faults_rt::transfer_extra(
+                                &mut self.faults,
+                                base,
+                                Stamp::at(clock, now),
+                                probe,
+                            );
+                            report.writeback_words += wrote;
+                            report.fetch_time += base + extra;
+                            clock += base + extra;
                         }
                         let brought = self.store.stats().fetched_words - before_fetched;
                         if brought > 0 {
                             report.prefetches += 1;
                             report.fetched_words += brought;
-                            report.fetch_time += self.transfer_time(brought);
                             probe.emit(
                                 EventKind::FetchStart { words: brought },
                                 Stamp::at(clock, now),
                             );
-                            clock += self.transfer_time(brought);
+                            let base = self.transfer_time(brought);
+                            let extra = faults_rt::transfer_extra(
+                                &mut self.faults,
+                                base,
+                                Stamp::at(clock, now),
+                                probe,
+                            );
+                            report.fetch_time += base + extra;
+                            clock += base + extra;
                             probe.emit(
                                 EventKind::FetchDone { words: brought },
                                 Stamp::at(clock, now),
@@ -345,6 +431,11 @@ impl SegmentedMachine {
                 }
                 ProgramOp::Compute { .. } => {}
             }
+        }
+        if let Some(fs) = self.faults.as_mut() {
+            fs.recovery.degradation_steps +=
+                self.store.stats().degradation_steps - degradation_before;
+            report.recovery = fs.recovery;
         }
         Ok(report)
     }

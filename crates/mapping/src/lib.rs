@@ -76,6 +76,9 @@ impl Translation {
     /// # Panics
     ///
     /// Panics if the translation faulted.
+    // Documented panicking test helper; callers wanting the fault use
+    // `outcome` directly.
+    #[allow(clippy::expect_used)]
     #[must_use]
     pub fn unwrap_addr(self) -> PhysAddr {
         self.outcome.expect("translation faulted")

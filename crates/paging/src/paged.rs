@@ -112,6 +112,9 @@ pub struct PagedMemory {
     replacer: Box<dyn Replacer>,
     pinned: HashSet<PageNo>,
     prefetched: HashSet<PageNo>,
+    /// Frames retired from service after a bad-frame fault; never free,
+    /// never loaded into again.
+    quarantined: HashSet<FrameNo>,
     reserve_vacant: bool,
     /// One-block lookahead: on a demand fault for page *p*, page *p+1*
     /// is prefetched as well.
@@ -139,6 +142,7 @@ impl PagedMemory {
             replacer,
             pinned: HashSet::new(),
             prefetched: HashSet::new(),
+            quarantined: HashSet::new(),
             reserve_vacant: false,
             lookahead: false,
             words_per_page: 1,
@@ -185,6 +189,63 @@ impl PagedMemory {
     #[must_use]
     pub fn resident_count(&self) -> usize {
         self.page_table.len()
+    }
+
+    /// Frames still in service (not quarantined).
+    #[must_use]
+    pub fn usable_frames(&self) -> usize {
+        self.frames.len() - self.quarantined.len()
+    }
+
+    /// Frames retired from service by [`PagedMemory::retire_frame`].
+    #[must_use]
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.len()
+    }
+
+    /// Whether `frame` has been retired from service.
+    #[must_use]
+    pub fn is_quarantined(&self, frame: FrameNo) -> bool {
+        self.quarantined.contains(&frame)
+    }
+
+    /// Retires `frame` from service permanently: it leaves the free pool
+    /// and is never loaded into again, shrinking working storage for the
+    /// rest of the run. Any page it held is dropped *without* write-back
+    /// — a frame is retired because its storage failed, so its contents
+    /// are not to be trusted; the caller refetches the page from the
+    /// backing copy into a surviving frame.
+    ///
+    /// Returns `false` (and does nothing) if the frame is out of range,
+    /// already quarantined, or the last usable frame — a machine must
+    /// always keep at least one frame in service.
+    pub fn retire_frame(&mut self, frame: FrameNo) -> bool {
+        if frame.index() >= self.frames.len()
+            || self.quarantined.contains(&frame)
+            || self.usable_frames() <= 1
+        {
+            return false;
+        }
+        if let Some(page) = self.frames[frame.index()].take() {
+            self.page_table.remove(&page);
+            self.pinned.remove(&page);
+            self.prefetched.remove(&page);
+            self.sensors.clear(frame);
+            self.replacer.evicted(frame);
+        } else {
+            self.free.retain(|&f| f != frame);
+        }
+        self.quarantined.insert(frame);
+        true
+    }
+
+    /// Drops every pin, returning how many were released. The
+    /// degradation ladder's shed-load rung calls this to surrender
+    /// advisory claims when a demand would otherwise fail.
+    pub fn unpin_all(&mut self) -> usize {
+        let n = self.pinned.len();
+        self.pinned.clear();
+        n
     }
 
     /// The frame holding `page`, if resident.
@@ -235,6 +296,9 @@ impl PagedMemory {
             eligible.contains(&frame),
             "policy returned ineligible frame"
         );
+        // Internal invariant, not a user-reachable failure: the policy
+        // chose from `eligible`, which only lists resident frames.
+        #[allow(clippy::expect_used)]
         let page = self.frames[frame.index()].expect("victim frame must be resident");
         let dirty = self.sensors.modified(frame);
         self.frames[frame.index()] = None;
@@ -257,6 +321,9 @@ impl PagedMemory {
     }
 
     fn load_into_free(&mut self, page: PageNo, now: VirtualTime) -> FrameNo {
+        // Internal invariant, not a user-reachable failure: every caller
+        // evicts (or checks) before loading.
+        #[allow(clippy::expect_used)]
         let frame = self.free.pop().expect("caller ensured a free frame");
         self.frames[frame.index()] = Some(page);
         self.page_table.insert(page, frame);
@@ -502,10 +569,20 @@ impl PagedMemory {
         );
         let resident = self.frames.iter().filter(|s| s.is_some()).count();
         assert_eq!(
-            resident + self.free.len(),
+            resident + self.free.len() + self.quarantined.len(),
             self.frames.len(),
             "frames leaked"
         );
+        for &frame in &self.quarantined {
+            assert!(
+                self.frames[frame.index()].is_none(),
+                "quarantined frame holds a page"
+            );
+            assert!(
+                !self.free.contains(&frame),
+                "quarantined frame in free pool"
+            );
+        }
     }
 }
 
@@ -705,6 +782,73 @@ mod tests {
                 "one frame must stay vacant after servicing"
             );
         }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn retire_frame_shrinks_the_pool_permanently() {
+        let mut m = lru(3);
+        m.touch(PageNo(1), false, 0).unwrap();
+        let frame = m.frame_of(PageNo(1)).unwrap();
+        assert!(m.retire_frame(frame));
+        assert_eq!(m.quarantined_count(), 1);
+        assert_eq!(m.usable_frames(), 2);
+        assert!(m.is_quarantined(frame));
+        assert!(
+            m.frame_of(PageNo(1)).is_none(),
+            "page dropped, no writeback"
+        );
+        assert!(!m.retire_frame(frame), "already quarantined");
+        // The frame is never reused: fill the memory and check.
+        for (t, p) in [2u64, 3, 4, 5].into_iter().enumerate() {
+            m.touch(PageNo(p), false, t as u64 + 1).unwrap();
+            assert_ne!(m.frame_of(PageNo(p)), Some(frame));
+        }
+        m.check_invariants();
+    }
+
+    #[test]
+    fn retire_frame_refuses_the_last_usable_frame() {
+        let mut m = lru(2);
+        m.touch(PageNo(1), false, 0).unwrap();
+        assert!(m.retire_frame(FrameNo(0)));
+        assert!(
+            !m.retire_frame(FrameNo(1)),
+            "must keep one frame in service"
+        );
+        assert_eq!(m.usable_frames(), 1);
+        assert!(m.touch(PageNo(2), false, 1).is_ok(), "still serviceable");
+        m.check_invariants();
+    }
+
+    #[test]
+    fn retire_vacant_frame_leaves_free_pool_consistent() {
+        let mut m = lru(3);
+        m.touch(PageNo(1), false, 0).unwrap();
+        // Retire a frame that is still in the free pool.
+        let vacant = (0..3u64)
+            .map(FrameNo)
+            .find(|&f| m.frames[f.index()].is_none())
+            .unwrap();
+        assert!(m.retire_frame(vacant));
+        m.check_invariants();
+        // Faulting past capacity still works with the shrunken pool.
+        m.touch(PageNo(2), false, 1).unwrap();
+        m.touch(PageNo(3), false, 2).unwrap();
+        assert_eq!(m.resident_count(), 2);
+        m.check_invariants();
+    }
+
+    #[test]
+    fn unpin_all_releases_every_pin() {
+        let mut m = lru(2);
+        m.touch(PageNo(1), false, 0).unwrap();
+        m.touch(PageNo(2), false, 1).unwrap();
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(1))), 2);
+        m.advise(Advice::Pin(AdviceUnit::Page(PageNo(2))), 2);
+        assert!(m.touch(PageNo(3), false, 3).is_err(), "everything pinned");
+        assert_eq!(m.unpin_all(), 2);
+        assert!(m.touch(PageNo(3), false, 4).is_ok());
         m.check_invariants();
     }
 

@@ -52,6 +52,9 @@ impl ClassRandomRepl {
 impl Replacer for ClassRandomRepl {
     fn loaded(&mut self, _frame: FrameNo, _page: PageNo, _now: VirtualTime) {}
 
+    // Invariant: the trait contract guarantees `eligible` is never
+    // empty, so the selection below always yields a frame.
+    #[allow(clippy::expect_used)]
     fn victim(
         &mut self,
         eligible: &[FrameNo],

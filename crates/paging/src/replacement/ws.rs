@@ -73,6 +73,9 @@ pub fn working_set_sim(trace: &[PageNo], tau: VirtualTime) -> WsReport {
         while let Some(&(t, p)) = window.front() {
             if now - t >= tau {
                 window.pop_front();
+                // Invariant: every queued reference incremented its
+                // page's multiplicity when pushed.
+                #[allow(clippy::expect_used)]
                 let c = in_window.get_mut(&p).expect("queued page is counted");
                 *c -= 1;
                 if *c == 0 {

@@ -1,6 +1,6 @@
 //! Per-event-kind counters that reconcile with `MachineReport`.
 
-use crate::{Event, EventKind, Probe};
+use crate::{DegradationStep, Event, EventKind, InjectedFault, Probe};
 use dsa_core::ids::Words;
 
 /// Counts every event kind (and the word quantities events carry).
@@ -36,6 +36,15 @@ pub struct CountingProbe {
     pub map_lookups: u64,
     pub map_hits: u64,
     pub map_misses: u64,
+    pub faults_injected: u64,
+    pub transfer_errors_injected: u64,
+    pub bad_frames_injected: u64,
+    pub channel_delays_injected: u64,
+    pub alloc_failures_injected: u64,
+    pub retry_attempts: u64,
+    pub frames_quarantined: u64,
+    pub degradation_steps: u64,
+    pub shed_loads: u64,
 }
 
 impl CountingProbe {
@@ -60,6 +69,10 @@ impl CountingProbe {
             + self.prefetches
             + self.bounds_traps
             + self.map_lookups
+            + self.faults_injected
+            + self.retry_attempts
+            + self.frames_quarantined
+            + self.degradation_steps
     }
 }
 
@@ -117,6 +130,23 @@ impl Probe for CountingProbe {
                     self.map_misses += 1;
                 }
             }
+            EventKind::FaultInjected { fault } => {
+                self.faults_injected += 1;
+                match fault {
+                    InjectedFault::TransferError => self.transfer_errors_injected += 1,
+                    InjectedFault::BadFrame => self.bad_frames_injected += 1,
+                    InjectedFault::ChannelDelay => self.channel_delays_injected += 1,
+                    InjectedFault::AllocFailure => self.alloc_failures_injected += 1,
+                }
+            }
+            EventKind::RetryAttempt { .. } => self.retry_attempts += 1,
+            EventKind::FrameQuarantined => self.frames_quarantined += 1,
+            EventKind::DegradationStep { step } => {
+                self.degradation_steps += 1;
+                if step == DegradationStep::ShedLoad {
+                    self.shed_loads += 1;
+                }
+            }
         }
     }
 }
@@ -158,6 +188,32 @@ mod tests {
         c.emit(EventKind::BoundsTrap, s);
         c.emit(EventKind::MapLookup { hit: true }, s);
         c.emit(EventKind::MapLookup { hit: false }, s);
+        c.emit(
+            EventKind::FaultInjected {
+                fault: InjectedFault::TransferError,
+            },
+            s,
+        );
+        c.emit(
+            EventKind::FaultInjected {
+                fault: InjectedFault::BadFrame,
+            },
+            s,
+        );
+        c.emit(EventKind::RetryAttempt { attempt: 1 }, s);
+        c.emit(EventKind::FrameQuarantined, s);
+        c.emit(
+            EventKind::DegradationStep {
+                step: DegradationStep::Compact,
+            },
+            s,
+        );
+        c.emit(
+            EventKind::DegradationStep {
+                step: DegradationStep::ShedLoad,
+            },
+            s,
+        );
 
         assert_eq!(c.touches, 2);
         assert_eq!(c.writes, 1);
@@ -184,6 +240,15 @@ mod tests {
         assert_eq!(c.map_lookups, 2);
         assert_eq!(c.map_hits, 1);
         assert_eq!(c.map_misses, 1);
-        assert_eq!(c.total_events(), 16);
+        assert_eq!(c.faults_injected, 2);
+        assert_eq!(c.transfer_errors_injected, 1);
+        assert_eq!(c.bad_frames_injected, 1);
+        assert_eq!(c.channel_delays_injected, 0);
+        assert_eq!(c.alloc_failures_injected, 0);
+        assert_eq!(c.retry_attempts, 1);
+        assert_eq!(c.frames_quarantined, 1);
+        assert_eq!(c.degradation_steps, 2);
+        assert_eq!(c.shed_loads, 1);
+        assert_eq!(c.total_events(), 22);
     }
 }

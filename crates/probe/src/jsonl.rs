@@ -1,6 +1,6 @@
 //! Bounded in-memory event recorder with JSONL export.
 
-use crate::{Event, EventKind, Probe};
+use crate::{DegradationStep, Event, EventKind, InjectedFault, Probe};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -125,6 +125,28 @@ fn append_event(out: &mut String, e: &Event) {
         EventKind::MapLookup { hit } => {
             let _ = write!(out, ",\"kind\":\"map_lookup\",\"hit\":{hit}");
         }
+        EventKind::FaultInjected { fault } => {
+            let mode = match fault {
+                InjectedFault::TransferError => "transfer_error",
+                InjectedFault::BadFrame => "bad_frame",
+                InjectedFault::ChannelDelay => "channel_delay",
+                InjectedFault::AllocFailure => "alloc_failure",
+            };
+            let _ = write!(out, ",\"kind\":\"fault_injected\",\"fault\":\"{mode}\"");
+        }
+        EventKind::RetryAttempt { attempt } => {
+            let _ = write!(out, ",\"kind\":\"retry_attempt\",\"attempt\":{attempt}");
+        }
+        EventKind::FrameQuarantined => out.push_str(",\"kind\":\"frame_quarantined\""),
+        EventKind::DegradationStep { step } => {
+            let rung = match step {
+                DegradationStep::Coalesce => "coalesce",
+                DegradationStep::Compact => "compact",
+                DegradationStep::EvictVictims => "evict_victims",
+                DegradationStep::ShedLoad => "shed_load",
+            };
+            let _ = write!(out, ",\"kind\":\"degradation_step\",\"step\":\"{rung}\"");
+        }
     }
     out.push('}');
 }
@@ -175,9 +197,26 @@ mod tests {
         r.emit(EventKind::Prefetch { words: 512 }, s);
         r.emit(EventKind::BoundsTrap, s);
         r.emit(EventKind::MapLookup { hit: false }, s);
+        r.emit(
+            EventKind::FaultInjected {
+                fault: InjectedFault::TransferError,
+            },
+            s,
+        );
+        r.emit(EventKind::RetryAttempt { attempt: 2 }, s);
+        r.emit(EventKind::FrameQuarantined, s);
+        r.emit(
+            EventKind::DegradationStep {
+                step: DegradationStep::ShedLoad,
+            },
+            s,
+        );
         let text = r.to_jsonl();
-        assert_eq!(text.lines().count(), 14);
+        assert_eq!(text.lines().count(), 18);
         assert!(text.contains(r#"{"t_ns":123,"vt":45,"kind":"evict","dirty":true,"words":512}"#));
+        assert!(text.contains(r#""kind":"fault_injected","fault":"transfer_error""#));
+        assert!(text.contains(r#""kind":"retry_attempt","attempt":2"#));
+        assert!(text.contains(r#""kind":"degradation_step","step":"shed_load""#));
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
             // Crude balance check in lieu of a JSON parser.

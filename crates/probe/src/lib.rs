@@ -61,6 +61,42 @@ impl Stamp {
     }
 }
 
+/// What kind of hardware failure an injector simulated.
+///
+/// The paper's systems assume hardware that can fail and trap: parity
+/// and transfer errors on drum/disc channels, frames whose storage has
+/// gone bad, and exhaustion the allocator must survive. The fault
+/// injector replays those failure modes deterministically; each
+/// injection is traced with its mode so recovery accounting can
+/// reconcile per mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectedFault {
+    /// A backing-storage transfer failed (parity/transfer error); the
+    /// transfer must be retried.
+    TransferError,
+    /// A page frame's storage was found bad; the frame must be
+    /// quarantined and its page refetched elsewhere.
+    BadFrame,
+    /// A channel stalled; the transfer completes late.
+    ChannelDelay,
+    /// An allocation request was failed outright.
+    AllocFailure,
+}
+
+/// One rung of the graceful-degradation ladder a system climbs under
+/// storage pressure before giving up with a typed error.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DegradationStep {
+    /// Adjacent free blocks were combined.
+    Coalesce,
+    /// Allocated blocks were slid together to consolidate free storage.
+    Compact,
+    /// Resident units were evicted to make room.
+    EvictVictims,
+    /// The load controller shed speculative/pinned claims on storage.
+    ShedLoad,
+}
+
 /// What happened. Payloads carry the quantities reports aggregate, so a
 /// counting sink can reconcile exactly with a `MachineReport`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,6 +130,14 @@ pub enum EventKind {
     BoundsTrap,
     /// An address-map lookup was resolved.
     MapLookup { hit: bool },
+    /// The fault injector simulated a hardware failure.
+    FaultInjected { fault: InjectedFault },
+    /// A failed transfer was retried (`attempt` is 1-based).
+    RetryAttempt { attempt: u32 },
+    /// A bad page frame was removed from service permanently.
+    FrameQuarantined,
+    /// A degradation rung was climbed under storage pressure.
+    DegradationStep { step: DegradationStep },
 }
 
 /// One traced occurrence: an [`EventKind`] plus the dual timestamp.

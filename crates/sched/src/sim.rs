@@ -191,6 +191,8 @@ impl MultiprogramSim {
                 }
                 continue;
             }
+            // Invariant: the empty-ready case continued above.
+            #[allow(clippy::expect_used)]
             let i = ready.pop_front().expect("checked non-empty");
             {
                 let words = self.jobs[i].resident_words(cfg.page_size);

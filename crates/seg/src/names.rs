@@ -194,6 +194,9 @@ impl LinearSegDict {
         }
         // Fragmented: renumber (compact) the dictionary.
         self.renumber();
+        // Invariant: total_free() >= count was checked above, and
+        // renumber() makes all free numbers contiguous.
+        #[allow(clippy::expect_used)]
         let start = self
             .first_fit(count)
             .expect("compaction freed a contiguous range");

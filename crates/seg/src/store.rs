@@ -19,9 +19,10 @@ use std::collections::HashMap;
 use dsa_core::advice::{Advice, AdviceUnit};
 use dsa_core::error::{AccessFault, AllocError, CoreError};
 use dsa_core::ids::{PhysAddr, SegId, Words};
+use dsa_freelist::compaction;
 use dsa_freelist::freelist::FreeListAllocator;
 use dsa_freelist::rice::RiceAllocator;
-use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
+use dsa_probe::{DegradationStep, EventKind, NullProbe, Probe, Stamp};
 
 /// Which variable-unit allocator places segments.
 #[derive(Debug)]
@@ -59,6 +60,14 @@ impl StoreBackend {
         match self {
             StoreBackend::FreeList(a) => a.capacity(),
             StoreBackend::Rice(a) => a.capacity(),
+        }
+    }
+
+    /// Largest single allocation the backend could satisfy right now.
+    fn largest_free(&self) -> Words {
+        match self {
+            StoreBackend::FreeList(a) => a.largest_free(),
+            StoreBackend::Rice(a) => a.largest_free(),
         }
     }
 }
@@ -109,6 +118,10 @@ pub struct SegStats {
     /// Accesses that failed because working storage could not hold the
     /// segment even after iterative replacement.
     pub capacity_failures: u64,
+    /// Degradation rungs climbed under storage pressure (coalesce,
+    /// compact, evict-victims) when the ladder is enabled. Mirrors the
+    /// `DegradationStep` events this store emits, one for one.
+    pub degradation_steps: u64,
 }
 
 /// What one touch did.
@@ -137,6 +150,9 @@ pub struct SegmentStore {
     hand: usize,
     /// Maximum size a single segment may have (1024 on the B5000).
     max_segment: Words,
+    /// Climb the graceful-degradation ladder (coalesce → compact →
+    /// evict) before declaring a fetch out of storage.
+    degrade: bool,
     stats: SegStats,
 }
 
@@ -152,8 +168,41 @@ impl SegmentStore {
             rotation: Vec::new(),
             hand: 0,
             max_segment,
+            degrade: false,
             stats: SegStats::default(),
         }
+    }
+
+    /// Enables the graceful-degradation ladder: when a fetch cannot be
+    /// placed outright, the cheapest recovery runs first — coalescing
+    /// adjacent free blocks (the Rice chain's deferred combining),
+    /// then compacting working storage (free list), and only then
+    /// evicting victims. Each rung taken emits a `DegradationStep`
+    /// event and counts in [`SegStats::degradation_steps`].
+    #[must_use]
+    pub fn with_degradation(mut self) -> SegmentStore {
+        self.enable_degradation();
+        self
+    }
+
+    /// Non-consuming form of [`SegmentStore::with_degradation`], for
+    /// machines that arm recovery after assembly.
+    pub fn enable_degradation(&mut self) {
+        self.degrade = true;
+    }
+
+    /// Drops every segment pin, returning how many were released. The
+    /// shed-load rung of a machine's degradation ladder calls this to
+    /// surrender advisory claims when a demand would otherwise fail.
+    pub fn unpin_all(&mut self) -> usize {
+        let mut n = 0;
+        for st in self.segs.values_mut() {
+            if st.pinned {
+                st.pinned = false;
+                n += 1;
+            }
+        }
+        n
     }
 
     /// Cumulative statistics.
@@ -229,6 +278,9 @@ impl SegmentStore {
     /// # Errors
     ///
     /// Returns [`AccessFault::UnknownSegment`] if it does not exist.
+    // Internal invariant: a resident segment always has a backing
+    // allocation; user-visible failures return typed errors above.
+    #[allow(clippy::expect_used)]
     pub fn delete(&mut self, seg: SegId) -> Result<(), CoreError> {
         let state = self
             .segs
@@ -251,6 +303,9 @@ impl SegmentStore {
     ///
     /// As for [`SegmentStore::define`], plus
     /// [`AccessFault::UnknownSegment`].
+    // Internal invariants: existence is checked before the expects run;
+    // user-visible failures return typed errors.
+    #[allow(clippy::expect_used)]
     pub fn resize(&mut self, seg: SegId, size: Words) -> Result<(), CoreError> {
         if size == 0 {
             return Err(AllocError::ZeroSize.into());
@@ -285,6 +340,8 @@ impl SegmentStore {
     }
 
     /// Picks an eviction victim, or `None` if nothing is evictable.
+    // Internal invariant: the rotation lists resident segments only.
+    #[allow(clippy::expect_used)]
     fn pick_victim(&mut self) -> Option<SegId> {
         if self.rotation.is_empty() {
             return None;
@@ -329,6 +386,9 @@ impl SegmentStore {
         }
     }
 
+    // Internal invariants: callers pass a victim from `pick_victim`,
+    // which only yields resident (hence allocated) segments.
+    #[allow(clippy::expect_used)]
     fn evict_probed<P: Probe + ?Sized>(&mut self, seg: SegId, at: Stamp, probe: &mut P) -> Words {
         let st = self.segs.get_mut(&seg).expect("victim exists");
         debug_assert!(st.resident);
@@ -362,6 +422,8 @@ impl SegmentStore {
         self.fetch_probed(seg, Stamp::vtime(0), &mut NullProbe)
     }
 
+    // Internal invariant: every caller verifies `seg` is declared.
+    #[allow(clippy::expect_used)]
     fn fetch_probed<P: Probe + ?Sized>(
         &mut self,
         seg: SegId,
@@ -371,15 +433,78 @@ impl SegmentStore {
         let size = self.segs[&seg].size;
         let mut evictions = 0u32;
         let mut writeback = 0;
+        // Each degradation rung fires at most once per fetch; without
+        // the ladder the loop goes straight to eviction, as the B5000
+        // and Rice machines did.
+        let mut may_coalesce = self.degrade;
+        let mut may_compact = self.degrade;
+        let mut entered_eviction = false;
         loop {
-            match self.backend.alloc(u64::from(seg.0), size) {
+            // The Rice allocator combines adjacent inactive blocks
+            // itself when a placement fails (deferred coalescing); watch
+            // its merge counter so that recovery is recorded as the
+            // ladder's first rung. (The free list coalesces on every
+            // free, so it has no cheaper rung than compaction.)
+            let combined_before = match &self.backend {
+                StoreBackend::Rice(a) if may_coalesce => a.stats().blocks_combined,
+                _ => 0,
+            };
+            let placed = self.backend.alloc(u64::from(seg.0), size);
+            if may_coalesce {
+                if let StoreBackend::Rice(a) = &self.backend {
+                    if a.stats().blocks_combined > combined_before {
+                        may_coalesce = false;
+                        self.stats.degradation_steps += 1;
+                        probe.emit(
+                            EventKind::DegradationStep {
+                                step: DegradationStep::Coalesce,
+                            },
+                            at,
+                        );
+                    }
+                }
+            }
+            match placed {
                 Ok(_addr) => break,
                 Err(AllocError::OutOfStorage { .. }) => {
+                    if may_compact {
+                        may_compact = false;
+                        if let StoreBackend::FreeList(a) = &mut self.backend {
+                            // Compaction can only help when free words
+                            // are split across holes.
+                            if a.hole_count() > 1 && a.free_words() >= size {
+                                // Segments are looked up on every touch,
+                                // so no addresses need forwarding here.
+                                compaction::compact_probed(a, |_, _, _, _| {}, at, probe);
+                                self.stats.degradation_steps += 1;
+                                probe.emit(
+                                    EventKind::DegradationStep {
+                                        step: DegradationStep::Compact,
+                                    },
+                                    at,
+                                );
+                                continue;
+                            }
+                        }
+                    }
+                    if self.degrade && !entered_eviction {
+                        entered_eviction = true;
+                        self.stats.degradation_steps += 1;
+                        probe.emit(
+                            EventKind::DegradationStep {
+                                step: DegradationStep::EvictVictims,
+                            },
+                            at,
+                        );
+                    }
                     let Some(victim) = self.pick_victim() else {
                         self.stats.capacity_failures += 1;
                         return Err(AllocError::OutOfStorage {
                             requested: size,
-                            largest_free: 0,
+                            // Report what is honestly available *after*
+                            // every permitted recovery ran, so callers
+                            // (and their users) can size a retry.
+                            largest_free: self.backend.largest_free(),
                         }
                         .into());
                     };
@@ -424,6 +549,10 @@ impl SegmentStore {
     /// # Errors
     ///
     /// As [`SegmentStore::touch`].
+    // Internal invariants: declaration is checked first, and a
+    // successful fetch leaves the segment resident and allocated;
+    // user-visible failures return typed errors above.
+    #[allow(clippy::expect_used)]
     pub fn touch_probed<P: Probe + ?Sized>(
         &mut self,
         seg: SegId,
@@ -760,6 +889,102 @@ mod tests {
         s.advise(Advice::Release(AdviceUnit::Segment(SegId(0))));
         assert_eq!(s.resident_count(), 0);
         assert!(s.touch(SegId(0), 0, false).unwrap().fetched);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn out_of_storage_reports_honest_largest_free() {
+        // Regression: this used to hardcode `largest_free: 0`.
+        let mut s = b5000_store(100);
+        s.define(SegId(0), 40).unwrap();
+        s.touch(SegId(0), 0, false).unwrap();
+        s.advise(Advice::Pin(AdviceUnit::Segment(SegId(0))));
+        s.define(SegId(1), 30).unwrap();
+        s.touch(SegId(1), 0, false).unwrap();
+        s.advise(Advice::Pin(AdviceUnit::Segment(SegId(1))));
+        s.define(SegId(2), 50).unwrap();
+        let err = s.touch(SegId(2), 0, false).unwrap_err();
+        match err {
+            CoreError::Alloc(AllocError::OutOfStorage {
+                requested,
+                largest_free,
+            }) => {
+                assert_eq!(requested, 50);
+                assert_eq!(largest_free, 30, "the 30-word tail hole is free");
+            }
+            other => panic!("expected OutOfStorage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degradation_compacts_before_evicting() {
+        // Fragmented free list: 30 words at [30,60) + 10 at [90,100).
+        let mut s = b5000_store(100).with_degradation();
+        for i in 0..3 {
+            s.define(SegId(i), 30).unwrap();
+            s.touch(SegId(i), 0, false).unwrap();
+        }
+        s.advise(Advice::Pin(AdviceUnit::Segment(SegId(0))));
+        s.advise(Advice::Pin(AdviceUnit::Segment(SegId(2))));
+        s.advise(Advice::Release(AdviceUnit::Segment(SegId(1))));
+        let evictions_before = s.stats().evictions;
+        // 40 words fit only after compaction slides seg 2 down.
+        s.define(SegId(3), 40).unwrap();
+        let r = s.touch(SegId(3), 0, false).unwrap();
+        assert!(r.fetched);
+        assert_eq!(r.evictions, 0, "compaction made room without victims");
+        assert_eq!(s.stats().evictions, evictions_before);
+        assert_eq!(s.stats().degradation_steps, 1);
+        assert!(s.touch(SegId(0), 0, false).is_ok());
+        assert!(s.touch(SegId(2), 0, false).is_ok());
+        s.check_invariants();
+    }
+
+    #[test]
+    fn degradation_coalesces_the_rice_chain_before_evicting() {
+        let mut s = rice_store(100).with_degradation();
+        for i in 0..3 {
+            s.define(SegId(i), 30).unwrap();
+            s.touch(SegId(i), 0, false).unwrap();
+        }
+        // Free two adjacent blocks; the chain holds them separately.
+        s.advise(Advice::Release(AdviceUnit::Segment(SegId(0))));
+        s.advise(Advice::Release(AdviceUnit::Segment(SegId(1))));
+        s.advise(Advice::Pin(AdviceUnit::Segment(SegId(2))));
+        s.define(SegId(3), 50).unwrap();
+        let r = s.touch(SegId(3), 0, false).unwrap();
+        assert!(r.fetched);
+        assert_eq!(r.evictions, 0, "coalescing made room without victims");
+        assert_eq!(s.stats().degradation_steps, 1);
+        s.check_invariants();
+    }
+
+    #[test]
+    fn degradation_falls_through_to_eviction() {
+        let mut s = b5000_store(100).with_degradation();
+        s.define(SegId(0), 60).unwrap();
+        s.touch(SegId(0), 0, false).unwrap();
+        s.define(SegId(1), 60).unwrap();
+        let r = s.touch(SegId(1), 0, false).unwrap();
+        assert_eq!(r.evictions, 1, "nothing to compact; eviction rung runs");
+        assert_eq!(
+            s.stats().degradation_steps,
+            1,
+            "entering the eviction rung counts once per fetch"
+        );
+        s.check_invariants();
+    }
+
+    #[test]
+    fn unpin_all_releases_segment_pins() {
+        let mut s = b5000_store(100);
+        s.define(SegId(0), 80).unwrap();
+        s.touch(SegId(0), 0, false).unwrap();
+        s.advise(Advice::Pin(AdviceUnit::Segment(SegId(0))));
+        s.define(SegId(1), 50).unwrap();
+        assert!(s.touch(SegId(1), 0, false).is_err(), "pinned blocks demand");
+        assert_eq!(s.unpin_all(), 1);
+        assert!(s.touch(SegId(1), 0, false).is_ok());
         s.check_invariants();
     }
 

@@ -122,6 +122,9 @@ impl SectorDrum {
         let mut pending: Vec<usize> = (0..requests.len()).collect();
         let mut now = start;
         while !pending.is_empty() {
+            // Invariant: the loop condition guarantees `pending` holds at
+            // least one request for min_by_key to select.
+            #[allow(clippy::expect_used)]
             let pick = match discipline {
                 DrumDiscipline::Fifo => 0,
                 DrumDiscipline::Sltf => pending

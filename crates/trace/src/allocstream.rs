@@ -132,6 +132,9 @@ impl AllocStreamCfg {
                 live_words += size;
                 out.push(AllocEvent::Alloc(AllocRequest { id, size }));
             } else {
+                // Invariant: live_words >= target > 0 here, so at least
+                // one live block exists to retire.
+                #[allow(clippy::expect_used)]
                 let Reverse((_, id, size)) = live.pop().expect("target > 0 implies live blocks");
                 live_words -= size;
                 out.push(AllocEvent::Free { id });

@@ -11,6 +11,9 @@
 //! * [`mapping`] — addressing mechanisms: relocation registers, block
 //!   maps, the ATLAS frame-associative map, two-level segment+page maps
 //!   with associative memories;
+//! * [`faults`] — deterministic fault injection (transfer errors, bad
+//!   frames, channel delays, forced allocation failures) and recovery
+//!   policies: bounded retry, frame quarantine, graceful degradation;
 //! * [`freelist`] — variable-unit allocation: placement policies, the
 //!   Rice inactive-block chain, the buddy system, compaction;
 //! * [`paging`] — uniform-unit allocation: demand paging and
@@ -41,6 +44,7 @@
 //! ```
 
 pub use dsa_core as core;
+pub use dsa_faults as faults;
 pub use dsa_freelist as freelist;
 pub use dsa_machines as machines;
 pub use dsa_mapping as mapping;

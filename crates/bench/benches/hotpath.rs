@@ -1,0 +1,109 @@
+//! Host-cost hot paths: what the simulator pays in wall-clock, as
+//! distinct from the modeled costs it reports.
+//!
+//! Two inner loops dominate every sweep's wall-clock:
+//!
+//! * variable-unit placement — best-fit/worst-fit must *choose* a hole
+//!   on every allocation (the modeled search length the paper cares
+//!   about is reported separately by `FreeListStats`);
+//! * victim selection — LRU and MIN must pick a frame on every
+//!   eviction.
+//!
+//! The workloads here are sized so the structures being searched are
+//! large (thousands of holes, hundreds of frames): the regime the
+//! finite-size-scaling sweeps need. Results are recorded across PRs in
+//! `BENCH_03.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsa_core::access::AllocEvent;
+use dsa_core::ids::PageNo;
+use dsa_freelist::freelist::{FreeListAllocator, Placement};
+use dsa_paging::paged::PagedMemory;
+use dsa_paging::replacement::lru::LruRepl;
+use dsa_paging::replacement::min::MinRepl;
+use dsa_trace::allocstream::{AllocStreamCfg, SizeDist};
+use dsa_trace::refstring::RefStringCfg;
+use dsa_trace::rng::Rng64;
+
+const CAPACITY: u64 = 1 << 18;
+const ALLOC_EVENTS: usize = 120_000;
+
+/// Replays an allocation/free stream, dropping frees of failed
+/// requests, exactly as experiment E5 does.
+fn replay(policy: Placement, events: &[AllocEvent]) -> u64 {
+    let mut a = FreeListAllocator::new(CAPACITY, policy);
+    let mut dropped: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    for e in events {
+        match *e {
+            AllocEvent::Alloc(r) => {
+                if a.alloc(r.id, r.size).is_err() {
+                    dropped.insert(r.id);
+                }
+            }
+            AllocEvent::Free { id } => {
+                if !dropped.remove(&id) {
+                    a.free(id).expect("live id");
+                }
+            }
+        }
+    }
+    a.stats().probes
+}
+
+/// Best-fit and worst-fit on a hole-rich heap: small exponential
+/// requests at high load keep thousands of holes live, so the
+/// per-allocation hole choice is the hot path.
+fn alloc_churn(c: &mut Criterion) {
+    let cfg = AllocStreamCfg {
+        sizes: SizeDist::Exponential {
+            mean: 32.0,
+            cap: 2000,
+        },
+        mean_lifetime: 4000.0,
+        target_live_words: (CAPACITY as f64 * 0.95) as u64,
+    };
+    let events = cfg.generate(ALLOC_EVENTS, &mut Rng64::new(7));
+    let mut g = c.benchmark_group("alloc_churn");
+    for policy in [Placement::BestFit, Placement::WorstFit, Placement::FirstFit] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.label()),
+            &events,
+            |b, events| b.iter(|| replay(policy, events)),
+        );
+    }
+    g.finish();
+}
+
+/// LRU and MIN victim selection with a large frame pool and a miss-heavy
+/// uniform trace: nearly every reference evicts, so victim choice
+/// dominates.
+fn victim_select(c: &mut Criterion) {
+    const FRAMES: usize = 512;
+    const REFS: usize = 60_000;
+    let trace: Vec<PageNo> =
+        RefStringCfg::Uniform { pages: 4096 }.generate_pages(REFS, &mut Rng64::new(11));
+    let mut g = c.benchmark_group("victim_select");
+    g.bench_function("lru_512f", |b| {
+        b.iter(|| {
+            let mut m = PagedMemory::new(FRAMES, Box::new(LruRepl::new()));
+            m.run_pages(&trace).expect("no pinning").faults
+        })
+    });
+    g.bench_function("min_512f", |b| {
+        b.iter(|| {
+            let mut m = PagedMemory::new(FRAMES, Box::new(MinRepl::new(&trace)));
+            m.run_pages(&trace).expect("no pinning").faults
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = hotpath;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = alloc_churn, victim_select
+);
+criterion_main!(hotpath);

@@ -8,6 +8,7 @@
 //! access — compared against the cheaper addressing mechanisms.
 
 use dsa_core::ids::{Name, PhysAddr};
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_mapping::block_map::BlockMap;
 use dsa_mapping::cost::MapCosts;
 use dsa_mapping::relocation::{IdentityMap, RelocationLimit};
@@ -17,6 +18,7 @@ use dsa_storage::memory::CoreMemory;
 use dsa_trace::rng::Rng64;
 
 fn main() {
+    let jobs = jobs_from_env();
     println!("E1: artificial contiguity (Figures 1 and 2)\n");
 
     // A 64-name space of four 16-word blocks over a 256-word memory,
@@ -79,19 +81,29 @@ fn main() {
     let names: Vec<Name> = (0..100_000).map(|_| Name(rng.below(64))).collect();
     let mut t = Table::new(&["mechanism", "ns/access", "faults"])
         .with_title("addressing overhead (2 us core)");
-    let mut identity = IdentityMap::new(64, costs);
-    let mut reloc = RelocationLimit::new(PhysAddr(100), 64, costs);
-    let mut devices: Vec<&mut dyn AddressMap> = vec![&mut identity, &mut reloc, &mut map];
-    for d in &mut devices {
+    // Each device is an independent cell; the block map carries the
+    // translation statistics it accumulated in the demonstration above,
+    // so the devices move into the grid rather than being rebuilt.
+    let identity = IdentityMap::new(64, costs);
+    let reloc = RelocationLimit::new(PhysAddr(100), 64, costs);
+    let grid = SimGrid::new(vec![
+        std::sync::Mutex::new(Box::new(identity) as Box<dyn AddressMap + Send>),
+        std::sync::Mutex::new(Box::new(reloc) as Box<dyn AddressMap + Send>),
+        std::sync::Mutex::new(Box::new(map) as Box<dyn AddressMap + Send>),
+    ]);
+    for row in grid.run(jobs, |_, cell| {
+        let mut d = cell.lock().expect("cell is never contended");
         for &n in &names {
             let _ = d.translate(n);
         }
         let s = d.stats();
-        t.row_owned(vec![
+        vec![
             d.label().to_owned(),
             format!("{:.0}", s.mean_overhead_nanos()),
             s.faults.to_string(),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     println!("{t}");
     println!(

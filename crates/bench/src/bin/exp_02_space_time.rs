@@ -12,6 +12,7 @@
 
 use dsa_core::clock::Cycles;
 use dsa_core::ids::JobId;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_metrics::table::Table;
 use dsa_paging::replacement::lru::LruRepl;
 use dsa_sched::sim::{JobSpec, MultiprogramSim, SimConfig};
@@ -26,11 +27,7 @@ fn job_trace(seed: u64) -> Vec<dsa_core::ids::PageNo> {
     cfg.generate_pages(20_000, &mut Rng64::new(seed))
 }
 
-fn run(fetch: Cycles, jobs: usize) -> (f64, f64, f64) {
-    run_with_channels(fetch, jobs, None)
-}
-
-fn run_with_channels(fetch: Cycles, jobs: usize, channels: Option<usize>) -> (f64, f64, f64) {
+fn sim_for(fetch: Cycles, jobs: usize, channels: Option<usize>) -> MultiprogramSim {
     let cfg = SimConfig {
         instr_time: Cycles::from_micros(10),
         fetch_time: fetch,
@@ -46,13 +43,18 @@ fn run_with_channels(fetch: Cycles, jobs: usize, channels: Option<usize>) -> (f6
             replacer: Box::new(LruRepl::new()),
         })
         .collect();
-    let r = MultiprogramSim::new(cfg, specs).run().expect("no pinning");
+    MultiprogramSim::new(cfg, specs)
+}
+
+fn run_with_channels(fetch: Cycles, jobs: usize, channels: Option<usize>) -> (f64, f64, f64) {
+    let r = sim_for(fetch, jobs, channels).run().expect("no pinning");
     let st = r.total_space_time();
     let per_job = st.total_word_millis() / jobs as f64;
     (r.cpu_utilization(), st.waiting_fraction(), per_job)
 }
 
 fn main() {
+    let workers = jobs_from_env();
     println!("E2: storage utilization with demand paging (Figure 3)\n");
     let devices = [
         ("fast store (20 us)", Cycles::from_micros(20)),
@@ -68,15 +70,22 @@ fn main() {
         "space-time/job (word-ms)",
     ])
     .with_title("64-page program, 32 frames, LRU, 10 us/ref");
-    for &(name, fetch) in &devices {
-        for jobs in [1usize, 2, 4, 8] {
-            let (util, wait_frac, st) = run(fetch, jobs);
+    // One multiprogramming-level sweep per backing store, on the sched
+    // crate's parallel sweep entry point.
+    let levels = [1usize, 2, 4, 8];
+    for (name, fetch) in devices {
+        let reports = dsa_sched::sweep::level_sweep(workers, levels.to_vec(), |jobs| {
+            sim_for(fetch, jobs, None)
+        });
+        for (&jobs, r) in levels.iter().zip(reports) {
+            let r = r.expect("no pinning");
+            let st = r.total_space_time();
             t.row_owned(vec![
                 name.to_owned(),
                 jobs.to_string(),
-                format!("{:.1}%", util * 100.0),
-                format!("{:.1}%", wait_frac * 100.0),
-                format!("{st:.1}"),
+                format!("{:.1}%", r.cpu_utilization() * 100.0),
+                format!("{:.1}%", st.waiting_fraction() * 100.0),
+                format!("{:.1}", st.total_word_millis() / jobs as f64),
             ]);
         }
     }
@@ -87,18 +96,21 @@ fn main() {
     // and multiprogramming's rescue saturates early.
     let mut t = Table::new(&["channels", "cpu util (8 jobs)", "wait share"])
         .with_title("drum, 8 jobs, limited transfer channels");
-    for (label, channels) in [
+    let grid = SimGrid::new(vec![
         ("1", Some(1)),
         ("2", Some(2)),
         ("4", Some(4)),
         ("ample", None),
-    ] {
+    ]);
+    for row in grid.run(workers, |_, &(label, channels)| {
         let (util, wait, _) = run_with_channels(Cycles::from_millis(8), 8, channels);
-        t.row_owned(vec![
+        vec![
             label.to_owned(),
             format!("{:.1}%", util * 100.0),
             format!("{:.1}%", wait * 100.0),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     println!("{t}");
     println!(

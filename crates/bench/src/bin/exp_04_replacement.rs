@@ -12,6 +12,7 @@
 //! representative run (LRU on the first trace, 24 frames) as JSONL.
 
 use dsa_core::ids::PageNo;
+use dsa_exec::{jobs_from_env, product2, SimGrid};
 use dsa_metrics::table::Table;
 use dsa_paging::paged::PagedMemory;
 use dsa_paging::replacement::atlas::AtlasLearning;
@@ -47,21 +48,25 @@ fn trace_out_path() -> Option<PathBuf> {
     None
 }
 
-fn policies(frames: usize, trace: &[PageNo]) -> Vec<Box<dyn Replacer>> {
-    vec![
-        Box::new(MinRepl::new(trace)),
-        Box::new(LruRepl::new()),
-        Box::new(ClockRepl::new(frames)),
-        Box::new(FifoRepl::new()),
-        Box::new(ClassRandomRepl::new(4, 8)),
-        Box::new(RandomRepl::new(4)),
-        Box::new(AtlasLearning::new()),
-        Box::new(LfuRepl::with_aging(32)),
-    ]
+const POLICY_COUNT: usize = 8;
+
+fn policy_by_index(i: usize, frames: usize, trace: &[PageNo]) -> Box<dyn Replacer> {
+    match i {
+        0 => Box::new(MinRepl::new(trace)),
+        1 => Box::new(LruRepl::new()),
+        2 => Box::new(ClockRepl::new(frames)),
+        3 => Box::new(FifoRepl::new()),
+        4 => Box::new(ClassRandomRepl::new(4, 8)),
+        5 => Box::new(RandomRepl::new(4)),
+        6 => Box::new(AtlasLearning::new()),
+        7 => Box::new(LfuRepl::with_aging(32)),
+        _ => unreachable!("policy index {i} out of range"),
+    }
 }
 
 fn main() {
     let trace_out = trace_out_path();
+    let jobs = jobs_from_env();
     println!("E4: replacement strategies — fault rate vs core size\n");
     let traces: Vec<(&str, RefStringCfg)> = vec![
         (
@@ -124,20 +129,29 @@ fn main() {
         ];
         let mut rates = vec![Vec::new(); names.len()];
         let mut p95_inter_fault = vec![0u64; names.len()];
-        for &frames in &frame_counts {
-            for (i, policy) in policies(frames, &trace).into_iter().enumerate() {
-                let mut mem = PagedMemory::new(frames, policy);
-                if frames == PROBED_FRAMES {
-                    let mut probe = LatencyProbe::new();
-                    let stats = mem
-                        .run_pages_probed(&trace, &mut probe)
-                        .expect("no pinning");
-                    rates[i].push(stats.fault_rate());
-                    p95_inter_fault[i] = probe.inter_fault().quantile(0.95);
-                } else {
-                    let stats = mem.run_pages(&trace).expect("no pinning");
-                    rates[i].push(stats.fault_rate());
-                }
+        // Every (frame count, policy) pair is an independent run over
+        // the shared trace; the grid preserves the nested-loop order.
+        let grid = SimGrid::new(product2(
+            &frame_counts,
+            &(0..POLICY_COUNT).collect::<Vec<_>>(),
+        ));
+        let measured = grid.run(jobs, |_, &(frames, i)| {
+            let mut mem = PagedMemory::new(frames, policy_by_index(i, frames, &trace));
+            if frames == PROBED_FRAMES {
+                let mut probe = LatencyProbe::new();
+                let stats = mem
+                    .run_pages_probed(&trace, &mut probe)
+                    .expect("no pinning");
+                (stats.fault_rate(), Some(probe.inter_fault().quantile(0.95)))
+            } else {
+                let stats = mem.run_pages(&trace).expect("no pinning");
+                (stats.fault_rate(), None)
+            }
+        });
+        for (&(_, i), (rate, p95)) in grid.cells().iter().zip(measured) {
+            rates[i].push(rate);
+            if let Some(p) = p95 {
+                p95_inter_fault[i] = p;
             }
         }
         // Dump one representative probed run (LRU on the first trace)

@@ -10,9 +10,11 @@
 //!
 //! Pass `--trace-out <path>` to dump the probe event stream of one
 //! representative run (best-fit, first size distribution, highest
-//! load) as JSONL.
+//! load) as JSONL. `--jobs N` fans the policy rows of each table
+//! across N workers; any width prints the same bytes.
 
 use dsa_core::access::AllocEvent;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_freelist::frag::FragReport;
 use dsa_freelist::freelist::{FreeListAllocator, Placement};
 use dsa_freelist::rice::RiceAllocator;
@@ -165,8 +167,61 @@ fn drive_segregated(events: &[AllocEvent]) -> Outcome {
     }
 }
 
+/// One row of a table: a policy, the Rice chain, or the segregated
+/// baseline — an independent simulation over the shared event stream.
+#[derive(Clone)]
+enum RowKind {
+    Policy(Placement),
+    Rice,
+    Segregated,
+}
+
+fn row_for(kind: &RowKind, events: &[AllocEvent]) -> Vec<String> {
+    match kind {
+        RowKind::Policy(policy) => {
+            let mut probe = LatencyProbe::new();
+            let o = drive_freelist(*policy, events, &mut probe);
+            vec![
+                policy.label().to_owned(),
+                o.failures.to_string(),
+                format!("{:.1}%", o.utilization * 100.0),
+                format!("{:.3}", o.ext_frag),
+                o.holes.to_string(),
+                format!("{:.1}", o.mean_search),
+                probe.search_len().quantile(0.95).to_string(),
+            ]
+        }
+        RowKind::Rice => {
+            let mut probe = LatencyProbe::new();
+            let o = drive_rice(events, &mut probe);
+            vec![
+                "Rice chain".to_owned(),
+                o.failures.to_string(),
+                format!("{:.1}%", o.utilization * 100.0),
+                "n/a".to_owned(),
+                o.holes.to_string(),
+                format!("{:.1}", o.mean_search),
+                probe.search_len().quantile(0.95).to_string(),
+            ]
+        }
+        RowKind::Segregated => {
+            let o = drive_segregated(events);
+            vec![
+                "segregated 2^k".to_owned(),
+                o.failures.to_string(),
+                format!("{:.1}%", o.utilization * 100.0),
+                "n/a".to_owned(),
+                "-".to_owned(),
+                format!("{:.1}", o.mean_search),
+                "1".to_owned(),
+            ]
+        }
+    }
+}
+
 fn main() {
     let trace_out = trace_out_path();
+    let jobs = jobs_from_env();
     println!("E5: placement strategies under steady allocation churn\n");
     for (di, (dist_name, sizes)) in [
         (
@@ -223,46 +278,18 @@ fn main() {
                 "{dist_name}, target load {target:.0}%",
                 target = target * 100.0
             ));
-            for policy in [
-                Placement::FirstFit,
-                Placement::NextFit,
-                Placement::BestFit,
-                Placement::WorstFit,
-                Placement::TwoEnds { threshold: 256 },
-            ] {
-                let mut probe = LatencyProbe::new();
-                let o = drive_freelist(policy, &events, &mut probe);
-                t.row_owned(vec![
-                    policy.label().to_owned(),
-                    o.failures.to_string(),
-                    format!("{:.1}%", o.utilization * 100.0),
-                    format!("{:.3}", o.ext_frag),
-                    o.holes.to_string(),
-                    format!("{:.1}", o.mean_search),
-                    probe.search_len().quantile(0.95).to_string(),
-                ]);
+            let grid = SimGrid::new(vec![
+                RowKind::Policy(Placement::FirstFit),
+                RowKind::Policy(Placement::NextFit),
+                RowKind::Policy(Placement::BestFit),
+                RowKind::Policy(Placement::WorstFit),
+                RowKind::Policy(Placement::TwoEnds { threshold: 256 }),
+                RowKind::Rice,
+                RowKind::Segregated,
+            ]);
+            for row in grid.run(jobs, |_, kind| row_for(kind, &events)) {
+                t.row_owned(row);
             }
-            let mut probe = LatencyProbe::new();
-            let o = drive_rice(&events, &mut probe);
-            t.row_owned(vec![
-                "Rice chain".to_owned(),
-                o.failures.to_string(),
-                format!("{:.1}%", o.utilization * 100.0),
-                "n/a".to_owned(),
-                o.holes.to_string(),
-                format!("{:.1}", o.mean_search),
-                probe.search_len().quantile(0.95).to_string(),
-            ]);
-            let o = drive_segregated(&events);
-            t.row_owned(vec![
-                "segregated 2^k".to_owned(),
-                o.failures.to_string(),
-                format!("{:.1}%", o.utilization * 100.0),
-                "n/a".to_owned(),
-                "-".to_owned(),
-                format!("{:.1}", o.mean_search),
-                "1".to_owned(),
-            ]);
             println!("{t}");
         }
     }

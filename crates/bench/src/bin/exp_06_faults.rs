@@ -17,6 +17,7 @@
 use dsa_bench::workloads::survey_program_cfg;
 use dsa_core::access::ProgramOp;
 use dsa_core::clock::Cycles;
+use dsa_exec::{jobs_from_env, product2, SimGrid};
 use dsa_faults::FaultConfig;
 use dsa_machines::presets::{atlas, b5000, multics};
 use dsa_machines::MachineReport;
@@ -94,7 +95,7 @@ fn assert_reconciles(name: &str, rate: f64, r: &MachineReport, c: &CountingProbe
     assert_eq!(c.faults, r.faults, "{name} @ rate {rate}: faults");
 }
 
-fn run_one(name: &str, rate: f64, ops: &[ProgramOp], results: &mut Table) {
+fn run_one(name: &str, rate: f64, ops: &[ProgramOp]) -> Vec<String> {
     let seed = 6;
     let mut tee = Tee {
         counts: CountingProbe::new(),
@@ -120,7 +121,7 @@ fn run_one(name: &str, rate: f64, ops: &[ProgramOp], results: &mut Table) {
     let busy_ns = (r.fetch_time + r.map_time).as_nanos().max(1);
     let throughput = r.touches as f64 * 1e6 / busy_ns as f64;
     let service = tee.latency.fault_service();
-    results.row_owned(vec![
+    vec![
         name.to_owned(),
         format!("{rate:.0e}"),
         r.touches.to_string(),
@@ -133,7 +134,7 @@ fn run_one(name: &str, rate: f64, ops: &[ProgramOp], results: &mut Table) {
         format!("{throughput:.1}"),
         service.quantile(0.5).to_string(),
         service.quantile(0.95).to_string(),
-    ]);
+    ]
 }
 
 fn main() {
@@ -162,10 +163,16 @@ fn main() {
     ])
     .with_title("degradation curves (one row per machine x error rate)");
 
-    for name in ["ATLAS", "B5000", "MULTICS"] {
-        for rate in [0.0, 1e-4, 1e-3, 1e-2] {
-            run_one(name, rate, &program.ops, &mut results);
-        }
+    // Each (machine, rate) pair is an independent injected run; the
+    // per-cell fault RNG is seeded inside run_one, so cells are pure.
+    let grid = SimGrid::new(product2(
+        &["ATLAS", "B5000", "MULTICS"],
+        &[0.0, 1e-4, 1e-3, 1e-2],
+    ));
+    for row in grid.run(jobs_from_env(), |_, &(name, rate)| {
+        run_one(name, rate, &program.ops)
+    }) {
+        results.row_owned(row);
     }
     println!("{results}");
     println!(

@@ -15,6 +15,7 @@
 //!    table and fetch count.
 
 use dsa_core::ids::Words;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_freelist::frag::{dual_size_waste, paged_overhead};
 use dsa_metrics::sparkline::labelled_sparkline;
 use dsa_metrics::table::Table;
@@ -106,20 +107,26 @@ fn main() {
     ])
     .with_title("sequential 100-word runs over 2000 objects, 16K-word storage, LRU, drum timing");
     let mut curve: Vec<f64> = Vec::new();
-    for page in [16u64, 64, 128, 256, 512, 1024, 2048, 4096] {
+    let grid = SimGrid::new(vec![16u64, 64, 128, 256, 512, 1024, 2048, 4096]);
+    for (fetch_ms, row) in grid.run(jobs_from_env(), |_, &page| {
         let trace = to_page_trace(&scaled, page);
         let frames = frames_for(memory, page);
         let mut mem = PagedMemory::new(frames, Box::new(LruRepl::new()));
         let stats = mem.run_pages(&trace).expect("no pinning");
         let fetch_ms = stats.faults as f64 * (drum_latency_ns + word_ns * page) as f64 / 1e6;
+        (
+            fetch_ms,
+            vec![
+                page.to_string(),
+                frames.to_string(),
+                format!("{:.4}", stats.fault_rate()),
+                stats.faults.to_string(),
+                format!("{fetch_ms:.0} ms"),
+            ],
+        )
+    }) {
         curve.push(fetch_ms);
-        t.row_owned(vec![
-            page.to_string(),
-            frames.to_string(),
-            format!("{:.4}", stats.fault_rate()),
-            stats.faults.to_string(),
-            format!("{fetch_ms:.0} ms"),
-        ]);
+        t.row_owned(row);
     }
     println!("{t}");
     println!(

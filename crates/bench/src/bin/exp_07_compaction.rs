@@ -14,6 +14,7 @@
 
 use dsa_core::access::AllocEvent;
 use dsa_core::clock::Cycles;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_freelist::compaction::compact;
 use dsa_freelist::freelist::{FreeListAllocator, Placement};
 use dsa_metrics::table::Table;
@@ -88,6 +89,7 @@ fn run(events: &[AllocEvent], compact_on_failure: bool) -> RunOut {
 
 fn main() {
     println!("E7: compaction — corrective data movement vs accepted fragmentation\n");
+    let jobs = jobs_from_env();
     for mean_size in [80.0f64, 800.0] {
         let mut t = Table::new(&[
             "target load",
@@ -101,11 +103,14 @@ fn main() {
         .with_title(&format!(
             "best-fit, 32K words, exponential mean {mean_size:.0}-word requests"
         ));
-        for target in [0.80f64, 0.90, 0.95, 0.98] {
+        // Each target load regenerates its stream from a fixed seed and
+        // replays it under both courses of action — an independent cell.
+        let grid = SimGrid::new(vec![0.80f64, 0.90, 0.95, 0.98]);
+        for row in grid.run(jobs, |_, &target| {
             let events = stream(target, mean_size);
             let accept = run(&events, false);
             let pack = run(&events, true);
-            t.row_owned(vec![
+            vec![
                 format!("{:.0}%", target * 100.0),
                 accept.failures.to_string(),
                 pack.failures.to_string(),
@@ -113,7 +118,9 @@ fn main() {
                 pack.words_moved.to_string(),
                 pack.cpu_prog.to_string(),
                 pack.cpu_chan.to_string(),
-            ]);
+            ]
+        }) {
+            t.row_owned(row);
         }
         println!("{t}");
     }

@@ -14,6 +14,7 @@
 //! 50%, 75% and 100% (an inaccurate directive names a random wrong
 //! segment).
 
+use dsa_exec::{jobs_from_env, product2, SimGrid};
 use dsa_machines::presets::m44_44x;
 use dsa_machines::report::Machine;
 use dsa_metrics::table::Table;
@@ -69,7 +70,37 @@ fn main() {
     const SEEDS: [u64; 5] = [8, 18, 28, 38, 48];
     let mut cases = cases;
     cases.push(("compiler (planned)".to_owned(), Some(-1.0)));
-    for (label, acc) in cases {
+    // Every (advice regime, seed) pair is an independent run; the grid
+    // puts the regime on the outer axis so grid order groups the seed
+    // replicates of each regime together for the aggregation below.
+    let accs: Vec<Option<f64>> = cases.iter().map(|&(_, acc)| acc).collect();
+    let grid = SimGrid::new(product2(&accs, &SEEDS));
+    let measured = grid.run(jobs_from_env(), |_, &(acc, seed)| {
+        // accuracy -1.0 is the sentinel for exact compiler planning:
+        // the whole-program analyser inserts the directives itself.
+        let ops = if acc == Some(-1.0) {
+            let raw = program(None, seed);
+            AdvicePlanner::new(PlannerCfg {
+                lead: 20,
+                episode_gap: 300,
+            })
+            .plan(&raw)
+        } else {
+            program(acc, seed)
+        };
+        let mut m = m44_44x();
+        let r = m.run(&ops).expect("m44 runs the workload");
+        (
+            r.faults,
+            r.fault_rate(),
+            r.fetched_words,
+            r.advice_ops,
+            r.fetch_time.as_nanos(),
+            r.prefetches,
+            r.useful_prefetches,
+        )
+    });
+    for ((label, acc), replicates) in cases.into_iter().zip(measured.chunks(SEEDS.len())) {
         let mut faults = 0u64;
         let mut rate = 0.0;
         let mut fetched = 0u64;
@@ -77,28 +108,14 @@ fn main() {
         let mut fetch_ns = 0u64;
         let mut prefetches = 0u64;
         let mut useful = 0u64;
-        for &seed in &SEEDS {
-            // accuracy -1.0 is the sentinel for exact compiler planning:
-            // the whole-program analyser inserts the directives itself.
-            let ops = if acc == Some(-1.0) {
-                let raw = program(None, seed);
-                AdvicePlanner::new(PlannerCfg {
-                    lead: 20,
-                    episode_gap: 300,
-                })
-                .plan(&raw)
-            } else {
-                program(acc, seed)
-            };
-            let mut m = m44_44x();
-            let r = m.run(&ops).expect("m44 runs the workload");
-            faults += r.faults;
-            rate += r.fault_rate();
-            fetched += r.fetched_words;
-            advice_ops += r.advice_ops;
-            fetch_ns += r.fetch_time.as_nanos();
-            prefetches += r.prefetches;
-            useful += r.useful_prefetches;
+        for &(f, fr, fw, ao, ft, p, u) in replicates {
+            faults += f;
+            rate += fr;
+            fetched += fw;
+            advice_ops += ao;
+            fetch_ns += ft;
+            prefetches += p;
+            useful += u;
         }
         let n = SEEDS.len() as u64;
         rate /= SEEDS.len() as f64;

@@ -6,7 +6,9 @@
 //! addressing overhead, bounds interception.
 
 use dsa_bench::workloads::survey_program_cfg;
-use dsa_machines::presets::{all_machines, favoured};
+use dsa_exec::{jobs_from_env, SimGrid};
+use dsa_machines::presets::{favoured, machine_by_index, machine_count};
+use dsa_machines::report::Machine;
 use dsa_metrics::table::Table;
 use dsa_trace::rng::Rng64;
 
@@ -37,21 +39,29 @@ fn main() {
         "fetch wait",
     ])
     .with_title("measured on the survey workload");
-    let mut machines = all_machines();
-    machines.push(Box::new(favoured()));
-    for mut m in machines {
+    // Each machine runs the shared workload independently: the seven
+    // appendix presets plus the authors' favoured combination. Machines
+    // are built inside their cell (they are stateful), then both rows
+    // are returned together and emitted in grid order.
+    let grid = SimGrid::new((0..=machine_count()).collect::<Vec<_>>());
+    for (chars_row, results_row) in grid.run(jobs_from_env(), |_, &i| {
+        let mut m: Box<dyn Machine> = if i < machine_count() {
+            machine_by_index(i)
+        } else {
+            Box::new(favoured())
+        };
         let c = m.characteristics();
-        chars.row_owned(vec![
+        let chars_row = vec![
             m.name().to_owned(),
             c.name_space.label().to_owned(),
             c.predictive.label().to_owned(),
             c.contiguity.label().to_owned(),
             c.unit.label().to_owned(),
-        ]);
+        ];
         let r = m
             .run(&program.ops)
             .expect("survey workload runs everywhere");
-        results.row_owned(vec![
+        let results_row = vec![
             m.name().to_owned(),
             r.faults.to_string(),
             format!("{:.4}", r.fault_rate()),
@@ -61,7 +71,11 @@ fn main() {
             r.bounds_caught.to_string(),
             r.wild_undetected.to_string(),
             r.fetch_time.to_string(),
-        ]);
+        ];
+        (chars_row, results_row)
+    }) {
+        chars.row_owned(chars_row);
+        results.row_owned(results_row);
     }
     println!("{chars}");
     println!("{results}");

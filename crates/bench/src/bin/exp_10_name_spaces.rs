@@ -14,6 +14,7 @@
 //! renumbers live programs — on a real machine that means finding and
 //! updating every stored reference to the moved segment numbers.
 
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_metrics::table::Table;
 use dsa_seg::names::{LinearSegDict, SymbolicDict};
 use dsa_trace::rng::Rng64;
@@ -34,7 +35,11 @@ fn main() {
     .with_title(&format!(
         "{CAPACITY} segment numbers, programs of 2-64 segments"
     ));
-    for occupancy in [0.5f64, 0.7, 0.85, 0.95] {
+    // Each occupancy level builds its own schedule from a fixed seed and
+    // replays it against both dictionaries — an independent cell that
+    // returns its two finished table rows.
+    let grid = SimGrid::new(vec![0.5f64, 0.7, 0.85, 0.95]);
+    let rows = grid.run(jobs_from_env(), |_, &occupancy| {
         let target = (CAPACITY as f64 * occupancy) as u32;
         // Build one attach/detach schedule, replayed against both
         // dictionaries.
@@ -71,15 +76,20 @@ fn main() {
                 lin.detach(prog);
             }
         }
-        for (name, stats) in [("symbolic", sym.stats()), ("linear", lin.stats())] {
-            t.row_owned(vec![
+        [("symbolic", sym.stats()), ("linear", lin.stats())].map(|(name, stats)| {
+            vec![
                 format!("{:.0}%", occupancy * 100.0),
                 name.to_owned(),
                 stats.bookkeeping_ops.to_string(),
                 stats.names_reallocated.to_string(),
                 stats.failures.to_string(),
                 format!("{:.1}", stats.bookkeeping_ops as f64 / attaches as f64),
-            ]);
+            ]
+        })
+    });
+    for pair in rows {
+        for row in pair {
+            t.row_owned(row);
         }
     }
     println!("{t}");

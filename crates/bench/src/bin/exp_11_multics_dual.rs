@@ -12,6 +12,7 @@
 //! replaced) for uniform 64, uniform 1024, and the 64+1024 mix.
 
 use dsa_core::ids::Words;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_freelist::frag::{dual_size_waste, internal_waste};
 use dsa_metrics::table::Table;
 use dsa_trace::allocstream::SizeDist;
@@ -48,7 +49,10 @@ fn main() {
             },
         ),
     ];
-    for (name, dist) in populations {
+    // Each segment population is an independent cell: sample it from the
+    // fixed seed, tally all three schemes, return the finished table.
+    let grid = SimGrid::new(populations);
+    for table in grid.run(jobs_from_env(), |_, (name, dist)| {
         let mut rng = Rng64::new(11);
         let segments: Vec<Words> = (0..3_000).map(|_| dist.sample(&mut rng)).collect();
         let data: Words = segments.iter().sum();
@@ -77,7 +81,9 @@ fn main() {
                 pages.to_string(),
             ]);
         }
-        println!("{t}");
+        t.to_string()
+    }) {
+        println!("{table}");
     }
     println!(
         "uniform 64 has tiny waste but an order of magnitude more page\n\

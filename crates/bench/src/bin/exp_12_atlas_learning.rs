@@ -10,6 +10,7 @@
 //! frame vacant" discipline.
 
 use dsa_core::ids::PageNo;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_metrics::table::Table;
 use dsa_paging::paged::PagedMemory;
 use dsa_paging::replacement::atlas::AtlasLearning;
@@ -50,6 +51,7 @@ fn fault_rate(trace: &[PageNo], policy: Box<dyn dsa_paging::replacement::Replace
 
 fn main() {
     println!("E12: the ATLAS learning program vs period regularity\n");
+    let jobs = jobs_from_env();
     let mut t = Table::new(&[
         "jitter",
         "MIN",
@@ -61,21 +63,26 @@ fn main() {
     .with_title(&format!(
         "loop nest 8 inner + 32 outer pages, {FRAMES} frames"
     ));
-    for jitter in [0.0f64, 0.01, 0.05, 0.1, 0.25, 0.5] {
+    // Each jitter level regenerates its trace from the fixed seed and
+    // replays it under all four policies — an independent cell.
+    let grid = SimGrid::new(vec![0.0f64, 0.01, 0.05, 0.1, 0.25, 0.5]);
+    for row in grid.run(jobs, |_, &jitter| {
         let mut rng = Rng64::new(12);
         let trace = jittered_loop(jitter, &mut rng);
         let min = fault_rate(&trace, Box::new(MinRepl::new(&trace)));
         let atlas = fault_rate(&trace, Box::new(AtlasLearning::new()));
         let lru = fault_rate(&trace, Box::new(LruRepl::new()));
         let fifo = fault_rate(&trace, Box::new(FifoRepl::new()));
-        t.row_owned(vec![
+        vec![
             format!("{:.0}%", jitter * 100.0),
             format!("{min:.3}"),
             format!("{atlas:.3}"),
             format!("{lru:.3}"),
             format!("{fifo:.3}"),
             format!("{:.2}", atlas / lru),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     println!("{t}");
 
@@ -84,7 +91,7 @@ fn main() {
     // ATLAS the fetch could begin a drum revolution earlier.
     let mut t = Table::new(&["trace", "fault rate (plain)", "fault rate (vacant reserve)"])
         .with_title("ablation: keep one frame vacant (ATLAS discipline)");
-    for (name, cfg) in [
+    let grid = SimGrid::new(vec![
         (
             "loop nest",
             RefStringCfg::LoopNest {
@@ -100,7 +107,8 @@ fn main() {
                 theta: 1.0,
             },
         ),
-    ] {
+    ]);
+    for row in grid.run(jobs, |_, (name, cfg)| {
         let trace = cfg.generate_pages(LEN, &mut Rng64::new(13));
         let plain = {
             let mut m = PagedMemory::new(FRAMES, Box::new(AtlasLearning::new()));
@@ -111,11 +119,13 @@ fn main() {
                 PagedMemory::new(FRAMES, Box::new(AtlasLearning::new())).with_vacant_reserve();
             m.run_pages(&trace).expect("no pinning").fault_rate()
         };
-        t.row_owned(vec![
-            name.to_owned(),
+        vec![
+            (*name).to_owned(),
             format!("{plain:.3}"),
             format!("{reserved:.3}"),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     println!("{t}");
     println!(

@@ -10,7 +10,8 @@
 //! interception rate, and price the check itself.
 
 use dsa_bench::workloads::survey_program_cfg;
-use dsa_machines::presets::all_machines;
+use dsa_exec::{jobs_from_env, SimGrid};
+use dsa_machines::presets::{machine_by_index, machine_count};
 use dsa_metrics::table::Table;
 use dsa_trace::rng::Rng64;
 
@@ -33,7 +34,10 @@ fn main() {
         "~{wild_expected} wild touches injected among {} touches",
         program.touch_count()
     ));
-    for mut m in all_machines() {
+    // One independent cell per machine, built inside its cell.
+    let grid = SimGrid::new((0..machine_count()).collect::<Vec<_>>());
+    for row in grid.run(jobs_from_env(), |_, &i| {
+        let mut m = machine_by_index(i);
         let r = m.run(&program.ops).expect("workload runs everywhere");
         let wild_total = r.bounds_caught + r.wild_undetected;
         let interception = if wild_total == 0 {
@@ -41,13 +45,15 @@ fn main() {
         } else {
             r.bounds_caught as f64 / wild_total as f64
         };
-        t.row_owned(vec![
+        vec![
             m.name().to_owned(),
             r.bounds_caught.to_string(),
             r.wild_undetected.to_string(),
             format!("{:.0}%", interception * 100.0),
             format!("{:.0}", r.mean_map_overhead_nanos()),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     println!("{t}");
     println!(

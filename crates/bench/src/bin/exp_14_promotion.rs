@@ -13,6 +13,7 @@
 //! prediction against a simulated access stream.
 
 use dsa_core::clock::Cycles;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_metrics::table::Table;
 use dsa_storage::hierarchy::Hierarchy;
 use dsa_storage::level::{LevelKind, LevelSpec};
@@ -37,12 +38,14 @@ fn main() {
         "block 4096",
     ])
     .with_title("break-even uses for promotion (uses needed to repay the move)");
-    for (fast_ns, slow_ns) in [
+    // Each speed ratio builds its own hierarchy — an independent cell.
+    let grid = SimGrid::new(vec![
         (200u64, 2_000u64),
         (500, 2_000),
         (1_000, 8_000),
         (200, 8_000),
-    ] {
+    ]);
+    for row in grid.run(jobs_from_env(), |_, &(fast_ns, slow_ns)| {
         let h = Hierarchy::new(vec![
             level("fast", fast_ns, 4_096),
             level("slow", slow_ns, 1 << 20),
@@ -55,6 +58,8 @@ fn main() {
                 .expect("fast level is faster");
             row.push(n.to_string());
         }
+        row
+    }) {
         t.row_owned(row);
     }
     println!("{t}");

@@ -13,6 +13,7 @@
 //!    added addressing cost (the check rides the descriptor access).
 
 use dsa_core::ids::{SegId, Words};
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_freelist::freelist::{FreeListAllocator, Placement};
 use dsa_metrics::table::Table;
 use dsa_seg::sharing::{AccessMode, AccessType, SharedSegments};
@@ -109,10 +110,13 @@ fn main() {
     .with_title(&format!(
         "{LIB_SEGS} library segments x {LIB_SEG_WORDS} words + {PRIVATE_WORDS}-word private data, {CORE}-word core"
     ));
-    for programs in [1u32, 2, 4, 8, 16] {
+    // Each program count runs both regimes from the same fixed seed —
+    // an independent cell.
+    let grid = SimGrid::new(vec![1u32, 2, 4, 8, 16]);
+    for row in grid.run(jobs_from_env(), |_, &programs| {
         let (rs, fs, qs) = run(programs, true, &mut Rng64::new(15));
         let (rc, fc, qc) = run(programs, false, &mut Rng64::new(15));
-        t.row_owned(vec![
+        vec![
             programs.to_string(),
             rs.to_string(),
             rc.to_string(),
@@ -120,7 +124,9 @@ fn main() {
             fc.to_string(),
             qs.to_string(),
             qc.to_string(),
-        ]);
+        ]
+    }) {
+        t.row_owned(row);
     }
     println!("{t}");
 

@@ -14,6 +14,7 @@
 
 use dsa_core::clock::Cycles;
 use dsa_core::ids::JobId;
+use dsa_exec::{jobs_from_env, product2};
 use dsa_metrics::table::Table;
 use dsa_paging::replacement::lru::LruRepl;
 use dsa_paging::replacement::ws::working_set_sim;
@@ -70,30 +71,40 @@ fn main() {
     .with_title(&format!(
         "{FRAMES} shared frames, one drum channel, ~10-page working sets"
     ));
-    for n in [2usize, 4, 8, 16] {
-        for (label, admission) in [
-            ("independent", Admission::All),
-            ("integrated", Admission::WorkingSet),
-        ] {
-            let r = GlobalMultiprogramSim::new(
-                cfg(),
-                FRAMES,
-                Box::new(LruRepl::new()),
-                admission,
-                job_specs(n),
-            )
-            .run()
-            .expect("no pinning");
-            t.row_owned(vec![
-                n.to_string(),
-                label.to_owned(),
-                r.peak_admitted.to_string(),
-                r.faults.to_string(),
-                format!("{:.1}%", r.cpu_utilization() * 100.0),
-                r.makespan.to_string(),
-                format!("{:.2}", r.throughput_per_second()),
-            ]);
-        }
+    // Every (batch size, admission policy) pair simulates its own job
+    // mix from fixed seeds — an independent point of the sched crate's
+    // parallel admission sweep.
+    let policies = [
+        ("independent", Admission::All),
+        ("integrated", Admission::WorkingSet),
+    ];
+    let points: Vec<(usize, Admission)> = product2(&[2usize, 4, 8, 16], &policies)
+        .into_iter()
+        .map(|(n, (_, admission))| (n, admission))
+        .collect();
+    let reports = dsa_sched::sweep::admission_sweep(jobs_from_env(), points, |n, admission| {
+        GlobalMultiprogramSim::new(
+            cfg(),
+            FRAMES,
+            Box::new(LruRepl::new()),
+            admission,
+            job_specs(n),
+        )
+    });
+    for ((n, (label, _)), r) in product2(&[2usize, 4, 8, 16], &policies)
+        .into_iter()
+        .zip(reports)
+    {
+        let r = r.expect("no pinning");
+        t.row_owned(vec![
+            n.to_string(),
+            label.to_owned(),
+            r.peak_admitted.to_string(),
+            r.faults.to_string(),
+            format!("{:.1}%", r.cpu_utilization() * 100.0),
+            r.makespan.to_string(),
+            format!("{:.2}", r.throughput_per_second()),
+        ]);
     }
     println!("{t}");
     println!(

@@ -9,10 +9,15 @@
 //! one-channel table showed saturating multiprogramming's rescue.
 
 use dsa_core::clock::Cycles;
+use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_metrics::sparkline::labelled_sparkline;
 use dsa_metrics::table::Table;
 use dsa_storage::drum::{DrumDiscipline, SectorDrum};
 use dsa_trace::rng::Rng64;
+
+/// One grid cell: a queue depth and its pre-drawn request batches,
+/// each `(sector requests, queue-arrival instant)`.
+type DepthCell = (usize, Vec<(Vec<u64>, Cycles)>);
 
 fn main() {
     println!("E17: FIFO vs shortest-latency-first drum queueing\n");
@@ -36,40 +41,60 @@ fn main() {
     ])
     .with_title("random page sectors, all requests queued at once (100 batches averaged)");
     let mut curve = Vec::new();
-    for depth in [1usize, 2, 4, 8, 16, 32] {
+    const BATCHES: u64 = 100;
+    // The single RNG stream threads through the depths in order, so the
+    // request batches are drawn sequentially (cheap); the drum
+    // simulations over them are the independent cells.
+    let cells: Vec<DepthCell> = [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|depth| {
+            let batches = (0..BATCHES)
+                .map(|_| {
+                    let reqs: Vec<u64> = (0..depth).map(|_| rng.below(drum.sectors())).collect();
+                    let start = Cycles::from_nanos(rng.below(12_000_000));
+                    (reqs, start)
+                })
+                .collect();
+            (depth, batches)
+        })
+        .collect();
+    let grid = SimGrid::new(cells);
+    for (speedup, row) in grid.run(jobs_from_env(), |_, (depth, batches)| {
         let mut fifo_wait = 0u64;
         let mut sltf_wait = 0u64;
         let mut fifo_span = 0u64;
         let mut sltf_span = 0u64;
-        const BATCHES: u64 = 100;
-        for _ in 0..BATCHES {
-            let reqs: Vec<u64> = (0..depth).map(|_| rng.below(drum.sectors())).collect();
-            let start = Cycles::from_nanos(rng.below(12_000_000));
+        for (reqs, start) in batches {
             fifo_wait += drum
-                .mean_wait(&reqs, start, DrumDiscipline::Fifo)
+                .mean_wait(reqs, *start, DrumDiscipline::Fifo)
                 .as_nanos();
             sltf_wait += drum
-                .mean_wait(&reqs, start, DrumDiscipline::Sltf)
+                .mean_wait(reqs, *start, DrumDiscipline::Sltf)
                 .as_nanos();
             fifo_span += drum
-                .service(&reqs, start, DrumDiscipline::Fifo)
+                .service(reqs, *start, DrumDiscipline::Fifo)
                 .1
                 .as_nanos();
             sltf_span += drum
-                .service(&reqs, start, DrumDiscipline::Sltf)
+                .service(reqs, *start, DrumDiscipline::Sltf)
                 .1
                 .as_nanos();
         }
         let speedup = fifo_span as f64 / sltf_span as f64;
+        (
+            speedup,
+            vec![
+                depth.to_string(),
+                Cycles::from_nanos(fifo_wait / BATCHES).to_string(),
+                Cycles::from_nanos(sltf_wait / BATCHES).to_string(),
+                Cycles::from_nanos(fifo_span / BATCHES).to_string(),
+                Cycles::from_nanos(sltf_span / BATCHES).to_string(),
+                format!("{speedup:.2}x"),
+            ],
+        )
+    }) {
         curve.push(speedup);
-        t.row_owned(vec![
-            depth.to_string(),
-            Cycles::from_nanos(fifo_wait / BATCHES).to_string(),
-            Cycles::from_nanos(sltf_wait / BATCHES).to_string(),
-            Cycles::from_nanos(fifo_span / BATCHES).to_string(),
-            Cycles::from_nanos(sltf_span / BATCHES).to_string(),
-            format!("{speedup:.2}x"),
-        ]);
+        t.row_owned(row);
     }
     println!("{t}");
     println!(

@@ -1,0 +1,61 @@
+//! The engine's core promise: experiment output is a pure function of
+//! the grid, never of the scheduling. Each binary here is run at
+//! `--jobs 1` (inline, the exact pre-engine sequential program) and at
+//! `--jobs 8` (worker fan-out wider than the host), and the two
+//! outputs must match byte for byte.
+//!
+//! The set is chosen to cover the engine's usage patterns while staying
+//! cheap under the debug profile: plain value grids (E10, E11, E14),
+//! stateful cells behind `Mutex` (E1), and sequentially pre-drawn
+//! randomness fanned to workers (E17).
+
+use std::process::Command;
+
+fn output_with_jobs(bin: &str, jobs: &str) -> Vec<u8> {
+    let out = Command::new(bin)
+        .args(["--jobs", jobs])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to run {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} --jobs {jobs} exited with {:?}:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn assert_jobs_invariant(bin: &str) {
+    let sequential = output_with_jobs(bin, "1");
+    let parallel = output_with_jobs(bin, "8");
+    assert!(
+        sequential == parallel,
+        "{bin}: --jobs 1 and --jobs 8 outputs differ"
+    );
+    assert!(!sequential.is_empty(), "{bin}: produced no output at all");
+}
+
+#[test]
+fn exp_01_output_independent_of_jobs() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_exp_01_artificial_contiguity"));
+}
+
+#[test]
+fn exp_10_output_independent_of_jobs() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_exp_10_name_spaces"));
+}
+
+#[test]
+fn exp_11_output_independent_of_jobs() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_exp_11_multics_dual"));
+}
+
+#[test]
+fn exp_14_output_independent_of_jobs() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_exp_14_promotion"));
+}
+
+#[test]
+fn exp_17_output_independent_of_jobs() {
+    assert_jobs_invariant(env!("CARGO_BIN_EXE_exp_17_drum_queueing"));
+}

@@ -29,6 +29,16 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
+        // `DSA_BENCH_SMOKE=1` degrades every benchmark to a single
+        // unwarmed sample — CI's "does the harness still run" gate, not
+        // a measurement.
+        if std::env::var_os("DSA_BENCH_SMOKE").is_some() {
+            return Criterion {
+                sample_size: 1,
+                warm_up: Duration::ZERO,
+                measurement: Duration::ZERO,
+            };
+        }
         Criterion {
             sample_size: 10,
             warm_up: Duration::from_millis(300),
@@ -37,19 +47,30 @@ impl Default for Criterion {
     }
 }
 
+/// True when the smoke-mode env var pins every benchmark to one sample.
+fn smoke_mode() -> bool {
+    std::env::var_os("DSA_BENCH_SMOKE").is_some()
+}
+
 impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
-        self.sample_size = n.max(1);
+        if !smoke_mode() {
+            self.sample_size = n.max(1);
+        }
         self
     }
 
     pub fn warm_up_time(mut self, d: Duration) -> Self {
-        self.warm_up = d;
+        if !smoke_mode() {
+            self.warm_up = d;
+        }
         self
     }
 
     pub fn measurement_time(mut self, d: Duration) -> Self {
-        self.measurement = d;
+        if !smoke_mode() {
+            self.measurement = d;
+        }
         self
     }
 

@@ -1,0 +1,89 @@
+//! The shared `--jobs N` flag.
+//!
+//! Every `exp_*` binary accepts `--jobs N` (or `--jobs=N`): the number
+//! of worker threads the grid fans across. The default is all hardware
+//! threads; `--jobs 1` forces the inline sequential path, whose output
+//! every parallel width must reproduce byte for byte.
+
+use crate::pool::available_jobs;
+
+/// Extracts a `--jobs` value from an argument list, ignoring every
+/// other argument (binaries parse their own flags).
+///
+/// Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a value, the
+/// value is not a number, or the value is zero.
+pub fn parse_jobs<I>(args: I) -> Result<Option<usize>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let value = if a == "--jobs" {
+            args.next()
+                .ok_or_else(|| "--jobs requires a value".to_owned())?
+        } else if let Some(v) = a.strip_prefix("--jobs=") {
+            v.to_owned()
+        } else {
+            continue;
+        };
+        let n: usize = value
+            .parse()
+            .map_err(|_| format!("--jobs: not a number: {value}"))?;
+        if n == 0 {
+            return Err("--jobs must be at least 1".to_owned());
+        }
+        return Ok(Some(n));
+    }
+    Ok(None)
+}
+
+/// The `--jobs` value from the process arguments, defaulting to all
+/// hardware threads. Exits with status 2 on a malformed flag, like the
+/// binaries' other flag parsers.
+#[must_use]
+pub fn jobs_from_env() -> usize {
+    match parse_jobs(std::env::args().skip(1)) {
+        Ok(explicit) => explicit.unwrap_or_else(available_jobs),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn absent_flag_is_none() {
+        assert_eq!(parse_jobs(strings(&[])), Ok(None));
+        assert_eq!(parse_jobs(strings(&["--trace-out", "x.jsonl"])), Ok(None));
+    }
+
+    #[test]
+    fn both_spellings_parse() {
+        assert_eq!(parse_jobs(strings(&["--jobs", "4"])), Ok(Some(4)));
+        assert_eq!(parse_jobs(strings(&["--jobs=16"])), Ok(Some(16)));
+        assert_eq!(
+            parse_jobs(strings(&["--trace-out", "t", "--jobs", "2"])),
+            Ok(Some(2))
+        );
+    }
+
+    #[test]
+    fn malformed_values_error() {
+        assert!(parse_jobs(strings(&["--jobs"])).is_err());
+        assert!(parse_jobs(strings(&["--jobs", "zero"])).is_err());
+        assert!(parse_jobs(strings(&["--jobs", "0"])).is_err());
+        assert!(parse_jobs(strings(&["--jobs="])).is_err());
+    }
+}

@@ -1,6 +1,7 @@
 //! The address-ordered free list and its placement strategies.
 
-use std::collections::{BTreeMap, HashMap};
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use dsa_core::error::AllocError;
 use dsa_core::ids::{PhysAddr, Words};
@@ -95,8 +96,28 @@ pub struct FreeListAllocator {
     policy: Placement,
     /// Free holes, keyed by start address.
     free: BTreeMap<u64, Words>,
+    /// Free holes indexed by `(size, start address)`. A mirror of
+    /// `free` that lets best-fit and worst-fit *choose* a hole in
+    /// O(log n) host time; the modeled linear-scan search length the
+    /// paper's bookkeeping argument is about is still charged to
+    /// `stats.probes` (see `choose_hole`). Maintained only when the
+    /// policy consults it — the scanning policies must not pay for an
+    /// index they never read.
+    by_size: BTreeSet<(Words, u64)>,
+    /// Hole start addresses in ascending order, best-fit only: answers
+    /// "how many holes precede this one" — the modeled probe count when
+    /// the exact-fit early exit would have fired — by binary search.
+    hole_addrs: Vec<u64>,
+    /// Cached largest hole for the policies without the size index;
+    /// `None` after a removal that may have retired the maximum.
+    largest_cache: Cell<Option<Words>>,
     /// Live allocations: id -> (address, size).
     allocated: HashMap<u64, (u64, Words)>,
+    /// Live allocations in address order, `(id, address, size)` —
+    /// rebuilt lazily (`None` after any mutation) and reused verbatim
+    /// across repeated queries, so back-to-back sorted views cost one
+    /// sort, not one per call, and the mutation hot path pays nothing.
+    sorted_allocs: RefCell<Option<Vec<(u64, u64, Words)>>>,
     /// Roving pointer for next-fit.
     rover: u64,
     stats: FreeListStats,
@@ -111,15 +132,59 @@ impl FreeListAllocator {
     #[must_use]
     pub fn new(capacity: Words, policy: Placement) -> FreeListAllocator {
         assert!(capacity > 0, "capacity must be positive");
-        let mut free = BTreeMap::new();
-        free.insert(0, capacity);
-        FreeListAllocator {
+        let mut a = FreeListAllocator {
             capacity,
             policy,
-            free,
+            free: BTreeMap::new(),
+            by_size: BTreeSet::new(),
+            hole_addrs: Vec::new(),
+            largest_cache: Cell::new(Some(0)),
             allocated: HashMap::new(),
+            sorted_allocs: RefCell::new(None),
             rover: 0,
             stats: FreeListStats::default(),
+        };
+        a.free.insert(0, capacity);
+        a.index_insert(0, capacity);
+        a
+    }
+
+    /// Records a hole in whatever secondary structure the policy needs.
+    fn index_insert(&mut self, addr: u64, size: Words) {
+        match self.policy {
+            Placement::BestFit => {
+                self.by_size.insert((size, addr));
+                let i = self.hole_addrs.partition_point(|&a| a < addr);
+                self.hole_addrs.insert(i, addr);
+            }
+            Placement::WorstFit => {
+                self.by_size.insert((size, addr));
+            }
+            _ => {
+                if let Some(m) = self.largest_cache.get() {
+                    self.largest_cache.set(Some(m.max(size)));
+                }
+            }
+        }
+    }
+
+    /// Drops a hole from the policy's secondary structure.
+    fn index_remove(&mut self, addr: u64, size: Words) {
+        match self.policy {
+            Placement::BestFit => {
+                self.by_size.remove(&(size, addr));
+                if let Ok(i) = self.hole_addrs.binary_search(&addr) {
+                    self.hole_addrs.remove(i);
+                }
+            }
+            Placement::WorstFit => {
+                self.by_size.remove(&(size, addr));
+            }
+            _ => {
+                if self.largest_cache.get() == Some(size) {
+                    self.largest_cache.set(None);
+                }
+            }
         }
     }
 
@@ -153,10 +218,26 @@ impl FreeListAllocator {
         self.allocated_words() as f64 / self.capacity as f64
     }
 
-    /// The largest free hole, or 0 when storage is exhausted.
+    /// The largest free hole, or 0 when storage is exhausted. Best-fit
+    /// and worst-fit answer from the size index; the scanning policies
+    /// answer from an incrementally maintained cache that a removal of
+    /// the maximal hole invalidates (next query rescans once).
     #[must_use]
     pub fn largest_free(&self) -> Words {
-        self.free.values().copied().max().unwrap_or(0)
+        match self.policy {
+            Placement::BestFit | Placement::WorstFit => {
+                self.by_size.last().map_or(0, |&(size, _)| size)
+            }
+            _ => {
+                if let Some(m) = self.largest_cache.get() {
+                    m
+                } else {
+                    let m = self.free.values().copied().max().unwrap_or(0);
+                    self.largest_cache.set(Some(m));
+                    m
+                }
+            }
+        }
     }
 
     /// Number of free holes.
@@ -171,16 +252,22 @@ impl FreeListAllocator {
     }
 
     /// Iterates `(id, address, size)` over live allocations in address
-    /// order.
+    /// order. The sorted view is cached: only the first query after a
+    /// mutation sorts; repeated queries reuse it.
     #[must_use]
     pub fn allocations_by_address(&self) -> Vec<(u64, u64, Words)> {
-        let mut v: Vec<(u64, u64, Words)> = self
+        let mut cache = self.sorted_allocs.borrow_mut();
+        if let Some(sorted) = cache.as_ref() {
+            return sorted.clone();
+        }
+        let mut sorted: Vec<(u64, u64, Words)> = self
             .allocated
             .iter()
             .map(|(&id, &(addr, size))| (id, addr, size))
             .collect();
-        v.sort_unstable_by_key(|&(_, addr, _)| addr);
-        v
+        sorted.sort_unstable_by_key(|&(_, addr, _)| addr);
+        *cache = Some(sorted.clone());
+        sorted
     }
 
     /// Looks up a live allocation.
@@ -222,21 +309,25 @@ impl FreeListAllocator {
             });
         };
         self.free.remove(&hole_addr);
+        self.index_remove(hole_addr, hole_size);
         let addr = if place_high {
             // Two-ends large request: take the top of the hole.
             let addr = hole_addr + hole_size - size;
             if hole_size > size {
                 self.free.insert(hole_addr, hole_size - size);
+                self.index_insert(hole_addr, hole_size - size);
             }
             addr
         } else {
             if hole_size > size {
                 self.free.insert(hole_addr + size, hole_size - size);
+                self.index_insert(hole_addr + size, hole_size - size);
             }
             hole_addr
         };
         self.rover = addr + size;
         self.allocated.insert(id, (addr, size));
+        self.sorted_allocs.replace(None);
         self.stats.allocs += 1;
         Ok(PhysAddr(addr))
     }
@@ -278,6 +369,7 @@ impl FreeListAllocator {
     /// Returns [`AllocError::UnknownUnit`] if `id` is not live.
     pub fn free(&mut self, id: u64) -> Result<(), AllocError> {
         let (addr, size) = self.allocated.remove(&id).ok_or(AllocError::UnknownUnit)?;
+        self.sorted_allocs.replace(None);
         self.stats.frees += 1;
         self.insert_free(addr, size);
         Ok(())
@@ -315,6 +407,7 @@ impl FreeListAllocator {
             debug_assert!(paddr + psize <= addr, "overlapping free blocks");
             if paddr + psize == addr {
                 self.free.remove(&paddr);
+                self.index_remove(paddr, psize);
                 addr = paddr;
                 size += psize;
                 self.stats.coalesces += 1;
@@ -324,11 +417,13 @@ impl FreeListAllocator {
         if let Some((&saddr, &ssize)) = self.free.range(addr + size..).next() {
             if addr + size == saddr {
                 self.free.remove(&saddr);
+                self.index_remove(saddr, ssize);
                 size += ssize;
                 self.stats.coalesces += 1;
             }
         }
         self.free.insert(addr, size);
+        self.index_insert(addr, size);
     }
 
     /// Chooses a hole per the placement policy. Returns
@@ -355,27 +450,38 @@ impl FreeListAllocator {
                 None
             }
             Placement::BestFit => {
-                let mut best: Option<(u64, Words)> = None;
-                for (&addr, &hsize) in &self.free {
-                    self.stats.probes += 1;
-                    if hsize >= size && best.is_none_or(|(_, b)| hsize < b) {
-                        best = Some((addr, hsize));
-                        if hsize == size {
-                            break; // exact fit: the classic early exit
-                        }
+                // Index lookup: the smallest adequate size class, lowest
+                // address within it — exactly the hole the address-order
+                // scan with the classic exact-fit early exit chooses.
+                let chosen = self
+                    .by_size
+                    .range((size, 0)..)
+                    .next()
+                    .map(|&(hsize, addr)| (addr, hsize));
+                // The *modeled* cost stays the scan's: up to the chosen
+                // hole when the exact-fit exit would have fired there,
+                // the whole list otherwise (including on failure).
+                self.stats.probes += match chosen {
+                    Some((addr, hsize)) if hsize == size => {
+                        self.hole_addrs.partition_point(|&a| a <= addr) as u64
                     }
-                }
-                best.map(|(a, s)| (a, s, false))
+                    _ => self.free.len() as u64,
+                };
+                chosen.map(|(a, s)| (a, s, false))
             }
             Placement::WorstFit => {
-                let mut worst: Option<(u64, Words)> = None;
-                for (&addr, &hsize) in &self.free {
-                    self.stats.probes += 1;
-                    if hsize >= size && worst.is_none_or(|(_, w)| hsize > w) {
-                        worst = Some((addr, hsize));
-                    }
-                }
-                worst.map(|(a, s)| (a, s, false))
+                // Index lookup: the largest size class, lowest address
+                // within it — the hole the full scan's first-strict-
+                // maximum rule chooses. The scan has no early exit, so
+                // the modeled cost is always the whole list.
+                self.stats.probes += self.free.len() as u64;
+                let largest = self.by_size.last().map(|&(hsize, _)| hsize);
+                largest.filter(|&hsize| hsize >= size).and_then(|hsize| {
+                    self.by_size
+                        .range((hsize, 0)..)
+                        .next()
+                        .map(|&(_, addr)| (addr, hsize, false))
+                })
             }
             Placement::TwoEnds { threshold } => {
                 if size < threshold {
@@ -408,17 +514,25 @@ impl FreeListAllocator {
         let blocks = self.allocations_by_address();
         let mut moves = Vec::new();
         let mut cursor = 0u64;
+        let mut packed = Vec::with_capacity(blocks.len());
         for (id, addr, size) in blocks {
             if addr != cursor {
                 debug_assert!(cursor < addr, "pack_down must slide downwards");
                 self.allocated.insert(id, (cursor, size));
                 moves.push((id, addr, cursor, size));
             }
+            packed.push((id, cursor, size));
             cursor += size;
         }
+        // The packed layout *is* the new sorted view.
+        self.sorted_allocs.replace(Some(packed));
         self.free.clear();
+        self.by_size.clear();
+        self.hole_addrs.clear();
+        self.largest_cache.set(Some(0));
         if cursor < self.capacity {
             self.free.insert(cursor, self.capacity - cursor);
+            self.index_insert(cursor, self.capacity - cursor);
         }
         self.rover = cursor;
         moves
@@ -457,6 +571,55 @@ impl FreeListAllocator {
         let total: Words =
             self.free_words() + self.allocated.values().map(|&(_, s)| s).sum::<Words>();
         assert_eq!(total, self.capacity, "words leaked or duplicated");
+        // The secondary structures mirror the hole list exactly.
+        match self.policy {
+            Placement::BestFit | Placement::WorstFit => {
+                assert_eq!(
+                    self.by_size.len(),
+                    self.free.len(),
+                    "size index out of step"
+                );
+                for (&addr, &size) in &self.free {
+                    assert!(
+                        self.by_size.contains(&(size, addr)),
+                        "hole at {addr} missing from size index"
+                    );
+                }
+                if self.policy == Placement::BestFit {
+                    assert!(
+                        self.hole_addrs
+                            .iter()
+                            .copied()
+                            .eq(self.free.keys().copied()),
+                        "rank vector out of step with the hole list"
+                    );
+                }
+            }
+            _ => {
+                if let Some(m) = self.largest_cache.get() {
+                    assert_eq!(
+                        m,
+                        self.free.values().copied().max().unwrap_or(0),
+                        "stale largest-hole cache"
+                    );
+                }
+            }
+        }
+        // A cached sorted view, when present, mirrors the id map.
+        if let Some(sorted) = self.sorted_allocs.borrow().as_ref() {
+            assert_eq!(sorted.len(), self.allocated.len(), "stale sorted view");
+            for &(id, addr, size) in sorted {
+                assert_eq!(
+                    self.allocated.get(&id),
+                    Some(&(addr, size)),
+                    "allocation {id} stale in sorted view"
+                );
+            }
+            assert!(
+                sorted.windows(2).all(|w| w[0].1 < w[1].1),
+                "sorted view out of order"
+            );
+        }
     }
 }
 

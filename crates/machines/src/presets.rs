@@ -264,15 +264,34 @@ pub fn model67() -> PagedSegmentedMachine {
 /// All seven machines, in appendix order.
 #[must_use]
 pub fn all_machines() -> Vec<Box<dyn Machine>> {
-    vec![
-        Box::new(atlas()),
-        Box::new(m44_44x()),
-        Box::new(b5000()),
-        Box::new(rice()),
-        Box::new(b8500()),
-        Box::new(multics()),
-        Box::new(model67()),
-    ]
+    (0..machine_count()).map(machine_by_index).collect()
+}
+
+/// Number of appendix machines ([`machine_by_index`]'s domain).
+#[must_use]
+pub const fn machine_count() -> usize {
+    7
+}
+
+/// Constructs appendix machine `index` (0-based, appendix order). Lets
+/// a parallel sweep build each worker's machine on the worker itself
+/// instead of shipping one pre-built list across threads.
+///
+/// # Panics
+///
+/// Panics if `index >= machine_count()`.
+#[must_use]
+pub fn machine_by_index(index: usize) -> Box<dyn Machine> {
+    match index {
+        0 => Box::new(atlas()),
+        1 => Box::new(m44_44x()),
+        2 => Box::new(b5000()),
+        3 => Box::new(rice()),
+        4 => Box::new(b8500()),
+        5 => Box::new(multics()),
+        6 => Box::new(model67()),
+        _ => panic!("machine index {index} out of range"),
+    }
 }
 
 /// The authors' own favoured combination (end of §Basic

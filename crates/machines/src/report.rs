@@ -91,7 +91,10 @@ impl fmt::Display for MachineReport {
 
 /// A composed storage allocation system able to execute the portable
 /// workload format.
-pub trait Machine {
+///
+/// `Send` is a supertrait so a boxed machine can be constructed in one
+/// thread of the parallel simulation engine and run there.
+pub trait Machine: Send {
     /// The machine's name (e.g. `"Ferranti ATLAS"`).
     fn name(&self) -> &'static str;
 

@@ -1,6 +1,6 @@
 //! Least-recently-used replacement.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use dsa_core::clock::VirtualTime;
 use dsa_core::ids::{FrameNo, PageNo};
@@ -15,9 +15,18 @@ use crate::sensors::Sensors;
 /// approximate it with use bits (see [`crate::replacement::clock`]) or
 /// learning periods (see [`crate::replacement::atlas`]). It is included
 /// as the recency-ideal reference point.
+///
+/// Victim selection is a host-cost hot path (every eviction), so the
+/// recency order is kept in a `BTreeSet<(stamp, frame)>` whose head is
+/// the victim whenever every tracked frame is eligible — the common,
+/// nothing-pinned case. When pinning shrinks the eligible set the
+/// policy falls back to the plain scan over `eligible`.
 #[derive(Clone, Debug, Default)]
 pub struct LruRepl {
     last_use: HashMap<FrameNo, VirtualTime>,
+    /// Recency index: `(last use, frame)`, oldest first. Mirrors
+    /// `last_use` exactly.
+    by_time: BTreeSet<(VirtualTime, FrameNo)>,
 }
 
 impl LruRepl {
@@ -28,13 +37,22 @@ impl LruRepl {
     }
 }
 
+impl LruRepl {
+    fn stamp(&mut self, frame: FrameNo, now: VirtualTime) {
+        if let Some(old) = self.last_use.insert(frame, now) {
+            self.by_time.remove(&(old, frame));
+        }
+        self.by_time.insert((now, frame));
+    }
+}
+
 impl Replacer for LruRepl {
     fn loaded(&mut self, frame: FrameNo, _page: PageNo, now: VirtualTime) {
-        self.last_use.insert(frame, now);
+        self.stamp(frame, now);
     }
 
     fn touched(&mut self, frame: FrameNo, _page: PageNo, now: VirtualTime, _write: bool) {
-        self.last_use.insert(frame, now);
+        self.stamp(frame, now);
     }
 
     // Invariant: the trait contract guarantees `eligible` is never
@@ -46,6 +64,16 @@ impl Replacer for LruRepl {
         _sensors: &mut Sensors,
         _now: VirtualTime,
     ) -> FrameNo {
+        // Every eligible frame is tracked (residency implies a `loaded`
+        // call), so equal lengths mean the sets coincide and the index
+        // head — oldest stamp, lowest frame among equal stamps — is
+        // exactly what the ascending scan's first-minimum rule picks.
+        if eligible.len() == self.last_use.len() {
+            if let Some(&(_, frame)) = self.by_time.first() {
+                return frame;
+            }
+        }
+        // Pinned frames shrink `eligible` below the tracked set: scan.
         *eligible
             .iter()
             .min_by_key(|f| self.last_use.get(f).copied().unwrap_or(0))
@@ -53,7 +81,9 @@ impl Replacer for LruRepl {
     }
 
     fn evicted(&mut self, frame: FrameNo) {
-        self.last_use.remove(&frame);
+        if let Some(old) = self.last_use.remove(&frame) {
+            self.by_time.remove(&(old, frame));
+        }
     }
 
     fn name(&self) -> &'static str {

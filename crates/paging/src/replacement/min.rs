@@ -8,7 +8,7 @@
 //! E12. A property test in this crate checks the defining bound: no
 //! policy faults less than MIN on any trace.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use dsa_core::clock::VirtualTime;
 use dsa_core::ids::{FrameNo, PageNo};
@@ -17,12 +17,25 @@ use crate::replacement::Replacer;
 use crate::sensors::Sensors;
 
 /// The offline optimum, constructed from the full reference string.
+///
+/// Victim selection keeps a `BTreeSet<(next use, frame)>` whose tail is
+/// the farthest-out frame. The cached next-use per frame stays valid
+/// between touches: under the replay contract (reference *i* at
+/// `now == i`) a resident page's next use can only pass without a
+/// `touched` callback if the page was not referenced — impossible, since
+/// that position *is* a reference to it. Pinning falls back to the plain
+/// scan over `eligible`.
 #[derive(Clone, Debug)]
 pub struct MinRepl {
     /// For each page, the sorted positions at which it is referenced.
     uses: HashMap<PageNo, Vec<VirtualTime>>,
     /// Page currently in each frame.
     resident: HashMap<FrameNo, PageNo>,
+    /// Cached next use per resident frame (`VirtualTime::MAX` = never
+    /// referenced again). Mirrors `by_next` exactly.
+    cached: HashMap<FrameNo, VirtualTime>,
+    /// Farthest-next-use index: `(next use, frame)`, farthest last.
+    by_next: BTreeSet<(VirtualTime, FrameNo)>,
 }
 
 impl MinRepl {
@@ -38,6 +51,8 @@ impl MinRepl {
         MinRepl {
             uses,
             resident: HashMap::new(),
+            cached: HashMap::new(),
+            by_next: BTreeSet::new(),
         }
     }
 
@@ -47,11 +62,25 @@ impl MinRepl {
         let idx = positions.partition_point(|&t| t <= now);
         positions.get(idx).copied()
     }
+
+    /// Re-caches `frame`'s next use as of `now`.
+    fn recache(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime) {
+        let nu = self.next_use(page, now).unwrap_or(VirtualTime::MAX);
+        if let Some(old) = self.cached.insert(frame, nu) {
+            self.by_next.remove(&(old, frame));
+        }
+        self.by_next.insert((nu, frame));
+    }
 }
 
 impl Replacer for MinRepl {
-    fn loaded(&mut self, frame: FrameNo, page: PageNo, _now: VirtualTime) {
+    fn loaded(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime) {
         self.resident.insert(frame, page);
+        self.recache(frame, page, now);
+    }
+
+    fn touched(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime, _write: bool) {
+        self.recache(frame, page, now);
     }
 
     // Invariant: the trait contract guarantees `eligible` is never
@@ -63,6 +92,18 @@ impl Replacer for MinRepl {
         _sensors: &mut Sensors,
         now: VirtualTime,
     ) -> FrameNo {
+        // Every eligible frame is resident (hence cached), so equal
+        // lengths mean the sets coincide. The index tail is the largest
+        // next use; among ties — possible only at `VirtualTime::MAX`,
+        // since any finite position references exactly one page — it is
+        // the highest frame, matching the ascending scan's last-maximum
+        // rule below.
+        if eligible.len() == self.cached.len() {
+            if let Some(&(_, frame)) = self.by_next.last() {
+                return frame;
+            }
+        }
+        // Pinned frames shrink `eligible` below the resident set: scan.
         *eligible
             .iter()
             .max_by_key(|f| {
@@ -75,6 +116,9 @@ impl Replacer for MinRepl {
 
     fn evicted(&mut self, frame: FrameNo) {
         self.resident.remove(&frame);
+        if let Some(old) = self.cached.remove(&frame) {
+            self.by_next.remove(&(old, frame));
+        }
     }
 
     fn name(&self) -> &'static str {

@@ -49,7 +49,10 @@ use crate::sensors::Sensors;
 /// and [`Replacer::victim`] when a frame must be vacated.
 /// [`Replacer::victim`] must return one of `eligible` (frames holding
 /// unpinned resident pages).
-pub trait Replacer {
+///
+/// `Send` is a supertrait so boxed policies (and the machines holding
+/// them) can be dispatched to the parallel simulation engine's workers.
+pub trait Replacer: Send {
     /// A page was loaded into `frame`.
     fn loaded(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime);
 

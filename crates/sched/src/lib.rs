@@ -27,6 +27,8 @@
 
 pub mod load_control;
 pub mod sim;
+pub mod sweep;
 
 pub use load_control::{Admission, GlobalJobSpec, GlobalMultiprogramSim, GlobalReport};
 pub use sim::{JobReport, JobSpec, MultiprogramSim, SimConfig, SimReport};
+pub use sweep::{admission_sweep, level_sweep};

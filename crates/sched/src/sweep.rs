@@ -1,0 +1,37 @@
+//! Parallel sweep entry points for the multiprogramming simulators.
+//!
+//! Experiment drivers sweep the simulators over grids — batch size ×
+//! admission policy for [`GlobalMultiprogramSim`], multiprogramming
+//! level for [`MultiprogramSim`](crate::sim::MultiprogramSim) — and
+//! every point of such a grid is an independent simulation. These entry
+//! points put that independence on the [`dsa_exec`] engine: each point
+//! is built and run on a worker, and the reports come back in grid
+//! order, so a sweep's results are a pure function of its grid no
+//! matter how many workers executed it.
+
+use crate::load_control::{Admission, GlobalMultiprogramSim, GlobalReport};
+use crate::sim::{MultiprogramSim, SimReport};
+use dsa_core::error::CoreError;
+use dsa_exec::SimGrid;
+
+/// Runs one [`GlobalMultiprogramSim`] per `(batch size, admission)`
+/// point across `jobs` workers; `build` constructs the simulator for a
+/// point on the worker that runs it. Reports return in grid order.
+pub fn admission_sweep(
+    jobs: usize,
+    points: Vec<(usize, Admission)>,
+    build: impl Fn(usize, Admission) -> GlobalMultiprogramSim + Sync,
+) -> Vec<Result<GlobalReport, CoreError>> {
+    SimGrid::new(points).run(jobs, |_, &(n, admission)| build(n, admission).run())
+}
+
+/// Runs one [`MultiprogramSim`](crate::sim::MultiprogramSim) per
+/// multiprogramming level across `jobs` workers. Reports return in
+/// level order.
+pub fn level_sweep(
+    jobs: usize,
+    levels: Vec<usize>,
+    build: impl Fn(usize) -> MultiprogramSim + Sync,
+) -> Vec<Result<SimReport, CoreError>> {
+    SimGrid::new(levels).run(jobs, |_, &level| build(level).run())
+}

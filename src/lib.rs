@@ -11,6 +11,9 @@
 //! * [`mapping`] — addressing mechanisms: relocation registers, block
 //!   maps, the ATLAS frame-associative map, two-level segment+page maps
 //!   with associative memories;
+//! * [`exec`] — the deterministic parallel simulation engine: grid
+//!   fan-out over scoped threads, merged in grid order so any `--jobs`
+//!   width reproduces the sequential output byte for byte;
 //! * [`faults`] — deterministic fault injection (transfer errors, bad
 //!   frames, channel delays, forced allocation failures) and recovery
 //!   policies: bounded retry, frame quarantine, graceful degradation;
@@ -44,6 +47,7 @@
 //! ```
 
 pub use dsa_core as core;
+pub use dsa_exec as exec;
 pub use dsa_faults as faults;
 pub use dsa_freelist as freelist;
 pub use dsa_machines as machines;

@@ -250,3 +250,135 @@ proptest! {
         }
     }
 }
+
+/// Reference linear-scan best fit over `holes` (address order): the
+/// smallest adequate hole, lowest address on ties, with the classic
+/// exact-fit early exit. Returns the chosen address and the modeled
+/// search length (holes examined).
+fn best_fit_scan(holes: &[(u64, u64)], size: u64) -> (Option<u64>, u64) {
+    let mut best: Option<(u64, u64)> = None; // (size, addr)
+    for (i, &(addr, hsize)) in holes.iter().enumerate() {
+        if hsize == size {
+            return (Some(addr), i as u64 + 1);
+        }
+        if hsize > size && best.is_none_or(|(bsize, _)| hsize < bsize) {
+            best = Some((hsize, addr));
+        }
+    }
+    (best.map(|(_, addr)| addr), holes.len() as u64)
+}
+
+/// Reference linear-scan worst fit: the first strict maximum in
+/// address order (largest hole, lowest address on ties), no early
+/// exit — the whole list is always examined.
+fn worst_fit_scan(holes: &[(u64, u64)], size: u64) -> (Option<u64>, u64) {
+    let mut best: Option<(u64, u64)> = None;
+    for &(addr, hsize) in holes {
+        if best.is_none_or(|(bsize, _)| hsize > bsize) {
+            best = Some((hsize, addr));
+        }
+    }
+    (
+        best.filter(|&(bsize, _)| bsize >= size)
+            .map(|(_, addr)| addr),
+        holes.len() as u64,
+    )
+}
+
+proptest! {
+    /// The size-indexed best-fit/worst-fit lookups pick the same hole
+    /// and report the same modeled search length as the linear scans
+    /// they replaced, under any op stream.
+    #[test]
+    fn size_index_matches_linear_scan(ops in arb_ops()) {
+        for (policy, scan) in [
+            (
+                Placement::BestFit,
+                best_fit_scan as fn(&[(u64, u64)], u64) -> (Option<u64>, u64),
+            ),
+            (Placement::WorstFit, worst_fit_scan),
+        ] {
+            let mut a = FreeListAllocator::new(4096, policy);
+            let mut live: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::Alloc(size) => {
+                        let holes: Vec<(u64, u64)> = a.holes().collect();
+                        let (want_addr, want_probes) = scan(&holes, size);
+                        let before = a.stats().probes;
+                        let got = a.alloc(next, size);
+                        prop_assert_eq!(
+                            got.ok().map(|p| p.value()),
+                            want_addr,
+                            "{:?}: choice diverged from the scan",
+                            policy
+                        );
+                        prop_assert_eq!(
+                            a.stats().probes - before,
+                            want_probes,
+                            "{:?}: modeled search length diverged",
+                            policy
+                        );
+                        if want_addr.is_some() {
+                            live.push(next);
+                        }
+                        next += 1;
+                    }
+                    Op::FreeNth(i) => {
+                        if !live.is_empty() {
+                            let id = live.swap_remove(i % live.len());
+                            a.free(id).expect("live id");
+                        }
+                    }
+                }
+                a.check_invariants();
+            }
+        }
+    }
+
+    /// The incrementally maintained `largest_free` and the lazily
+    /// rebuilt sorted-allocations view agree with recomputation from
+    /// scratch at every step, for every placement policy.
+    #[test]
+    fn cached_views_match_recomputation(ops in arb_ops()) {
+        for policy in placements() {
+            let mut a = FreeListAllocator::new(4096, policy);
+            let mut live: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::Alloc(size) => {
+                        if a.alloc(next, size).is_ok() {
+                            live.push(next);
+                        }
+                        next += 1;
+                    }
+                    Op::FreeNth(i) => {
+                        if !live.is_empty() {
+                            let id = live.swap_remove(i % live.len());
+                            a.free(id).expect("live id");
+                        }
+                    }
+                }
+                let holes: Vec<(u64, u64)> = a.holes().collect();
+                let largest = holes.iter().map(|&(_, s)| s).max().unwrap_or(0);
+                prop_assert_eq!(a.largest_free(), largest);
+                // Query twice: the second hits the cache and must agree.
+                let view = a.allocations_by_address();
+                let mut expect: Vec<(u64, u64)> = live
+                    .iter()
+                    .map(|&id| {
+                        let (addr, size) = a.lookup(id).expect("live");
+                        (addr.value(), size)
+                    })
+                    .collect();
+                expect.sort_unstable();
+                let got: Vec<(u64, u64)> =
+                    view.iter().map(|&(_, addr, size)| (addr, size)).collect();
+                prop_assert_eq!(&got, &expect);
+                prop_assert_eq!(a.allocations_by_address(), view);
+            }
+        }
+    }
+}

@@ -126,3 +126,188 @@ proptest! {
         mem.check_invariants();
     }
 }
+
+mod victim_parity {
+    use super::*;
+    use dsa::core::clock::VirtualTime;
+    use dsa::core::ids::FrameNo;
+    use dsa::paging::sensors::Sensors;
+    use std::collections::HashMap;
+    use std::sync::{Arc, Mutex};
+
+    /// Wraps a policy and records every victim it chooses, so two
+    /// policies' full eviction sequences can be compared.
+    struct Recording {
+        inner: Box<dyn Replacer>,
+        victims: Arc<Mutex<Vec<FrameNo>>>,
+    }
+
+    impl Replacer for Recording {
+        fn loaded(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime) {
+            self.inner.loaded(frame, page, now);
+        }
+
+        fn touched(&mut self, frame: FrameNo, page: PageNo, now: VirtualTime, write: bool) {
+            self.inner.touched(frame, page, now, write);
+        }
+
+        fn victim(
+            &mut self,
+            eligible: &[FrameNo],
+            sensors: &mut Sensors,
+            now: VirtualTime,
+        ) -> FrameNo {
+            let v = self.inner.victim(eligible, sensors, now);
+            self.victims.lock().unwrap().push(v);
+            v
+        }
+
+        fn evicted(&mut self, frame: FrameNo) {
+            self.inner.evicted(frame);
+        }
+
+        fn hint_idle(&mut self, frame: FrameNo) {
+            self.inner.hint_idle(frame);
+        }
+
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+    }
+
+    /// The pre-index LRU: a plain scan for the minimum stamp (first
+    /// minimum wins, `min_by_key` semantics).
+    #[derive(Default)]
+    struct ScanLru {
+        last_use: HashMap<FrameNo, VirtualTime>,
+    }
+
+    impl Replacer for ScanLru {
+        fn loaded(&mut self, frame: FrameNo, _page: PageNo, now: VirtualTime) {
+            self.last_use.insert(frame, now);
+        }
+
+        fn touched(&mut self, frame: FrameNo, _page: PageNo, now: VirtualTime, _write: bool) {
+            self.last_use.insert(frame, now);
+        }
+
+        fn victim(
+            &mut self,
+            eligible: &[FrameNo],
+            _sensors: &mut Sensors,
+            _now: VirtualTime,
+        ) -> FrameNo {
+            *eligible
+                .iter()
+                .min_by_key(|f| self.last_use.get(f).copied().unwrap_or(0))
+                .expect("eligible is never empty")
+        }
+
+        fn evicted(&mut self, frame: FrameNo) {
+            self.last_use.remove(&frame);
+        }
+
+        fn name(&self) -> &'static str {
+            "scan-LRU"
+        }
+    }
+
+    /// The pre-index MIN: recompute every eligible frame's next use at
+    /// victim time (last maximum wins, `max_by_key` semantics).
+    struct ScanMin {
+        uses: HashMap<PageNo, Vec<VirtualTime>>,
+        resident: HashMap<FrameNo, PageNo>,
+    }
+
+    impl ScanMin {
+        fn new(trace: &[PageNo]) -> ScanMin {
+            let mut uses: HashMap<PageNo, Vec<VirtualTime>> = HashMap::new();
+            for (i, &p) in trace.iter().enumerate() {
+                uses.entry(p).or_default().push(i as VirtualTime);
+            }
+            ScanMin {
+                uses,
+                resident: HashMap::new(),
+            }
+        }
+
+        fn next_use(&self, page: PageNo, now: VirtualTime) -> Option<VirtualTime> {
+            let positions = self.uses.get(&page)?;
+            let idx = positions.partition_point(|&t| t <= now);
+            positions.get(idx).copied()
+        }
+    }
+
+    impl Replacer for ScanMin {
+        fn loaded(&mut self, frame: FrameNo, page: PageNo, _now: VirtualTime) {
+            self.resident.insert(frame, page);
+        }
+
+        fn victim(
+            &mut self,
+            eligible: &[FrameNo],
+            _sensors: &mut Sensors,
+            now: VirtualTime,
+        ) -> FrameNo {
+            *eligible
+                .iter()
+                .max_by_key(|f| {
+                    let page = self.resident.get(f).copied().unwrap_or(PageNo(u64::MAX));
+                    self.next_use(page, now).unwrap_or(VirtualTime::MAX)
+                })
+                .expect("eligible is never empty")
+        }
+
+        fn evicted(&mut self, frame: FrameNo) {
+            self.resident.remove(&frame);
+        }
+
+        fn name(&self) -> &'static str {
+            "scan-MIN"
+        }
+    }
+
+    /// Runs `trace` under `policy` with victim recording; returns
+    /// (faults, victim sequence).
+    fn recorded_run(
+        frames: usize,
+        trace: &[PageNo],
+        policy: Box<dyn Replacer>,
+    ) -> (u64, Vec<FrameNo>) {
+        let victims = Arc::new(Mutex::new(Vec::new()));
+        let recorder = Recording {
+            inner: policy,
+            victims: Arc::clone(&victims),
+        };
+        let mut mem = PagedMemory::new(frames, Box::new(recorder));
+        let stats = mem.run_pages(trace).expect("no pinning");
+        let seq = victims.lock().unwrap().clone();
+        (stats.faults, seq)
+    }
+
+    proptest! {
+        /// The indexed LRU chooses the same victim at every eviction as
+        /// the plain scan it replaced.
+        #[test]
+        fn indexed_lru_matches_scan(trace in arb_trace(), frames in 1usize..12) {
+            let (f_idx, v_idx) =
+                recorded_run(frames, &trace, Box::new(LruRepl::new()));
+            let (f_scan, v_scan) =
+                recorded_run(frames, &trace, Box::new(ScanLru::default()));
+            prop_assert_eq!(f_idx, f_scan);
+            prop_assert_eq!(v_idx, v_scan);
+        }
+
+        /// The indexed MIN (cached next uses) chooses the same victim
+        /// at every eviction as the recompute-on-demand scan.
+        #[test]
+        fn indexed_min_matches_scan(trace in arb_trace(), frames in 1usize..12) {
+            let (f_idx, v_idx) =
+                recorded_run(frames, &trace, Box::new(MinRepl::new(&trace)));
+            let (f_scan, v_scan) =
+                recorded_run(frames, &trace, Box::new(ScanMin::new(&trace)));
+            prop_assert_eq!(f_idx, f_scan);
+            prop_assert_eq!(v_idx, v_scan);
+        }
+    }
+}

@@ -7,12 +7,17 @@
 //!   on every allocation (the modeled search length the paper cares
 //!   about is reported separately by `FreeListStats`);
 //! * victim selection — LRU and MIN must pick a frame on every
-//!   eviction.
+//!   eviction;
+//! * whole fault-rate *curves* — the experiments want faults at every
+//!   core size, and replaying the machine once per size multiplies the
+//!   victim-selection cost by the number of sizes. The `belady_curve`
+//!   group races that replay loop against one `dsa-stackdist` pass
+//!   (exact same fault counts, property-tested).
 //!
 //! The workloads here are sized so the structures being searched are
 //! large (thousands of holes, hundreds of frames): the regime the
 //! finite-size-scaling sweeps need. Results are recorded across PRs in
-//! `BENCH_03.json`.
+//! `BENCH_03.json` and `BENCH_04.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dsa_core::access::AllocEvent;
@@ -21,6 +26,7 @@ use dsa_freelist::freelist::{FreeListAllocator, Placement};
 use dsa_paging::paged::PagedMemory;
 use dsa_paging::replacement::lru::LruRepl;
 use dsa_paging::replacement::min::MinRepl;
+use dsa_stackdist::{lru_distances, opt_distances};
 use dsa_trace::allocstream::{AllocStreamCfg, SizeDist};
 use dsa_trace::refstring::RefStringCfg;
 use dsa_trace::rng::Rng64;
@@ -98,12 +104,68 @@ fn victim_select(c: &mut Criterion) {
     g.finish();
 }
 
+/// The whole faults-vs-size curve, the E4 way: one replay per frame
+/// count versus one stack-distance traversal. The workload mirrors E4's
+/// first trace (60 000 LRU-stack references over 64 pages) and the
+/// frame counts are E4's columns.
+fn belady_curve(c: &mut Criterion) {
+    const REFS: usize = 60_000;
+    const FRAME_COUNTS: [usize; 5] = [8, 16, 24, 32, 48];
+    let trace: Vec<PageNo> = RefStringCfg::LruStack {
+        pages: 64,
+        theta: 0.9,
+    }
+    .generate_pages(REFS, &mut Rng64::new(4_000));
+    let mut g = c.benchmark_group("belady_curve");
+    g.bench_function("lru_per_size", |b| {
+        b.iter(|| {
+            FRAME_COUNTS
+                .iter()
+                .map(|&frames| {
+                    let mut m = PagedMemory::new(frames, Box::new(LruRepl::new()));
+                    m.run_pages(&trace).expect("no pinning").faults
+                })
+                .sum::<u64>()
+        })
+    });
+    g.bench_function("lru_stackdist", |b| {
+        b.iter(|| {
+            lru_distances(&trace)
+                .success()
+                .curve(&FRAME_COUNTS)
+                .iter()
+                .sum::<u64>()
+        })
+    });
+    g.bench_function("min_per_size", |b| {
+        b.iter(|| {
+            FRAME_COUNTS
+                .iter()
+                .map(|&frames| {
+                    let mut m = PagedMemory::new(frames, Box::new(MinRepl::new(&trace)));
+                    m.run_pages(&trace).expect("no pinning").faults
+                })
+                .sum::<u64>()
+        })
+    });
+    g.bench_function("min_stackdist", |b| {
+        b.iter(|| {
+            opt_distances(&trace)
+                .success()
+                .curve(&FRAME_COUNTS)
+                .iter()
+                .sum::<u64>()
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     name = hotpath;
     config = Criterion::default()
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = alloc_churn, victim_select
+    targets = alloc_churn, victim_select, belady_curve
 );
 criterion_main!(hotpath);

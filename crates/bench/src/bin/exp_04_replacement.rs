@@ -8,64 +8,52 @@
 //! program's home), and uniform random (the control where nothing
 //! helps). MIN is the unbeatable offline bound.
 //!
+//! The stack policies (MIN, LRU — see
+//! `dsa_paging::replacement::registry::is_exact_stack`) get their whole
+//! faults-vs-size curve from **one** `dsa-stackdist` traversal per
+//! trace instead of one replay per frame count; the per-reference
+//! distances also reproduce the fault stream at the probed size, so the
+//! percentile column comes from the same pass. Non-stack policies keep
+//! their per-size runs. Output is byte-identical either way — parity is
+//! property-tested in `tests/properties_stackdist.rs`.
+//!
 //! Pass `--trace-out <path>` to dump the probe event stream of one
 //! representative run (LRU on the first trace, 24 frames) as JSONL.
 
-use dsa_core::ids::PageNo;
-use dsa_exec::{jobs_from_env, product2, SimGrid};
+use dsa_exec::{jobs_from_env, trace_out_from_env, SimGrid};
 use dsa_metrics::table::Table;
 use dsa_paging::paged::PagedMemory;
-use dsa_paging::replacement::atlas::AtlasLearning;
-use dsa_paging::replacement::clock::ClockRepl;
-use dsa_paging::replacement::fifo::FifoRepl;
-use dsa_paging::replacement::lfu::LfuRepl;
 use dsa_paging::replacement::lru::LruRepl;
-use dsa_paging::replacement::min::MinRepl;
-use dsa_paging::replacement::nru::ClassRandomRepl;
-use dsa_paging::replacement::random::RandomRepl;
-use dsa_paging::replacement::Replacer;
-use dsa_probe::{JsonlRecorder, LatencyProbe};
+use dsa_paging::replacement::registry::{
+    is_exact_stack, policy_by_index, policy_count, policy_label, MIN,
+};
+use dsa_probe::{EventKind, JsonlRecorder, LatencyProbe, Probe, Stamp};
+use dsa_stackdist::{lru_distances, opt_distances};
 use dsa_trace::refstring::RefStringCfg;
 use dsa_trace::rng::Rng64;
-use std::path::PathBuf;
 
 const LEN: usize = 60_000;
 
 /// Frame count at which the percentile-latency column is measured.
 const PROBED_FRAMES: usize = 24;
 
-fn trace_out_path() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace-out" {
-            let p = args.next().unwrap_or_else(|| {
-                eprintln!("--trace-out requires a path");
-                std::process::exit(2);
-            });
-            return Some(PathBuf::from(p));
-        }
-    }
-    None
+/// One cell of the simulation grid.
+#[derive(Clone, Copy)]
+enum Cell {
+    /// An exact stack policy: the whole curve from one stackdist pass.
+    Curve { policy: usize },
+    /// One `(frames, policy)` replay for the non-stack policies.
+    PerSize { frames: usize, policy: usize },
 }
 
-const POLICY_COUNT: usize = 8;
-
-fn policy_by_index(i: usize, frames: usize, trace: &[PageNo]) -> Box<dyn Replacer> {
-    match i {
-        0 => Box::new(MinRepl::new(trace)),
-        1 => Box::new(LruRepl::new()),
-        2 => Box::new(ClockRepl::new(frames)),
-        3 => Box::new(FifoRepl::new()),
-        4 => Box::new(ClassRandomRepl::new(4, 8)),
-        5 => Box::new(RandomRepl::new(4)),
-        6 => Box::new(AtlasLearning::new()),
-        7 => Box::new(LfuRepl::with_aging(32)),
-        _ => unreachable!("policy index {i} out of range"),
-    }
+/// What a cell yields.
+enum Measured {
+    Curve { rates: Vec<f64>, p95: u64 },
+    PerSize { rate: f64, p95: Option<u64> },
 }
 
 fn main() {
-    let trace_out = trace_out_path();
+    let trace_out = trace_out_from_env();
     let jobs = jobs_from_env();
     println!("E4: replacement strategies — fault rate vs core size\n");
     let traces: Vec<(&str, RefStringCfg)> = vec![
@@ -116,42 +104,73 @@ fn main() {
         ])
         .with_title(&format!("trace: {tname} ({LEN} refs)"));
         let frame_counts = [8usize, 16, 24, 32, 48];
-        // One row per policy.
-        let names = [
-            "MIN (Belady)",
-            "LRU",
-            "Clock",
-            "FIFO",
-            "class-random (M44)",
-            "Random",
-            "ATLAS learning",
-            "LFU (aged)",
-        ];
-        let mut rates = vec![Vec::new(); names.len()];
-        let mut p95_inter_fault = vec![0u64; names.len()];
-        // Every (frame count, policy) pair is an independent run over
-        // the shared trace; the grid preserves the nested-loop order.
-        let grid = SimGrid::new(product2(
-            &frame_counts,
-            &(0..POLICY_COUNT).collect::<Vec<_>>(),
-        ));
-        let measured = grid.run(jobs, |_, &(frames, i)| {
-            let mut mem = PagedMemory::new(frames, policy_by_index(i, frames, &trace));
-            if frames == PROBED_FRAMES {
+        let mut rates = vec![Vec::new(); policy_count()];
+        let mut p95_inter_fault = vec![0u64; policy_count()];
+        // Stack policies are one cell per trace (the size axis collapses
+        // into a single stackdist pass); every non-stack (frame count,
+        // policy) pair stays an independent replay of the shared trace.
+        let mut cells: Vec<Cell> = (0..policy_count())
+            .filter(|&i| is_exact_stack(i))
+            .map(|policy| Cell::Curve { policy })
+            .collect();
+        for &frames in &frame_counts {
+            for policy in (0..policy_count()).filter(|&i| !is_exact_stack(i)) {
+                cells.push(Cell::PerSize { frames, policy });
+            }
+        }
+        let grid = SimGrid::new(cells);
+        let measured = grid.run(jobs, |_, &cell| match cell {
+            Cell::Curve { policy } => {
+                let distances = if policy == MIN {
+                    opt_distances(&trace)
+                } else {
+                    lru_distances(&trace)
+                };
+                // Replaying the probed size's fault positions through
+                // the same probe the simulator feeds reproduces the
+                // percentile column exactly.
                 let mut probe = LatencyProbe::new();
-                let stats = mem
-                    .run_pages_probed(&trace, &mut probe)
-                    .expect("no pinning");
-                (stats.fault_rate(), Some(probe.inter_fault().quantile(0.95)))
-            } else {
-                let stats = mem.run_pages(&trace).expect("no pinning");
-                (stats.fault_rate(), None)
+                for vt in distances.fault_times(PROBED_FRAMES) {
+                    probe.emit(EventKind::Fault, Stamp::vtime(vt));
+                }
+                Measured::Curve {
+                    rates: distances.success().rate_curve(&frame_counts),
+                    p95: probe.inter_fault().quantile(0.95),
+                }
+            }
+            Cell::PerSize { frames, policy } => {
+                let mut mem = PagedMemory::new(frames, policy_by_index(policy, frames, &trace));
+                if frames == PROBED_FRAMES {
+                    let mut probe = LatencyProbe::new();
+                    let stats = mem
+                        .run_pages_probed(&trace, &mut probe)
+                        .expect("no pinning");
+                    Measured::PerSize {
+                        rate: stats.fault_rate(),
+                        p95: Some(probe.inter_fault().quantile(0.95)),
+                    }
+                } else {
+                    let stats = mem.run_pages(&trace).expect("no pinning");
+                    Measured::PerSize {
+                        rate: stats.fault_rate(),
+                        p95: None,
+                    }
+                }
             }
         });
-        for (&(_, i), (rate, p95)) in grid.cells().iter().zip(measured) {
-            rates[i].push(rate);
-            if let Some(p) = p95 {
-                p95_inter_fault[i] = p;
+        for (&cell, m) in grid.cells().iter().zip(measured) {
+            match (cell, m) {
+                (Cell::Curve { policy }, Measured::Curve { rates: curve, p95 }) => {
+                    rates[policy] = curve;
+                    p95_inter_fault[policy] = p95;
+                }
+                (Cell::PerSize { policy, .. }, Measured::PerSize { rate, p95 }) => {
+                    rates[policy].push(rate);
+                    if let Some(p) = p95 {
+                        p95_inter_fault[policy] = p;
+                    }
+                }
+                _ => unreachable!("cell and measurement kinds always pair"),
             }
         }
         // Dump one representative probed run (LRU on the first trace)
@@ -170,9 +189,9 @@ fn main() {
                 );
             }
         }
-        for (i, name) in names.iter().enumerate() {
-            let mut row = vec![(*name).to_owned()];
-            row.extend(rates[i].iter().map(|r| format!("{:.3}", r)));
+        for (i, row_rates) in rates.iter().enumerate() {
+            let mut row = vec![policy_label(i).to_owned()];
+            row.extend(row_rates.iter().map(|r| format!("{:.3}", r)));
             row.push(format!("{} refs", p95_inter_fault[i]));
             t.row_owned(row);
         }

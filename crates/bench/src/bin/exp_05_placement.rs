@@ -14,7 +14,7 @@
 //! across N workers; any width prints the same bytes.
 
 use dsa_core::access::AllocEvent;
-use dsa_exec::{jobs_from_env, SimGrid};
+use dsa_exec::{jobs_from_env, trace_out_from_env, SimGrid};
 use dsa_freelist::frag::FragReport;
 use dsa_freelist::freelist::{FreeListAllocator, Placement};
 use dsa_freelist::rice::RiceAllocator;
@@ -23,24 +23,9 @@ use dsa_metrics::table::Table;
 use dsa_probe::{JsonlRecorder, LatencyProbe, Probe, Stamp};
 use dsa_trace::allocstream::{AllocStreamCfg, SizeDist};
 use dsa_trace::rng::Rng64;
-use std::path::PathBuf;
 
 const CAPACITY: u64 = 32_768;
 const EVENTS: usize = 60_000;
-
-fn trace_out_path() -> Option<PathBuf> {
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--trace-out" {
-            let p = args.next().unwrap_or_else(|| {
-                eprintln!("--trace-out requires a path");
-                std::process::exit(2);
-            });
-            return Some(PathBuf::from(p));
-        }
-    }
-    None
-}
 
 struct Outcome {
     failures: u64,
@@ -220,7 +205,7 @@ fn row_for(kind: &RowKind, events: &[AllocEvent]) -> Vec<String> {
 }
 
 fn main() {
-    let trace_out = trace_out_path();
+    let trace_out = trace_out_from_env();
     let jobs = jobs_from_env();
     println!("E5: placement strategies under steady allocation churn\n");
     for (di, (dist_name, sizes)) in [

@@ -9,10 +9,14 @@
 //!    small, there will be an unacceptable amount of overhead. If it is
 //!    too large, too much space will be wasted". The MULTICS 64+1024
 //!    mix is included (conclusion (v) and A.6).
-//! 2. **Faults**: the same word-granular reference string replayed on a
-//!    fixed 16K-word working storage at each page size — large pages
+//! 2. **Faults**: the same word-granular reference string evaluated on
+//!    a fixed 16K-word working storage at each page size — large pages
 //!    waste capacity on words never touched; tiny pages multiply the
-//!    table and fetch count.
+//!    table and fetch count. One string is generated once; each page
+//!    size regroups it with `to_page_trace` and gets its exact LRU
+//!    fault count from a single `dsa-stackdist` pass instead of a
+//!    machine replay (parity is property-tested in
+//!    `tests/properties_stackdist.rs`).
 
 use dsa_core::ids::Words;
 use dsa_exec::{jobs_from_env, SimGrid};
@@ -20,8 +24,7 @@ use dsa_freelist::frag::{dual_size_waste, paged_overhead};
 use dsa_metrics::sparkline::labelled_sparkline;
 use dsa_metrics::table::Table;
 use dsa_paging::page_size::{frames_for, to_page_trace};
-use dsa_paging::paged::PagedMemory;
-use dsa_paging::replacement::lru::LruRepl;
+use dsa_stackdist::lru_success;
 use dsa_trace::allocstream::SizeDist;
 use dsa_trace::rng::Rng64;
 
@@ -111,16 +114,16 @@ fn main() {
     for (fetch_ms, row) in grid.run(jobs_from_env(), |_, &page| {
         let trace = to_page_trace(&scaled, page);
         let frames = frames_for(memory, page);
-        let mut mem = PagedMemory::new(frames, Box::new(LruRepl::new()));
-        let stats = mem.run_pages(&trace).expect("no pinning");
-        let fetch_ms = stats.faults as f64 * (drum_latency_ns + word_ns * page) as f64 / 1e6;
+        let success = lru_success(&trace);
+        let faults = success.faults(frames);
+        let fetch_ms = faults as f64 * (drum_latency_ns + word_ns * page) as f64 / 1e6;
         (
             fetch_ms,
             vec![
                 page.to_string(),
                 frames.to_string(),
-                format!("{:.4}", stats.fault_rate()),
-                stats.faults.to_string(),
+                format!("{:.4}", success.fault_rate(frames)),
+                faults.to_string(),
                 format!("{fetch_ms:.0} ms"),
             ],
         )

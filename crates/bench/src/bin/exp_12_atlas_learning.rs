@@ -14,9 +14,8 @@ use dsa_exec::{jobs_from_env, SimGrid};
 use dsa_metrics::table::Table;
 use dsa_paging::paged::PagedMemory;
 use dsa_paging::replacement::atlas::AtlasLearning;
-use dsa_paging::replacement::fifo::FifoRepl;
-use dsa_paging::replacement::lru::LruRepl;
-use dsa_paging::replacement::min::MinRepl;
+use dsa_paging::replacement::registry::{policy_by_index, ATLAS, FIFO};
+use dsa_stackdist::{lru_success, opt_success};
 use dsa_trace::refstring::RefStringCfg;
 use dsa_trace::rng::Rng64;
 
@@ -69,10 +68,13 @@ fn main() {
     for row in grid.run(jobs, |_, &jitter| {
         let mut rng = Rng64::new(12);
         let trace = jittered_loop(jitter, &mut rng);
-        let min = fault_rate(&trace, Box::new(MinRepl::new(&trace)));
-        let atlas = fault_rate(&trace, Box::new(AtlasLearning::new()));
-        let lru = fault_rate(&trace, Box::new(LruRepl::new()));
-        let fifo = fault_rate(&trace, Box::new(FifoRepl::new()));
+        // MIN and LRU are exact stack policies: one stackdist pass each
+        // replaces their machine replays (same fault counts, proven by
+        // the parity property tests).
+        let min = opt_success(&trace).fault_rate(FRAMES);
+        let atlas = fault_rate(&trace, policy_by_index(ATLAS, FRAMES, &trace));
+        let lru = lru_success(&trace).fault_rate(FRAMES);
+        let fifo = fault_rate(&trace, policy_by_index(FIFO, FRAMES, &trace));
         vec![
             format!("{:.0}%", jitter * 100.0),
             format!("{min:.3}"),

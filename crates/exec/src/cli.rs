@@ -1,9 +1,15 @@
-//! The shared `--jobs N` flag.
+//! The shared experiment-binary flags.
 //!
 //! Every `exp_*` binary accepts `--jobs N` (or `--jobs=N`): the number
 //! of worker threads the grid fans across. The default is all hardware
 //! threads; `--jobs 1` forces the inline sequential path, whose output
 //! every parallel width must reproduce byte for byte.
+//!
+//! The binaries that can dump a probe event stream (E4, E5) share
+//! `--trace-out <path>` (or `--trace-out=<path>`) the same way, so no
+//! binary hand-rolls its own flag loop.
+
+use std::path::PathBuf;
 
 use crate::pool::available_jobs;
 
@@ -55,6 +61,49 @@ pub fn jobs_from_env() -> usize {
     }
 }
 
+/// Extracts a `--trace-out` path from an argument list, ignoring every
+/// other argument.
+///
+/// Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a path.
+pub fn parse_trace_out<I>(args: I) -> Result<Option<PathBuf>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let value = if a == "--trace-out" {
+            args.next()
+                .ok_or_else(|| "--trace-out requires a path".to_owned())?
+        } else if let Some(v) = a.strip_prefix("--trace-out=") {
+            if v.is_empty() {
+                return Err("--trace-out requires a path".to_owned());
+            }
+            v.to_owned()
+        } else {
+            continue;
+        };
+        return Ok(Some(PathBuf::from(value)));
+    }
+    Ok(None)
+}
+
+/// The `--trace-out` path from the process arguments, if given. Exits
+/// with status 2 on a malformed flag, like [`jobs_from_env`].
+#[must_use]
+pub fn trace_out_from_env() -> Option<PathBuf> {
+    match parse_trace_out(std::env::args().skip(1)) {
+        Ok(path) => path,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,5 +134,25 @@ mod tests {
         assert!(parse_jobs(strings(&["--jobs", "zero"])).is_err());
         assert!(parse_jobs(strings(&["--jobs", "0"])).is_err());
         assert!(parse_jobs(strings(&["--jobs="])).is_err());
+    }
+
+    #[test]
+    fn trace_out_both_spellings_parse() {
+        assert_eq!(parse_trace_out(strings(&[])), Ok(None));
+        assert_eq!(parse_trace_out(strings(&["--jobs", "4"])), Ok(None));
+        assert_eq!(
+            parse_trace_out(strings(&["--trace-out", "t.jsonl"])),
+            Ok(Some(PathBuf::from("t.jsonl")))
+        );
+        assert_eq!(
+            parse_trace_out(strings(&["--jobs", "2", "--trace-out=x/y.jsonl"])),
+            Ok(Some(PathBuf::from("x/y.jsonl")))
+        );
+    }
+
+    #[test]
+    fn trace_out_without_a_path_errors() {
+        assert!(parse_trace_out(strings(&["--trace-out"])).is_err());
+        assert!(parse_trace_out(strings(&["--trace-out="])).is_err());
     }
 }

@@ -16,6 +16,28 @@ use dsa_core::ids::{FrameNo, PageNo};
 use crate::replacement::Replacer;
 use crate::sensors::Sensors;
 
+/// The per-position next-use table MIN reasons from, as a standalone
+/// pass: entry *i* is the position of the next reference to `trace[i]`
+/// strictly after *i*, or [`VirtualTime::MAX`] if the page never recurs.
+///
+/// [`MinRepl`] keeps the same information as per-page sorted position
+/// lists (it must answer "next use after `now`" for arbitrary `now`);
+/// consumers that walk the trace front to back — the one-pass OPT
+/// distance engine in `dsa-stackdist` — only ever need the next use *at
+/// the reference itself*, which one backward sweep precomputes exactly.
+#[must_use]
+pub fn next_use_times(trace: &[PageNo]) -> Vec<VirtualTime> {
+    let mut next = vec![VirtualTime::MAX; trace.len()];
+    let mut seen: HashMap<PageNo, VirtualTime> = HashMap::new();
+    for (i, &p) in trace.iter().enumerate().rev() {
+        if let Some(&later) = seen.get(&p) {
+            next[i] = later;
+        }
+        seen.insert(p, i as VirtualTime);
+    }
+    next
+}
+
 /// The offline optimum, constructed from the full reference string.
 ///
 /// Victim selection keeps a `BTreeSet<(next use, frame)>` whose tail is
@@ -132,6 +154,26 @@ mod tests {
 
     fn pages(xs: &[u64]) -> Vec<PageNo> {
         xs.iter().map(|&x| PageNo(x)).collect()
+    }
+
+    #[test]
+    fn next_use_times_matches_lookup() {
+        let trace = pages(&[1, 2, 1, 3, 2]);
+        let next = next_use_times(&trace);
+        assert_eq!(
+            next,
+            vec![2, 4, VirtualTime::MAX, VirtualTime::MAX, VirtualTime::MAX]
+        );
+        // Agrees with MinRepl's own per-page lists at every position.
+        let r = MinRepl::new(&trace);
+        for (i, &p) in trace.iter().enumerate() {
+            assert_eq!(
+                r.next_use(p, i as VirtualTime).unwrap_or(VirtualTime::MAX),
+                next[i],
+                "position {i}"
+            );
+        }
+        assert!(next_use_times(&[]).is_empty());
     }
 
     #[test]

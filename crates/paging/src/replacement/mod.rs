@@ -25,7 +25,9 @@
 //! [`crate::paged::PagedMemory`] drives; they learn about loads and
 //! touches through callbacks (the software analogue of the paper's
 //! use/modify sensors, which are also available to them directly at
-//! victim-selection time).
+//! victim-selection time). The whole cast is indexable through
+//! [`registry`] — count, constructors, table labels, and which members
+//! are exact stack algorithms — shared by experiments E4 and E12.
 
 pub mod atlas;
 pub mod clock;
@@ -35,6 +37,7 @@ pub mod lru;
 pub mod min;
 pub mod nru;
 pub mod random;
+pub mod registry;
 pub mod ws;
 
 use dsa_core::clock::VirtualTime;

@@ -1,0 +1,128 @@
+//! A Fenwick (binary-indexed) tree used as an order-statistics
+//! structure over reference stamps.
+//!
+//! The LRU distance pass marks, for every currently-seen page, the
+//! position of its most recent reference; the stack depth of a
+//! re-reference is then a *range count* of marks between the previous
+//! and the current position. A Fenwick tree holds those marks and
+//! answers prefix counts in O(log n), which is what turns the
+//! per-reference distance into a one-pass O(n log n) sweep.
+
+/// A binary-indexed tree over `n` positions holding small counts.
+#[derive(Clone, Debug)]
+pub struct Fenwick {
+    /// 1-based implicit tree; `tree[i]` covers `lowbit(i)` positions.
+    tree: Vec<u64>,
+}
+
+impl Fenwick {
+    /// An all-zero tree over positions `0..n`.
+    #[must_use]
+    pub fn new(n: usize) -> Fenwick {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    /// Number of positions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// Whether the tree covers no positions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Marks position `pos` (increments its count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is out of range.
+    pub fn mark(&mut self, pos: usize) {
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] += 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Unmarks position `pos` (decrements its count).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via underflow) if the position was not
+    /// marked; callers only ever clear marks they set.
+    pub fn clear(&mut self, pos: usize) {
+        let mut i = pos + 1;
+        while i < self.tree.len() {
+            self.tree[i] -= 1;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Count of marks at positions `0..=pos`.
+    #[must_use]
+    pub fn prefix(&self, pos: usize) -> u64 {
+        let mut i = (pos + 1).min(self.tree.len() - 1);
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Count of marks at positions strictly between `lo` and `hi`
+    /// (exclusive on both ends).
+    #[must_use]
+    pub fn between(&self, lo: usize, hi: usize) -> u64 {
+        if hi <= lo + 1 {
+            return 0;
+        }
+        self.prefix(hi - 1) - self.prefix(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_counts_marks() {
+        let mut f = Fenwick::new(10);
+        assert_eq!(f.len(), 10);
+        assert!(!f.is_empty());
+        for pos in [0, 3, 7, 9] {
+            f.mark(pos);
+        }
+        assert_eq!(f.prefix(0), 1);
+        assert_eq!(f.prefix(2), 1);
+        assert_eq!(f.prefix(3), 2);
+        assert_eq!(f.prefix(9), 4);
+        f.clear(3);
+        assert_eq!(f.prefix(9), 3);
+        assert_eq!(f.prefix(3), 1);
+    }
+
+    #[test]
+    fn between_is_exclusive_on_both_ends() {
+        let mut f = Fenwick::new(8);
+        for pos in 0..8 {
+            f.mark(pos);
+        }
+        assert_eq!(f.between(2, 6), 3); // positions 3, 4, 5
+        assert_eq!(f.between(2, 3), 0);
+        assert_eq!(f.between(2, 2), 0);
+        assert_eq!(f.between(0, 7), 6);
+    }
+
+    #[test]
+    fn empty_tree_is_empty() {
+        let f = Fenwick::new(0);
+        assert!(f.is_empty());
+        assert_eq!(f.prefix(0), 0);
+    }
+}

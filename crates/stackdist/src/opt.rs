@@ -1,0 +1,145 @@
+//! One-pass OPT (Belady MIN) stack distances.
+//!
+//! MIN is a *priority* stack algorithm: at any instant the page kept in
+//! a memory of every size is governed by one priority — the time of
+//! next use, sooner is better — so the inclusion property holds and a
+//! single priority-ordered stack captures all sizes at once (Mattson,
+//! Gecsei, Slutz & Traiger 1970). On a reference to the page at depth
+//! Δ the stack is repaired top-down: the referenced page moves to the
+//! top, and at each level the candidate needed sooner stays while the
+//! other — the page a memory of exactly that size would have evicted —
+//! falls toward the hole at Δ.
+//!
+//! Priorities are the absolute next-use times precomputed by
+//! [`dsa_paging::replacement::min::next_use_times`] — the same
+//! machinery [`dsa_paging::replacement::min::MinRepl`] simulates with —
+//! and they stay valid while a page sits in the stack: a resident
+//! page's next use cannot pass without that very reference re-stamping
+//! it. Pages never used again carry [`VirtualTime::MAX`]; the
+//! tie-break among them is arbitrary *and irrelevant to fault counts*,
+//! since a dead page can never cause a future fault, which is also why
+//! the curve matches `PagedMemory` + `MinRepl` at every size no matter
+//! which dead page that simulation happens to evict.
+//!
+//! Cost: O(Δ) per reference (O(n·m) worst case over m distinct pages)
+//! — the stack repair itself visits every level above the hole, so a
+//! sublinear index would not change the bound.
+
+use dsa_core::clock::VirtualTime;
+use dsa_core::ids::PageNo;
+use dsa_paging::replacement::min::next_use_times;
+
+use crate::success::{StackDistances, SuccessFunction, INFINITE};
+
+/// Computes the OPT stack distance of every reference in one pass over
+/// the trace (plus the backward next-use precomputation).
+#[must_use]
+pub fn opt_distances(trace: &[PageNo]) -> StackDistances {
+    let next = next_use_times(trace);
+    // Top of stack = index 0. Each entry: (page, its next use time).
+    let mut stack: Vec<(PageNo, VirtualTime)> = Vec::new();
+    let mut dist = Vec::with_capacity(trace.len());
+    for (i, &p) in trace.iter().enumerate() {
+        let depth = stack.iter().position(|&(q, _)| q == p);
+        let pr = next[i];
+        match depth {
+            Some(0) => {
+                dist.push(1);
+                stack[0].1 = pr;
+            }
+            Some(d) => {
+                dist.push(d as u64 + 1);
+                repair(&mut stack, (p, pr), d);
+            }
+            None => {
+                dist.push(INFINITE);
+                if stack.is_empty() {
+                    stack.push((p, pr));
+                } else {
+                    // Grow by one slot; the repair cascade fills it with
+                    // the page every size would have evicted last.
+                    let d = stack.len();
+                    stack.push((p, VirtualTime::MAX));
+                    repair(&mut stack, (p, pr), d);
+                }
+            }
+        }
+    }
+    StackDistances::new(dist)
+}
+
+/// Places `top` at the stack top and repairs levels `1..hole` by
+/// priority: at each level the sooner-needed candidate stays, the
+/// later-needed one falls; the final faller fills the hole at `hole`
+/// (the referenced page's old slot, or the fresh bottom slot on a
+/// first touch).
+fn repair(stack: &mut [(PageNo, VirtualTime)], top: (PageNo, VirtualTime), hole: usize) {
+    let mut falling = stack[0];
+    stack[0] = top;
+    for level in stack.iter_mut().take(hole).skip(1) {
+        // A memory of exactly this size keeps the page needed sooner
+        // and evicts the other; `falling` carries the running victim.
+        if level.1 >= falling.1 {
+            std::mem::swap(level, &mut falling);
+        }
+    }
+    stack[hole] = falling;
+}
+
+/// [`opt_distances`] collapsed to the success function.
+#[must_use]
+pub fn opt_success(trace: &[PageNo]) -> SuccessFunction {
+    opt_distances(trace).success()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pages(xs: &[u64]) -> Vec<PageNo> {
+        xs.iter().map(|&x| PageNo(x)).collect()
+    }
+
+    #[test]
+    fn belady_published_optimum_on_the_classic_trace() {
+        // 1 2 3 4 1 2 5 1 2 3 4 5: OPT faults 7 at 3 frames, 6 at 4.
+        let s = opt_success(&pages(&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]));
+        assert_eq!(s.faults(3), 7);
+        assert_eq!(s.faults(4), 6);
+        assert_eq!(s.faults(5), 5);
+        assert_eq!(s.compulsory(), 5);
+    }
+
+    #[test]
+    fn opt_never_exceeds_lru_at_any_size() {
+        use crate::lru::lru_success;
+        let trace: Vec<PageNo> = (0..500u64).map(|i| PageNo((i * 17 + i / 7) % 23)).collect();
+        let opt = opt_success(&trace);
+        let lru = lru_success(&trace);
+        for c in 1..=24 {
+            assert!(
+                opt.faults(c) <= lru.faults(c),
+                "OPT beat by LRU at {c} frames"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_curve_decreases_with_size_under_opt() {
+        // Cyclic sweep over 4 pages: OPT holds sweep faults to the
+        // minimum — with C frames it faults only on (pages - C + 1) of
+        // the pages per lap, hitting on the rest.
+        let trace: Vec<PageNo> = (0..24u64).map(|i| PageNo(i % 4)).collect();
+        let s = opt_success(&trace);
+        // 3 frames: one fault per lap after warm-up plus compulsory.
+        assert_eq!(s.faults(4), 4);
+        assert!(s.faults(3) < s.faults(2));
+        assert!(s.faults(2) < s.faults(1));
+    }
+
+    #[test]
+    fn hit_at_top_of_stack_keeps_distance_one() {
+        let s = opt_distances(&pages(&[7, 7, 7]));
+        assert_eq!(s.distances(), &[INFINITE, 1, 1][..]);
+    }
+}

@@ -26,6 +26,8 @@
 //!   symbolic and linear name dictionaries;
 //! * [`sched`] — multiprogramming, page-wait overlap, space-time
 //!   products;
+//! * [`stackdist`] — one-pass Mattson stack-distance evaluation: exact
+//!   LRU and MIN fault counts for every memory size from one traversal;
 //! * [`machines`] — the seven appendix machines as runnable presets;
 //! * [`trace`] — deterministic synthetic workloads;
 //! * [`metrics`] — stats, histograms, space-time meters, tables;
@@ -57,5 +59,6 @@ pub use dsa_paging as paging;
 pub use dsa_probe as probe;
 pub use dsa_sched as sched;
 pub use dsa_seg as seg;
+pub use dsa_stackdist as stackdist;
 pub use dsa_storage as storage;
 pub use dsa_trace as trace;

@@ -1,0 +1,386 @@
+//! The batching request port: the front door worker threads talk to.
+//!
+//! A production allocation service is not called one `malloc` at a
+//! time across a socket — clients batch. [`ArenaService::submit`] takes
+//! a slice of [`Request`]s, executes them in order, and returns one
+//! [`Response`] per request. `submit` is `&self`: any number of worker
+//! threads (`std::thread::scope` in the bench driver) push their own
+//! batches concurrently, and the service routes each request to the
+//! backend — the lock-free [`FixedSlab`] when the unit of allocation is
+//! uniform, the [`ShardedArena`] when it is not (the paper's
+//! §Uniformity axis, as a service configuration).
+//!
+//! Every operation is emitted into one [`SharedProbe`]. Because the
+//! sink is a set of atomic counters, the totals it reports reconcile
+//! *exactly* with the sum of per-worker response tallies at any thread
+//! count — the reconciliation guarantee the sequential probes have
+//! always given, extended to concurrent traffic.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use dsa_core::error::AllocError;
+use dsa_core::ids::{PhysAddr, Words};
+use dsa_freelist::freelist::Placement;
+use dsa_probe::{EventKind, Probe, SharedProbe, Stamp};
+
+use crate::slab::FixedSlab;
+use crate::striped::{ArenaError, ShardedArena};
+
+/// Stripes in the slab backend's id registry (the slab itself is
+/// lock-free; only the id -> unit bookkeeping takes a short lock).
+const REGISTRY_STRIPES: usize = 16;
+
+/// One allocation-service operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Allocate `words` under `id`.
+    Alloc {
+        /// The client's identifier for the block.
+        id: u64,
+        /// Requested size in words.
+        words: Words,
+    },
+    /// Release the allocation `id`.
+    Free {
+        /// The identifier passed at allocation time.
+        id: u64,
+    },
+}
+
+/// The outcome of one [`Request`], in batch order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The allocation succeeded.
+    Allocated {
+        /// The request's id.
+        id: u64,
+        /// The placed address (global across shards).
+        addr: PhysAddr,
+    },
+    /// The release succeeded.
+    Freed {
+        /// The request's id.
+        id: u64,
+    },
+    /// The request failed, with the typed reason.
+    Failed {
+        /// The request's id.
+        id: u64,
+        /// Why it failed.
+        error: ArenaError,
+    },
+}
+
+impl Response {
+    /// Whether this response reports success.
+    #[must_use]
+    pub fn is_ok(&self) -> bool {
+        !matches!(self, Response::Failed { .. })
+    }
+}
+
+#[derive(Debug)]
+enum Backend {
+    /// Uniform allocation units: the lock-free slab, plus a striped
+    /// id -> unit registry.
+    Slab {
+        slab: FixedSlab,
+        registry: Vec<Mutex<HashMap<u64, u32>>>,
+    },
+    /// Variable allocation units: the sharded free-list arena.
+    Striped(ShardedArena),
+}
+
+/// The thread-safe allocation service front-end.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_arena::{ArenaService, Request, Response};
+/// use dsa_freelist::Placement;
+///
+/// let svc = ArenaService::striped(4, 1000, Placement::FirstFit);
+/// let batch = [
+///     Request::Alloc { id: 1, words: 100 },
+///     Request::Free { id: 1 },
+/// ];
+/// let responses = svc.submit(&batch);
+/// assert!(responses.iter().all(Response::is_ok));
+/// assert_eq!(svc.counters().allocs, 1);
+/// ```
+#[derive(Debug)]
+pub struct ArenaService {
+    backend: Backend,
+    probe: SharedProbe,
+    /// Service-wide request sequence: the virtual-time stamp on emitted
+    /// events (a total order over requests, whatever the thread count).
+    clock: AtomicU64,
+}
+
+impl ArenaService {
+    /// A service over uniform units: `units` blocks of `unit_words`
+    /// words in a lock-free [`FixedSlab`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` or `unit_words` is zero.
+    #[must_use]
+    pub fn fixed(units: u32, unit_words: Words) -> ArenaService {
+        ArenaService {
+            backend: Backend::Slab {
+                slab: FixedSlab::new(units, unit_words),
+                registry: (0..REGISTRY_STRIPES)
+                    .map(|_| Mutex::new(HashMap::new()))
+                    .collect(),
+            },
+            probe: SharedProbe::new(),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// A service over variable units: `shards` stripes of
+    /// `shard_capacity` words each, under `policy`, in a
+    /// [`ShardedArena`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `shard_capacity` is zero.
+    #[must_use]
+    pub fn striped(shards: u32, shard_capacity: Words, policy: Placement) -> ArenaService {
+        ArenaService {
+            backend: Backend::Striped(ShardedArena::new(shards, shard_capacity, policy)),
+            probe: SharedProbe::new(),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared atomic event sink.
+    #[must_use]
+    pub fn probe(&self) -> &SharedProbe {
+        &self.probe
+    }
+
+    /// A frozen copy of the counters (see [`SharedProbe::snapshot`]).
+    #[must_use]
+    pub fn counters(&self) -> dsa_probe::CountingProbe {
+        self.probe.snapshot()
+    }
+
+    /// The striped backend, when this service allocates variable units.
+    #[must_use]
+    pub fn arena(&self) -> Option<&ShardedArena> {
+        match &self.backend {
+            Backend::Striped(a) => Some(a),
+            Backend::Slab { .. } => None,
+        }
+    }
+
+    /// The slab backend, when this service allocates uniform units.
+    #[must_use]
+    pub fn slab(&self) -> Option<&FixedSlab> {
+        match &self.backend {
+            Backend::Slab { slab, .. } => Some(slab),
+            Backend::Striped(_) => None,
+        }
+    }
+
+    fn registry_stripe<'a>(
+        registry: &'a [Mutex<HashMap<u64, u32>>],
+        id: u64,
+    ) -> MutexGuard<'a, HashMap<u64, u32>> {
+        let stripe = (id % registry.len() as u64) as usize;
+        registry[stripe]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Executes a batch in order, returning one response per request.
+    ///
+    /// Thread-safe: workers call this concurrently on a shared
+    /// reference; responses are positionally matched to the batch.
+    pub fn submit(&self, batch: &[Request]) -> Vec<Response> {
+        batch.iter().map(|&req| self.execute(req)).collect()
+    }
+
+    fn execute(&self, req: Request) -> Response {
+        let at = Stamp::vtime(self.clock.fetch_add(1, Ordering::Relaxed));
+        match req {
+            Request::Alloc { id, words } => match self.alloc(id, words, at) {
+                Ok(addr) => Response::Allocated { id, addr },
+                Err(error) => Response::Failed { id, error },
+            },
+            Request::Free { id } => match self.free(id, at) {
+                Ok(()) => Response::Freed { id },
+                Err(error) => Response::Failed { id, error },
+            },
+        }
+    }
+
+    fn alloc(&self, id: u64, words: Words, at: Stamp) -> Result<PhysAddr, ArenaError> {
+        match &self.backend {
+            Backend::Striped(arena) => {
+                let mut sink = &self.probe;
+                arena.alloc_probed(id, words, at, &mut sink)
+            }
+            Backend::Slab { slab, registry } => {
+                if words == 0 {
+                    return Err(ArenaError::Alloc(AllocError::ZeroSize));
+                }
+                if words > slab.unit_words() {
+                    return Err(ArenaError::Alloc(AllocError::RequestTooLarge {
+                        requested: words,
+                        max: slab.unit_words(),
+                    }));
+                }
+                let mut reg = Self::registry_stripe(registry, id);
+                if reg.contains_key(&id) {
+                    return Err(ArenaError::Alloc(AllocError::AlreadyAllocated));
+                }
+                let unit = slab.alloc()?;
+                reg.insert(id, unit.unit);
+                drop(reg);
+                (&self.probe).emit(
+                    EventKind::Alloc {
+                        // The unit is the grain: a smaller request still
+                        // consumes a whole unit (internal
+                        // fragmentation, the uniform-unit tax).
+                        words: slab.unit_words(),
+                        searched: u64::from(unit.attempts),
+                    },
+                    at,
+                );
+                Ok(unit.addr)
+            }
+        }
+    }
+
+    fn free(&self, id: u64, at: Stamp) -> Result<(), ArenaError> {
+        match &self.backend {
+            Backend::Striped(arena) => {
+                let mut sink = &self.probe;
+                arena.free_probed(id, at, &mut sink)
+            }
+            Backend::Slab { slab, registry } => {
+                let mut reg = Self::registry_stripe(registry, id);
+                let unit = reg.remove(&id).ok_or(AllocError::UnknownUnit)?;
+                slab.free(unit)?;
+                drop(reg);
+                (&self.probe).emit(
+                    EventKind::Free {
+                        words: slab.unit_words(),
+                    },
+                    at,
+                );
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn striped_batch_roundtrip_reconciles() {
+        let svc = ArenaService::striped(4, 1000, Placement::BestFit);
+        let batch: Vec<Request> = (0..10)
+            .map(|id| Request::Alloc { id, words: 50 })
+            .chain((0..5).map(|id| Request::Free { id }))
+            .collect();
+        let responses = svc.submit(&batch);
+        assert!(responses.iter().all(Response::is_ok));
+        let c = svc.counters();
+        assert_eq!(c.allocs, 10);
+        assert_eq!(c.alloc_words, 500);
+        assert_eq!(c.frees, 5);
+        assert_eq!(c.freed_words, 250);
+        assert_eq!(svc.arena().unwrap().snapshot().allocated_words(), 250);
+    }
+
+    #[test]
+    fn slab_service_enforces_the_unit_grain() {
+        let svc = ArenaService::fixed(4, 64);
+        let r = svc.submit(&[
+            Request::Alloc { id: 1, words: 64 },
+            Request::Alloc { id: 2, words: 10 }, // fits, whole unit consumed
+            Request::Alloc { id: 3, words: 65 }, // too big for the grain
+            Request::Free { id: 2 },
+        ]);
+        assert!(r[0].is_ok());
+        assert!(r[1].is_ok());
+        assert_eq!(
+            r[2],
+            Response::Failed {
+                id: 3,
+                error: ArenaError::Alloc(AllocError::RequestTooLarge {
+                    requested: 65,
+                    max: 64
+                })
+            }
+        );
+        assert!(r[3].is_ok());
+        let c = svc.counters();
+        assert_eq!(c.allocs, 2);
+        assert_eq!(c.alloc_words, 128, "whole units, not requested words");
+        assert_eq!(c.frees, 1);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_ids_fail_typed() {
+        let svc = ArenaService::fixed(2, 8);
+        let r = svc.submit(&[
+            Request::Alloc { id: 7, words: 8 },
+            Request::Alloc { id: 7, words: 8 },
+            Request::Free { id: 9 },
+        ]);
+        assert!(r[0].is_ok());
+        assert_eq!(
+            r[1],
+            Response::Failed {
+                id: 7,
+                error: ArenaError::Alloc(AllocError::AlreadyAllocated)
+            }
+        );
+        assert_eq!(
+            r[2],
+            Response::Failed {
+                id: 9,
+                error: ArenaError::Alloc(AllocError::UnknownUnit)
+            }
+        );
+    }
+
+    #[test]
+    fn concurrent_submissions_reconcile_exactly() {
+        let svc = ArenaService::striped(4, 4096, Placement::FirstFit);
+        let threads = 8u64;
+        let per_thread = 500u64;
+        let oks: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let svc = &svc;
+                let oks = &oks;
+                scope.spawn(move || {
+                    let mut ok = 0u64;
+                    for i in 0..per_thread {
+                        let id = (t << 32) | i;
+                        let batch = [Request::Alloc { id, words: 16 }, Request::Free { id }];
+                        ok += svc.submit(&batch).iter().filter(|r| r.is_ok()).count() as u64;
+                    }
+                    oks[t as usize].store(ok, Ordering::Relaxed);
+                });
+            }
+        });
+        let total_ok: u64 = oks.iter().map(|c| c.load(Ordering::Relaxed)).sum();
+        let c = svc.counters();
+        // Every successful response is counted exactly once in the
+        // shared sink, whatever the interleaving.
+        assert_eq!(c.allocs + c.frees, total_ok);
+        assert_eq!(c.allocs, c.frees);
+        assert_eq!(svc.arena().unwrap().snapshot().allocated_words(), 0);
+        svc.arena().unwrap().check_invariants();
+    }
+}

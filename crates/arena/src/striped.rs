@@ -1,0 +1,597 @@
+//! The sharded variable-size arena: striped free-list allocators
+//! behind per-shard locks.
+//!
+//! Variable-size allocation cannot use the slab's search-free stack —
+//! placement *is* a search — so concurrency comes from sharding
+//! instead: storage is striped into `N` independent regions, each owned
+//! by one [`FreeListAllocator`] (any placement policy) behind its own
+//! lock. Requests hash to a deterministic *home shard*; threads whose
+//! ids hash apart never contend. When the home shard cannot satisfy a
+//! request, the arena *steals*: it tries the remaining shards in a
+//! deterministic rotation before giving up with a typed
+//! [`ArenaError::Exhausted`] that reports every shard's honest
+//! `largest_free` — the same honesty the single-allocator
+//! [`AllocError::OutOfStorage`] carries, extended across the stripe.
+//!
+//! A 1-shard arena degenerates to a mutex around one allocator: every
+//! id homes to shard 0, no stealing can happen, and the placement
+//! decisions (and the stats) are byte-identical to the bare
+//! [`FreeListAllocator`] — the property test that anchors the arena's
+//! semantics to the sequential taxonomy.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use dsa_core::error::AllocError;
+use dsa_core::ids::{PhysAddr, Words};
+use dsa_freelist::freelist::{AllocSnapshot, FreeListAllocator, FreeListStats, Placement};
+use dsa_probe::{NullProbe, Probe, Stamp};
+
+/// Marks an id whose steal attempt is still in flight in the home
+/// shard's ownership map.
+const RESERVED: u32 = u32::MAX;
+
+/// The fixed 64-bit mixer behind home-shard hashing (SplitMix64's
+/// finalizer). Deterministic across runs, platforms and thread counts.
+fn mix64(id: u64) -> u64 {
+    let mut z = id.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One shard's honest fullness figures inside an
+/// [`ArenaError::Exhausted`] report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardFullness {
+    /// Which shard.
+    pub shard: u32,
+    /// The largest contiguous hole in that shard at failure time.
+    pub largest_free: Words,
+    /// Total free words in that shard.
+    pub free_words: Words,
+}
+
+/// An arena request failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArenaError {
+    /// A per-request error from the underlying allocator (zero size,
+    /// duplicate id, unknown id).
+    Alloc(AllocError),
+    /// Every shard was tried — home first, then the steal rotation —
+    /// and none could place the request. Carries each shard's honest
+    /// `largest_free` so callers can tell fragmentation from genuine
+    /// exhaustion.
+    Exhausted {
+        /// The size that was requested, in words.
+        requested: Words,
+        /// Fullness of every shard, in shard order.
+        per_shard: Vec<ShardFullness>,
+    },
+}
+
+impl fmt::Display for ArenaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArenaError::Alloc(e) => write!(f, "{e}"),
+            ArenaError::Exhausted {
+                requested,
+                per_shard,
+            } => {
+                let largest = per_shard.iter().map(|s| s.largest_free).max().unwrap_or(0);
+                write!(
+                    f,
+                    "all {} shards exhausted: requested {requested} words, largest free \
+                     extent anywhere {largest}",
+                    per_shard.len()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArenaError {}
+
+impl From<AllocError> for ArenaError {
+    fn from(e: AllocError) -> ArenaError {
+        ArenaError::Alloc(e)
+    }
+}
+
+/// One shard: its allocator plus the ownership map for ids that *home*
+/// here (the owner may be another shard after a steal).
+#[derive(Debug)]
+struct Shard {
+    alloc: FreeListAllocator,
+    /// id -> owning shard, for every live id homed to this shard.
+    homed: HashMap<u64, u32>,
+}
+
+/// A point-in-time view of one shard.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSnapshot {
+    /// Which shard.
+    pub shard: u32,
+    /// The shard allocator's occupancy and counters.
+    pub alloc: AllocSnapshot,
+    /// Live ids homed to this shard (owned here or stolen elsewhere).
+    pub homed: usize,
+}
+
+/// A point-in-time view of the whole arena.
+#[derive(Clone, Debug)]
+pub struct ArenaSnapshot {
+    /// Per-shard views, in shard order.
+    pub shards: Vec<ShardSnapshot>,
+    /// Allocations that landed on a non-home shard, cumulatively.
+    pub steals: u64,
+}
+
+impl ArenaSnapshot {
+    /// Total capacity across shards.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        self.shards.iter().map(|s| s.alloc.capacity).sum()
+    }
+
+    /// Total free words across shards.
+    #[must_use]
+    pub fn free_words(&self) -> Words {
+        self.shards.iter().map(|s| s.alloc.free_words).sum()
+    }
+
+    /// Total allocated words across shards.
+    #[must_use]
+    pub fn allocated_words(&self) -> Words {
+        self.capacity() - self.free_words()
+    }
+
+    /// The shard counters merged into one [`FreeListStats`].
+    #[must_use]
+    pub fn stats(&self) -> FreeListStats {
+        let mut total = FreeListStats::default();
+        for s in &self.shards {
+            total.merge(&s.alloc.stats);
+        }
+        total
+    }
+}
+
+/// A thread-safe variable-size arena striped over `N` locked
+/// [`FreeListAllocator`] shards.
+///
+/// Shard `s` owns the global address range
+/// `[s * shard_capacity, (s + 1) * shard_capacity)`; returned addresses
+/// are global.
+///
+/// Concurrency contract: any number of threads may call any method, but
+/// each *id* must be driven by one request stream at a time (alloc,
+/// then free, strictly ordered per id) — the natural shape of a
+/// per-client id space.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_arena::ShardedArena;
+/// use dsa_freelist::Placement;
+///
+/// let arena = ShardedArena::new(4, 1000, Placement::BestFit);
+/// let addr = arena.alloc(7, 100).unwrap();
+/// assert_eq!(arena.lookup(7), Some((addr, 100)));
+/// arena.free(7).unwrap();
+/// assert_eq!(arena.snapshot().free_words(), 4000);
+/// ```
+#[derive(Debug)]
+pub struct ShardedArena {
+    shards: Vec<Mutex<Shard>>,
+    shard_capacity: Words,
+    steals: AtomicU64,
+}
+
+impl ShardedArena {
+    /// Creates an arena of `shards` stripes, each `shard_capacity`
+    /// words under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or `shard_capacity` is zero.
+    #[must_use]
+    pub fn new(shards: u32, shard_capacity: Words, policy: Placement) -> ShardedArena {
+        assert!(shards > 0, "an arena needs at least one shard");
+        let shards = (0..shards)
+            .map(|_| {
+                Mutex::new(Shard {
+                    alloc: FreeListAllocator::new(shard_capacity, policy),
+                    homed: HashMap::new(),
+                })
+            })
+            .collect();
+        ShardedArena {
+            shards,
+            shard_capacity,
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> u32 {
+        self.shards.len() as u32
+    }
+
+    /// Capacity of each shard, in words.
+    #[must_use]
+    pub fn shard_capacity(&self) -> Words {
+        self.shard_capacity
+    }
+
+    /// Total capacity across shards.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        self.shard_capacity * self.shards.len() as u64
+    }
+
+    /// The deterministic home shard of an id.
+    #[must_use]
+    pub fn home_shard(&self, id: u64) -> u32 {
+        (mix64(id) % self.shards.len() as u64) as u32
+    }
+
+    /// Locks shard `s`, riding out poisoning (a panicked holder leaves
+    /// counters behind, never a torn free list — `FreeListAllocator`
+    /// mutates through `&mut self` with no unwind points mid-update).
+    fn lock(&self, s: u32) -> MutexGuard<'_, Shard> {
+        self.shards[s as usize]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn global(&self, shard: u32, addr: PhysAddr) -> PhysAddr {
+        PhysAddr(u64::from(shard) * self.shard_capacity + addr.value())
+    }
+
+    /// Allocates `size` words under `id`: home shard first, then the
+    /// steal rotation. See [`ShardedArena::alloc_probed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedArena::alloc_probed`].
+    pub fn alloc(&self, id: u64, size: Words) -> Result<PhysAddr, ArenaError> {
+        self.alloc_probed(id, size, Stamp::default(), &mut NullProbe)
+    }
+
+    /// [`ShardedArena::alloc`] with event emission: the shard that
+    /// places the request emits `Alloc { words, searched }` through its
+    /// allocator, where `searched` counts that shard's hole
+    /// inspections.
+    ///
+    /// # Errors
+    ///
+    /// * [`ArenaError::Alloc`] for zero-size requests and duplicate
+    ///   ids;
+    /// * [`ArenaError::Exhausted`] when no shard can place the request,
+    ///   with every shard's honest `largest_free`.
+    pub fn alloc_probed<P: Probe + ?Sized>(
+        &self,
+        id: u64,
+        size: Words,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<PhysAddr, ArenaError> {
+        if size == 0 {
+            return Err(ArenaError::Alloc(AllocError::ZeroSize));
+        }
+        let home = self.home_shard(id);
+        let n = self.shards.len() as u32;
+        {
+            let mut g = self.lock(home);
+            if g.homed.contains_key(&id) {
+                return Err(ArenaError::Alloc(AllocError::AlreadyAllocated));
+            }
+            match g.alloc.alloc_probed(id, size, at, probe) {
+                Ok(addr) => {
+                    g.homed.insert(id, home);
+                    return Ok(self.global(home, addr));
+                }
+                Err(AllocError::OutOfStorage { .. }) => {
+                    // Reserve the id while we steal, so a racing
+                    // duplicate alloc is refused.
+                    g.homed.insert(id, RESERVED);
+                }
+                Err(e) => return Err(ArenaError::Alloc(e)),
+            }
+        }
+        // Steal rotation: deterministic order, one lock at a time.
+        for k in 1..n {
+            let s = (home + k) % n;
+            let stolen = {
+                let mut g = self.lock(s);
+                match g.alloc.alloc_probed(id, size, at, probe) {
+                    Ok(addr) => Some(Ok(addr)),
+                    Err(AllocError::OutOfStorage { .. }) => None,
+                    Err(e) => Some(Err(e)),
+                }
+            };
+            match stolen {
+                Some(Ok(addr)) => {
+                    self.lock(home).homed.insert(id, s);
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Ok(self.global(s, addr));
+                }
+                Some(Err(e)) => {
+                    self.lock(home).homed.remove(&id);
+                    return Err(ArenaError::Alloc(e));
+                }
+                None => {}
+            }
+        }
+        // Nothing anywhere: drop the reservation and report honestly.
+        self.lock(home).homed.remove(&id);
+        let per_shard = (0..n)
+            .map(|s| {
+                let g = self.lock(s);
+                ShardFullness {
+                    shard: s,
+                    largest_free: g.alloc.largest_free(),
+                    free_words: g.alloc.free_words(),
+                }
+            })
+            .collect();
+        Err(ArenaError::Exhausted {
+            requested: size,
+            per_shard,
+        })
+    }
+
+    /// Frees the allocation `id`, wherever the steal rotation placed
+    /// it. See [`ShardedArena::free_probed`].
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedArena::free_probed`].
+    pub fn free(&self, id: u64) -> Result<(), ArenaError> {
+        self.free_probed(id, Stamp::default(), &mut NullProbe)
+    }
+
+    /// [`ShardedArena::free`] with event emission: the owning shard
+    /// emits `Free { words }` through its allocator.
+    ///
+    /// # Errors
+    ///
+    /// [`ArenaError::Alloc`] carrying [`AllocError::UnknownUnit`] if
+    /// `id` is not live.
+    pub fn free_probed<P: Probe + ?Sized>(
+        &self,
+        id: u64,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<(), ArenaError> {
+        let home = self.home_shard(id);
+        let owner = {
+            let mut g = self.lock(home);
+            match g.homed.get(&id) {
+                None => return Err(ArenaError::Alloc(AllocError::UnknownUnit)),
+                Some(&RESERVED) => return Err(ArenaError::Alloc(AllocError::UnknownUnit)),
+                Some(&owner) if owner == home => {
+                    g.alloc.free_probed(id, at, probe)?;
+                    g.homed.remove(&id);
+                    return Ok(());
+                }
+                Some(&owner) => {
+                    g.homed.remove(&id);
+                    owner
+                }
+            }
+        };
+        self.lock(owner)
+            .alloc
+            .free_probed(id, at, probe)
+            .map_err(ArenaError::Alloc)
+    }
+
+    /// Looks up a live allocation, returning its global address.
+    #[must_use]
+    pub fn lookup(&self, id: u64) -> Option<(PhysAddr, Words)> {
+        let home = self.home_shard(id);
+        let owner = {
+            let g = self.lock(home);
+            match g.homed.get(&id) {
+                None | Some(&RESERVED) => return None,
+                Some(&owner) if owner == home => {
+                    return g
+                        .alloc
+                        .lookup(id)
+                        .map(|(addr, size)| (self.global(home, addr), size));
+                }
+                Some(&owner) => owner,
+            }
+        };
+        self.lock(owner)
+            .alloc
+            .lookup(id)
+            .map(|(addr, size)| (self.global(owner, addr), size))
+    }
+
+    /// Allocations that landed on a non-home shard so far.
+    #[must_use]
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time view of every shard (each copied out under its
+    /// own lock; the arena keeps serving between shards).
+    #[must_use]
+    pub fn snapshot(&self) -> ArenaSnapshot {
+        let shards = (0..self.shards.len() as u32)
+            .map(|s| {
+                let g = self.lock(s);
+                ShardSnapshot {
+                    shard: s,
+                    alloc: g.alloc.snapshot(),
+                    homed: g.homed.len(),
+                }
+            })
+            .collect();
+        ArenaSnapshot {
+            shards,
+            steals: self.steals(),
+        }
+    }
+
+    /// Verifies every shard's allocator invariants plus cross-shard
+    /// ownership consistency, from a quiescent state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any shard's free list is corrupt, an ownership entry
+    /// points at a shard that doesn't hold the id, or the ownership
+    /// maps disagree with the live-allocation count.
+    pub fn check_invariants(&self) {
+        let guards: Vec<MutexGuard<'_, Shard>> = (0..self.shards.len() as u32)
+            .map(|s| self.lock(s))
+            .collect();
+        let mut owned_total = 0usize;
+        for g in &guards {
+            g.alloc.check_invariants();
+            owned_total += g.alloc.allocations_by_address().len();
+        }
+        let mut homed_total = 0usize;
+        for g in &guards {
+            for (&id, &owner) in &g.homed {
+                assert_ne!(owner, RESERVED, "reservation leaked for id {id}");
+                let owner_guard = &guards[owner as usize];
+                assert!(
+                    owner_guard.alloc.lookup(id).is_some(),
+                    "id {id} homed here but not live on shard {owner}"
+                );
+                homed_total += 1;
+            }
+        }
+        assert_eq!(
+            homed_total, owned_total,
+            "ownership maps out of step with live allocations"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_roundtrip_across_shards() {
+        let arena = ShardedArena::new(4, 500, Placement::FirstFit);
+        for id in 0..20 {
+            arena.alloc(id, 50).unwrap();
+        }
+        assert_eq!(arena.snapshot().allocated_words(), 1000);
+        arena.check_invariants();
+        for id in 0..20 {
+            arena.free(id).unwrap();
+        }
+        assert_eq!(arena.snapshot().free_words(), 2000);
+        arena.check_invariants();
+    }
+
+    #[test]
+    fn addresses_land_in_the_owning_shards_stripe() {
+        let arena = ShardedArena::new(8, 1000, Placement::BestFit);
+        for id in 0..40 {
+            let addr = arena.alloc(id, 10).unwrap();
+            let (found, size) = arena.lookup(id).unwrap();
+            assert_eq!(found, addr);
+            assert_eq!(size, 10);
+            let shard = addr.value() / 1000;
+            assert!(shard < 8);
+        }
+        arena.check_invariants();
+    }
+
+    #[test]
+    fn overflow_steals_to_a_neighbour() {
+        let arena = ShardedArena::new(2, 100, Placement::FirstFit);
+        // Fill whichever shard id 0 homes to, then overflow it.
+        let home = arena.home_shard(0);
+        arena.alloc(0, 100).unwrap();
+        // Find another id with the same home to force a steal.
+        let id2 = (1..).find(|&i| arena.home_shard(i) == home).unwrap();
+        let addr = arena.alloc(id2, 50).unwrap();
+        let other = 1 - home;
+        assert_eq!(addr.value() / 100, u64::from(other), "stolen placement");
+        assert_eq!(arena.steals(), 1);
+        arena.free(id2).unwrap();
+        arena.free(0).unwrap();
+        arena.check_invariants();
+    }
+
+    #[test]
+    fn exhaustion_reports_every_shard_honestly() {
+        let arena = ShardedArena::new(2, 100, Placement::FirstFit);
+        arena.alloc(1, 90).unwrap();
+        arena.alloc(2, 90).unwrap();
+        let err = arena.alloc(3, 50).unwrap_err();
+        match err {
+            ArenaError::Exhausted {
+                requested,
+                per_shard,
+            } => {
+                assert_eq!(requested, 50);
+                assert_eq!(per_shard.len(), 2);
+                for (i, s) in per_shard.iter().enumerate() {
+                    assert_eq!(s.shard, i as u32);
+                    assert_eq!(s.largest_free, 10);
+                    assert_eq!(s.free_words, 10);
+                }
+            }
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        // The failed request leaves no residue.
+        arena.check_invariants();
+        assert_eq!(arena.lookup(3), None);
+    }
+
+    #[test]
+    fn typed_errors_pass_through() {
+        let arena = ShardedArena::new(4, 100, Placement::BestFit);
+        assert_eq!(
+            arena.alloc(1, 0),
+            Err(ArenaError::Alloc(AllocError::ZeroSize))
+        );
+        arena.alloc(1, 10).unwrap();
+        assert_eq!(
+            arena.alloc(1, 10),
+            Err(ArenaError::Alloc(AllocError::AlreadyAllocated))
+        );
+        assert_eq!(
+            arena.free(99),
+            Err(ArenaError::Alloc(AllocError::UnknownUnit))
+        );
+    }
+
+    #[test]
+    fn one_shard_arena_matches_the_bare_allocator() {
+        // The anchor property: with one shard there is no hashing, no
+        // stealing, and no divergence from the sequential allocator.
+        let arena = ShardedArena::new(1, 1000, Placement::BestFit);
+        let mut bare = FreeListAllocator::new(1000, Placement::BestFit);
+        let sizes = [100u64, 37, 200, 64, 300, 12, 150];
+        for (i, &size) in sizes.iter().enumerate() {
+            let id = i as u64;
+            assert_eq!(arena.alloc(id, size).ok(), bare.alloc(id, size).ok());
+        }
+        for id in [1u64, 3, 5] {
+            assert!(arena.free(id).is_ok() == bare.free(id).is_ok());
+        }
+        // Refill into the holes: placement decisions must agree.
+        for (i, &size) in [30u64, 60, 90].iter().enumerate() {
+            let id = 100 + i as u64;
+            assert_eq!(arena.alloc(id, size).ok(), bare.alloc(id, size).ok());
+        }
+        let snap = arena.snapshot();
+        assert_eq!(snap.shards[0].alloc.free_words, bare.free_words());
+        assert_eq!(snap.stats().probes, bare.stats().probes);
+        arena.check_invariants();
+    }
+}

@@ -1,0 +1,139 @@
+//! Concurrent allocation service under churn: the wall-clock cost of
+//! the `dsa-arena` hot paths.
+//!
+//! Three groups:
+//!
+//! * `striped_submit` — four scoped workers hammer one `ArenaService`
+//!   with mixed alloc/free batches, swept over shard counts at constant
+//!   total capacity. More shards means fewer lock conflicts; on a
+//!   1-CPU host the curve flattens to the locking overhead itself.
+//! * `slab_submit` — the same batched workload against the lock-free
+//!   fixed-size slab: no locks, no placement search, one CAS per op.
+//! * `slab_raw` — the bare `FixedSlab::alloc`/`free` pair without the
+//!   service front-end, isolating the Treiber-stack cost from the
+//!   registry/probe overhead around it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsa_arena::{ArenaService, FixedSlab, Request, Response};
+use dsa_freelist::Placement;
+use dsa_trace::rng::Rng64;
+
+const WORKERS: u64 = 4;
+const OPS_PER_WORKER: usize = 5_000;
+const BATCH: usize = 256;
+const TOTAL_WORDS: u64 = 1 << 18;
+const UNIT_WORDS: u64 = 64;
+
+/// Bounded-live-set churn stream, ids namespaced by worker (same shape
+/// as `exp_18_concurrency`, smaller so a sample stays cheap).
+fn worker_stream(worker: u64, max_words: u64) -> Vec<Request> {
+    let mut rng = Rng64::new(0xBE_0000 + worker);
+    let mut live: Vec<u64> = Vec::new();
+    let mut next = 0u64;
+    let mut out = Vec::with_capacity(OPS_PER_WORKER + 300);
+    for _ in 0..OPS_PER_WORKER {
+        let grow = live.len() < 16 || (live.len() < 256 && rng.next_u64() % 100 < 55);
+        if grow {
+            let id = (worker << 40) | next;
+            next += 1;
+            out.push(Request::Alloc {
+                id,
+                words: 8 + rng.next_u64() % max_words,
+            });
+            live.push(id);
+        } else {
+            let i = (rng.next_u64() as usize) % live.len();
+            out.push(Request::Free {
+                id: live.swap_remove(i),
+            });
+        }
+    }
+    for id in live {
+        out.push(Request::Free { id });
+    }
+    out
+}
+
+/// Drives every stream through the service from scoped workers; returns
+/// the count of successful responses (a value the optimizer must keep).
+fn drive(svc: &ArenaService, streams: &[Vec<Request>]) -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let ok = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for stream in streams {
+            scope.spawn(|| {
+                let mut n = 0u64;
+                for batch in stream.chunks(BATCH) {
+                    n += svc
+                        .submit(batch)
+                        .iter()
+                        .filter(|r| !matches!(r, Response::Failed { .. }))
+                        .count() as u64;
+                }
+                ok.fetch_add(n, Ordering::Relaxed);
+            });
+        }
+    });
+    ok.into_inner()
+}
+
+fn striped_submit(c: &mut Criterion) {
+    let streams: Vec<Vec<Request>> = (0..WORKERS).map(|w| worker_stream(w, 120)).collect();
+    let mut g = c.benchmark_group("striped_submit");
+    for shards in [1u32, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &streams,
+            |b, streams| {
+                b.iter_with_setup(
+                    || {
+                        ArenaService::striped(
+                            shards,
+                            TOTAL_WORDS / u64::from(shards),
+                            Placement::FirstFit,
+                        )
+                    },
+                    |svc| drive(&svc, streams),
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+fn slab_submit(c: &mut Criterion) {
+    let streams: Vec<Vec<Request>> = (0..WORKERS)
+        .map(|w| worker_stream(w, UNIT_WORDS - 8))
+        .collect();
+    let mut g = c.benchmark_group("slab_submit");
+    g.bench_function("4_workers", |b| {
+        b.iter_with_setup(
+            || ArenaService::fixed(1 << 12, UNIT_WORDS),
+            |svc| drive(&svc, &streams),
+        )
+    });
+    g.finish();
+}
+
+fn slab_raw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slab_raw");
+    g.bench_function("alloc_free_pair", |b| {
+        let slab = FixedSlab::new(1 << 12, UNIT_WORDS);
+        b.iter(|| {
+            let unit = slab.alloc().expect("slab never fills here").unit;
+            slab.free(unit).expect("just allocated");
+            unit
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = arena_churn;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = striped_submit, slab_submit, slab_raw
+);
+criterion_main!(arena_churn);

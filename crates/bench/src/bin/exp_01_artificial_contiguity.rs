@@ -18,6 +18,7 @@ use dsa_storage::memory::CoreMemory;
 use dsa_trace::rng::Rng64;
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_01_artificial_contiguity", &[dsa_exec::cli::JOBS]);
     let jobs = jobs_from_env();
     println!("E1: artificial contiguity (Figures 1 and 2)\n");
 

@@ -54,6 +54,7 @@ fn run_with_channels(fetch: Cycles, jobs: usize, channels: Option<usize>) -> (f6
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_02_space_time", &[dsa_exec::cli::JOBS]);
     let workers = jobs_from_env();
     println!("E2: storage utilization with demand paging (Figure 3)\n");
     let devices = [

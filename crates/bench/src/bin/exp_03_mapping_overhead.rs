@@ -42,6 +42,7 @@ fn build(tlb: usize, policy: AssocPolicy) -> TwoLevelMap {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_03_mapping_overhead", &[dsa_exec::cli::JOBS]);
     println!("E3: two-level mapping overhead vs associative-memory size (Figure 4)\n");
 
     // Word-granular accesses with locality: an LRU-stack model over the

@@ -53,6 +53,10 @@ enum Measured {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags(
+        "exp_04_replacement",
+        &[dsa_exec::cli::JOBS, dsa_exec::cli::TRACE_OUT],
+    );
     let trace_out = trace_out_from_env();
     let jobs = jobs_from_env();
     println!("E4: replacement strategies — fault rate vs core size\n");

@@ -205,6 +205,10 @@ fn row_for(kind: &RowKind, events: &[AllocEvent]) -> Vec<String> {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags(
+        "exp_05_placement",
+        &[dsa_exec::cli::JOBS, dsa_exec::cli::TRACE_OUT],
+    );
     let trace_out = trace_out_from_env();
     let jobs = jobs_from_env();
     println!("E5: placement strategies under steady allocation churn\n");

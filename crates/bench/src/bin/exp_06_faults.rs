@@ -138,6 +138,7 @@ fn run_one(name: &str, rate: f64, ops: &[ProgramOp]) -> Vec<String> {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_06_faults", &[dsa_exec::cli::JOBS]);
     println!("E6b: graceful degradation under injected storage faults\n");
     let mut rng = Rng64::new(6);
     let program = survey_program_cfg().generate(&mut rng);

@@ -29,6 +29,7 @@ use dsa_trace::allocstream::SizeDist;
 use dsa_trace::rng::Rng64;
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_06_page_size", &[dsa_exec::cli::JOBS]);
     println!("E6: the page-size dilemma (paging obscures fragmentation)\n");
 
     // Part 1: space overhead across page sizes.

@@ -88,6 +88,7 @@ fn run(events: &[AllocEvent], compact_on_failure: bool) -> RunOut {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_07_compaction", &[dsa_exec::cli::JOBS]);
     println!("E7: compaction — corrective data movement vs accepted fragmentation\n");
     let jobs = jobs_from_env();
     for mean_size in [80.0f64, 800.0] {

@@ -46,6 +46,7 @@ fn program(accuracy: Option<f64>, seed: u64) -> Vec<dsa_core::access::ProgramOp>
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_08_advice", &[dsa_exec::cli::JOBS]);
     println!("E8: the value (and danger) of predictive information\n");
     let mut t = Table::new(&[
         "advice",

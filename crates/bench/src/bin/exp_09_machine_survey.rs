@@ -13,6 +13,7 @@ use dsa_metrics::table::Table;
 use dsa_trace::rng::Rng64;
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_09_machine_survey", &[dsa_exec::cli::JOBS]);
     println!("E9: the seven appendix machines under one workload\n");
     let mut rng = Rng64::new(9);
     let mut cfg = survey_program_cfg();

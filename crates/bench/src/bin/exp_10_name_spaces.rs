@@ -23,6 +23,7 @@ const CAPACITY: u32 = 4096;
 const OPS: usize = 30_000;
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_10_name_spaces", &[dsa_exec::cli::JOBS]);
     println!("E10: segment-name bookkeeping — symbolic vs linear dictionaries\n");
     let mut t = Table::new(&[
         "target occupancy",

@@ -25,6 +25,7 @@ fn mix_pages(r: Words, small: Words, large: Words) -> u64 {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_11_multics_dual", &[dsa_exec::cli::JOBS]);
     println!("E11: the MULTICS dual page size (64 + 1024 words)\n");
     let populations: Vec<(&str, SizeDist)> = vec![
         (

@@ -49,6 +49,7 @@ fn fault_rate(trace: &[PageNo], policy: Box<dyn dsa_paging::replacement::Replace
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_12_atlas_learning", &[dsa_exec::cli::JOBS]);
     println!("E12: the ATLAS learning program vs period regularity\n");
     let jobs = jobs_from_env();
     let mut t = Table::new(&[

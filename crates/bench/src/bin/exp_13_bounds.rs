@@ -16,6 +16,7 @@ use dsa_metrics::table::Table;
 use dsa_trace::rng::Rng64;
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_13_bounds", &[dsa_exec::cli::JOBS]);
     println!("E13: bounds checking across the seven machines\n");
     let mut cfg = survey_program_cfg();
     cfg.wild_touch_prob = 0.01; // 1% of touches are illegal subscripts

@@ -29,6 +29,7 @@ fn level(name: &str, cycle_ns: u64, capacity: u64) -> LevelSpec {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_14_promotion", &[dsa_exec::cli::JOBS]);
     println!("E14: promotion between directly addressable storage levels\n");
     let mut t = Table::new(&[
         "fast/slow cycle",

@@ -97,6 +97,7 @@ fn run(programs: u32, share: bool, rng: &mut Rng64) -> (Words, Words, u64) {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_15_sharing", &[dsa_exec::cli::JOBS]);
     println!("E15: segments as the unit of protection and sharing\n");
     let mut t = Table::new(&[
         "programs",

@@ -58,6 +58,7 @@ fn cfg() -> SimConfig {
 }
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_16_load_control", &[dsa_exec::cli::JOBS]);
     println!("E16: independent vs integrated scheduling and storage allocation\n");
     let mut t = Table::new(&[
         "jobs",

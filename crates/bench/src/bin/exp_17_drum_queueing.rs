@@ -20,6 +20,7 @@ use dsa_trace::rng::Rng64;
 type DepthCell = (usize, Vec<(Vec<u64>, Cycles)>);
 
 fn main() {
+    dsa_exec::cli::enforce_known_flags("exp_17_drum_queueing", &[dsa_exec::cli::JOBS]);
     println!("E17: FIFO vs shortest-latency-first drum queueing\n");
     let drum = SectorDrum::atlas();
     println!(

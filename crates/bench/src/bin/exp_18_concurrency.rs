@@ -1,0 +1,267 @@
+//! E18 — the concurrent allocation service: throughput scaling with
+//! shard count (extension).
+//!
+//! The paper's machines allocate on one thread; the service front-end
+//! (`dsa-arena`) is what happens when the taxonomy has to serve
+//! traffic. This experiment drives it the way the other experiments
+//! drive machines: a deterministic workload, every count reconciled.
+//! Worker threads (`std::thread::scope`) push pre-generated churn
+//! streams through `ArenaService::submit` and we sweep the shard count
+//! of the variable-size arena — the concurrency analogue of E5's
+//! placement sweep — then run the lock-free fixed-size slab as the
+//! uniform-unit endpoint (Blelloch & Wei: constant-time concurrent
+//! alloc/free, no locks at all).
+//!
+//! Unlike E1–E17, the rows are *not* independent grid cells: every
+//! worker hammers one shared service, which is the entire point. The
+//! throughput column is wall-clock (and compresses toward flat on a
+//! 1-CPU host), and the interleaving shapes the contention columns —
+//! steals, CAS retries — and the free-list hole pattern behind mean
+//! search. What does NOT vary: the op and success counts, and the
+//! books, which reconcile exactly at any thread count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dsa_arena::{ArenaService, Request, Response};
+use dsa_exec::cli;
+use dsa_freelist::Placement;
+use dsa_metrics::table::Table;
+use dsa_trace::rng::Rng64;
+
+/// Ops per worker stream (alloc/free mixed, plus the drain tail).
+const OPS_PER_WORKER: usize = 40_000;
+/// Requests per `submit` batch.
+const BATCH: usize = 512;
+/// Total striped-arena capacity, split across however many shards.
+const TOTAL_WORDS: u64 = 1 << 20;
+/// Slab geometry: uniform 64-word units.
+const SLAB_UNITS: u32 = 1 << 14;
+const UNIT_WORDS: u64 = 64;
+
+/// One worker's deterministic churn stream: grow a bounded live set,
+/// free random members, drain at the end. Ids are namespaced by worker
+/// so streams never collide.
+fn worker_stream(worker: u64, max_words: u64) -> Vec<Request> {
+    let mut rng = Rng64::new(0xE18_0000 + worker);
+    let mut live: Vec<u64> = Vec::new();
+    let mut next = 0u64;
+    let mut out = Vec::with_capacity(OPS_PER_WORKER + 300);
+    for _ in 0..OPS_PER_WORKER {
+        let grow = live.len() < 16 || (live.len() < 256 && rng.next_u64() % 100 < 55);
+        if grow {
+            let id = (worker << 40) | next;
+            next += 1;
+            let words = 8 + rng.next_u64() % max_words;
+            out.push(Request::Alloc { id, words });
+            live.push(id);
+        } else {
+            let i = (rng.next_u64() as usize) % live.len();
+            let id = live.swap_remove(i);
+            out.push(Request::Free { id });
+        }
+    }
+    for id in live {
+        out.push(Request::Free { id });
+    }
+    out
+}
+
+/// Per-worker response tallies, for reconciliation against the shared
+/// probe.
+#[derive(Default)]
+struct Tally {
+    allocs: u64,
+    alloc_words: u64,
+    frees: u64,
+    failed: u64,
+}
+
+/// Pushes every stream through the service from `streams.len()` scoped
+/// workers and returns (elapsed seconds, summed tallies).
+fn drive(svc: &ArenaService, streams: &[Vec<Request>]) -> (f64, Tally) {
+    let allocs = AtomicU64::new(0);
+    let alloc_words = AtomicU64::new(0);
+    let frees = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for stream in streams {
+            scope.spawn(|| {
+                let mut t = Tally::default();
+                for batch in stream.chunks(BATCH) {
+                    for (req, resp) in batch.iter().zip(svc.submit(batch)) {
+                        match resp {
+                            Response::Allocated { .. } => {
+                                t.allocs += 1;
+                                if let Request::Alloc { words, .. } = *req {
+                                    t.alloc_words += words;
+                                }
+                            }
+                            Response::Freed { .. } => t.frees += 1,
+                            Response::Failed { .. } => t.failed += 1,
+                        }
+                    }
+                }
+                allocs.fetch_add(t.allocs, Ordering::Relaxed);
+                alloc_words.fetch_add(t.alloc_words, Ordering::Relaxed);
+                frees.fetch_add(t.frees, Ordering::Relaxed);
+                failed.fetch_add(t.failed, Ordering::Relaxed);
+            });
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    (
+        elapsed,
+        Tally {
+            allocs: allocs.into_inner(),
+            alloc_words: alloc_words.into_inner(),
+            frees: frees.into_inner(),
+            failed: failed.into_inner(),
+        },
+    )
+}
+
+/// Exact books check: the shared atomic sink vs the workers' own
+/// response tallies. Any interleaving that loses or double-counts an
+/// operation shows up here. The workers can't see freed sizes (a
+/// `Free{id}` carries no word count), but the streams drain fully, so
+/// for the striped arena freed words must equal requested words; the
+/// slab accounts whole units on both sides (`unit` is its grain).
+fn reconciled(svc: &ArenaService, t: &Tally, unit: Option<u64>) -> bool {
+    let c = svc.counters();
+    let words_ok = match unit {
+        Some(u) => c.alloc_words == t.allocs * u && c.freed_words == t.frees * u,
+        None => c.alloc_words == t.alloc_words && c.freed_words == t.alloc_words,
+    };
+    c.allocs == t.allocs && c.frees == t.frees && words_ok
+}
+
+fn main() {
+    cli::enforce_known_flags("exp_18_concurrency", &[cli::JOBS, cli::SHARDS]);
+    // Workers are a workload parameter (clients of the service), not a
+    // grid fan-out: default 4 even on narrow hosts, `--jobs` overrides.
+    let workers = match cli::parse_jobs(std::env::args().skip(1)) {
+        Ok(explicit) => explicit.unwrap_or(4),
+        Err(msg) => {
+            eprintln!("exp_18_concurrency: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let max_shards = cli::shards_from_env().unwrap_or(8);
+    println!("E18: concurrent allocation service — scaling with shard count\n");
+    println!(
+        "{workers} workers x {OPS_PER_WORKER} ops, batches of {BATCH}; striped arena \
+         capacity {TOTAL_WORDS} words total (constant across shard counts)"
+    );
+    println!(
+        "counts reconcile exactly at any thread count; Mops/s is wall-clock\n\
+         (flat on a 1-CPU host) and the interleaving-shaped columns — mean\n\
+         search, steals, cas retries — vary run to run\n"
+    );
+
+    // Part 1: variable units — the sharded free-list arena.
+    let mut shard_counts: Vec<u32> = Vec::new();
+    let mut s = 1u32;
+    while u64::from(s) <= max_shards as u64 {
+        shard_counts.push(s);
+        s *= 2;
+    }
+    if shard_counts.last() != Some(&(max_shards as u32)) {
+        shard_counts.push(max_shards as u32);
+    }
+    let streams: Vec<Vec<Request>> = (0..workers as u64).map(|w| worker_stream(w, 120)).collect();
+    let total_ops: usize = streams.iter().map(Vec::len).sum();
+
+    let mut t = Table::new(&[
+        "shards",
+        "ops",
+        "ok allocs",
+        "failed",
+        "steals",
+        "mean search",
+        "books",
+        "Mops/s",
+    ])
+    .with_title("striped variable-size arena (first-fit shards, overflow stealing)");
+    for &shards in &shard_counts {
+        let svc =
+            ArenaService::striped(shards, TOTAL_WORDS / u64::from(shards), Placement::FirstFit);
+        let (elapsed, tally) = drive(&svc, &streams);
+        let arena = svc.arena().expect("striped service has an arena");
+        arena.check_invariants();
+        let snap = arena.snapshot();
+        assert_eq!(
+            snap.allocated_words(),
+            0,
+            "drained streams leave nothing live"
+        );
+        t.row_owned(vec![
+            shards.to_string(),
+            total_ops.to_string(),
+            tally.allocs.to_string(),
+            tally.failed.to_string(),
+            snap.steals.to_string(),
+            format!("{:.2}", snap.stats().mean_search()),
+            if reconciled(&svc, &tally, None) {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
+            .to_owned(),
+            format!("{:.2}", total_ops as f64 / elapsed / 1e6),
+        ]);
+    }
+    println!("{t}");
+
+    // Part 2: uniform units — the lock-free slab, swept over workers.
+    let mut t = Table::new(&[
+        "workers",
+        "ops",
+        "ok allocs",
+        "failed",
+        "cas retries",
+        "books",
+        "Mops/s",
+    ])
+    .with_title(&format!(
+        "lock-free fixed-size slab ({SLAB_UNITS} units x {UNIT_WORDS} words)"
+    ));
+    let mut w = 1usize;
+    while w <= workers.max(1) {
+        let slab_streams: Vec<Vec<Request>> = (0..w as u64)
+            .map(|i| worker_stream(i, UNIT_WORDS - 8))
+            .collect();
+        let ops: usize = slab_streams.iter().map(Vec::len).sum();
+        let svc = ArenaService::fixed(SLAB_UNITS, UNIT_WORDS);
+        let (elapsed, tally) = drive(&svc, &slab_streams);
+        let slab = svc.slab().expect("fixed service has a slab");
+        slab.check_invariants();
+        let stats = slab.stats();
+        t.row_owned(vec![
+            w.to_string(),
+            ops.to_string(),
+            tally.allocs.to_string(),
+            tally.failed.to_string(),
+            (stats.cas_attempts - (stats.allocs + stats.frees)).to_string(),
+            if reconciled(&svc, &tally, Some(UNIT_WORDS)) {
+                "exact"
+            } else {
+                "MISMATCH"
+            }
+            .to_owned(),
+            format!("{:.2}", ops as f64 / elapsed / 1e6),
+        ]);
+        if w == workers.max(1) {
+            break;
+        }
+        w = (w * 2).min(workers.max(1));
+    }
+    println!("{t}");
+    println!(
+        "shards cut lock conflicts (home-shard hashing spreads ids), at the\n\
+         price of steals once a shard fills; the slab needs no locks at all —\n\
+         the uniform unit removes the placement search, so a version-tagged\n\
+         CAS is the whole operation, and retries stand in for contention."
+    );
+}

@@ -6,12 +6,159 @@
 //! every parallel width must reproduce byte for byte.
 //!
 //! The binaries that can dump a probe event stream (E4, E5) share
-//! `--trace-out <path>` (or `--trace-out=<path>`) the same way, so no
-//! binary hand-rolls its own flag loop.
+//! `--trace-out <path>` (or `--trace-out=<path>`) the same way, and
+//! the concurrency experiment (E18) shares `--shards N`, so no binary
+//! hand-rolls its own flag loop.
+//!
+//! Binaries declare which of these flags they accept via
+//! [`enforce_known_flags`], which rejects anything unrecognized with a
+//! usage message on stderr and exit status 2 — a misspelled flag must
+//! never be silently ignored (a `--shrads 8` that quietly runs the
+//! default sweep is worse than an error).
 
 use std::path::PathBuf;
 
 use crate::pool::available_jobs;
+
+/// One flag a binary accepts: its name, its value placeholder (if it
+/// takes one), and a help line for the usage message.
+#[derive(Clone, Copy, Debug)]
+pub struct FlagSpec {
+    /// The flag itself, e.g. `--jobs`.
+    pub name: &'static str,
+    /// The value placeholder (`Some("N")` for `--jobs N`), or `None`
+    /// for a bare switch.
+    pub value: Option<&'static str>,
+    /// One help line for the usage message.
+    pub help: &'static str,
+}
+
+/// The `--jobs N` flag every experiment binary accepts.
+pub const JOBS: FlagSpec = FlagSpec {
+    name: "--jobs",
+    value: Some("N"),
+    help: "worker threads for the simulation grid (default: all hardware threads)",
+};
+
+/// The `--trace-out PATH` flag of the probe-dumping binaries.
+pub const TRACE_OUT: FlagSpec = FlagSpec {
+    name: "--trace-out",
+    value: Some("PATH"),
+    help: "write the probe event stream to PATH as JSONL",
+};
+
+/// The `--shards N` flag of the concurrency experiment.
+pub const SHARDS: FlagSpec = FlagSpec {
+    name: "--shards",
+    value: Some("N"),
+    help: "largest shard count in the scaling sweep (default: 8)",
+};
+
+/// Renders the usage message for a binary and its accepted flags.
+#[must_use]
+pub fn usage(bin: &str, known: &[FlagSpec]) -> String {
+    let mut out = format!("usage: {bin}");
+    for f in known {
+        match f.value {
+            Some(v) => {
+                out.push_str(&format!(" [{} {v}]", f.name));
+            }
+            None => out.push_str(&format!(" [{}]", f.name)),
+        }
+    }
+    out.push('\n');
+    for f in known {
+        let head = match f.value {
+            Some(v) => format!("{} {v}", f.name),
+            None => f.name.to_owned(),
+        };
+        out.push_str(&format!("  {head:<18} {}\n", f.help));
+    }
+    out
+}
+
+/// Checks that every argument is a flag from `known` (in either the
+/// `--flag value` or `--flag=value` spelling).
+///
+/// Value well-formedness is *not* checked here — that stays with the
+/// flag's own parser (`parse_jobs` etc.); this pass only refuses
+/// arguments no parser would ever look at.
+///
+/// # Errors
+///
+/// Returns `"unrecognized argument: <arg>"` for the first argument
+/// matching no known flag.
+pub fn check_known<I>(args: I, known: &[FlagSpec]) -> Result<(), String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let spec = known.iter().find(|f| {
+            a == f.name
+                || (f.value.is_some()
+                    && a.starts_with(f.name)
+                    && a.as_bytes().get(f.name.len()) == Some(&b'='))
+        });
+        match spec {
+            Some(f) => {
+                if f.value.is_some() && a == f.name {
+                    // Consume the value slot; a missing value is the
+                    // flag parser's error to report.
+                    let _ = args.next();
+                }
+            }
+            None => return Err(format!("unrecognized argument: {a}")),
+        }
+    }
+    Ok(())
+}
+
+/// Rejects unrecognized process arguments: prints the offending
+/// argument and the usage message on stderr and exits with status 2.
+/// `--help`/`-h` print the usage on stdout and exit 0.
+///
+/// Call this first in every binary's `main`, naming the flags the
+/// binary accepts.
+pub fn enforce_known_flags(bin: &str, known: &[FlagSpec]) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage(bin, known));
+        std::process::exit(0);
+    }
+    if let Err(msg) = check_known(args, known) {
+        eprintln!("{msg}");
+        eprint!("{}", usage(bin, known));
+        std::process::exit(2);
+    }
+}
+
+/// Extracts a `name <n>` / `name=<n>` positive-count flag from an
+/// argument list, ignoring every other argument.
+fn parse_count<I>(args: I, name: &str) -> Result<Option<usize>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let value = if a == name {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a value"))?
+        } else if let Some(v) = a.strip_prefix(name).and_then(|rest| rest.strip_prefix('=')) {
+            v.to_owned()
+        } else {
+            continue;
+        };
+        let n: usize = value
+            .parse()
+            .map_err(|_| format!("{name}: not a number: {value}"))?;
+        if n == 0 {
+            return Err(format!("{name} must be at least 1"));
+        }
+        return Ok(Some(n));
+    }
+    Ok(None)
+}
 
 /// Extracts a `--jobs` value from an argument list, ignoring every
 /// other argument (binaries parse their own flags).
@@ -26,25 +173,35 @@ pub fn parse_jobs<I>(args: I) -> Result<Option<usize>, String>
 where
     I: IntoIterator<Item = String>,
 {
-    let mut args = args.into_iter();
-    while let Some(a) = args.next() {
-        let value = if a == "--jobs" {
-            args.next()
-                .ok_or_else(|| "--jobs requires a value".to_owned())?
-        } else if let Some(v) = a.strip_prefix("--jobs=") {
-            v.to_owned()
-        } else {
-            continue;
-        };
-        let n: usize = value
-            .parse()
-            .map_err(|_| format!("--jobs: not a number: {value}"))?;
-        if n == 0 {
-            return Err("--jobs must be at least 1".to_owned());
+    parse_count(args, "--jobs")
+}
+
+/// Extracts a `--shards` value from an argument list, ignoring every
+/// other argument.
+///
+/// Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// As [`parse_jobs`], for `--shards`.
+pub fn parse_shards<I>(args: I) -> Result<Option<usize>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    parse_count(args, "--shards")
+}
+
+/// The `--shards` value from the process arguments, if given. Exits
+/// with status 2 on a malformed flag, like [`jobs_from_env`].
+#[must_use]
+pub fn shards_from_env() -> Option<usize> {
+    match parse_shards(std::env::args().skip(1)) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
         }
-        return Ok(Some(n));
     }
-    Ok(None)
 }
 
 /// The `--jobs` value from the process arguments, defaulting to all
@@ -154,5 +311,53 @@ mod tests {
     fn trace_out_without_a_path_errors() {
         assert!(parse_trace_out(strings(&["--trace-out"])).is_err());
         assert!(parse_trace_out(strings(&["--trace-out="])).is_err());
+    }
+
+    #[test]
+    fn shards_parse_like_jobs() {
+        assert_eq!(parse_shards(strings(&[])), Ok(None));
+        assert_eq!(parse_shards(strings(&["--shards", "8"])), Ok(Some(8)));
+        assert_eq!(parse_shards(strings(&["--shards=2"])), Ok(Some(2)));
+        assert!(parse_shards(strings(&["--shards", "0"])).is_err());
+        assert!(parse_shards(strings(&["--shards"])).is_err());
+    }
+
+    #[test]
+    fn known_flags_pass_both_spellings() {
+        let known = [JOBS, TRACE_OUT];
+        assert_eq!(check_known(strings(&[]), &known), Ok(()));
+        assert_eq!(check_known(strings(&["--jobs", "4"]), &known), Ok(()));
+        assert_eq!(check_known(strings(&["--jobs=4"]), &known), Ok(()));
+        assert_eq!(
+            check_known(strings(&["--trace-out", "t.jsonl", "--jobs", "2"]), &known),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn unknown_arguments_are_rejected() {
+        let known = [JOBS];
+        assert!(check_known(strings(&["--shrads", "8"]), &known).is_err());
+        assert!(check_known(strings(&["--trace-out", "t"]), &known).is_err());
+        assert!(check_known(strings(&["stray"]), &known).is_err());
+        // `--jobs=4x` is a known flag with a bad value: the value
+        // parser owns that error, not the unknown-argument check.
+        assert_eq!(check_known(strings(&["--jobs=4x"]), &known), Ok(()));
+        // A prefix collision is still unknown.
+        assert!(check_known(strings(&["--jobsx=4"]), &known).is_err());
+    }
+
+    #[test]
+    fn trailing_valueless_flag_is_left_to_the_value_parser() {
+        assert_eq!(check_known(strings(&["--jobs"]), &[JOBS]), Ok(()));
+        assert!(parse_jobs(strings(&["--jobs"])).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_flag() {
+        let u = usage("exp_99_demo", &[JOBS, SHARDS]);
+        assert!(u.starts_with("usage: exp_99_demo [--jobs N] [--shards N]"));
+        assert!(u.contains("worker threads"));
+        assert!(u.contains("shard count"));
     }
 }

@@ -81,7 +81,7 @@ pub fn internal_waste(request: Words, page_size: Words) -> Words {
 /// Panics (in debug builds) unless `small` divides `large`.
 #[must_use]
 pub fn dual_size_waste(request: Words, small: Words, large: Words) -> Words {
-    debug_assert!(small > 0 && large.is_multiple_of(small) && large >= small);
+    debug_assert!(small > 0 && large % small == 0 && large >= small);
     let bulk = (request / large) * large;
     let tail = request - bulk;
     internal_waste(tail, small)

@@ -65,6 +65,17 @@ pub struct FreeListStats {
 }
 
 impl FreeListStats {
+    /// Accumulates another allocator's counters into this one — the
+    /// reduction a sharded arena performs when it reports totals across
+    /// shards.
+    pub fn merge(&mut self, other: &FreeListStats) {
+        self.allocs += other.allocs;
+        self.frees += other.frees;
+        self.failures += other.failures;
+        self.probes += other.probes;
+        self.coalesces += other.coalesces;
+    }
+
     /// Mean search length per allocation attempt.
     #[must_use]
     pub fn mean_search(&self) -> f64 {
@@ -75,6 +86,26 @@ impl FreeListStats {
             self.probes as f64 / attempts as f64
         }
     }
+}
+
+/// A point-in-time view of one allocator: the occupancy figures and
+/// cumulative counters, copied out in one go. A sharded arena takes one
+/// of these per shard while holding that shard's lock, then reports on
+/// the copies with every lock released.
+#[derive(Clone, Copy, Debug)]
+pub struct AllocSnapshot {
+    /// Total capacity in words.
+    pub capacity: Words,
+    /// Words currently free.
+    pub free_words: Words,
+    /// The largest contiguous free hole.
+    pub largest_free: Words,
+    /// Number of free holes.
+    pub hole_count: usize,
+    /// Number of live allocations.
+    pub live_allocs: usize,
+    /// Cumulative operation counters.
+    pub stats: FreeListStats,
 }
 
 /// An address-ordered free-list allocator with immediate coalescing.
@@ -282,6 +313,20 @@ impl FreeListAllocator {
     #[must_use]
     pub fn stats(&self) -> &FreeListStats {
         &self.stats
+    }
+
+    /// Copies out the occupancy figures and counters in one call (see
+    /// [`AllocSnapshot`]).
+    #[must_use]
+    pub fn snapshot(&self) -> AllocSnapshot {
+        AllocSnapshot {
+            capacity: self.capacity,
+            free_words: self.free_words(),
+            largest_free: self.largest_free(),
+            hole_count: self.hole_count(),
+            live_allocs: self.allocated.len(),
+            stats: self.stats,
+        }
     }
 
     /// Allocates `size` words under identifier `id`.

@@ -24,11 +24,13 @@
 pub mod counting;
 pub mod jsonl;
 pub mod latency;
+pub mod shared;
 pub mod spacetime;
 
 pub use counting::CountingProbe;
 pub use jsonl::JsonlRecorder;
 pub use latency::LatencyProbe;
+pub use shared::SharedProbe;
 pub use spacetime::SpaceTimeProbe;
 
 use dsa_core::clock::{Cycles, VirtualTime};

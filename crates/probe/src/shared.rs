@@ -1,0 +1,279 @@
+//! A thread-safe counting sink: atomics instead of plain integers.
+//!
+//! [`CountingProbe`] is the reconciliation workhorse of the workspace,
+//! but it is `&mut self` all the way down — one owner, one thread. A
+//! concurrent allocation service ([`dsa-arena`]) has many worker
+//! threads emitting into *one* sink, and the reports must still
+//! reconcile exactly: the total observed by the shared sink has to
+//! equal the sum of the per-worker outcomes no matter how the threads
+//! interleaved. [`SharedProbe`] is that sink — every counter of
+//! [`CountingProbe`], each an [`AtomicU64`] bumped with relaxed
+//! fetch-adds (counters are commutative; no ordering is needed beyond
+//! the final join).
+//!
+//! Emission sites take `P: Probe` by `&mut` reference, so the shared
+//! sink is used *by shared reference through a mutable one*: `&SharedProbe`
+//! itself implements [`Probe`], and each worker holds its own
+//! `&SharedProbe` copy. After the workers join, [`SharedProbe::snapshot`]
+//! freezes the atomics into an ordinary [`CountingProbe`] for
+//! comparison against per-worker tallies.
+//!
+//! [`dsa-arena`]: https://docs.rs/dsa-arena
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{CountingProbe, DegradationStep, Event, EventKind, InjectedFault, Probe};
+
+/// An atomic [`CountingProbe`]: one counter per event kind and payload
+/// quantity, safe to share across any number of emitting threads.
+#[derive(Debug, Default)]
+pub struct SharedProbe {
+    touches: AtomicU64,
+    writes: AtomicU64,
+    faults: AtomicU64,
+    fetch_starts: AtomicU64,
+    fetches: AtomicU64,
+    fetched_words: AtomicU64,
+    evictions: AtomicU64,
+    dirty_evictions: AtomicU64,
+    evicted_words: AtomicU64,
+    writebacks: AtomicU64,
+    writeback_words: AtomicU64,
+    allocs: AtomicU64,
+    alloc_words: AtomicU64,
+    alloc_searched: AtomicU64,
+    frees: AtomicU64,
+    freed_words: AtomicU64,
+    compactions: AtomicU64,
+    compaction_moved_words: AtomicU64,
+    advice: AtomicU64,
+    prefetches: AtomicU64,
+    prefetched_words: AtomicU64,
+    bounds_traps: AtomicU64,
+    map_lookups: AtomicU64,
+    map_hits: AtomicU64,
+    map_misses: AtomicU64,
+    faults_injected: AtomicU64,
+    transfer_errors_injected: AtomicU64,
+    bad_frames_injected: AtomicU64,
+    channel_delays_injected: AtomicU64,
+    alloc_failures_injected: AtomicU64,
+    retry_attempts: AtomicU64,
+    frames_quarantined: AtomicU64,
+    degradation_steps: AtomicU64,
+    shed_loads: AtomicU64,
+}
+
+impl SharedProbe {
+    #[must_use]
+    pub fn new() -> SharedProbe {
+        SharedProbe::default()
+    }
+
+    fn record_shared(&self, event: &Event) {
+        let add = |c: &AtomicU64| {
+            c.fetch_add(1, Ordering::Relaxed);
+        };
+        let add_n = |c: &AtomicU64, n: u64| {
+            c.fetch_add(n, Ordering::Relaxed);
+        };
+        match event.kind {
+            EventKind::Touch { write } => {
+                add(&self.touches);
+                if write {
+                    add(&self.writes);
+                }
+            }
+            EventKind::Fault => add(&self.faults),
+            EventKind::FetchStart { .. } => add(&self.fetch_starts),
+            EventKind::FetchDone { words } => {
+                add(&self.fetches);
+                add_n(&self.fetched_words, words);
+            }
+            EventKind::Evict { dirty, words } => {
+                add(&self.evictions);
+                if dirty {
+                    add(&self.dirty_evictions);
+                }
+                add_n(&self.evicted_words, words);
+            }
+            EventKind::Writeback { words } => {
+                add(&self.writebacks);
+                add_n(&self.writeback_words, words);
+            }
+            EventKind::Alloc { words, searched } => {
+                add(&self.allocs);
+                add_n(&self.alloc_words, words);
+                add_n(&self.alloc_searched, searched);
+            }
+            EventKind::Free { words } => {
+                add(&self.frees);
+                add_n(&self.freed_words, words);
+            }
+            EventKind::CompactionStart => {}
+            EventKind::CompactionDone { moved_words } => {
+                add(&self.compactions);
+                add_n(&self.compaction_moved_words, moved_words);
+            }
+            EventKind::Advice => add(&self.advice),
+            EventKind::Prefetch { words } => {
+                add(&self.prefetches);
+                add_n(&self.prefetched_words, words);
+            }
+            EventKind::BoundsTrap => add(&self.bounds_traps),
+            EventKind::MapLookup { hit } => {
+                add(&self.map_lookups);
+                if hit {
+                    add(&self.map_hits);
+                } else {
+                    add(&self.map_misses);
+                }
+            }
+            EventKind::FaultInjected { fault } => {
+                add(&self.faults_injected);
+                match fault {
+                    InjectedFault::TransferError => add(&self.transfer_errors_injected),
+                    InjectedFault::BadFrame => add(&self.bad_frames_injected),
+                    InjectedFault::ChannelDelay => add(&self.channel_delays_injected),
+                    InjectedFault::AllocFailure => add(&self.alloc_failures_injected),
+                }
+            }
+            EventKind::RetryAttempt { .. } => add(&self.retry_attempts),
+            EventKind::FrameQuarantined => add(&self.frames_quarantined),
+            EventKind::DegradationStep { step } => {
+                add(&self.degradation_steps);
+                if step == DegradationStep::ShedLoad {
+                    add(&self.shed_loads);
+                }
+            }
+        }
+    }
+
+    /// Freezes the atomics into an ordinary [`CountingProbe`], so
+    /// reconciliation code compares one struct against another rather
+    /// than thirty-odd atomic loads.
+    ///
+    /// Relaxed loads: call this after the emitting threads have joined
+    /// (the join is the synchronization point).
+    #[must_use]
+    pub fn snapshot(&self) -> CountingProbe {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        CountingProbe {
+            touches: get(&self.touches),
+            writes: get(&self.writes),
+            faults: get(&self.faults),
+            fetch_starts: get(&self.fetch_starts),
+            fetches: get(&self.fetches),
+            fetched_words: get(&self.fetched_words),
+            evictions: get(&self.evictions),
+            dirty_evictions: get(&self.dirty_evictions),
+            evicted_words: get(&self.evicted_words),
+            writebacks: get(&self.writebacks),
+            writeback_words: get(&self.writeback_words),
+            allocs: get(&self.allocs),
+            alloc_words: get(&self.alloc_words),
+            alloc_searched: get(&self.alloc_searched),
+            frees: get(&self.frees),
+            freed_words: get(&self.freed_words),
+            compactions: get(&self.compactions),
+            compaction_moved_words: get(&self.compaction_moved_words),
+            advice: get(&self.advice),
+            prefetches: get(&self.prefetches),
+            prefetched_words: get(&self.prefetched_words),
+            bounds_traps: get(&self.bounds_traps),
+            map_lookups: get(&self.map_lookups),
+            map_hits: get(&self.map_hits),
+            map_misses: get(&self.map_misses),
+            faults_injected: get(&self.faults_injected),
+            transfer_errors_injected: get(&self.transfer_errors_injected),
+            bad_frames_injected: get(&self.bad_frames_injected),
+            channel_delays_injected: get(&self.channel_delays_injected),
+            alloc_failures_injected: get(&self.alloc_failures_injected),
+            retry_attempts: get(&self.retry_attempts),
+            frames_quarantined: get(&self.frames_quarantined),
+            degradation_steps: get(&self.degradation_steps),
+            shed_loads: get(&self.shed_loads),
+        }
+    }
+}
+
+impl Probe for SharedProbe {
+    fn record(&mut self, event: &Event) {
+        self.record_shared(event);
+    }
+}
+
+/// The shared-reference form workers actually hold: each thread keeps
+/// its own `&SharedProbe` and emits through it.
+impl Probe for &SharedProbe {
+    fn record(&mut self, event: &Event) {
+        self.record_shared(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stamp;
+
+    #[test]
+    fn snapshot_matches_a_sequential_counting_probe() {
+        let shared = SharedProbe::new();
+        let mut plain = CountingProbe::new();
+        let s = Stamp::vtime(3);
+        let events = [
+            EventKind::Alloc {
+                words: 64,
+                searched: 2,
+            },
+            EventKind::Free { words: 64 },
+            EventKind::Fault,
+            EventKind::Touch { write: true },
+            EventKind::MapLookup { hit: false },
+        ];
+        for kind in events {
+            (&shared).emit(kind, s);
+            plain.emit(kind, s);
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.allocs, plain.allocs);
+        assert_eq!(snap.alloc_words, plain.alloc_words);
+        assert_eq!(snap.alloc_searched, plain.alloc_searched);
+        assert_eq!(snap.frees, plain.frees);
+        assert_eq!(snap.freed_words, plain.freed_words);
+        assert_eq!(snap.faults, plain.faults);
+        assert_eq!(snap.touches, plain.touches);
+        assert_eq!(snap.map_misses, plain.map_misses);
+        assert_eq!(snap.total_events(), plain.total_events());
+    }
+
+    #[test]
+    fn concurrent_emission_loses_nothing() {
+        let shared = SharedProbe::new();
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let probe = &shared;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let mut p = probe;
+                        p.emit(
+                            EventKind::Alloc {
+                                words: 8,
+                                searched: 1,
+                            },
+                            Stamp::vtime(t * per_thread + i),
+                        );
+                        p.emit(EventKind::Free { words: 8 }, Stamp::vtime(t));
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.allocs, threads * per_thread);
+        assert_eq!(snap.frees, threads * per_thread);
+        assert_eq!(snap.alloc_words, 8 * threads * per_thread);
+        assert_eq!(snap.alloc_searched, threads * per_thread);
+    }
+}

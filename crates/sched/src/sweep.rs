@@ -2,7 +2,7 @@
 //!
 //! Experiment drivers sweep the simulators over grids — batch size ×
 //! admission policy for [`GlobalMultiprogramSim`], multiprogramming
-//! level for [`MultiprogramSim`](crate::sim::MultiprogramSim) — and
+//! level for [`MultiprogramSim`] — and
 //! every point of such a grid is an independent simulation. These entry
 //! points put that independence on the [`dsa_exec`] engine: each point
 //! is built and run on a worker, and the reports come back in grid
@@ -25,7 +25,7 @@ pub fn admission_sweep(
     SimGrid::new(points).run(jobs, |_, &(n, admission)| build(n, admission).run())
 }
 
-/// Runs one [`MultiprogramSim`](crate::sim::MultiprogramSim) per
+/// Runs one [`MultiprogramSim`] per
 /// multiprogramming level across `jobs` workers. Reports return in
 /// level order.
 pub fn level_sweep(

@@ -5,6 +5,10 @@
 //!
 //! This facade crate re-exports the whole workspace under one name:
 //!
+//! * [`arena`] — the concurrent allocation service: lock-free
+//!   fixed-size slabs (uniform units) and a sharded variable-size
+//!   arena over the free-list allocators, behind a batching request
+//!   port;
 //! * [`core`] — the four-axis taxonomy, shared types, faults, advice;
 //! * [`storage`] — simulated storage levels, hierarchies, memory,
 //!   packing channels;
@@ -48,6 +52,7 @@
 //! assert!(report.touches > 0);
 //! ```
 
+pub use dsa_arena as arena;
 pub use dsa_core as core;
 pub use dsa_exec as exec;
 pub use dsa_faults as faults;

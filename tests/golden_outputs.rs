@@ -1,0 +1,105 @@
+//! The golden-output gauntlet: four fast experiment binaries, pinned
+//! stdout, byte-for-byte.
+//!
+//! Two invariants at once:
+//!
+//! * **Determinism across parallelism** — `--jobs 1` and `--jobs 4`
+//!   must produce identical bytes. The engine merges grid cells in grid
+//!   order, so the jobs width is not allowed to leak into the output.
+//! * **Determinism across commits** — the output must match the file
+//!   under `tests/golden/`, so a behavioural drift in any machine,
+//!   policy, or trace generator fails CI with a diff instead of
+//!   silently rewriting the numbers the paper reproduction reports.
+//!
+//! Changing an experiment's output on purpose is fine — regenerate the
+//! file (`./target/debug/<bin> --jobs 1 > tests/golden/<bin>.txt`) and
+//! commit it so the diff is reviewable.
+//!
+//! The binaries live in `dsa-bench`, a different package, so
+//! `CARGO_BIN_EXE_*` is not available here; we locate them in the
+//! build tree relative to this test executable and fail loudly (not
+//! skip) if they are missing — CI builds them first.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// The gauntlet: fast (all under ~100 ms in a debug build) and fully
+/// deterministic, including every printed column.
+const GAUNTLET: [&str; 4] = [
+    "exp_01_artificial_contiguity",
+    "exp_11_multics_dual",
+    "exp_14_promotion",
+    "exp_17_drum_queueing",
+];
+
+/// `target/<profile>/` for the build running this test: the test
+/// executable sits in `target/<profile>/deps/`, one level down.
+fn bin_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test has a path");
+    dir.pop(); // the test executable itself
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir
+}
+
+fn run(bin: &str, jobs: &str) -> String {
+    let path = bin_dir().join(bin);
+    assert!(
+        path.exists(),
+        "{} not built — run `cargo build -p dsa-bench --bins` first (CI's golden job does)",
+        path.display()
+    );
+    let out = Command::new(&path)
+        .args(["--jobs", jobs])
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} --jobs {jobs} exited with {:?}; stderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("experiment output is UTF-8")
+}
+
+/// First differing line, for a readable failure message.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!(
+                "first difference at line {}:\n  got:  {la}\n  want: {lb}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: got {} lines, want {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+#[test]
+fn golden_outputs_match_at_every_jobs_width() {
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    for bin in GAUNTLET {
+        let golden_path = golden_dir.join(format!("{bin}.txt"));
+        let golden = std::fs::read_to_string(&golden_path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", golden_path.display()));
+        let seq = run(bin, "1");
+        assert!(
+            seq == golden,
+            "{bin} --jobs 1 drifted from tests/golden/{bin}.txt — {}\n\
+             (if the change is intentional, regenerate the golden file)",
+            first_diff(&seq, &golden)
+        );
+        let par = run(bin, "4");
+        assert!(
+            par == seq,
+            "{bin}: --jobs 4 output differs from --jobs 1 — parallel merge \
+             leaked scheduling into the output; {}",
+            first_diff(&par, &seq)
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Property-based and concurrency tests on the `dsa-arena` allocation
+//! service.
+//!
+//! Three claims, each load-bearing for the service's contract:
+//!
+//! * **Conservation** — allocated words plus free words equal capacity
+//!   at every step, under any op stream (no leak, no mint).
+//! * **No double hand-out** — under concurrent churn from 1, 2, and 8
+//!   threads, no word of storage is ever inside two live allocations,
+//!   observed from outside via a shared claim bitmap.
+//! * **Sequential equivalence** — a 1-shard arena is the bare
+//!   [`FreeListAllocator`]: same placement decisions, same addresses,
+//!   same failures, same modeled search counts, under any op stream.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use dsa::arena::{ArenaService, Request, Response};
+use dsa::freelist::freelist::{FreeListAllocator, Placement};
+use dsa::trace::Rng64;
+use proptest::prelude::*;
+
+/// A random operation stream: sizes for allocs, indices for frees.
+#[derive(Clone, Debug)]
+enum Op {
+    Alloc(u64),
+    FreeNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (1u64..200).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Words are conserved across every shard at every step: the
+    /// snapshot's allocated + free always equals total capacity, and
+    /// the arena's own invariant checker (per-shard free-list checks,
+    /// ownership consistency, homed == owned) stays green.
+    #[test]
+    fn arena_conserves_words(ops in arb_ops()) {
+        let svc = ArenaService::striped(4, 1024, Placement::FirstFit);
+        let arena = svc.arena().expect("striped");
+        let mut live: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for op in &ops {
+            let req = match *op {
+                Op::Alloc(words) => {
+                    next += 1;
+                    Request::Alloc { id: next - 1, words }
+                }
+                Op::FreeNth(i) => {
+                    if live.is_empty() {
+                        continue;
+                    }
+                    Request::Free { id: live.swap_remove(i % live.len()) }
+                }
+            };
+            match (req, &svc.submit(&[req])[0]) {
+                (Request::Alloc { id, .. }, Response::Allocated { .. }) => live.push(id),
+                (_, Response::Freed { .. } | Response::Failed { .. }) => {}
+                (req, resp) => prop_assert!(false, "{req:?} answered by {resp:?}"),
+            }
+            arena.check_invariants();
+            let snap = arena.snapshot();
+            prop_assert_eq!(
+                snap.allocated_words() + snap.free_words(),
+                snap.capacity(),
+                "allocated + free must equal capacity"
+            );
+        }
+    }
+
+    /// A 1-shard arena behind the service makes byte-identical
+    /// placement decisions to the bare sequential allocator: same
+    /// success/failure on every request, same address on every success,
+    /// and the same modeled search count at the end.
+    #[test]
+    fn one_shard_matches_bare_allocator(ops in arb_ops()) {
+        for policy in [Placement::FirstFit, Placement::BestFit, Placement::WorstFit] {
+            let svc = ArenaService::striped(1, 2048, policy);
+            let mut bare = FreeListAllocator::new(2048, policy);
+            let mut live: Vec<u64> = Vec::new();
+            let mut next = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::Alloc(words) => {
+                        let id = next;
+                        next += 1;
+                        let got = &svc.submit(&[Request::Alloc { id, words }])[0];
+                        match (got, bare.alloc(id, words)) {
+                            (Response::Allocated { addr, .. }, Ok(want)) => {
+                                prop_assert_eq!(
+                                    addr.value(),
+                                    want.value(),
+                                    "{:?}: placement diverged",
+                                    policy
+                                );
+                                live.push(id);
+                            }
+                            (Response::Failed { .. }, Err(_)) => {}
+                            (got, want) => prop_assert!(
+                                false,
+                                "{policy:?}: arena said {got:?}, bare said {want:?}"
+                            ),
+                        }
+                    }
+                    Op::FreeNth(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let id = live.swap_remove(i % live.len());
+                        prop_assert!(svc.submit(&[Request::Free { id }])[0].is_ok());
+                        bare.free(id).expect("live id");
+                    }
+                }
+            }
+            let snap = &svc.arena().expect("striped").snapshot().shards[0];
+            prop_assert_eq!(snap.alloc.stats.probes, bare.stats().probes,
+                "modeled search count diverged");
+            prop_assert_eq!(snap.alloc.free_words, bare.free_words());
+            prop_assert_eq!(snap.alloc.largest_free, bare.largest_free());
+            prop_assert_eq!(snap.alloc.hole_count, bare.hole_count());
+        }
+    }
+}
+
+/// Claim bitmap covering the arena's global address space: each
+/// successful allocation claims its word range, each free releases it.
+/// Two live allocations sharing a word — a double hand-out — trips the
+/// claim assert in whichever thread arrives second.
+struct ClaimMap {
+    words: Vec<AtomicBool>,
+}
+
+impl ClaimMap {
+    fn new(capacity: u64) -> ClaimMap {
+        ClaimMap {
+            words: (0..capacity).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    fn claim(&self, addr: u64, len: u64) -> bool {
+        (addr..addr + len).all(|w| !self.words[w as usize].swap(true, Ordering::AcqRel))
+    }
+
+    fn release(&self, addr: u64, len: u64) {
+        for w in addr..addr + len {
+            assert!(
+                self.words[w as usize].swap(false, Ordering::AcqRel),
+                "released a word that was never claimed"
+            );
+        }
+    }
+}
+
+/// Churns the striped service from `threads` workers, each owning an id
+/// namespace, while a shared [`ClaimMap`] checks from outside that no
+/// word is ever inside two live allocations.
+fn churn_no_double_handout(threads: u64) {
+    const SHARDS: u32 = 4;
+    const SHARD_WORDS: u64 = 4096;
+    const OPS: usize = 3_000;
+    let svc = ArenaService::striped(SHARDS, SHARD_WORDS, Placement::FirstFit);
+    let claims = ClaimMap::new(u64::from(SHARDS) * SHARD_WORDS);
+    let overlaps = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let svc = &svc;
+            let claims = &claims;
+            let overlaps = &overlaps;
+            scope.spawn(move || {
+                let mut rng = Rng64::new(900 + t);
+                // id -> (global addr, words) for this worker's live set.
+                let mut live: Vec<(u64, u64, u64)> = Vec::new();
+                let mut next = 0u64;
+                for _ in 0..OPS {
+                    let grow = live.is_empty() || rng.next_u64() % 100 < 55;
+                    if grow {
+                        let id = (t << 40) | next;
+                        next += 1;
+                        let words = 1 + rng.next_u64() % 96;
+                        if let Response::Allocated { addr, .. } =
+                            &svc.submit(&[Request::Alloc { id, words }])[0]
+                        {
+                            if !claims.claim(addr.value(), words) {
+                                overlaps.fetch_add(1, Ordering::Relaxed);
+                            }
+                            live.push((id, addr.value(), words));
+                        }
+                    } else {
+                        let i = (rng.next_u64() as usize) % live.len();
+                        let (id, addr, words) = live.swap_remove(i);
+                        // Release BEFORE the service frees: otherwise a
+                        // racing re-allocation of the words would trip
+                        // the map spuriously.
+                        claims.release(addr, words);
+                        assert!(svc.submit(&[Request::Free { id }])[0].is_ok());
+                    }
+                }
+                for (id, addr, words) in live {
+                    claims.release(addr, words);
+                    assert!(svc.submit(&[Request::Free { id }])[0].is_ok());
+                }
+            });
+        }
+    });
+    assert_eq!(
+        overlaps.load(Ordering::Relaxed),
+        0,
+        "a word of storage was handed to two live allocations"
+    );
+    let arena = svc.arena().expect("striped");
+    arena.check_invariants();
+    let snap = arena.snapshot();
+    assert_eq!(snap.allocated_words(), 0, "everything was freed");
+    assert_eq!(snap.free_words(), snap.capacity());
+}
+
+#[test]
+fn no_double_handout_1_thread() {
+    churn_no_double_handout(1);
+}
+
+#[test]
+fn no_double_handout_2_threads() {
+    churn_no_double_handout(2);
+}
+
+#[test]
+fn no_double_handout_8_threads() {
+    churn_no_double_handout(8);
+}

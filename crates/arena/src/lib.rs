@@ -35,7 +35,9 @@
 pub mod service;
 pub mod slab;
 pub mod striped;
+pub mod telemetry;
 
 pub use service::{ArenaService, Request, Response};
 pub use slab::{FixedSlab, SlabStats, SlabUnit};
 pub use striped::{ArenaError, ArenaSnapshot, ShardFullness, ShardSnapshot, ShardedArena};
+pub use telemetry::ServiceTelemetry;

@@ -23,10 +23,11 @@ use std::sync::{Mutex, MutexGuard};
 use dsa_core::error::AllocError;
 use dsa_core::ids::{PhysAddr, Words};
 use dsa_freelist::freelist::Placement;
-use dsa_probe::{EventKind, Probe, SharedProbe, Stamp};
+use dsa_probe::{Event, EventKind, Probe, SharedProbe, Stamp, Tee};
 
 use crate::slab::FixedSlab;
 use crate::striped::{ArenaError, ShardedArena};
+use crate::telemetry::ServiceTelemetry;
 
 /// Stripes in the slab backend's id registry (the slab itself is
 /// lock-free; only the id -> unit bookkeeping takes a short lock).
@@ -113,10 +114,26 @@ enum Backend {
 #[derive(Debug)]
 pub struct ArenaService {
     backend: Backend,
-    probe: SharedProbe,
+    telemetry: ServiceTelemetry,
     /// Service-wide request sequence: the virtual-time stamp on emitted
     /// events (a total order over requests, whatever the thread count).
     clock: AtomicU64,
+}
+
+/// Captures the `Alloc` payload the backend emits, so the service can
+/// attribute it to the serving shard and size class without re-deriving
+/// the search length.
+#[derive(Default)]
+struct LastAlloc {
+    searched: u64,
+}
+
+impl Probe for LastAlloc {
+    fn record(&mut self, event: &Event) {
+        if let EventKind::Alloc { searched, .. } = event.kind {
+            self.searched = searched;
+        }
+    }
 }
 
 impl ArenaService {
@@ -135,7 +152,7 @@ impl ArenaService {
                     .map(|_| Mutex::new(HashMap::new()))
                     .collect(),
             },
-            probe: SharedProbe::new(),
+            telemetry: ServiceTelemetry::new(1),
             clock: AtomicU64::new(0),
         }
     }
@@ -151,7 +168,7 @@ impl ArenaService {
     pub fn striped(shards: u32, shard_capacity: Words, policy: Placement) -> ArenaService {
         ArenaService {
             backend: Backend::Striped(ShardedArena::new(shards, shard_capacity, policy)),
-            probe: SharedProbe::new(),
+            telemetry: ServiceTelemetry::new(shards),
             clock: AtomicU64::new(0),
         }
     }
@@ -159,13 +176,20 @@ impl ArenaService {
     /// The shared atomic event sink.
     #[must_use]
     pub fn probe(&self) -> &SharedProbe {
-        &self.probe
+        self.telemetry.probe().shared()
+    }
+
+    /// The always-on telemetry: counters plus global, per-shard and
+    /// per-size-class distributions.
+    #[must_use]
+    pub fn telemetry(&self) -> &ServiceTelemetry {
+        &self.telemetry
     }
 
     /// A frozen copy of the counters (see [`SharedProbe::snapshot`]).
     #[must_use]
     pub fn counters(&self) -> dsa_probe::CountingProbe {
-        self.probe.snapshot()
+        self.telemetry.probe().counters()
     }
 
     /// The striped backend, when this service allocates variable units.
@@ -221,8 +245,12 @@ impl ArenaService {
     fn alloc(&self, id: u64, words: Words, at: Stamp) -> Result<PhysAddr, ArenaError> {
         match &self.backend {
             Backend::Striped(arena) => {
-                let mut sink = &self.probe;
-                arena.alloc_probed(id, words, at, &mut sink)
+                let mut last = LastAlloc::default();
+                let mut sink = Tee(self.telemetry.probe(), &mut last);
+                let addr = arena.alloc_probed(id, words, at, &mut sink)?;
+                let shard = (addr.value() / arena.shard_capacity()) as u32;
+                self.telemetry.record_alloc(shard, words, last.searched);
+                Ok(addr)
             }
             Backend::Slab { slab, registry } => {
                 if words == 0 {
@@ -241,7 +269,10 @@ impl ArenaService {
                 let unit = slab.alloc()?;
                 reg.insert(id, unit.unit);
                 drop(reg);
-                (&self.probe).emit(
+                self.telemetry
+                    .record_alloc(0, slab.unit_words(), u64::from(unit.attempts));
+                let mut sink = self.telemetry.probe();
+                sink.emit(
                     EventKind::Alloc {
                         // The unit is the grain: a smaller request still
                         // consumes a whole unit (internal
@@ -259,7 +290,7 @@ impl ArenaService {
     fn free(&self, id: u64, at: Stamp) -> Result<(), ArenaError> {
         match &self.backend {
             Backend::Striped(arena) => {
-                let mut sink = &self.probe;
+                let mut sink = self.telemetry.probe();
                 arena.free_probed(id, at, &mut sink)
             }
             Backend::Slab { slab, registry } => {
@@ -267,7 +298,8 @@ impl ArenaService {
                 let unit = reg.remove(&id).ok_or(AllocError::UnknownUnit)?;
                 slab.free(unit)?;
                 drop(reg);
-                (&self.probe).emit(
+                let mut sink = self.telemetry.probe();
+                sink.emit(
                     EventKind::Free {
                         words: slab.unit_words(),
                     },

@@ -420,6 +420,23 @@ impl ShardedArena {
         self.steals.load(Ordering::Relaxed)
     }
 
+    /// The arena-wide hole map: every shard's free holes as
+    /// `(global_address, size)`, in address order (shards visited in
+    /// stripe order, each copied under its own lock).
+    ///
+    /// This is what the fragmentation heatmap sampler snapshots — feed
+    /// it to `HeatFrame::capture` with [`ShardedArena::capacity`].
+    #[must_use]
+    pub fn hole_map(&self) -> Vec<(u64, Words)> {
+        let mut holes = Vec::new();
+        for s in 0..self.shards.len() as u32 {
+            let g = self.lock(s);
+            let base = u64::from(s) * self.shard_capacity;
+            holes.extend(g.alloc.holes().map(|(a, size)| (base + a, size)));
+        }
+        holes
+    }
+
     /// A point-in-time view of every shard (each copied out under its
     /// own lock; the arena keeps serving between shards).
     #[must_use]
@@ -550,6 +567,22 @@ mod tests {
         // The failed request leaves no residue.
         arena.check_invariants();
         assert_eq!(arena.lookup(3), None);
+    }
+
+    #[test]
+    fn hole_map_spans_the_stripes_globally() {
+        let arena = ShardedArena::new(2, 100, Placement::FirstFit);
+        assert_eq!(arena.hole_map(), vec![(0, 100), (100, 100)]);
+        let home = arena.home_shard(0);
+        arena.alloc(0, 40).unwrap();
+        let holes = arena.hole_map();
+        assert_eq!(holes.len(), 2);
+        // The home shard's hole starts past the allocation; the other
+        // stripe is untouched.
+        let base = u64::from(home) * 100;
+        assert!(holes.contains(&(base + 40, 60)), "{holes:?}");
+        let total: Words = holes.iter().map(|&(_, s)| s).sum();
+        assert_eq!(total, 160);
     }
 
     #[test]

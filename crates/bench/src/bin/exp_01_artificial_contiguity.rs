@@ -18,8 +18,9 @@ use dsa_storage::memory::CoreMemory;
 use dsa_trace::rng::Rng64;
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_01_artificial_contiguity", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_01_artificial_contiguity", &[]);
     let jobs = jobs_from_env();
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_01_artificial_contiguity");
     println!("E1: artificial contiguity (Figures 1 and 2)\n");
 
     // A 64-name space of four 16-word blocks over a 256-word memory,
@@ -50,6 +51,7 @@ fn main() {
         ]);
     }
     println!("{t}");
+    metrics.table("contiguity", &t);
 
     // Address arithmetic across a block boundary.
     let a15 = map.translate(Name(15)).unwrap_addr();
@@ -107,6 +109,8 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("addressing_overhead", &t);
+    metrics.emit();
     println!(
         "the block map buys artificial contiguity for one table reference\n\
          (a full core cycle) per access; the paper's remedy for that cost is\n\

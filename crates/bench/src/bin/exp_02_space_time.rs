@@ -54,8 +54,9 @@ fn run_with_channels(fetch: Cycles, jobs: usize, channels: Option<usize>) -> (f6
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_02_space_time", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_02_space_time", &[]);
     let workers = jobs_from_env();
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_02_space_time");
     println!("E2: storage utilization with demand paging (Figure 3)\n");
     let devices = [
         ("fast store (20 us)", Cycles::from_micros(20)),
@@ -91,6 +92,7 @@ fn main() {
         }
     }
     println!("{t}");
+    metrics.table("space_time", &t);
 
     // The fine print of the overlap argument: it assumes "extra page
     // transmission" capacity. With one drum channel the fetches queue
@@ -114,6 +116,8 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("channel_limits", &t);
+    metrics.emit();
     println!(
         "reading the table: with a slow backing store a lone program's\n\
          space-time is almost all wait (Figure 3's shaded area) and the\n\

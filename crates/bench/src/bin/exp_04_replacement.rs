@@ -53,10 +53,8 @@ enum Measured {
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags(
-        "exp_04_replacement",
-        &[dsa_exec::cli::JOBS, dsa_exec::cli::TRACE_OUT],
-    );
+    dsa_exec::cli::enforce_standard_flags("exp_04_replacement", &[dsa_exec::cli::TRACE_OUT]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_04_replacement");
     let trace_out = trace_out_from_env();
     let jobs = jobs_from_env();
     println!("E4: replacement strategies — fault rate vs core size\n");
@@ -200,7 +198,9 @@ fn main() {
             t.row_owned(row);
         }
         println!("{t}");
+        metrics.table(&format!("trace_{ti}"), &t);
     }
+    metrics.emit();
     println!(
         "expected shape: MIN bounds everyone from below; LRU and Clock track\n\
          each other on locality-bearing traces; the ATLAS learning program\n\

@@ -205,10 +205,8 @@ fn row_for(kind: &RowKind, events: &[AllocEvent]) -> Vec<String> {
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags(
-        "exp_05_placement",
-        &[dsa_exec::cli::JOBS, dsa_exec::cli::TRACE_OUT],
-    );
+    dsa_exec::cli::enforce_standard_flags("exp_05_placement", &[dsa_exec::cli::TRACE_OUT]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_05_placement");
     let trace_out = trace_out_from_env();
     let jobs = jobs_from_env();
     println!("E5: placement strategies under steady allocation churn\n");
@@ -280,8 +278,10 @@ fn main() {
                 t.row_owned(row);
             }
             println!("{t}");
+            metrics.table(&format!("dist_{di}_load_{}", (target * 100.0) as u32), &t);
         }
     }
+    metrics.emit();
     println!(
         "best-fit and first-fit hold fragmentation down at the price of a\n\
          longer search; two-ends buys a short search by keeping small and\n\

@@ -138,7 +138,8 @@ fn run_one(name: &str, rate: f64, ops: &[ProgramOp]) -> Vec<String> {
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_06_faults", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_06_faults", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_06_faults");
     println!("E6b: graceful degradation under injected storage faults\n");
     let mut rng = Rng64::new(6);
     let program = survey_program_cfg().generate(&mut rng);
@@ -176,6 +177,30 @@ fn main() {
         results.row_owned(row);
     }
     println!("{results}");
+    metrics.table("degradation", &results);
+    metrics.emit();
+
+    // Postmortem demonstration: with `--flight-recorder N`, replay the
+    // worst injected cell with a recorder handle teed into the probes
+    // and dump the tail of the event stream — exactly what a
+    // production fault report would attach.
+    if let Some(recorder) = dsa_bench::metrics::flight_recorder_from_env() {
+        let mut tee = Tee {
+            counts: CountingProbe::new(),
+            latency: LatencyProbe::new(),
+        };
+        let mut sink = dsa_probe::Tee(&mut tee, recorder.handle());
+        let report = atlas()
+            .with_fault_injection(6, config_at(1e-2))
+            .run_with(&program.ops, &mut sink)
+            .expect("degrades gracefully but completes");
+        assert!(report.recovery.faults_injected > 0, "1e-2 always injects");
+        println!(
+            "\npostmortem of ATLAS @ 1e-2 ({} faults injected):\n{}",
+            report.recovery.faults_injected,
+            recorder.postmortem(16)
+        );
+    }
     println!(
         "things to see: at 1e-4 the retry machinery is invisible in\n\
          throughput; at 1e-2 every machine still completes the workload —\n\

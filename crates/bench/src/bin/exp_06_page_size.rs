@@ -29,7 +29,8 @@ use dsa_trace::allocstream::SizeDist;
 use dsa_trace::rng::Rng64;
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_06_page_size", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_06_page_size", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_06_page_size");
     println!("E6: the page-size dilemma (paging obscures fragmentation)\n");
 
     // Part 1: space overhead across page sizes.
@@ -80,6 +81,7 @@ fn main() {
         format!("{:.1}%", (waste + pages) as f64 / total as f64 * 100.0),
     ]);
     println!("{t}");
+    metrics.table("space_overhead", &t);
 
     // Part 2: fault behaviour across page sizes at fixed working
     // storage. The workload scans objects sequentially — 2000 objects of
@@ -133,6 +135,8 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("fault_behaviour", &t);
+    metrics.emit();
     println!(
         "{}\n",
         labelled_sparkline("fetch time vs page size", &curve)

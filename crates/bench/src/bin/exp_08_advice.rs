@@ -46,7 +46,8 @@ fn program(accuracy: Option<f64>, seed: u64) -> Vec<dsa_core::access::ProgramOp>
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_08_advice", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_08_advice", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_08_advice");
     println!("E8: the value (and danger) of predictive information\n");
     let mut t = Table::new(&[
         "advice",
@@ -136,6 +137,8 @@ fn main() {
         ]);
     }
     println!("{t}");
+    metrics.table("advice", &t);
+    metrics.emit();
     println!(
         "the measured trade: fault rate falls monotonically with advice\n\
          accuracy (none {none_rate:.4} -> perfect {best_rate:.4}), but every\n\

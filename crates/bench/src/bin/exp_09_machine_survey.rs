@@ -13,7 +13,8 @@ use dsa_metrics::table::Table;
 use dsa_trace::rng::Rng64;
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_09_machine_survey", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_09_machine_survey", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_09_machine_survey");
     println!("E9: the seven appendix machines under one workload\n");
     let mut rng = Rng64::new(9);
     let mut cfg = survey_program_cfg();
@@ -80,6 +81,8 @@ fn main() {
     }
     println!("{chars}");
     println!("{results}");
+    metrics.table("survey", &results);
+    metrics.emit();
     println!(
         "things to see: the segmented machines (B5000, Rice, B8500,\n\
          MULTICS) intercept every wild subscript while the linear and\n\

@@ -25,7 +25,8 @@ fn mix_pages(r: Words, small: Words, large: Words) -> u64 {
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_11_multics_dual", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_11_multics_dual", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_11_multics_dual");
     println!("E11: the MULTICS dual page size (64 + 1024 words)\n");
     let populations: Vec<(&str, SizeDist)> = vec![
         (
@@ -53,39 +54,45 @@ fn main() {
     // Each segment population is an independent cell: sample it from the
     // fixed seed, tally all three schemes, return the finished table.
     let grid = SimGrid::new(populations);
-    for table in grid.run(jobs_from_env(), |_, (name, dist)| {
-        let mut rng = Rng64::new(11);
-        let segments: Vec<Words> = (0..3_000).map(|_| dist.sample(&mut rng)).collect();
-        let data: Words = segments.iter().sum();
-        let mut t = Table::new(&[
-            "scheme",
-            "in-page waste",
-            "waste % of data",
-            "page-table entries",
-        ])
-        .with_title(&format!("{name}: 3000 segments, {data} data words"));
-        let w64: Words = segments.iter().map(|&s| internal_waste(s, 64)).sum();
-        let p64: u64 = segments.iter().map(|&s| s.div_ceil(64)).sum();
-        let w1024: Words = segments.iter().map(|&s| internal_waste(s, 1024)).sum();
-        let p1024: u64 = segments.iter().map(|&s| s.div_ceil(1024)).sum();
-        let wmix: Words = segments.iter().map(|&s| dual_size_waste(s, 64, 1024)).sum();
-        let pmix: u64 = segments.iter().map(|&s| mix_pages(s, 64, 1024)).sum();
-        for (scheme, waste, pages) in [
-            ("uniform 64", w64, p64),
-            ("uniform 1024", w1024, p1024),
-            ("64 + 1024 mix", wmix, pmix),
-        ] {
-            t.row_owned(vec![
-                scheme.to_owned(),
-                waste.to_string(),
-                format!("{:.2}%", waste as f64 / data as f64 * 100.0),
-                pages.to_string(),
-            ]);
-        }
-        t.to_string()
-    }) {
+    for (pi, table) in grid
+        .run(jobs_from_env(), |_, (name, dist)| {
+            let mut rng = Rng64::new(11);
+            let segments: Vec<Words> = (0..3_000).map(|_| dist.sample(&mut rng)).collect();
+            let data: Words = segments.iter().sum();
+            let mut t = Table::new(&[
+                "scheme",
+                "in-page waste",
+                "waste % of data",
+                "page-table entries",
+            ])
+            .with_title(&format!("{name}: 3000 segments, {data} data words"));
+            let w64: Words = segments.iter().map(|&s| internal_waste(s, 64)).sum();
+            let p64: u64 = segments.iter().map(|&s| s.div_ceil(64)).sum();
+            let w1024: Words = segments.iter().map(|&s| internal_waste(s, 1024)).sum();
+            let p1024: u64 = segments.iter().map(|&s| s.div_ceil(1024)).sum();
+            let wmix: Words = segments.iter().map(|&s| dual_size_waste(s, 64, 1024)).sum();
+            let pmix: u64 = segments.iter().map(|&s| mix_pages(s, 64, 1024)).sum();
+            for (scheme, waste, pages) in [
+                ("uniform 64", w64, p64),
+                ("uniform 1024", w1024, p1024),
+                ("64 + 1024 mix", wmix, pmix),
+            ] {
+                t.row_owned(vec![
+                    scheme.to_owned(),
+                    waste.to_string(),
+                    format!("{:.2}%", waste as f64 / data as f64 * 100.0),
+                    pages.to_string(),
+                ]);
+            }
+            t
+        })
+        .into_iter()
+        .enumerate()
+    {
         println!("{table}");
+        metrics.table(&format!("population_{pi}"), &table);
     }
+    metrics.emit();
     println!(
         "uniform 64 has tiny waste but an order of magnitude more page\n\
          table entries to manage (and, per E6, more fetch latencies);\n\

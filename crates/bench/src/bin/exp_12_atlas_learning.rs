@@ -49,7 +49,8 @@ fn fault_rate(trace: &[PageNo], policy: Box<dyn dsa_paging::replacement::Replace
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_12_atlas_learning", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_12_atlas_learning", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_12_atlas_learning");
     println!("E12: the ATLAS learning program vs period regularity\n");
     let jobs = jobs_from_env();
     let mut t = Table::new(&[
@@ -88,6 +89,7 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("jitter_sweep", &t);
 
     // Ablation: the vacant-frame reserve. It trades one frame of
     // capacity for having a frame already free at every demand — on
@@ -131,6 +133,8 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("vacant_reserve", &t);
+    metrics.emit();
     println!(
         "at zero jitter the learning program tracks MIN exactly — the\n\
          periods it learns are the truth — while LRU, fooled by cyclic\n\

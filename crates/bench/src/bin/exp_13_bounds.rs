@@ -16,7 +16,8 @@ use dsa_metrics::table::Table;
 use dsa_trace::rng::Rng64;
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_13_bounds", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_13_bounds", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_13_bounds");
     println!("E13: bounds checking across the seven machines\n");
     let mut cfg = survey_program_cfg();
     cfg.wild_touch_prob = 0.01; // 1% of touches are illegal subscripts
@@ -57,6 +58,8 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("bounds", &t);
+    metrics.emit();
     println!(
         "the per-object segmented machines intercept every violation; the\n\
          linear machines (ATLAS, M44) intercept none — a wild subscript\n\

@@ -29,7 +29,8 @@ fn level(name: &str, cycle_ns: u64, capacity: u64) -> LevelSpec {
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_14_promotion", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_14_promotion", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_14_promotion");
     println!("E14: promotion between directly addressable storage levels\n");
     let mut t = Table::new(&[
         "fast/slow cycle",
@@ -64,6 +65,7 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("break_even", &t);
 
     // Check the arithmetic against a simulated stream: an item of 64
     // words used k times, with and without promotion, on the 200/2000
@@ -102,6 +104,8 @@ fn main() {
         ]);
     }
     println!("{t}");
+    metrics.table("simulated", &t);
+    metrics.emit();
     println!(
         "the break-even count scales linearly with block size and shrinks\n\
          as the speed gap widens: promoting a 4K block into a scratchpad\n\

@@ -97,7 +97,8 @@ fn run(programs: u32, share: bool, rng: &mut Rng64) -> (Words, Words, u64) {
 }
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_15_sharing", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_15_sharing", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_15_sharing");
     println!("E15: segments as the unit of protection and sharing\n");
     let mut t = Table::new(&[
         "programs",
@@ -130,6 +131,7 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("sharing", &t);
 
     // Protection: a hostile program probes the library and others' data.
     let mut s = SharedSegments::new(store());
@@ -158,6 +160,19 @@ fn main() {
         s.stats().checks,
         s.stats().protection_violations
     );
+    metrics.counter(
+        "hostile_refused_total",
+        "Hostile accesses the capability checks refused",
+        &[],
+        refused,
+    );
+    metrics.counter(
+        "capability_checks_total",
+        "Capability checks performed",
+        &[],
+        s.stats().checks,
+    );
+    metrics.emit();
     println!(
         "\nsharing keeps one resident copy of the library no matter how many\n\
          programs execute it: resident words and fetch traffic stay flat\n\

@@ -20,7 +20,8 @@ use dsa_trace::rng::Rng64;
 type DepthCell = (usize, Vec<(Vec<u64>, Cycles)>);
 
 fn main() {
-    dsa_exec::cli::enforce_known_flags("exp_17_drum_queueing", &[dsa_exec::cli::JOBS]);
+    dsa_exec::cli::enforce_standard_flags("exp_17_drum_queueing", &[]);
+    let mut metrics = dsa_bench::metrics::RunMetrics::new("exp_17_drum_queueing");
     println!("E17: FIFO vs shortest-latency-first drum queueing\n");
     let drum = SectorDrum::atlas();
     println!(
@@ -98,6 +99,8 @@ fn main() {
         t.row_owned(row);
     }
     println!("{t}");
+    metrics.table("drum_queueing", &t);
+    metrics.emit();
     println!(
         "{}\n",
         labelled_sparkline("SLTF speedup vs queue depth", &curve)

@@ -23,10 +23,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use dsa_arena::{ArenaService, Request, Response};
+use dsa_arena::{ArenaError, ArenaService, Request, Response, ShardedArena};
+use dsa_bench::metrics::RunMetrics;
 use dsa_exec::cli;
 use dsa_freelist::Placement;
 use dsa_metrics::table::Table;
+use dsa_probe::{CountingProbe, Stamp};
+use dsa_telemetry::{FlightRecorder, HeatFrame, HeatmapSampler};
 use dsa_trace::rng::Rng64;
 
 /// Ops per worker stream (alloc/free mixed, plus the drain tail).
@@ -138,7 +141,8 @@ fn reconciled(svc: &ArenaService, t: &Tally, unit: Option<u64>) -> bool {
 }
 
 fn main() {
-    cli::enforce_known_flags("exp_18_concurrency", &[cli::JOBS, cli::SHARDS]);
+    cli::enforce_standard_flags("exp_18_concurrency", &[cli::SHARDS]);
+    let mut metrics = RunMetrics::new("exp_18_concurrency");
     // Workers are a workload parameter (clients of the service), not a
     // grid fan-out: default 4 even on narrow hosts, `--jobs` overrides.
     let workers = match cli::parse_jobs(std::env::args().skip(1)) {
@@ -213,6 +217,132 @@ fn main() {
         ]);
     }
     println!("{t}");
+    metrics.table("striped_sweep", &t);
+
+    // Part 1b: the always-on telemetry, inspected. One more service at
+    // the largest shard count, driven for two rounds; between rounds
+    // the shared probe's delta is the per-interval rate a production
+    // scraper would chart, and the metrics file is rewritten after
+    // every interval (periodic emission, not just end-of-run).
+    let shards = *shard_counts.last().expect("the sweep has a shard count");
+    let svc = ArenaService::striped(shards, TOTAL_WORDS / u64::from(shards), Placement::FirstFit);
+    let mut prev = CountingProbe::new();
+    for round in 0..2u32 {
+        let (elapsed, _) = drive(&svc, &streams);
+        let interval = svc.probe().delta(&prev);
+        prev = svc.probe().snapshot();
+        let label = round.to_string();
+        let labels: &[(&str, &str)] = &[("round", &label)];
+        metrics.counter(
+            "interval_allocs_total",
+            "Successful allocations in the scrape interval",
+            labels,
+            interval.allocs,
+        );
+        metrics.counter(
+            "interval_frees_total",
+            "Frees in the scrape interval",
+            labels,
+            interval.frees,
+        );
+        metrics.gauge(
+            "interval_alloc_rate_mops",
+            "Allocation rate over the scrape interval (millions/s)",
+            labels,
+            interval.allocs as f64 / elapsed.max(1e-9) / 1e6,
+        );
+        metrics.emit();
+        println!(
+            "interval {round} ({shards} shards): {} allocs, {} frees, \
+             {} searched holes",
+            interval.allocs, interval.frees, interval.alloc_searched
+        );
+    }
+    println!();
+
+    // Per-shard distributions from the service's sharded atomic
+    // histograms: where the placement searches actually went.
+    let tel = svc.telemetry();
+    let mut t = Table::new(&[
+        "shard",
+        "allocs",
+        "search p50",
+        "search p90",
+        "search p99",
+        "search max",
+        "alloc words p50",
+        "alloc words p99",
+    ])
+    .with_title(&format!(
+        "per-shard telemetry after 2 rounds ({shards} shards)"
+    ));
+    for s in 0..shards {
+        let search = tel.shard_search(s);
+        let words = tel.shard_alloc_words(s);
+        t.row_owned(vec![
+            s.to_string(),
+            words.count().to_string(),
+            search.quantile(0.5).to_string(),
+            search.quantile(0.9).to_string(),
+            search.quantile(0.99).to_string(),
+            search.max().to_string(),
+            words.quantile(0.5).to_string(),
+            words.quantile(0.99).to_string(),
+        ]);
+    }
+    println!("{t}");
+    metrics.table("shard_telemetry", &t);
+    tel.export_into(metrics.snapshot());
+
+    // Fragmentation heatmap: a deterministic single-threaded replay of
+    // one worker's stream against a small 4-shard arena, the global
+    // hole map sampled every 4096 ops.
+    let small = ArenaService::striped(4, 8192, Placement::FirstFit);
+    let arena = small.arena().expect("striped service has an arena");
+    let mut sampler = HeatmapSampler::new(4096, 64);
+    for (i, req) in streams[0].iter().enumerate() {
+        let _ = small.submit(std::slice::from_ref(req));
+        let vt = i as u64;
+        if sampler.due(vt) {
+            sampler.push(HeatFrame::capture(
+                vt,
+                arena.capacity(),
+                arena.hole_map().into_iter(),
+                sampler.buckets(),
+            ));
+        }
+    }
+    println!(
+        "{}",
+        sampler.render("striped arena fragmentation (1 worker, 4 shards x 8192 words)")
+    );
+    for frame in sampler.frames() {
+        let vt = frame.vtime.to_string();
+        metrics.gauge(
+            "heatmap_occupied_fraction",
+            "Occupied fraction of the striped arena at the sampled instant",
+            &[("vt", &vt)],
+            frame.occupied_fraction(),
+        );
+    }
+
+    // Exhaustion postmortem: a deliberately tiny arena filled until the
+    // allocator returns Exhausted, with a flight recorder on the probe.
+    // The recorder is always on here; `--flight-recorder N` resizes it.
+    let recorder =
+        dsa_bench::metrics::flight_recorder_from_env().unwrap_or_else(|| FlightRecorder::new(64));
+    let mut handle = recorder.handle();
+    let tiny = ShardedArena::new(2, 256, Placement::FirstFit);
+    let mut id = 0u64;
+    let exhausted = loop {
+        match tiny.alloc_probed(id, 48, Stamp::vtime(id), &mut handle) {
+            Ok(_) => id += 1,
+            Err(e @ ArenaError::Exhausted { .. }) => break e,
+            Err(e) => unreachable!("only exhaustion can stop the fill: {e}"),
+        }
+    };
+    println!("exhaustion postmortem ({exhausted}):");
+    println!("{}", recorder.postmortem(12));
 
     // Part 2: uniform units — the lock-free slab, swept over workers.
     let mut t = Table::new(&[
@@ -258,6 +388,8 @@ fn main() {
         w = (w * 2).min(workers.max(1));
     }
     println!("{t}");
+    metrics.table("slab_sweep", &t);
+    metrics.emit();
     println!(
         "shards cut lock conflicts (home-shard hashing spreads ids), at the\n\
          price of steals once a shard fills; the slab needs no locks at all —\n\

@@ -54,6 +54,41 @@ pub const SHARDS: FlagSpec = FlagSpec {
     help: "largest shard count in the scaling sweep (default: 8)",
 };
 
+/// The `--metrics-out PATH` flag every experiment binary accepts: dump
+/// end-of-run metrics to PATH (`.json` for JSON, anything else for
+/// Prometheus text exposition format).
+pub const METRICS_OUT: FlagSpec = FlagSpec {
+    name: "--metrics-out",
+    value: Some("PATH"),
+    help: "write end-of-run metrics to PATH (.json for JSON, else Prometheus text)",
+};
+
+/// The `--flight-recorder N` flag every experiment binary accepts:
+/// attach a lock-free flight recorder retaining the last N probe
+/// events per thread for postmortem dumps.
+pub const FLIGHT_RECORDER: FlagSpec = FlagSpec {
+    name: "--flight-recorder",
+    value: Some("N"),
+    help: "retain the last N probe events per thread for postmortem dumps",
+};
+
+/// The flags *every* experiment binary accepts: `--jobs`,
+/// `--metrics-out`, `--flight-recorder`. One registry, so adding a
+/// universal flag is a one-line change that reaches all binaries (and
+/// the `--help` test that checks each one).
+#[must_use]
+pub fn standard_flags() -> Vec<FlagSpec> {
+    vec![JOBS, METRICS_OUT, FLIGHT_RECORDER]
+}
+
+/// [`enforce_known_flags`] with the standard registry prepended:
+/// binaries pass only their extra flags (empty for most).
+pub fn enforce_standard_flags(bin: &str, extra: &[FlagSpec]) {
+    let mut known = standard_flags();
+    known.extend_from_slice(extra);
+    enforce_known_flags(bin, &known);
+}
+
 /// Renders the usage message for a binary and its accepted flags.
 #[must_use]
 pub fn usage(bin: &str, known: &[FlagSpec]) -> String {
@@ -218,6 +253,30 @@ pub fn jobs_from_env() -> usize {
     }
 }
 
+/// Extracts a `name <path>` / `name=<path>` flag from an argument
+/// list, ignoring every other argument.
+fn parse_path<I>(args: I, name: &str) -> Result<Option<PathBuf>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let value = if a == name {
+            args.next()
+                .ok_or_else(|| format!("{name} requires a path"))?
+        } else if let Some(v) = a.strip_prefix(name).and_then(|rest| rest.strip_prefix('=')) {
+            if v.is_empty() {
+                return Err(format!("{name} requires a path"));
+            }
+            v.to_owned()
+        } else {
+            continue;
+        };
+        return Ok(Some(PathBuf::from(value)));
+    }
+    Ok(None)
+}
+
 /// Extracts a `--trace-out` path from an argument list, ignoring every
 /// other argument.
 ///
@@ -230,22 +289,64 @@ pub fn parse_trace_out<I>(args: I) -> Result<Option<PathBuf>, String>
 where
     I: IntoIterator<Item = String>,
 {
-    let mut args = args.into_iter();
-    while let Some(a) = args.next() {
-        let value = if a == "--trace-out" {
-            args.next()
-                .ok_or_else(|| "--trace-out requires a path".to_owned())?
-        } else if let Some(v) = a.strip_prefix("--trace-out=") {
-            if v.is_empty() {
-                return Err("--trace-out requires a path".to_owned());
-            }
-            v.to_owned()
-        } else {
-            continue;
-        };
-        return Ok(Some(PathBuf::from(value)));
+    parse_path(args, "--trace-out")
+}
+
+/// Extracts a `--metrics-out` path from an argument list, ignoring
+/// every other argument.
+///
+/// Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// Returns a message when the flag is present without a path.
+pub fn parse_metrics_out<I>(args: I) -> Result<Option<PathBuf>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    parse_path(args, "--metrics-out")
+}
+
+/// The `--metrics-out` path from the process arguments, if given.
+/// Exits with status 2 on a malformed flag, like [`jobs_from_env`].
+#[must_use]
+pub fn metrics_out_from_env() -> Option<PathBuf> {
+    match parse_metrics_out(std::env::args().skip(1)) {
+        Ok(path) => path,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
     }
-    Ok(None)
+}
+
+/// Extracts a `--flight-recorder` per-thread event capacity from an
+/// argument list, ignoring every other argument.
+///
+/// Returns `Ok(None)` when the flag is absent.
+///
+/// # Errors
+///
+/// As [`parse_jobs`], for `--flight-recorder`.
+pub fn parse_flight_recorder<I>(args: I) -> Result<Option<usize>, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    parse_count(args, "--flight-recorder")
+}
+
+/// The `--flight-recorder` capacity from the process arguments, if
+/// given. Exits with status 2 on a malformed flag, like
+/// [`jobs_from_env`].
+#[must_use]
+pub fn flight_recorder_from_env() -> Option<usize> {
+    match parse_flight_recorder(std::env::args().skip(1)) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The `--trace-out` path from the process arguments, if given. Exits
@@ -359,5 +460,53 @@ mod tests {
         assert!(u.starts_with("usage: exp_99_demo [--jobs N] [--shards N]"));
         assert!(u.contains("worker threads"));
         assert!(u.contains("shard count"));
+    }
+
+    #[test]
+    fn metrics_out_parses_like_trace_out() {
+        assert_eq!(parse_metrics_out(strings(&[])), Ok(None));
+        assert_eq!(
+            parse_metrics_out(strings(&["--metrics-out", "m.prom"])),
+            Ok(Some(PathBuf::from("m.prom")))
+        );
+        assert_eq!(
+            parse_metrics_out(strings(&["--jobs", "2", "--metrics-out=m.json"])),
+            Ok(Some(PathBuf::from("m.json")))
+        );
+        assert!(parse_metrics_out(strings(&["--metrics-out"])).is_err());
+        assert!(parse_metrics_out(strings(&["--metrics-out="])).is_err());
+    }
+
+    #[test]
+    fn flight_recorder_parses_like_jobs() {
+        assert_eq!(parse_flight_recorder(strings(&[])), Ok(None));
+        assert_eq!(
+            parse_flight_recorder(strings(&["--flight-recorder", "256"])),
+            Ok(Some(256))
+        );
+        assert_eq!(
+            parse_flight_recorder(strings(&["--flight-recorder=64"])),
+            Ok(Some(64))
+        );
+        assert!(parse_flight_recorder(strings(&["--flight-recorder", "0"])).is_err());
+        assert!(parse_flight_recorder(strings(&["--flight-recorder"])).is_err());
+    }
+
+    #[test]
+    fn standard_flags_cover_the_universal_registry() {
+        let flags = standard_flags();
+        let names: Vec<&str> = flags.iter().map(|f| f.name).collect();
+        assert_eq!(names, vec!["--jobs", "--metrics-out", "--flight-recorder"]);
+        let u = usage("exp_00", &flags);
+        assert!(u.contains("--metrics-out PATH"), "{u}");
+        assert!(u.contains("--flight-recorder N"), "{u}");
+        // The standard set accepts its own flags in both spellings.
+        assert_eq!(
+            check_known(
+                strings(&["--metrics-out=m.json", "--flight-recorder", "32"]),
+                &flags
+            ),
+            Ok(())
+        );
     }
 }

@@ -2,14 +2,108 @@
 
 use core::fmt;
 
-/// How sample values are mapped to buckets.
+/// How sample values are mapped to buckets — the public, copyable
+/// description of a histogram's geometry.
+///
+/// Two sinks built from the same `BucketSpec` are guaranteed to bucket
+/// identically, which is what lets a relaxed-atomic accumulator
+/// (`dsa-telemetry`'s `AtomicHistogram`) reassemble an ordinary
+/// [`Histogram`] via [`Histogram::from_parts`] and answer percentile
+/// queries through this crate's single [`Histogram::quantile`]
+/// implementation instead of growing its own.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum Bucketing {
-    /// Equal-width buckets of `width` covering `[0, width * n)`.
-    Linear { width: u64 },
-    /// Power-of-two buckets: bucket *i* covers `[2^i, 2^(i+1))`, with
-    /// bucket 0 covering `[0, 2)`.
-    Log2,
+pub enum BucketSpec {
+    /// `buckets` equal-width buckets of `width` covering
+    /// `[0, width * buckets)`.
+    Linear {
+        /// Width of each bucket.
+        width: u64,
+        /// Number of buckets.
+        buckets: usize,
+    },
+    /// `buckets` power-of-two buckets: bucket *i* covers
+    /// `[2^i, 2^(i+1))`, with bucket 0 covering `[0, 2)`.
+    Log2 {
+        /// Number of buckets (at most 64).
+        buckets: usize,
+    },
+}
+
+impl BucketSpec {
+    /// Number of buckets this spec describes.
+    #[must_use]
+    pub fn bucket_count(&self) -> usize {
+        match *self {
+            BucketSpec::Linear { buckets, .. } | BucketSpec::Log2 { buckets } => buckets,
+        }
+    }
+
+    /// The bucket index of sample `v`, or `None` when it falls in the
+    /// overflow region.
+    #[must_use]
+    pub fn index_of(&self, v: u64) -> Option<usize> {
+        let idx = match *self {
+            BucketSpec::Linear { width, .. } => (v / width) as usize,
+            BucketSpec::Log2 { .. } => {
+                if v < 2 {
+                    0
+                } else {
+                    (63 - v.leading_zeros()) as usize
+                }
+            }
+        };
+        (idx < self.bucket_count()).then_some(idx)
+    }
+
+    /// Lower bound of bucket `i`.
+    #[must_use]
+    pub fn low(&self, i: usize) -> u64 {
+        match *self {
+            BucketSpec::Linear { width, .. } => i as u64 * width,
+            BucketSpec::Log2 { .. } => {
+                if i == 0 {
+                    0
+                } else {
+                    1u64 << i
+                }
+            }
+        }
+    }
+
+    fn validate(&self) {
+        match *self {
+            BucketSpec::Linear { width, buckets } => {
+                assert!(width > 0, "bucket width must be positive");
+                assert!(buckets > 0, "bucket count must be positive");
+            }
+            BucketSpec::Log2 { buckets } => {
+                assert!(
+                    buckets > 0 && buckets <= 64,
+                    "log2 bucket count must be in 1..=64"
+                );
+            }
+        }
+    }
+}
+
+/// Shared histogram geometries: the one place the standard telemetry
+/// distributions are shaped, so the sequential probes (`LatencyProbe`)
+/// and the always-on atomic telemetry report percentiles over the exact
+/// same buckets and can never diverge.
+pub mod geometry {
+    use super::BucketSpec;
+
+    /// Fault-service latency in nanoseconds (log2, up to ~18 minutes).
+    pub const FAULT_SERVICE_NS: BucketSpec = BucketSpec::Log2 { buckets: 40 };
+    /// Inter-fault distance in references (log2, up to ~4e9 refs).
+    pub const INTER_FAULT_REFS: BucketSpec = BucketSpec::Log2 { buckets: 32 };
+    /// Free-list entries examined per allocation (exact up to 255).
+    pub const SEARCH_LEN: BucketSpec = BucketSpec::Linear {
+        width: 1,
+        buckets: 256,
+    };
+    /// Allocation-request size in words (log2).
+    pub const ALLOC_WORDS: BucketSpec = BucketSpec::Log2 { buckets: 32 };
 }
 
 /// A histogram over `u64` samples.
@@ -33,7 +127,7 @@ enum Bucketing {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Histogram {
-    bucketing: Bucketing,
+    spec: BucketSpec,
     buckets: Vec<u64>,
     overflow: u64,
     count: u64,
@@ -42,6 +136,25 @@ pub struct Histogram {
 }
 
 impl Histogram {
+    /// Creates an empty histogram with the given bucketing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero width, zero buckets, or
+    /// more than 64 log2 buckets).
+    #[must_use]
+    pub fn with_spec(spec: BucketSpec) -> Histogram {
+        spec.validate();
+        Histogram {
+            spec,
+            buckets: vec![0; spec.bucket_count()],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
     /// Creates a histogram with `n` equal-width buckets of `width`.
     ///
     /// # Panics
@@ -49,16 +162,7 @@ impl Histogram {
     /// Panics if `width` or `n` is zero.
     #[must_use]
     pub fn linear(width: u64, n: usize) -> Histogram {
-        assert!(width > 0, "bucket width must be positive");
-        assert!(n > 0, "bucket count must be positive");
-        Histogram {
-            bucketing: Bucketing::Linear { width },
-            buckets: vec![0; n],
-            overflow: 0,
-            count: 0,
-            sum: 0,
-            max: 0,
-        }
+        Histogram::with_spec(BucketSpec::Linear { width, buckets: n })
     }
 
     /// Creates a histogram with `n` power-of-two buckets; bucket *i*
@@ -69,44 +173,60 @@ impl Histogram {
     /// Panics if `n` is zero or exceeds 64.
     #[must_use]
     pub fn log2(n: usize) -> Histogram {
-        assert!(n > 0 && n <= 64, "log2 bucket count must be in 1..=64");
+        Histogram::with_spec(BucketSpec::Log2 { buckets: n })
+    }
+
+    /// Reassembles a histogram from externally accumulated parts — the
+    /// bridge that lets an atomic accumulator freeze its relaxed
+    /// counters into an ordinary histogram and answer quantile queries
+    /// through the one implementation here.
+    ///
+    /// `buckets[i]` is the sample count of bucket `i` under `spec`;
+    /// `overflow`, `sum` and `max` describe the same sample set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets.len()` disagrees with the spec or the bucket
+    /// counts plus overflow don't sum to `count`.
+    #[must_use]
+    pub fn from_parts(
+        spec: BucketSpec,
+        buckets: Vec<u64>,
+        overflow: u64,
+        sum: u128,
+        max: u64,
+    ) -> Histogram {
+        spec.validate();
+        assert_eq!(
+            buckets.len(),
+            spec.bucket_count(),
+            "bucket vector disagrees with the spec"
+        );
+        let count = buckets.iter().sum::<u64>() + overflow;
         Histogram {
-            bucketing: Bucketing::Log2,
-            buckets: vec![0; n],
-            overflow: 0,
-            count: 0,
-            sum: 0,
-            max: 0,
+            spec,
+            buckets,
+            overflow,
+            count,
+            sum,
+            max,
         }
     }
 
+    /// This histogram's bucketing, for building a matching accumulator.
+    #[must_use]
+    pub fn spec(&self) -> BucketSpec {
+        self.spec
+    }
+
     fn bucket_of(&self, v: u64) -> Option<usize> {
-        let idx = match self.bucketing {
-            Bucketing::Linear { width } => (v / width) as usize,
-            Bucketing::Log2 => {
-                if v < 2 {
-                    0
-                } else {
-                    (63 - v.leading_zeros()) as usize
-                }
-            }
-        };
-        (idx < self.buckets.len()).then_some(idx)
+        self.spec.index_of(v)
     }
 
     /// Lower bound of bucket `i`.
     #[must_use]
     pub fn bucket_low(&self, i: usize) -> u64 {
-        match self.bucketing {
-            Bucketing::Linear { width } => i as u64 * width,
-            Bucketing::Log2 => {
-                if i == 0 {
-                    0
-                } else {
-                    1u64 << i
-                }
-            }
-        }
+        self.spec.low(i)
     }
 
     /// Records one sample.
@@ -189,9 +309,9 @@ impl Histogram {
         }
         // Target lies in the overflow region.
         self.bucket_low(self.buckets.len() - 1)
-            + match self.bucketing {
-                Bucketing::Linear { width } => width,
-                Bucketing::Log2 => self.bucket_low(self.buckets.len() - 1),
+            + match self.spec {
+                BucketSpec::Linear { width, .. } => width,
+                BucketSpec::Log2 { .. } => self.bucket_low(self.buckets.len() - 1),
             }
     }
 
@@ -328,6 +448,53 @@ mod tests {
 #[cfg(test)]
 mod edge_tests {
     use super::*;
+
+    #[test]
+    fn from_parts_reassembles_exactly() {
+        let mut direct = Histogram::log2(8);
+        for v in [0u64, 1, 3, 9, 200, 3000] {
+            direct.record(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            direct.spec(),
+            (0..8).map(|i| direct.bucket_count(i)).collect(),
+            direct.overflow(),
+            direct.sum(),
+            direct.max(),
+        );
+        assert_eq!(rebuilt.count(), direct.count());
+        assert_eq!(rebuilt.sum(), direct.sum());
+        assert_eq!(rebuilt.max(), direct.max());
+        for q in [0.0, 0.5, 0.9, 1.0] {
+            assert_eq!(rebuilt.quantile(q), direct.quantile(q));
+        }
+    }
+
+    #[test]
+    fn spec_index_matches_recording() {
+        for spec in [
+            BucketSpec::Log2 { buckets: 10 },
+            BucketSpec::Linear {
+                width: 7,
+                buckets: 12,
+            },
+        ] {
+            let mut h = Histogram::with_spec(spec);
+            for v in [0u64, 1, 6, 7, 13, 63, 64, 90, 1000] {
+                h.record(v);
+                if let Some(i) = spec.index_of(v) {
+                    assert!(h.bucket_count(i) > 0, "{spec:?} value {v} bucket {i}");
+                    assert!(spec.low(i) <= v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees with the spec")]
+    fn from_parts_checks_bucket_arity() {
+        let _ = Histogram::from_parts(BucketSpec::Log2 { buckets: 4 }, vec![0; 3], 0, 0, 0);
+    }
 
     #[test]
     fn quantile_saturates_in_overflow_region() {

@@ -22,7 +22,7 @@ pub mod sparkline;
 pub mod stats;
 pub mod table;
 
-pub use histogram::Histogram;
+pub use histogram::{BucketSpec, Histogram};
 pub use spacetime::{SpaceTimeMeter, SpaceTimeReport};
 pub use sparkline::{labelled_sparkline, sparkline};
 pub use stats::RunningStats;

@@ -95,6 +95,24 @@ impl Table {
         self.rows.push(cells);
     }
 
+    /// The column headers, in order.
+    #[must_use]
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows, in insertion order.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The title, if one was set.
+    #[must_use]
+    pub fn title(&self) -> Option<&str> {
+        self.title.as_deref()
+    }
+
     /// Number of data rows.
     #[must_use]
     pub fn len(&self) -> usize {

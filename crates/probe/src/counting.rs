@@ -74,6 +74,61 @@ impl CountingProbe {
             + self.frames_quarantined
             + self.degradation_steps
     }
+
+    /// Field-wise difference `self - earlier`: what happened in the
+    /// interval between two snapshots of one counting sink.
+    ///
+    /// End-of-run totals hide phases; periodic deltas are how a live
+    /// service reports *rates* (allocs/interval, faults/interval)
+    /// without resetting its counters. Subtraction saturates, so a
+    /// mismatched pair degrades to zeros instead of wrapping.
+    #[must_use]
+    pub fn delta(&self, earlier: &CountingProbe) -> CountingProbe {
+        // A struct literal naming every field: adding a counter without
+        // extending the delta fails to compile instead of silently
+        // reporting stale intervals.
+        macro_rules! sub_fields {
+            ($($f:ident),* $(,)?) => {
+                CountingProbe { $($f: self.$f.saturating_sub(earlier.$f)),* }
+            };
+        }
+        sub_fields!(
+            touches,
+            writes,
+            faults,
+            fetch_starts,
+            fetches,
+            fetched_words,
+            evictions,
+            dirty_evictions,
+            evicted_words,
+            writebacks,
+            writeback_words,
+            allocs,
+            alloc_words,
+            alloc_searched,
+            frees,
+            freed_words,
+            compactions,
+            compaction_moved_words,
+            advice,
+            prefetches,
+            prefetched_words,
+            bounds_traps,
+            map_lookups,
+            map_hits,
+            map_misses,
+            faults_injected,
+            transfer_errors_injected,
+            bad_frames_injected,
+            channel_delays_injected,
+            alloc_failures_injected,
+            retry_attempts,
+            frames_quarantined,
+            degradation_steps,
+            shed_loads,
+        )
+    }
 }
 
 impl Probe for CountingProbe {

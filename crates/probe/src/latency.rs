@@ -2,7 +2,7 @@
 
 use crate::{Event, EventKind, Probe};
 use dsa_core::clock::{Cycles, VirtualTime};
-use dsa_metrics::histogram::Histogram;
+use dsa_metrics::histogram::{geometry, Histogram};
 
 /// Histograms of the dynamics the paper reasons about but end-of-run
 /// totals hide: how long each fault stalls the program (machine time
@@ -23,10 +23,14 @@ pub struct LatencyProbe {
 
 impl Default for LatencyProbe {
     fn default() -> Self {
+        // The shared geometries in `dsa_metrics::histogram::geometry`
+        // are the single source of bucket shapes: the always-on atomic
+        // telemetry (`dsa-telemetry`) builds its accumulators from the
+        // same specs, so its percentiles and these can never diverge.
         LatencyProbe {
-            fault_service: Histogram::log2(40),
-            inter_fault: Histogram::log2(32),
-            search_len: Histogram::linear(1, 256),
+            fault_service: Histogram::with_spec(geometry::FAULT_SERVICE_NS),
+            inter_fault: Histogram::with_spec(geometry::INTER_FAULT_REFS),
+            search_len: Histogram::with_spec(geometry::SEARCH_LEN),
             pending_fetch: None,
             last_fault_vtime: None,
         }

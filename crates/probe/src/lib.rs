@@ -220,6 +220,33 @@ impl<P: Probe + ?Sized> Probe for Box<P> {
     }
 }
 
+/// Fans one event stream into two sinks.
+///
+/// Emission sites take a single `P: Probe`; a run that wants both the
+/// always-on telemetry sink *and* a per-thread flight-recorder handle
+/// wraps them in a `Tee`. Enabled when either side is, and a disabled
+/// side (e.g. a [`NullProbe`] leg) still const-folds away — the tee
+/// checks each leg's own `is_enabled` before delivering.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Tee<A, B>(pub A, pub B);
+
+impl<A: Probe, B: Probe> Probe for Tee<A, B> {
+    #[inline]
+    fn record(&mut self, event: &Event) {
+        if self.0.is_enabled() {
+            self.0.record(event);
+        }
+        if self.1.is_enabled() {
+            self.1.record(event);
+        }
+    }
+
+    #[inline]
+    fn is_enabled(&self) -> bool {
+        self.0.is_enabled() || self.1.is_enabled()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +289,17 @@ mod tests {
         assert!(b.is_enabled());
         b.emit(EventKind::BoundsTrap, Stamp::vtime(8));
         assert_eq!(c.0.len(), 1);
+    }
+
+    #[test]
+    fn tee_delivers_to_both_legs() {
+        let mut tee = Tee(Collector(Vec::new()), Collector(Vec::new()));
+        tee.emit(EventKind::Fault, Stamp::vtime(1));
+        assert_eq!(tee.0 .0.len(), 1);
+        assert_eq!(tee.1 .0.len(), 1);
+        // A tee with two null legs is itself disabled.
+        assert!(!Tee(NullProbe, NullProbe).is_enabled());
+        assert!(Tee(NullProbe, Collector(Vec::new())).is_enabled());
     }
 
     #[test]

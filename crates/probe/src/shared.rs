@@ -195,6 +195,20 @@ impl SharedProbe {
             shed_loads: get(&self.shed_loads),
         }
     }
+
+    /// What happened since `earlier`: a fresh snapshot minus the one
+    /// the caller kept from the previous interval.
+    ///
+    /// [`SharedProbe::snapshot`] reports totals since construction,
+    /// which loses ordering context on a long-running service; periodic
+    /// callers keep the previous snapshot and ask for the delta, giving
+    /// per-interval rates that sum exactly to the running totals
+    /// (counters are monotone, so the subtraction never saturates in
+    /// practice).
+    #[must_use]
+    pub fn delta(&self, earlier: &CountingProbe) -> CountingProbe {
+        self.snapshot().delta(earlier)
+    }
 }
 
 impl Probe for SharedProbe {
@@ -245,6 +259,30 @@ mod tests {
         assert_eq!(snap.touches, plain.touches);
         assert_eq!(snap.map_misses, plain.map_misses);
         assert_eq!(snap.total_events(), plain.total_events());
+    }
+
+    #[test]
+    fn interval_deltas_sum_to_the_running_total() {
+        let shared = SharedProbe::new();
+        let mut prev = shared.snapshot();
+        let mut summed = 0u64;
+        for round in 1..=4u64 {
+            for i in 0..round * 3 {
+                (&shared).emit(
+                    EventKind::Alloc {
+                        words: 16,
+                        searched: 2,
+                    },
+                    Stamp::vtime(i),
+                );
+            }
+            let d = shared.delta(&prev);
+            assert_eq!(d.allocs, round * 3, "interval {round}");
+            assert_eq!(d.alloc_words, round * 3 * 16);
+            summed += d.allocs;
+            prev = shared.snapshot();
+        }
+        assert_eq!(summed, shared.snapshot().allocs);
     }
 
     #[test]

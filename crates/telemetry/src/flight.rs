@@ -1,0 +1,507 @@
+//! The flight recorder: last-N probe events, always on, lock-free.
+//!
+//! An aircraft flight recorder does not stream telemetry to the ground;
+//! it keeps the recent past in a crash-survivable loop so the
+//! investigation can replay the final minutes. This is the software
+//! analogue for the allocation machines: every thread records its probe
+//! events into its own fixed-capacity ring of fixed-width slots —
+//! no locks, no allocation, a handful of relaxed atomic stores per
+//! event — and when something goes wrong (`ArenaError::Exhausted`, an
+//! injected fault, a degradation rung) the rings are merged into one
+//! chronological tail and dumped as the postmortem.
+//!
+//! # Encoding
+//!
+//! Each event is packed into [`WORDS_PER_SLOT`] `u64` words: a global
+//! sequence number, a `tag | flags` meta word, two payload words, and
+//! the dual timestamp (cycles as nanoseconds, reference time). The
+//! sequence number is drawn from one shared relaxed `fetch_add`, which
+//! gives a total order over all threads' events that is consistent with
+//! each thread's program order — that order *is* the chronology the
+//! merged drain sorts by.
+//!
+//! # Ordering correctness
+//!
+//! A slot is written payload-first (relaxed), sequence-word last
+//! (release), after first clearing the sequence word; the drain reads
+//! the sequence word (acquire), then the payload, then re-reads the
+//! sequence word and discards the slot if it changed — a per-slot
+//! seqlock. Every access is an atomic, so a racing drain can *miss* an
+//! event being overwritten but can never observe a torn one or invoke
+//! undefined behaviour. After the emitting threads have joined (or from
+//! the faulting thread itself, whose own ring is quiescent), the drain
+//! is exact and lossless up to each ring's capacity.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dsa_core::clock::Cycles;
+use dsa_probe::{DegradationStep, Event, EventKind, InjectedFault, Probe};
+
+/// `u64` words per encoded event: sequence, meta, two payloads, cycles
+/// (ns), reference time.
+pub const WORDS_PER_SLOT: usize = 6;
+
+/// Compact tags for [`EventKind`]; flags ride in the meta word's second
+/// byte.
+mod tag {
+    pub const TOUCH: u64 = 0;
+    pub const FAULT: u64 = 1;
+    pub const FETCH_START: u64 = 2;
+    pub const FETCH_DONE: u64 = 3;
+    pub const EVICT: u64 = 4;
+    pub const WRITEBACK: u64 = 5;
+    pub const ALLOC: u64 = 6;
+    pub const FREE: u64 = 7;
+    pub const COMPACTION_START: u64 = 8;
+    pub const COMPACTION_DONE: u64 = 9;
+    pub const ADVICE: u64 = 10;
+    pub const PREFETCH: u64 = 11;
+    pub const BOUNDS_TRAP: u64 = 12;
+    pub const MAP_LOOKUP: u64 = 13;
+    pub const FAULT_INJECTED: u64 = 14;
+    pub const RETRY_ATTEMPT: u64 = 15;
+    pub const FRAME_QUARANTINED: u64 = 16;
+    pub const DEGRADATION_STEP: u64 = 17;
+}
+
+/// Packs an event kind into `(meta, a, b)`.
+fn encode(kind: EventKind) -> (u64, u64, u64) {
+    let meta = |t: u64, flag: u64| t | (flag << 8);
+    match kind {
+        EventKind::Touch { write } => (meta(tag::TOUCH, u64::from(write)), 0, 0),
+        EventKind::Fault => (meta(tag::FAULT, 0), 0, 0),
+        EventKind::FetchStart { words } => (meta(tag::FETCH_START, 0), words, 0),
+        EventKind::FetchDone { words } => (meta(tag::FETCH_DONE, 0), words, 0),
+        EventKind::Evict { dirty, words } => (meta(tag::EVICT, u64::from(dirty)), words, 0),
+        EventKind::Writeback { words } => (meta(tag::WRITEBACK, 0), words, 0),
+        EventKind::Alloc { words, searched } => (meta(tag::ALLOC, 0), words, searched),
+        EventKind::Free { words } => (meta(tag::FREE, 0), words, 0),
+        EventKind::CompactionStart => (meta(tag::COMPACTION_START, 0), 0, 0),
+        EventKind::CompactionDone { moved_words } => {
+            (meta(tag::COMPACTION_DONE, 0), moved_words, 0)
+        }
+        EventKind::Advice => (meta(tag::ADVICE, 0), 0, 0),
+        EventKind::Prefetch { words } => (meta(tag::PREFETCH, 0), words, 0),
+        EventKind::BoundsTrap => (meta(tag::BOUNDS_TRAP, 0), 0, 0),
+        EventKind::MapLookup { hit } => (meta(tag::MAP_LOOKUP, u64::from(hit)), 0, 0),
+        EventKind::FaultInjected { fault } => {
+            let f = match fault {
+                InjectedFault::TransferError => 0,
+                InjectedFault::BadFrame => 1,
+                InjectedFault::ChannelDelay => 2,
+                InjectedFault::AllocFailure => 3,
+            };
+            (meta(tag::FAULT_INJECTED, f), 0, 0)
+        }
+        EventKind::RetryAttempt { attempt } => (meta(tag::RETRY_ATTEMPT, 0), u64::from(attempt), 0),
+        EventKind::FrameQuarantined => (meta(tag::FRAME_QUARANTINED, 0), 0, 0),
+        EventKind::DegradationStep { step } => {
+            let s = match step {
+                DegradationStep::Coalesce => 0,
+                DegradationStep::Compact => 1,
+                DegradationStep::EvictVictims => 2,
+                DegradationStep::ShedLoad => 3,
+            };
+            (meta(tag::DEGRADATION_STEP, s), 0, 0)
+        }
+    }
+}
+
+/// Unpacks `(meta, a, b)` back into an event kind; `None` for a
+/// corrupt tag (only reachable if a drain raced an overwrite that the
+/// seqlock failed to catch — the record is dropped, never misread).
+fn decode(meta: u64, a: u64, b: u64) -> Option<EventKind> {
+    let flag = (meta >> 8) & 0xFF;
+    Some(match meta & 0xFF {
+        tag::TOUCH => EventKind::Touch { write: flag != 0 },
+        tag::FAULT => EventKind::Fault,
+        tag::FETCH_START => EventKind::FetchStart { words: a },
+        tag::FETCH_DONE => EventKind::FetchDone { words: a },
+        tag::EVICT => EventKind::Evict {
+            dirty: flag != 0,
+            words: a,
+        },
+        tag::WRITEBACK => EventKind::Writeback { words: a },
+        tag::ALLOC => EventKind::Alloc {
+            words: a,
+            searched: b,
+        },
+        tag::FREE => EventKind::Free { words: a },
+        tag::COMPACTION_START => EventKind::CompactionStart,
+        tag::COMPACTION_DONE => EventKind::CompactionDone { moved_words: a },
+        tag::ADVICE => EventKind::Advice,
+        tag::PREFETCH => EventKind::Prefetch { words: a },
+        tag::BOUNDS_TRAP => EventKind::BoundsTrap,
+        tag::MAP_LOOKUP => EventKind::MapLookup { hit: flag != 0 },
+        tag::FAULT_INJECTED => EventKind::FaultInjected {
+            fault: match flag {
+                0 => InjectedFault::TransferError,
+                1 => InjectedFault::BadFrame,
+                2 => InjectedFault::ChannelDelay,
+                _ => InjectedFault::AllocFailure,
+            },
+        },
+        tag::RETRY_ATTEMPT => EventKind::RetryAttempt { attempt: a as u32 },
+        tag::FRAME_QUARANTINED => EventKind::FrameQuarantined,
+        tag::DEGRADATION_STEP => EventKind::DegradationStep {
+            step: match flag {
+                0 => DegradationStep::Coalesce,
+                1 => DegradationStep::Compact,
+                2 => DegradationStep::EvictVictims,
+                _ => DegradationStep::ShedLoad,
+            },
+        },
+        _ => return None,
+    })
+}
+
+/// One thread's ring: `capacity * WORDS_PER_SLOT` atomic words plus the
+/// monotone write head. Written only by the owning handle; read by any
+/// drain.
+struct Ring {
+    slots: Vec<AtomicU64>,
+    head: AtomicU64,
+}
+
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            slots: (0..capacity * WORDS_PER_SLOT)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len() / WORDS_PER_SLOT
+    }
+
+    /// Writes one record; called only by the owning handle's thread.
+    fn write(&self, seq: u64, event: &Event) {
+        let cap = self.capacity();
+        let head = self.head.load(Ordering::Relaxed);
+        let base = (head as usize % cap) * WORDS_PER_SLOT;
+        let (meta, a, b) = encode(event.kind);
+        // Invalidate, fill payload, publish: a concurrent drain either
+        // sees seq=0 (skips), the old record (re-check catches the
+        // overwrite), or the complete new record.
+        self.slots[base].store(0, Ordering::Release);
+        self.slots[base + 1].store(meta, Ordering::Relaxed);
+        self.slots[base + 2].store(a, Ordering::Relaxed);
+        self.slots[base + 3].store(b, Ordering::Relaxed);
+        self.slots[base + 4].store(event.cycles.as_nanos(), Ordering::Relaxed);
+        self.slots[base + 5].store(event.vtime, Ordering::Relaxed);
+        self.slots[base].store(seq, Ordering::Release);
+        self.head.store(head + 1, Ordering::Relaxed);
+    }
+
+    /// Best-effort read of every retained record as `(seq, event)`.
+    fn read_all(&self, out: &mut Vec<(u64, Event)>) {
+        let cap = self.capacity();
+        for slot in 0..cap {
+            let base = slot * WORDS_PER_SLOT;
+            let seq = self.slots[base].load(Ordering::Acquire);
+            if seq == 0 {
+                continue;
+            }
+            let meta = self.slots[base + 1].load(Ordering::Relaxed);
+            let a = self.slots[base + 2].load(Ordering::Relaxed);
+            let b = self.slots[base + 3].load(Ordering::Relaxed);
+            let cycles = self.slots[base + 4].load(Ordering::Relaxed);
+            let vtime = self.slots[base + 5].load(Ordering::Relaxed);
+            // Seqlock re-check: drop the slot if a writer moved under us.
+            if self.slots[base].load(Ordering::Acquire) != seq {
+                continue;
+            }
+            if let Some(kind) = decode(meta, a, b) {
+                out.push((
+                    seq,
+                    Event {
+                        kind,
+                        cycles: Cycles::from_nanos(cycles),
+                        vtime,
+                    },
+                ));
+            }
+        }
+    }
+}
+
+/// The per-thread recording endpoint: a [`Probe`] that writes into its
+/// own ring. Create one per emitting thread via
+/// [`FlightRecorder::handle`]; the handle is `Send` and owns no lock.
+pub struct FlightHandle {
+    ring: Arc<Ring>,
+    seq: Arc<AtomicU64>,
+}
+
+impl Probe for FlightHandle {
+    fn record(&mut self, event: &Event) {
+        // The +1 keeps 0 free as the "never written" marker.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.ring.write(seq, event);
+    }
+}
+
+impl std::fmt::Debug for FlightHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightHandle")
+            .field("capacity", &self.ring.capacity())
+            .finish()
+    }
+}
+
+/// The always-on last-N-events recorder: hands out per-thread
+/// [`FlightHandle`]s and merges their rings chronologically on demand.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_probe::{EventKind, Probe, Stamp};
+/// use dsa_telemetry::FlightRecorder;
+///
+/// let recorder = FlightRecorder::new(64);
+/// let mut h = recorder.handle();
+/// h.emit(EventKind::Fault, Stamp::vtime(10));
+/// h.emit(EventKind::Advice, Stamp::vtime(11));
+/// let tail = recorder.drain();
+/// assert_eq!(tail.len(), 2);
+/// assert_eq!(tail[0].kind, EventKind::Fault);
+/// ```
+pub struct FlightRecorder {
+    rings: Mutex<Vec<Arc<Ring>>>,
+    seq: Arc<AtomicU64>,
+    capacity: usize,
+}
+
+impl FlightRecorder {
+    /// A recorder whose every per-thread ring retains the thread's last
+    /// `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> FlightRecorder {
+        assert!(capacity > 0, "a flight recorder needs at least one slot");
+        FlightRecorder {
+            rings: Mutex::new(Vec::new()),
+            seq: Arc::new(AtomicU64::new(0)),
+            capacity,
+        }
+    }
+
+    /// Events each per-thread ring retains.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events recorded through all handles so far (including
+    /// those already overwritten in their rings).
+    #[must_use]
+    pub fn events_seen(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Registers a new per-thread ring and returns its recording
+    /// handle. The registry lock is taken here and in
+    /// [`FlightRecorder::drain`] only — never on the event path.
+    #[must_use]
+    pub fn handle(&self) -> FlightHandle {
+        let ring = Arc::new(Ring::new(self.capacity));
+        self.rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(Arc::clone(&ring));
+        FlightHandle {
+            ring,
+            seq: Arc::clone(&self.seq),
+        }
+    }
+
+    /// Merges every ring's retained events into one chronological
+    /// sequence (oldest first). Exact after the emitting threads have
+    /// joined; best-effort (never torn) while they are still running.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Event> {
+        let rings = self
+            .rings
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut tagged: Vec<(u64, Event)> = Vec::new();
+        for ring in rings.iter() {
+            ring.read_all(&mut tagged);
+        }
+        drop(rings);
+        tagged.sort_by_key(|&(seq, _)| seq);
+        tagged.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// The last `n` events across all threads, formatted one per line
+    /// for a postmortem dump: reference time, machine time, and the
+    /// decoded event.
+    #[must_use]
+    pub fn postmortem(&self, n: usize) -> String {
+        let events = self.drain();
+        let tail = &events[events.len().saturating_sub(n)..];
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flight recorder: {} of {} recorded events (ring capacity {} per thread)\n",
+            tail.len(),
+            self.events_seen(),
+            self.capacity
+        ));
+        out.push_str("     vtime      cycles_ns  event\n");
+        for e in tail {
+            out.push_str(&format!(
+                "{:>10}  {:>13}  {:?}\n",
+                e.vtime,
+                e.cycles.as_nanos(),
+                e.kind
+            ));
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity)
+            .field("events_seen", &self.events_seen())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_probe::Stamp;
+
+    fn all_kinds() -> Vec<EventKind> {
+        vec![
+            EventKind::Touch { write: true },
+            EventKind::Touch { write: false },
+            EventKind::Fault,
+            EventKind::FetchStart { words: 512 },
+            EventKind::FetchDone { words: 512 },
+            EventKind::Evict {
+                dirty: true,
+                words: 64,
+            },
+            EventKind::Writeback { words: 64 },
+            EventKind::Alloc {
+                words: 100,
+                searched: 7,
+            },
+            EventKind::Free { words: 100 },
+            EventKind::CompactionStart,
+            EventKind::CompactionDone { moved_words: 999 },
+            EventKind::Advice,
+            EventKind::Prefetch { words: 8 },
+            EventKind::BoundsTrap,
+            EventKind::MapLookup { hit: false },
+            EventKind::FaultInjected {
+                fault: InjectedFault::BadFrame,
+            },
+            EventKind::RetryAttempt { attempt: 3 },
+            EventKind::FrameQuarantined,
+            EventKind::DegradationStep {
+                step: DegradationStep::ShedLoad,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_the_encoding() {
+        for kind in all_kinds() {
+            let (meta, a, b) = encode(kind);
+            assert_eq!(decode(meta, a, b), Some(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn drain_is_chronological_and_lossless_under_capacity() {
+        let rec = FlightRecorder::new(64);
+        let mut h = rec.handle();
+        for (i, kind) in all_kinds().into_iter().enumerate() {
+            h.emit(kind, Stamp::at(Cycles::from_nanos(i as u64 * 10), i as u64));
+        }
+        let drained = rec.drain();
+        assert_eq!(drained.len(), all_kinds().len());
+        for (i, (got, want)) in drained.iter().zip(all_kinds()).enumerate() {
+            assert_eq!(got.kind, want, "event {i}");
+            assert_eq!(got.vtime, i as u64);
+            assert_eq!(got.cycles.as_nanos(), i as u64 * 10);
+        }
+    }
+
+    #[test]
+    fn ring_keeps_only_the_last_capacity_events() {
+        let rec = FlightRecorder::new(8);
+        let mut h = rec.handle();
+        for i in 0..100u64 {
+            h.emit(EventKind::Free { words: i }, Stamp::vtime(i));
+        }
+        let drained = rec.drain();
+        assert_eq!(drained.len(), 8);
+        let words: Vec<u64> = drained
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Free { words } => words,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(words, (92..100).collect::<Vec<u64>>());
+        assert_eq!(rec.events_seen(), 100);
+    }
+
+    #[test]
+    fn multi_thread_drain_merges_chronologically() {
+        let rec = FlightRecorder::new(1024);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let mut h = rec.handle();
+                scope.spawn(move || {
+                    for i in 0..200u64 {
+                        h.emit(
+                            EventKind::Alloc {
+                                words: t,
+                                searched: i,
+                            },
+                            Stamp::vtime(i),
+                        );
+                    }
+                });
+            }
+        });
+        let drained = rec.drain();
+        assert_eq!(drained.len(), 800);
+        // Per-thread order is preserved inside the merged chronology.
+        for t in 0..4u64 {
+            let searches: Vec<u64> = drained
+                .iter()
+                .filter_map(|e| match e.kind {
+                    EventKind::Alloc { words, searched } if words == t => Some(searched),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(searches, (0..200).collect::<Vec<u64>>(), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn postmortem_formats_the_tail() {
+        let rec = FlightRecorder::new(16);
+        let mut h = rec.handle();
+        for i in 0..5u64 {
+            h.emit(EventKind::Fault, Stamp::vtime(i));
+        }
+        let dump = rec.postmortem(3);
+        assert!(dump.contains("3 of 5 recorded events"), "{dump}");
+        assert_eq!(dump.matches("Fault").count(), 3, "{dump}");
+    }
+}

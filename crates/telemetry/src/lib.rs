@@ -1,0 +1,44 @@
+//! Always-on production telemetry over the probe spine.
+//!
+//! The probe vocabulary (`dsa-probe`) can already *count* events
+//! ([`CountingProbe`]/[`SharedProbe`]) or *record everything*
+//! (`JsonlRecorder`). Neither is what a production allocator runs with:
+//! counters hide distributions and history, full traces cost too much
+//! to leave on. This crate is the middle ground — instrumentation cheap
+//! enough to never turn off, informative enough to debug a degradation
+//! after the fact:
+//!
+//! * [`FlightRecorder`] — fixed-capacity, lock-free per-thread ring
+//!   buffers of recent probe events in a compact fixed-width encoding
+//!   (no allocation on the hot path), with a merged chronological
+//!   [`FlightRecorder::drain`]. When a fault-injection run, an
+//!   `ArenaError::Exhausted`, or a degradation ladder fires, the last-N
+//!   events are the postmortem.
+//! * [`AtomicHistogram`] — a relaxed-atomic fixed-bucket histogram with
+//!   exact merge, built from the same [`dsa_metrics::BucketSpec`]
+//!   geometries the sequential `LatencyProbe` uses, so always-on
+//!   percentiles and probe percentiles can never diverge.
+//! * [`TelemetryProbe`] — the always-on sink: [`SharedProbe`] counters
+//!   *plus* distributions (alloc size, hole-search length, inter-fault
+//!   gap, fetch latency), safe for any number of emitting threads.
+//! * [`HeatmapSampler`] — periodic compact snapshots of the free-list
+//!   hole map, rendered as heap-shape-over-time heatmaps via
+//!   `dsa-metrics::sparkline`.
+//! * [`TelemetrySnapshot`] — the exporter registry: counters, gauges
+//!   and histograms rendered as Prometheus text exposition format or
+//!   JSON (the `--metrics-out` flag of every experiment binary).
+//!
+//! [`CountingProbe`]: dsa_probe::CountingProbe
+//! [`SharedProbe`]: dsa_probe::SharedProbe
+
+pub mod export;
+pub mod flight;
+pub mod heatmap;
+pub mod histogram;
+pub mod probe;
+
+pub use export::TelemetrySnapshot;
+pub use flight::{FlightHandle, FlightRecorder};
+pub use heatmap::{HeatFrame, HeatmapSampler};
+pub use histogram::AtomicHistogram;
+pub use probe::TelemetryProbe;

@@ -37,7 +37,10 @@
 //! * [`metrics`] — stats, histograms, space-time meters, tables;
 //! * [`probe`] — structured event tracing: the probe sink trait, the
 //!   event vocabulary, and ready-made sinks (counting, latency
-//!   histograms, space-time feeding, JSONL recording).
+//!   histograms, space-time feeding, JSONL recording);
+//! * [`telemetry`] — always-on production telemetry over the probe
+//!   spine: a lock-free flight recorder, sharded atomic histograms,
+//!   fragmentation heatmap sampling, and a Prometheus/JSON exporter.
 //!
 //! # Quickstart
 //!
@@ -66,4 +69,5 @@ pub use dsa_sched as sched;
 pub use dsa_seg as seg;
 pub use dsa_stackdist as stackdist;
 pub use dsa_storage as storage;
+pub use dsa_telemetry as telemetry;
 pub use dsa_trace as trace;

@@ -1,0 +1,196 @@
+//! The telemetry exporter gauntlet: pinned Prometheus bytes, jobs-width
+//! determinism for the JSON export, and the universal-flags contract.
+//!
+//! Three invariants:
+//!
+//! * **Pinned rendering** — `exp_01 --jobs 1 --metrics-out x.prom`
+//!   must reproduce `tests/golden/exp_01_metrics.prom` byte for byte,
+//!   so neither the experiment's numbers nor the exposition-format
+//!   renderer can drift silently. Regenerate on purpose with
+//!   `./target/debug/exp_01_artificial_contiguity --jobs 1
+//!   --metrics-out tests/golden/exp_01_metrics.prom` and commit the
+//!   diff.
+//! * **Jobs-width determinism** — the JSON export at `--jobs 1` and
+//!   `--jobs 4` must be identical bytes: the metrics ride the same
+//!   grid-ordered merge as stdout, so parallelism may not leak in.
+//! * **Universal flags** — every experiment binary's `--help` must
+//!   mention `--metrics-out` and `--flight-recorder`; the registry in
+//!   `dsa_exec::cli::standard_flags` is only honest if every binary
+//!   actually routes through it.
+//!
+//! Like the golden-output gauntlet, binaries are located in the build
+//! tree relative to this test executable and missing ones fail loudly —
+//! CI builds `-p dsa-bench --bins` first.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Every experiment binary in `dsa-bench` — kept in sync by the loud
+/// failure below if one is missing, and by code review if one is added
+/// without being listed here.
+const ALL_BINARIES: [&str; 19] = [
+    "exp_01_artificial_contiguity",
+    "exp_02_space_time",
+    "exp_03_mapping_overhead",
+    "exp_04_replacement",
+    "exp_05_placement",
+    "exp_06_faults",
+    "exp_06_page_size",
+    "exp_07_compaction",
+    "exp_08_advice",
+    "exp_09_machine_survey",
+    "exp_10_name_spaces",
+    "exp_11_multics_dual",
+    "exp_12_atlas_learning",
+    "exp_13_bounds",
+    "exp_14_promotion",
+    "exp_15_sharing",
+    "exp_16_load_control",
+    "exp_17_drum_queueing",
+    "exp_18_concurrency",
+];
+
+/// `target/<profile>/` for the build running this test: the test
+/// executable sits in `target/<profile>/deps/`, one level down.
+fn bin_dir() -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test has a path");
+    dir.pop(); // the test executable itself
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    dir
+}
+
+fn bin_path(bin: &str) -> PathBuf {
+    let path = bin_dir().join(bin);
+    assert!(
+        path.exists(),
+        "{} not built — run `cargo build -p dsa-bench --bins` first (CI's golden job does)",
+        path.display()
+    );
+    path
+}
+
+/// Runs `bin` with `args`, asserts success, returns nothing — the
+/// interesting output is whatever `--metrics-out` wrote.
+fn run(bin: &str, args: &[&str]) {
+    let out = Command::new(bin_path(bin))
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} {args:?} exited with {:?}; stderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// A scratch path under the target dir (kept out of the source tree),
+/// unique per test so parallel tests don't collide.
+fn scratch(name: &str) -> PathBuf {
+    let dir = bin_dir().join("telemetry-test-scratch");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
+
+/// First differing line, for a readable failure message.
+fn first_diff(a: &str, b: &str) -> String {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return format!(
+                "first difference at line {}:\n  got:  {la}\n  want: {lb}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: got {} lines, want {}",
+        a.lines().count(),
+        b.lines().count()
+    )
+}
+
+#[test]
+fn exp_01_prometheus_export_matches_golden() {
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/exp_01_metrics.prom");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", golden_path.display()));
+    let out = scratch("exp_01.prom");
+    run(
+        "exp_01_artificial_contiguity",
+        &[
+            "--jobs",
+            "1",
+            "--metrics-out",
+            out.to_str().expect("utf-8 path"),
+        ],
+    );
+    let got = std::fs::read_to_string(&out).expect("metrics file written");
+    assert!(
+        got == golden,
+        "exp_01 Prometheus export drifted from tests/golden/exp_01_metrics.prom — {}\n\
+         (if the change is intentional, regenerate the golden file)",
+        first_diff(&got, &golden)
+    );
+}
+
+#[test]
+fn exp_01_json_export_is_identical_across_jobs_widths() {
+    let seq = scratch("exp_01_j1.json");
+    let par = scratch("exp_01_j4.json");
+    run(
+        "exp_01_artificial_contiguity",
+        &[
+            "--jobs",
+            "1",
+            "--metrics-out",
+            seq.to_str().expect("utf-8 path"),
+        ],
+    );
+    run(
+        "exp_01_artificial_contiguity",
+        &[
+            "--jobs",
+            "4",
+            "--metrics-out",
+            par.to_str().expect("utf-8 path"),
+        ],
+    );
+    let a = std::fs::read_to_string(&seq).expect("jobs-1 metrics written");
+    let b = std::fs::read_to_string(&par).expect("jobs-4 metrics written");
+    assert!(
+        !a.is_empty() && a.trim_start().starts_with('{'),
+        "expected a JSON document, got:\n{a}"
+    );
+    assert!(
+        a == b,
+        "exp_01 --metrics-out JSON differs between --jobs 1 and --jobs 4 — \
+         parallel merge leaked scheduling into the metrics; {}",
+        first_diff(&a, &b)
+    );
+}
+
+#[test]
+fn every_binary_advertises_the_universal_telemetry_flags() {
+    for bin in ALL_BINARIES {
+        let out = Command::new(bin_path(bin))
+            .arg("--help")
+            .output()
+            .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} --help exited with {:?}",
+            out.status.code()
+        );
+        let help = String::from_utf8(out.stdout).expect("usage is UTF-8");
+        for flag in ["--metrics-out", "--flight-recorder", "--jobs"] {
+            assert!(
+                help.contains(flag),
+                "{bin} --help does not mention {flag} — it must route through \
+                 dsa_exec::cli::enforce_standard_flags; help was:\n{help}"
+            );
+        }
+    }
+}

@@ -29,15 +29,29 @@
 //! every operation counted in one atomic [`SharedProbe`] sink so the
 //! books balance exactly at any thread count.
 //!
+//! The service is overload-hardened: requests allocate as [`Tenant`]s
+//! with word quotas metered exactly by the atomic [`TenantTable`]; an
+//! optional [`OverloadGuard`] refuses admission by priority past its
+//! occupancy watermarks and walks a degradation ladder (retry →
+//! coalesce → global compaction → shed lowest-priority tenants) before
+//! a typed error escapes; shards whose free lists are found corrupt are
+//! quarantined, rebuilt from the live-allocation book, audited, and
+//! readmitted — all under live traffic (`submit_chaos` injects exactly
+//! these failures deterministically).
+//!
 //! [`FreeListAllocator`]: dsa_freelist::FreeListAllocator
 //! [`SharedProbe`]: dsa_probe::SharedProbe
 
+pub mod overload;
 pub mod service;
 pub mod slab;
 pub mod striped;
 pub mod telemetry;
+pub mod tenant;
 
+pub use overload::{OverloadConfig, OverloadGuard};
 pub use service::{ArenaService, Request, Response};
 pub use slab::{FixedSlab, SlabStats, SlabUnit};
 pub use striped::{ArenaError, ArenaSnapshot, ShardFullness, ShardSnapshot, ShardedArena};
 pub use telemetry::ServiceTelemetry;
+pub use tenant::{Priority, Tenant, TenantOccupancy, TenantTable};

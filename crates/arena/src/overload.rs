@@ -1,0 +1,199 @@
+//! Admission control: the valve in front of the allocators.
+//!
+//! An overloaded allocation service has exactly two choices: collapse —
+//! every request grinds through the full steal rotation, fails, and
+//! retries — or *degrade on purpose*. The [`OverloadGuard`] implements
+//! the second course. It watches global occupancy and refuses admission
+//! at the door by tenant [`Priority`] once the watermarks are crossed,
+//! and it meters the shed rung of the arena's degradation ladder
+//! ([`ARENA_LADDER`]) through an [`AtomicShedBudget`] so victim
+//! eviction is bounded per overload episode rather than cascading.
+//!
+//! The ladder the service walks on a failed placement, in order:
+//!
+//! 1. [`DegradationStep::RetryBackoff`] — re-drive the placement after
+//!    the [`RetryPolicy`]'s backoff (another worker may have freed);
+//! 2. [`DegradationStep::Coalesce`] — compact the pressured home shard
+//!    so its free words become one placeable hole;
+//! 3. [`DegradationStep::StealGlobal`] — the full steal rotation (the
+//!    arena does this on every placement; the ladder names the re-drive
+//!    after compaction);
+//! 4. [`DegradationStep::ShedTenant`] — evict the lowest-priority
+//!    tenant's blocks until the request fits, budget permitting.
+//!
+//! Only then does the typed failure surface to the client.
+//!
+//! [`ARENA_LADDER`]: dsa_faults::ladder::ARENA_LADDER
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dsa_core::ids::Words;
+use dsa_faults::ladder::{AtomicShedBudget, DegradationStep};
+use dsa_faults::RetryPolicy;
+
+use crate::tenant::Priority;
+
+/// Tuning for the [`OverloadGuard`].
+#[derive(Clone, Debug)]
+pub struct OverloadConfig {
+    /// Occupancy fraction above which [`Priority::Low`] is refused
+    /// admission.
+    pub low_watermark: f64,
+    /// Occupancy fraction above which only [`Priority::High`] is
+    /// admitted.
+    pub high_watermark: f64,
+    /// Backoff schedule for the retry rung of the ladder.
+    pub retry: RetryPolicy,
+    /// Shed-rung budget per guard lifetime: at most this many victim
+    /// evictions before failures surface unsoftened.
+    pub shed_budget: u32,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> OverloadConfig {
+        OverloadConfig {
+            low_watermark: 0.85,
+            high_watermark: 0.95,
+            retry: RetryPolicy::default_policy(),
+            shed_budget: 64,
+        }
+    }
+}
+
+/// The admission-control valve plus degradation-ladder metering.
+///
+/// All state is atomic: workers consult the guard concurrently with no
+/// lock, and its counters reconcile exactly with the probe events the
+/// service emits (one `AdmissionReject` event per refused request, one
+/// `TenantShed` event per granted shed).
+#[derive(Debug)]
+pub struct OverloadGuard {
+    config: OverloadConfig,
+    shed_budget: AtomicShedBudget,
+    admission_rejects: AtomicU64,
+}
+
+impl OverloadGuard {
+    /// A guard under `config`.
+    #[must_use]
+    pub fn new(config: OverloadConfig) -> OverloadGuard {
+        let shed_budget = AtomicShedBudget::new(config.shed_budget);
+        OverloadGuard {
+            config,
+            shed_budget,
+            admission_rejects: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured tuning.
+    #[must_use]
+    pub fn config(&self) -> &OverloadConfig {
+        &self.config
+    }
+
+    /// Whether a request at `priority` is admitted when `in_use` of
+    /// `capacity` words are occupied. Below the low watermark everyone
+    /// is admitted; between the watermarks best-effort traffic is
+    /// refused; above the high watermark only [`Priority::High`]
+    /// clears the bar. A refusal is counted.
+    pub fn admit(&self, priority: Priority, in_use: Words, capacity: Words) -> bool {
+        let occupancy = if capacity == 0 {
+            1.0
+        } else {
+            in_use as f64 / capacity as f64
+        };
+        let admitted = if occupancy >= self.config.high_watermark {
+            priority >= Priority::High
+        } else if occupancy >= self.config.low_watermark {
+            priority >= Priority::Normal
+        } else {
+            true
+        };
+        if !admitted {
+            self.admission_rejects.fetch_add(1, Ordering::Relaxed);
+        }
+        admitted
+    }
+
+    /// The retry rung's backoff schedule.
+    #[must_use]
+    pub fn retry(&self) -> &RetryPolicy {
+        &self.config.retry
+    }
+
+    /// Claims one eviction from the shed budget; `false` once the
+    /// budget for this overload episode is spent.
+    pub fn try_shed(&self) -> bool {
+        self.shed_budget.try_shed()
+    }
+
+    /// Evictions granted so far.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.shed_budget.sheds()
+    }
+
+    /// Shed grants still available.
+    #[must_use]
+    pub fn shed_remaining(&self) -> u32 {
+        self.shed_budget.remaining()
+    }
+
+    /// Requests refused at the door so far.
+    #[must_use]
+    pub fn admission_rejects(&self) -> u64 {
+        self.admission_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The ladder this guard meters, for display and docs.
+    #[must_use]
+    pub fn ladder() -> &'static [DegradationStep] {
+        &dsa_faults::ladder::ARENA_LADDER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermarks_gate_by_priority() {
+        let g = OverloadGuard::new(OverloadConfig::default());
+        // Plenty of room: everyone gets in.
+        assert!(g.admit(Priority::Low, 100, 1000));
+        // Past the low watermark: best-effort refused.
+        assert!(!g.admit(Priority::Low, 900, 1000));
+        assert!(g.admit(Priority::Normal, 900, 1000));
+        // Past the high watermark: only High.
+        assert!(!g.admit(Priority::Normal, 960, 1000));
+        assert!(g.admit(Priority::High, 960, 1000));
+        assert_eq!(g.admission_rejects(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_admits_only_high() {
+        let g = OverloadGuard::new(OverloadConfig::default());
+        assert!(!g.admit(Priority::Normal, 0, 0));
+        assert!(g.admit(Priority::High, 0, 0));
+    }
+
+    #[test]
+    fn shed_budget_is_finite() {
+        let g = OverloadGuard::new(OverloadConfig {
+            shed_budget: 2,
+            ..OverloadConfig::default()
+        });
+        assert!(g.try_shed());
+        assert!(g.try_shed());
+        assert!(!g.try_shed());
+        assert_eq!(g.sheds(), 2);
+        assert_eq!(g.shed_remaining(), 0);
+    }
+
+    #[test]
+    fn the_arena_ladder_ends_in_tenant_shedding() {
+        let ladder = OverloadGuard::ladder();
+        assert_eq!(ladder.first(), Some(&DegradationStep::RetryBackoff));
+        assert_eq!(ladder.last(), Some(&DegradationStep::ShedTenant));
+    }
+}

@@ -10,11 +10,31 @@
 //! uniform, the [`ShardedArena`] when it is not (the paper's
 //! §Uniformity axis, as a service configuration).
 //!
+//! On top of the backends the service is *multi-tenant and
+//! overload-hardened*:
+//!
+//! * every request allocates as a [`Tenant`]; registered tenants carry
+//!   word quotas charged through the atomic [`TenantTable`] **before**
+//!   storage is touched and refunded after it is returned, so the
+//!   per-tenant books reconcile exactly at any thread count;
+//! * an optional [`OverloadGuard`] refuses admission at the door by
+//!   priority once occupancy crosses its watermarks, and walks the
+//!   [`ARENA_LADDER`] degradation ladder (retry with backoff → coalesce
+//!   the pressured shard → compact globally and re-drive the steal
+//!   rotation → shed lowest-priority tenants) before a typed failure
+//!   reaches the caller;
+//! * [`ArenaService::submit_chaos`] drives the same path under
+//!   deterministic fault injection — forced allocation failures,
+//!   channel delays, and shard corruption that is detected,
+//!   quarantined and healed in place.
+//!
 //! Every operation is emitted into one [`SharedProbe`]. Because the
 //! sink is a set of atomic counters, the totals it reports reconcile
 //! *exactly* with the sum of per-worker response tallies at any thread
 //! count — the reconciliation guarantee the sequential probes have
 //! always given, extended to concurrent traffic.
+//!
+//! [`ARENA_LADDER`]: dsa_faults::ladder::ARENA_LADDER
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,32 +42,63 @@ use std::sync::{Mutex, MutexGuard};
 
 use dsa_core::error::AllocError;
 use dsa_core::ids::{PhysAddr, Words};
+use dsa_faults::ladder::DegradationStep;
+use dsa_faults::WorkerInjector;
 use dsa_freelist::freelist::Placement;
-use dsa_probe::{Event, EventKind, Probe, SharedProbe, Stamp, Tee};
+use dsa_probe::{Event, EventKind, InjectedFault, NullProbe, Probe, SharedProbe, Stamp, Tee};
+use dsa_telemetry::TelemetrySnapshot;
 
+use crate::overload::{OverloadConfig, OverloadGuard};
 use crate::slab::FixedSlab;
-use crate::striped::{ArenaError, ShardedArena};
+use crate::striped::{ArenaError, ArenaSnapshot, ShardedArena};
 use crate::telemetry::ServiceTelemetry;
+use crate::tenant::{Priority, Tenant, TenantOccupancy, TenantTable};
 
-/// Stripes in the slab backend's id registry (the slab itself is
-/// lock-free; only the id -> unit bookkeeping takes a short lock).
+/// Stripes in the service's id registry (the map from live ids to
+/// their tenant, charged words and — for the slab — unit).
 const REGISTRY_STRIPES: usize = 16;
 
 /// One allocation-service operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Request {
-    /// Allocate `words` under `id`.
+    /// Allocate `words` under `id`, charged to `tenant`.
     Alloc {
         /// The client's identifier for the block.
         id: u64,
         /// Requested size in words.
         words: Words,
+        /// Who the allocation is charged to.
+        tenant: Tenant,
     },
     /// Release the allocation `id`.
     Free {
         /// The identifier passed at allocation time.
         id: u64,
     },
+}
+
+impl Request {
+    /// An allocation as [`Tenant::DEFAULT`].
+    #[must_use]
+    pub fn alloc(id: u64, words: Words) -> Request {
+        Request::Alloc {
+            id,
+            words,
+            tenant: Tenant::DEFAULT,
+        }
+    }
+
+    /// An allocation charged to an explicit tenant.
+    #[must_use]
+    pub fn alloc_as(id: u64, words: Words, tenant: Tenant) -> Request {
+        Request::Alloc { id, words, tenant }
+    }
+
+    /// A release.
+    #[must_use]
+    pub fn free(id: u64) -> Request {
+        Request::Free { id }
+    }
 }
 
 /// The outcome of one [`Request`], in batch order.
@@ -82,14 +133,22 @@ impl Response {
     }
 }
 
+/// One live allocation's service-side book entry.
+#[derive(Clone, Copy, Debug)]
+struct LiveRec {
+    /// The tenant charged.
+    tenant: u32,
+    /// Words charged (requested words for the striped backend, the
+    /// whole unit for the slab).
+    words: Words,
+    /// The slab unit backing the id (unused by the striped backend).
+    unit: u32,
+}
+
 #[derive(Debug)]
 enum Backend {
-    /// Uniform allocation units: the lock-free slab, plus a striped
-    /// id -> unit registry.
-    Slab {
-        slab: FixedSlab,
-        registry: Vec<Mutex<HashMap<u64, u32>>>,
-    },
+    /// Uniform allocation units: the lock-free slab.
+    Slab(FixedSlab),
     /// Variable allocation units: the sharded free-list arena.
     Striped(ShardedArena),
 }
@@ -103,10 +162,7 @@ enum Backend {
 /// use dsa_freelist::Placement;
 ///
 /// let svc = ArenaService::striped(4, 1000, Placement::FirstFit);
-/// let batch = [
-///     Request::Alloc { id: 1, words: 100 },
-///     Request::Free { id: 1 },
-/// ];
+/// let batch = [Request::alloc(1, 100), Request::free(1)];
 /// let responses = svc.submit(&batch);
 /// assert!(responses.iter().all(Response::is_ok));
 /// assert_eq!(svc.counters().allocs, 1);
@@ -115,6 +171,16 @@ enum Backend {
 pub struct ArenaService {
     backend: Backend,
     telemetry: ServiceTelemetry,
+    /// id -> live book entry, striped by id to keep lock spans short.
+    registry: Vec<Mutex<HashMap<u64, LiveRec>>>,
+    /// Per-tenant quotas and occupancy. An empty table means an
+    /// untenanted service: no quota metering, no registration needed.
+    tenants: TenantTable,
+    /// Admission control + degradation ladder, when armed.
+    guard: Option<OverloadGuard>,
+    /// Service-wide charged words (advisory: feeds the admission
+    /// watermarks; the exact books are the registry + tenant table).
+    occupied: AtomicU64,
     /// Service-wide request sequence: the virtual-time stamp on emitted
     /// events (a total order over requests, whatever the thread count).
     clock: AtomicU64,
@@ -145,16 +211,7 @@ impl ArenaService {
     /// Panics if `units` or `unit_words` is zero.
     #[must_use]
     pub fn fixed(units: u32, unit_words: Words) -> ArenaService {
-        ArenaService {
-            backend: Backend::Slab {
-                slab: FixedSlab::new(units, unit_words),
-                registry: (0..REGISTRY_STRIPES)
-                    .map(|_| Mutex::new(HashMap::new()))
-                    .collect(),
-            },
-            telemetry: ServiceTelemetry::new(1),
-            clock: AtomicU64::new(0),
-        }
+        ArenaService::over(Backend::Slab(FixedSlab::new(units, unit_words)), 1)
     }
 
     /// A service over variable units: `shards` stripes of
@@ -166,11 +223,65 @@ impl ArenaService {
     /// Panics if `shards` or `shard_capacity` is zero.
     #[must_use]
     pub fn striped(shards: u32, shard_capacity: Words, policy: Placement) -> ArenaService {
+        ArenaService::over(
+            Backend::Striped(ShardedArena::new(shards, shard_capacity, policy)),
+            shards,
+        )
+    }
+
+    fn over(backend: Backend, shards: u32) -> ArenaService {
         ArenaService {
-            backend: Backend::Striped(ShardedArena::new(shards, shard_capacity, policy)),
+            backend,
             telemetry: ServiceTelemetry::new(shards),
+            registry: (0..REGISTRY_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            tenants: TenantTable::new(),
+            guard: None,
+            occupied: AtomicU64::new(0),
             clock: AtomicU64::new(0),
         }
+    }
+
+    /// Arms admission control and the degradation ladder.
+    #[must_use]
+    pub fn with_overload(mut self, config: OverloadConfig) -> ArenaService {
+        self.guard = Some(OverloadGuard::new(config));
+        self
+    }
+
+    /// Registers (or re-registers) a tenant with a word quota. Once any
+    /// tenant is registered, *every* request must allocate as a
+    /// registered tenant — unknown tenants fail typed.
+    pub fn register_tenant(&mut self, tenant: Tenant, quota: Words) {
+        self.tenants.register(tenant, quota);
+    }
+
+    /// The per-tenant quota book.
+    #[must_use]
+    pub fn tenants(&self) -> &TenantTable {
+        &self.tenants
+    }
+
+    /// The admission-control guard, when armed.
+    #[must_use]
+    pub fn guard(&self) -> Option<&OverloadGuard> {
+        self.guard.as_ref()
+    }
+
+    /// Total backend capacity, in words.
+    #[must_use]
+    pub fn capacity(&self) -> Words {
+        match &self.backend {
+            Backend::Slab(slab) => slab.capacity_words(),
+            Backend::Striped(a) => a.capacity(),
+        }
+    }
+
+    /// Words currently charged across all tenants.
+    #[must_use]
+    pub fn occupied(&self) -> Words {
+        self.occupied.load(Ordering::Relaxed)
     }
 
     /// The shared atomic event sink.
@@ -197,7 +308,7 @@ impl ArenaService {
     pub fn arena(&self) -> Option<&ShardedArena> {
         match &self.backend {
             Backend::Striped(a) => Some(a),
-            Backend::Slab { .. } => None,
+            Backend::Slab(_) => None,
         }
     }
 
@@ -205,17 +316,95 @@ impl ArenaService {
     #[must_use]
     pub fn slab(&self) -> Option<&FixedSlab> {
         match &self.backend {
-            Backend::Slab { slab, .. } => Some(slab),
+            Backend::Slab(slab) => Some(slab),
             Backend::Striped(_) => None,
         }
     }
 
-    fn registry_stripe<'a>(
-        registry: &'a [Mutex<HashMap<u64, u32>>],
-        id: u64,
-    ) -> MutexGuard<'a, HashMap<u64, u32>> {
-        let stripe = (id % registry.len() as u64) as usize;
-        registry[stripe]
+    /// Frozen per-tenant accounting, in tenant order.
+    #[must_use]
+    pub fn tenant_occupancy(&self) -> Vec<TenantOccupancy> {
+        self.tenants.occupancy()
+    }
+
+    /// A point-in-time arena view with the per-tenant books filled in
+    /// (`None` for the slab backend, whose view is
+    /// [`FixedSlab::stats`]).
+    #[must_use]
+    pub fn snapshot(&self) -> Option<ArenaSnapshot> {
+        self.arena().map(|a| {
+            let mut snap = a.snapshot();
+            snap.tenants = self.tenants.occupancy();
+            snap
+        })
+    }
+
+    /// Registers the service's full telemetry surface into an exporter
+    /// snapshot: the base counters and distributions, then the ordered
+    /// per-tenant quota series and the per-shard quarantine flags.
+    pub fn export_into(&self, snap: &mut TelemetrySnapshot) {
+        self.telemetry.export_into(snap);
+        for t in self.tenants.occupancy() {
+            let tenant = t.tenant.to_string();
+            let labels = [
+                ("tenant", tenant.as_str()),
+                ("priority", t.priority.label()),
+            ];
+            snap.gauge(
+                "tenant_quota_words",
+                "Configured per-tenant quota in words",
+                &labels,
+                t.quota as f64,
+            );
+            snap.gauge(
+                "tenant_in_use_words",
+                "Words currently charged to the tenant",
+                &labels,
+                t.in_use as f64,
+            );
+            snap.counter(
+                "tenant_shed_total",
+                "Allocations shed from the tenant by the degradation ladder",
+                &labels,
+                t.shed,
+            );
+            snap.counter(
+                "tenant_quota_denials_total",
+                "Requests refused by the tenant's quota",
+                &labels,
+                t.quota_denials,
+            );
+        }
+        if let Some(arena) = self.arena() {
+            for s in 0..arena.shard_count() {
+                let shard = s.to_string();
+                snap.gauge(
+                    "shard_quarantined",
+                    "Whether the shard is quarantined (1) or serving (0)",
+                    &[("shard", &shard)],
+                    if arena.is_quarantined(s) { 1.0 } else { 0.0 },
+                );
+            }
+        }
+        if let Some(guard) = &self.guard {
+            snap.counter(
+                "admission_rejects_total",
+                "Requests refused at the door by admission control",
+                &[],
+                guard.admission_rejects(),
+            );
+            snap.counter(
+                "tenant_sheds_granted_total",
+                "Shed-rung grants taken from the overload budget",
+                &[],
+                guard.sheds(),
+            );
+        }
+    }
+
+    fn stripe(&self, id: u64) -> MutexGuard<'_, HashMap<u64, LiveRec>> {
+        let stripe = (id % self.registry.len() as u64) as usize;
+        self.registry[stripe]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
@@ -225,87 +414,530 @@ impl ArenaService {
     /// Thread-safe: workers call this concurrently on a shared
     /// reference; responses are positionally matched to the batch.
     pub fn submit(&self, batch: &[Request]) -> Vec<Response> {
-        batch.iter().map(|&req| self.execute(req)).collect()
+        self.submit_with(batch, &mut NullProbe)
     }
 
-    fn execute(&self, req: Request) -> Response {
+    /// [`ArenaService::submit`] with an extra per-worker event sink
+    /// teed alongside the always-on telemetry — a flight recorder for
+    /// shed postmortems, a JSONL stream, a latency tracker.
+    pub fn submit_with<X: Probe + ?Sized>(
+        &self,
+        batch: &[Request],
+        extra: &mut X,
+    ) -> Vec<Response> {
+        batch
+            .iter()
+            .map(|&req| self.execute(req, extra, None))
+            .collect()
+    }
+
+    /// [`ArenaService::submit_with`] under chaos: each request rolls
+    /// the worker's deterministic hazard stream for channel delays,
+    /// forced allocation failures, and — on the striped backend —
+    /// shard corruption, which is detected by audit, quarantined, and
+    /// healed in place before the request proceeds. (The slab backend
+    /// has no free list to corrupt; it sees delays and forced failures
+    /// only.)
+    pub fn submit_chaos<X: Probe + ?Sized>(
+        &self,
+        batch: &[Request],
+        inj: &mut WorkerInjector<'_>,
+        extra: &mut X,
+    ) -> Vec<Response> {
+        batch
+            .iter()
+            .map(|&req| self.execute(req, extra, Some(&mut *inj)))
+            .collect()
+    }
+
+    fn execute<X: Probe + ?Sized>(
+        &self,
+        req: Request,
+        extra: &mut X,
+        mut chaos: Option<&mut WorkerInjector<'_>>,
+    ) -> Response {
         let at = Stamp::vtime(self.clock.fetch_add(1, Ordering::Relaxed));
+        if let Some(inj) = chaos.as_deref_mut() {
+            self.roll_ambient_hazards(inj, at, extra);
+        }
         match req {
-            Request::Alloc { id, words } => match self.alloc(id, words, at) {
-                Ok(addr) => Response::Allocated { id, addr },
-                Err(error) => Response::Failed { id, error },
-            },
-            Request::Free { id } => match self.free(id, at) {
+            Request::Alloc { id, words, tenant } => {
+                match self.alloc(id, words, tenant, at, extra, chaos) {
+                    Ok(addr) => Response::Allocated { id, addr },
+                    Err(error) => Response::Failed { id, error },
+                }
+            }
+            Request::Free { id } => match self.free(id, at, extra) {
                 Ok(()) => Response::Freed { id },
                 Err(error) => Response::Failed { id, error },
             },
         }
     }
 
-    fn alloc(&self, id: u64, words: Words, at: Stamp) -> Result<PhysAddr, ArenaError> {
-        match &self.backend {
-            Backend::Striped(arena) => {
-                let mut last = LastAlloc::default();
-                let mut sink = Tee(self.telemetry.probe(), &mut last);
-                let addr = arena.alloc_probed(id, words, at, &mut sink)?;
-                let shard = (addr.value() / arena.shard_capacity()) as u32;
-                self.telemetry.record_alloc(shard, words, last.searched);
-                Ok(addr)
-            }
-            Backend::Slab { slab, registry } => {
-                if words == 0 {
-                    return Err(ArenaError::Alloc(AllocError::ZeroSize));
-                }
-                if words > slab.unit_words() {
-                    return Err(ArenaError::Alloc(AllocError::RequestTooLarge {
-                        requested: words,
-                        max: slab.unit_words(),
-                    }));
-                }
-                let mut reg = Self::registry_stripe(registry, id);
-                if reg.contains_key(&id) {
-                    return Err(ArenaError::Alloc(AllocError::AlreadyAllocated));
-                }
-                let unit = slab.alloc()?;
-                reg.insert(id, unit.unit);
-                drop(reg);
-                self.telemetry
-                    .record_alloc(0, slab.unit_words(), u64::from(unit.attempts));
-                let mut sink = self.telemetry.probe();
+    /// Hazards that fire between requests: a channel-congestion stall
+    /// (a bounded yield — simulated stall time is the injector's
+    /// business, not wall time) and, on the striped backend, free-list
+    /// corruption. Corruption is *immediately* detected by the shard
+    /// audit and healed through the quarantine path, under live
+    /// traffic from the other workers.
+    fn roll_ambient_hazards<X: Probe + ?Sized>(
+        &self,
+        inj: &mut WorkerInjector<'_>,
+        at: Stamp,
+        extra: &mut X,
+    ) {
+        let mut sink = Tee(self.telemetry.probe(), extra);
+        if inj.channel_delay().is_some() {
+            sink.emit(
+                EventKind::FaultInjected {
+                    fault: InjectedFault::ChannelDelay,
+                },
+                at,
+            );
+            std::thread::yield_now();
+        }
+        if let Backend::Striped(arena) = &self.backend {
+            if inj.shard_corruption() {
+                let target = inj.corruption_target(arena.shard_count());
+                arena.corrupt_shard_for_chaos(target);
                 sink.emit(
-                    EventKind::Alloc {
-                        // The unit is the grain: a smaller request still
-                        // consumes a whole unit (internal
-                        // fragmentation, the uniform-unit tax).
-                        words: slab.unit_words(),
-                        searched: u64::from(unit.attempts),
+                    EventKind::FaultInjected {
+                        fault: InjectedFault::ShardCorruption,
                     },
                     at,
                 );
-                Ok(unit.addr)
+                // Heal in place; on a (never-expected) rebuild failure
+                // the shard stays quarantined and the service degrades
+                // around it instead of serving from corrupt state. (No
+                // audit assertion here: a concurrent worker healing its
+                // own corruption of the same shard may have already
+                // repaired this one — the rebuild below is idempotent.)
+                let _ = arena.heal_shard(target, at, &mut sink);
             }
         }
     }
 
-    fn free(&self, id: u64, at: Stamp) -> Result<(), ArenaError> {
-        match &self.backend {
+    fn alloc<X: Probe + ?Sized>(
+        &self,
+        id: u64,
+        words: Words,
+        tenant: Tenant,
+        at: Stamp,
+        extra: &mut X,
+        mut chaos: Option<&mut WorkerInjector<'_>>,
+    ) -> Result<PhysAddr, ArenaError> {
+        if words == 0 {
+            return Err(ArenaError::Alloc(AllocError::ZeroSize));
+        }
+        if let Backend::Slab(slab) = &self.backend {
+            if words > slab.unit_words() {
+                return Err(ArenaError::Alloc(AllocError::RequestTooLarge {
+                    requested: words,
+                    max: slab.unit_words(),
+                }));
+            }
+        }
+        // The forced-failure hazard is rolled before any stateful gate
+        // (admission, quota) so every Alloc request consumes exactly
+        // the same injector rolls regardless of how concurrent books
+        // look at the instant it runs — the schedule stays a pure
+        // function of (seed, stream), byte-identical at any thread
+        // count.
+        let forced = chaos.as_mut().is_some_and(|inj| inj.alloc_failure());
+        if forced {
+            let mut sink = Tee(self.telemetry.probe(), &mut *extra);
+            sink.emit(
+                EventKind::FaultInjected {
+                    fault: InjectedFault::AllocFailure,
+                },
+                at,
+            );
+        }
+        let priority = self.tenants.priority(tenant.id).unwrap_or(tenant.priority);
+        // Admission: refused at the door, before any book is touched.
+        if let Some(guard) = &self.guard {
+            if !guard.admit(priority, self.occupied(), self.capacity()) {
+                let mut sink = Tee(self.telemetry.probe(), extra);
+                sink.emit(EventKind::AdmissionReject { tenant: tenant.id }, at);
+                return Err(ArenaError::AdmissionDenied { tenant: tenant.id });
+            }
+        }
+        // Quota: the whole charge is reserved up front (CAS, exact) and
+        // rolled back if the backend cannot place the request.
+        let charge = match &self.backend {
+            Backend::Slab(slab) => slab.unit_words(),
+            Backend::Striped(_) => words,
+        };
+        let metered = !self.tenants.is_empty();
+        if metered {
+            let Some(quota) = self.tenants.quota(tenant.id) else {
+                return Err(ArenaError::UnknownTenant { tenant: tenant.id });
+            };
+            if let Err(in_use) = self.tenants.try_reserve(tenant.id, charge) {
+                let mut sink = Tee(self.telemetry.probe(), extra);
+                sink.emit(EventKind::QuotaDenied { tenant: tenant.id }, at);
+                return Err(ArenaError::QuotaExceeded {
+                    tenant: tenant.id,
+                    requested: charge,
+                    quota,
+                    in_use,
+                });
+            }
+        }
+        // Book the id before the backend runs: the registry entry goes
+        // live together with the quota charge, so a probe panic on the
+        // success emission (which fires after the backend mutation)
+        // leaves every book already agreeing.
+        {
+            let mut reg = self.stripe(id);
+            if reg.contains_key(&id) {
+                drop(reg);
+                if metered {
+                    self.tenants.release(tenant.id, charge);
+                }
+                return Err(ArenaError::Alloc(AllocError::AlreadyAllocated));
+            }
+            reg.insert(
+                id,
+                LiveRec {
+                    tenant: tenant.id,
+                    words: charge,
+                    unit: 0,
+                },
+            );
+        }
+        // Occupancy is charged before the backend runs, mirroring the
+        // quota reservation: the success emission fires *after* the
+        // backend mutation, so a probe panic there (poisoning the shard
+        // lock) must find every book — registry, quota, occupancy, and
+        // the arena itself — already agreeing. Like the quota, the
+        // counter transiently over-states during flight and is rolled
+        // back on a failed placement.
+        self.occupied.fetch_add(charge, Ordering::Relaxed);
+        let placed = match &self.backend {
             Backend::Striped(arena) => {
-                let mut sink = self.telemetry.probe();
+                self.striped_alloc(arena, id, words, priority, forced, at, extra)
+            }
+            Backend::Slab(slab) => self.slab_alloc(slab, id, forced, at, extra),
+        };
+        match placed {
+            Ok(addr) => Ok(addr),
+            Err(e) => {
+                self.occupied.fetch_sub(charge, Ordering::Relaxed);
+                self.stripe(id).remove(&id);
+                if metered {
+                    self.tenants.release(tenant.id, charge);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn striped_alloc<X: Probe + ?Sized>(
+        &self,
+        arena: &ShardedArena,
+        id: u64,
+        words: Words,
+        priority: Priority,
+        forced_failure: bool,
+        at: Stamp,
+        extra: &mut X,
+    ) -> Result<PhysAddr, ArenaError> {
+        let mut last = LastAlloc::default();
+        let mut sink = Tee(Tee(self.telemetry.probe(), extra), &mut last);
+        let first = if forced_failure {
+            // The injector refused this placement outright; recovery
+            // starts at the ladder exactly as for true exhaustion.
+            Err(ArenaError::Exhausted {
+                requested: words,
+                per_shard: Vec::new(),
+            })
+        } else {
+            arena.alloc_probed(id, words, at, &mut sink)
+        };
+        let placed = match first {
+            Err(ArenaError::Exhausted { .. }) if self.guard.is_some() => {
+                self.climb_ladder(arena, id, words, priority, at, &mut sink)
+            }
+            other => other,
+        };
+        let addr = placed?;
+        let shard = (addr.value() / arena.shard_capacity()) as u32;
+        self.telemetry.record_alloc(shard, words, last.searched);
+        Ok(addr)
+    }
+
+    /// The [`ARENA_LADDER`] walk on a placement failure, rung by rung,
+    /// re-driving the allocation after each. Every rung emits its
+    /// [`DegradationStep`]; every shed emits `TenantShed`, one for one
+    /// with the budget grants.
+    ///
+    /// [`ARENA_LADDER`]: dsa_faults::ladder::ARENA_LADDER
+    fn climb_ladder<P: Probe + ?Sized>(
+        &self,
+        arena: &ShardedArena,
+        id: u64,
+        words: Words,
+        priority: Priority,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<PhysAddr, ArenaError> {
+        let Some(guard) = &self.guard else {
+            // Reached only through the guard-gated arm above.
+            return Err(ArenaError::Exhausted {
+                requested: words,
+                per_shard: Vec::new(),
+            });
+        };
+        // Rung 1: retry after backoff — under concurrency another
+        // worker's free may have opened a hole.
+        probe.emit(
+            EventKind::DegradationStep {
+                step: DegradationStep::RetryBackoff,
+            },
+            at,
+        );
+        std::thread::yield_now();
+        let mut outcome = arena.alloc_probed(id, words, at, probe);
+        if !matches!(outcome, Err(ArenaError::Exhausted { .. })) {
+            return outcome;
+        }
+        // Rung 2: coalesce the pressured home shard into one hole.
+        probe.emit(
+            EventKind::DegradationStep {
+                step: DegradationStep::Coalesce,
+            },
+            at,
+        );
+        arena.compact_shard(arena.home_shard(id), at, probe);
+        outcome = arena.alloc_probed(id, words, at, probe);
+        if !matches!(outcome, Err(ArenaError::Exhausted { .. })) {
+            return outcome;
+        }
+        // Rung 3: compact every serving shard, then re-drive the full
+        // steal rotation against the consolidated holes.
+        probe.emit(
+            EventKind::DegradationStep {
+                step: DegradationStep::StealGlobal,
+            },
+            at,
+        );
+        for s in 0..arena.shard_count() {
+            if !arena.is_quarantined(s) {
+                arena.compact_shard(s, at, probe);
+            }
+        }
+        outcome = arena.alloc_probed(id, words, at, probe);
+        if !matches!(outcome, Err(ArenaError::Exhausted { .. })) {
+            return outcome;
+        }
+        // Rung 4: shed lowest-priority tenants, budget permitting, and
+        // re-drive once enough words have been surrendered.
+        loop {
+            let mut freed = 0;
+            while freed < words {
+                let Some(victim) = self.pick_victim(priority) else {
+                    return outcome;
+                };
+                if !guard.try_shed() {
+                    return outcome;
+                }
+                match self.shed_block(arena, victim, at, probe) {
+                    Some(shed_words) => freed += shed_words,
+                    // Raced by a client free: the budget rung is spent
+                    // but the storage came back anyway.
+                    None => continue,
+                }
+            }
+            outcome = arena.alloc_probed(id, words, at, probe);
+            if !matches!(outcome, Err(ArenaError::Exhausted { .. })) {
+                return outcome;
+            }
+        }
+    }
+
+    /// The lowest-id block of the lowest-priority tenant strictly below
+    /// `priority` that still holds storage. Deterministic given the
+    /// live set: priorities resolve first, ids tie-break ascending.
+    fn pick_victim(&self, priority: Priority) -> Option<u64> {
+        let victim_priority = self
+            .tenants
+            .occupancy()
+            .into_iter()
+            .filter(|t| t.in_use > 0 && t.priority < priority)
+            .map(|t| t.priority)
+            .min()?;
+        let mut best: Option<u64> = None;
+        for stripe in &self.registry {
+            let reg = stripe
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for (&rid, rec) in reg.iter() {
+                if self.tenants.priority(rec.tenant) == Some(victim_priority)
+                    && best.is_none_or(|b| rid < b)
+                {
+                    best = Some(rid);
+                }
+            }
+        }
+        best
+    }
+
+    /// Evicts one victim block through the normal free path: the
+    /// registry removal decides the race against a concurrent client
+    /// free, the quota is refunded, and the shed events are emitted
+    /// one-for-one with the budget grants.
+    fn shed_block<P: Probe + ?Sized>(
+        &self,
+        arena: &ShardedArena,
+        id: u64,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Option<Words> {
+        let rec = self.stripe(id).remove(&id)?;
+        self.tenants.release(rec.tenant, rec.words);
+        self.occupied.fetch_sub(rec.words, Ordering::Relaxed);
+        // Winning the registry removal means the block is live in the
+        // backend; a failure here would already be a book tear, which
+        // `check_reconciliation` would surface.
+        let _ = arena.free_probed(id, at, probe);
+        self.tenants.note_shed(rec.tenant);
+        probe.emit(
+            EventKind::DegradationStep {
+                step: DegradationStep::ShedTenant,
+            },
+            at,
+        );
+        probe.emit(
+            EventKind::TenantShed {
+                tenant: rec.tenant,
+                words: rec.words,
+            },
+            at,
+        );
+        Some(rec.words)
+    }
+
+    fn slab_alloc<X: Probe + ?Sized>(
+        &self,
+        slab: &FixedSlab,
+        id: u64,
+        forced_failure: bool,
+        at: Stamp,
+        extra: &mut X,
+    ) -> Result<PhysAddr, ArenaError> {
+        if forced_failure {
+            return Err(ArenaError::Alloc(AllocError::OutOfStorage {
+                requested: slab.unit_words(),
+                largest_free: 0,
+            }));
+        }
+        let unit = slab.alloc()?;
+        if let Some(rec) = self.stripe(id).get_mut(&id) {
+            rec.unit = unit.unit;
+        }
+        self.telemetry
+            .record_alloc(0, slab.unit_words(), u64::from(unit.attempts));
+        let mut sink = Tee(self.telemetry.probe(), extra);
+        sink.emit(
+            EventKind::Alloc {
+                // The unit is the grain: a smaller request still
+                // consumes a whole unit (internal fragmentation, the
+                // uniform-unit tax).
+                words: slab.unit_words(),
+                searched: u64::from(unit.attempts),
+            },
+            at,
+        );
+        Ok(unit.addr)
+    }
+
+    fn free<X: Probe + ?Sized>(&self, id: u64, at: Stamp, extra: &mut X) -> Result<(), ArenaError> {
+        let Some(rec) = self.stripe(id).remove(&id) else {
+            return Err(ArenaError::Alloc(AllocError::UnknownUnit));
+        };
+        // Refund *before* the backend release: the backend's probe
+        // emission fires after its mutation, so a panicking probe
+        // leaves the charge refunded and the storage returned — exact.
+        // The transient under-statement admits at most one in-flight
+        // request early, which the quota CAS then settles.
+        if !self.tenants.is_empty() {
+            self.tenants.release(rec.tenant, rec.words);
+        }
+        self.occupied.fetch_sub(rec.words, Ordering::Relaxed);
+        let released = match &self.backend {
+            Backend::Striped(arena) => {
+                let mut sink = Tee(self.telemetry.probe(), extra);
                 arena.free_probed(id, at, &mut sink)
             }
-            Backend::Slab { slab, registry } => {
-                let mut reg = Self::registry_stripe(registry, id);
-                let unit = reg.remove(&id).ok_or(AllocError::UnknownUnit)?;
-                slab.free(unit)?;
-                drop(reg);
-                let mut sink = self.telemetry.probe();
+            Backend::Slab(slab) => slab.free(rec.unit).map_err(ArenaError::Alloc).map(|()| {
+                let mut sink = Tee(self.telemetry.probe(), extra);
                 sink.emit(
                     EventKind::Free {
                         words: slab.unit_words(),
                     },
                     at,
                 );
-                Ok(())
+            }),
+        };
+        if let Err(e) = released {
+            // The storage is demonstrably still held: roll the books
+            // forward again so they keep telling the truth.
+            if !self.tenants.is_empty() {
+                self.tenants.recharge(rec.tenant, rec.words);
+            }
+            self.occupied.fetch_add(rec.words, Ordering::Relaxed);
+            self.stripe(id).insert(id, rec);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Verifies the service-level books against the backend from a
+    /// quiescent state: every registry entry is charged, the tenant
+    /// occupancies sum to exactly the charged words, and the backend's
+    /// own invariants hold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any book disagrees with the storage.
+    pub fn check_reconciliation(&self) {
+        let mut by_tenant: HashMap<u32, Words> = HashMap::new();
+        let mut charged = 0u64;
+        for stripe in &self.registry {
+            let reg = stripe
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            for rec in reg.values() {
+                *by_tenant.entry(rec.tenant).or_default() += rec.words;
+                charged += rec.words;
+            }
+        }
+        assert_eq!(self.occupied(), charged, "occupied counter out of step");
+        for t in self.tenants.occupancy() {
+            assert_eq!(
+                t.in_use,
+                by_tenant.get(&t.tenant).copied().unwrap_or(0),
+                "tenant {} occupancy out of step",
+                t.tenant
+            );
+        }
+        match &self.backend {
+            Backend::Striped(arena) => {
+                arena.check_invariants();
+                assert_eq!(
+                    arena.snapshot().allocated_words(),
+                    charged,
+                    "backend words out of step with the registry"
+                );
+            }
+            Backend::Slab(slab) => {
+                assert_eq!(
+                    slab.live_units() * slab.unit_words(),
+                    charged,
+                    "slab units out of step with the registry"
+                );
             }
         }
     }
@@ -319,8 +951,8 @@ mod tests {
     fn striped_batch_roundtrip_reconciles() {
         let svc = ArenaService::striped(4, 1000, Placement::BestFit);
         let batch: Vec<Request> = (0..10)
-            .map(|id| Request::Alloc { id, words: 50 })
-            .chain((0..5).map(|id| Request::Free { id }))
+            .map(|id| Request::alloc(id, 50))
+            .chain((0..5).map(Request::free))
             .collect();
         let responses = svc.submit(&batch);
         assert!(responses.iter().all(Response::is_ok));
@@ -330,16 +962,17 @@ mod tests {
         assert_eq!(c.frees, 5);
         assert_eq!(c.freed_words, 250);
         assert_eq!(svc.arena().unwrap().snapshot().allocated_words(), 250);
+        svc.check_reconciliation();
     }
 
     #[test]
     fn slab_service_enforces_the_unit_grain() {
         let svc = ArenaService::fixed(4, 64);
         let r = svc.submit(&[
-            Request::Alloc { id: 1, words: 64 },
-            Request::Alloc { id: 2, words: 10 }, // fits, whole unit consumed
-            Request::Alloc { id: 3, words: 65 }, // too big for the grain
-            Request::Free { id: 2 },
+            Request::alloc(1, 64),
+            Request::alloc(2, 10), // fits, whole unit consumed
+            Request::alloc(3, 65), // too big for the grain
+            Request::free(2),
         ]);
         assert!(r[0].is_ok());
         assert!(r[1].is_ok());
@@ -358,16 +991,13 @@ mod tests {
         assert_eq!(c.allocs, 2);
         assert_eq!(c.alloc_words, 128, "whole units, not requested words");
         assert_eq!(c.frees, 1);
+        svc.check_reconciliation();
     }
 
     #[test]
     fn duplicate_and_unknown_ids_fail_typed() {
         let svc = ArenaService::fixed(2, 8);
-        let r = svc.submit(&[
-            Request::Alloc { id: 7, words: 8 },
-            Request::Alloc { id: 7, words: 8 },
-            Request::Free { id: 9 },
-        ]);
+        let r = svc.submit(&[Request::alloc(7, 8), Request::alloc(7, 8), Request::free(9)]);
         assert!(r[0].is_ok());
         assert_eq!(
             r[1],
@@ -386,6 +1016,109 @@ mod tests {
     }
 
     #[test]
+    fn quotas_meter_each_tenant_exactly() {
+        let mut svc = ArenaService::striped(2, 1000, Placement::FirstFit);
+        svc.register_tenant(Tenant::new(0), 100);
+        svc.register_tenant(Tenant::new(1), 500);
+        let r = svc.submit(&[
+            Request::alloc_as(1, 80, Tenant::new(0)),
+            Request::alloc_as(2, 80, Tenant::new(0)), // over tenant 0's quota
+            Request::alloc_as(3, 400, Tenant::new(1)),
+            Request::alloc_as(4, 10, Tenant::new(7)), // unregistered
+        ]);
+        assert!(r[0].is_ok());
+        assert_eq!(
+            r[1],
+            Response::Failed {
+                id: 2,
+                error: ArenaError::QuotaExceeded {
+                    tenant: 0,
+                    requested: 80,
+                    quota: 100,
+                    in_use: 80
+                }
+            }
+        );
+        assert!(r[2].is_ok());
+        assert_eq!(
+            r[3],
+            Response::Failed {
+                id: 4,
+                error: ArenaError::UnknownTenant { tenant: 7 }
+            }
+        );
+        assert_eq!(svc.tenants().in_use(0), 80);
+        assert_eq!(svc.tenants().in_use(1), 400);
+        assert_eq!(svc.counters().quota_denials, 1);
+        svc.submit(&[Request::free(1), Request::free(3)]);
+        assert_eq!(svc.tenants().in_use(0), 0);
+        assert_eq!(svc.tenants().in_use(1), 0);
+        svc.check_reconciliation();
+    }
+
+    #[test]
+    fn admission_gates_by_priority_under_pressure() {
+        let mut svc = ArenaService::striped(1, 1000, Placement::FirstFit)
+            .with_overload(OverloadConfig::default());
+        svc.register_tenant(Tenant::with_priority(0, Priority::Low), 1000);
+        svc.register_tenant(Tenant::with_priority(1, Priority::High), 1000);
+        // Fill to 90%: past the low watermark, below the high one.
+        assert!(svc
+            .submit(&[Request::alloc_as(1, 900, Tenant::new(1))])
+            .iter()
+            .all(Response::is_ok));
+        let r = svc.submit(&[
+            Request::alloc_as(2, 10, Tenant::with_priority(0, Priority::Low)),
+            Request::alloc_as(3, 10, Tenant::with_priority(1, Priority::High)),
+        ]);
+        assert_eq!(
+            r[0],
+            Response::Failed {
+                id: 2,
+                error: ArenaError::AdmissionDenied { tenant: 0 }
+            }
+        );
+        assert!(r[1].is_ok());
+        assert_eq!(svc.guard().unwrap().admission_rejects(), 1);
+        assert_eq!(svc.counters().admission_rejects, 1);
+        svc.check_reconciliation();
+    }
+
+    #[test]
+    fn the_ladder_sheds_low_priority_tenants_for_high() {
+        let mut svc =
+            ArenaService::striped(1, 100, Placement::FirstFit).with_overload(OverloadConfig {
+                // Watermarks out of the way: this test exercises the
+                // shed rung, not the door.
+                low_watermark: 2.0,
+                high_watermark: 2.0,
+                ..OverloadConfig::default()
+            });
+        svc.register_tenant(Tenant::with_priority(0, Priority::Low), 100);
+        svc.register_tenant(Tenant::with_priority(1, Priority::High), 100);
+        // The low tenant fills the storage.
+        let r = svc.submit(&[
+            Request::alloc_as(1, 40, Tenant::with_priority(0, Priority::Low)),
+            Request::alloc_as(2, 40, Tenant::with_priority(0, Priority::Low)),
+        ]);
+        assert!(r.iter().all(Response::is_ok));
+        // The high tenant's demand does not fit — the ladder retries,
+        // coalesces, compacts, then sheds tenant 0's blocks.
+        let r = svc.submit(&[Request::alloc_as(
+            3,
+            60,
+            Tenant::with_priority(1, Priority::High),
+        )]);
+        assert!(r[0].is_ok(), "{r:?}");
+        let c = svc.counters();
+        assert!(c.tenants_shed >= 1, "at least one block shed");
+        assert_eq!(c.tenants_shed, svc.guard().unwrap().sheds());
+        assert_eq!(svc.tenants().occupancy()[0].shed, c.tenants_shed);
+        assert_eq!(svc.tenants().in_use(1), 60);
+        svc.check_reconciliation();
+    }
+
+    #[test]
     fn concurrent_submissions_reconcile_exactly() {
         let svc = ArenaService::striped(4, 4096, Placement::FirstFit);
         let threads = 8u64;
@@ -399,7 +1132,7 @@ mod tests {
                     let mut ok = 0u64;
                     for i in 0..per_thread {
                         let id = (t << 32) | i;
-                        let batch = [Request::Alloc { id, words: 16 }, Request::Free { id }];
+                        let batch = [Request::alloc(id, 16), Request::free(id)];
                         ok += svc.submit(&batch).iter().filter(|r| r.is_ok()).count() as u64;
                     }
                     oks[t as usize].store(ok, Ordering::Relaxed);
@@ -414,5 +1147,184 @@ mod tests {
         assert_eq!(c.allocs, c.frees);
         assert_eq!(svc.arena().unwrap().snapshot().allocated_words(), 0);
         svc.arena().unwrap().check_invariants();
+        svc.check_reconciliation();
+    }
+
+    #[test]
+    fn tenant_books_reconcile_under_multithreaded_churn() {
+        let mut svc = ArenaService::striped(4, 8192, Placement::FirstFit);
+        for t in 0..4 {
+            svc.register_tenant(Tenant::new(t), 4096);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..4u32 {
+                let svc = &svc;
+                scope.spawn(move || {
+                    for i in 0..400u64 {
+                        let id = (u64::from(t) << 32) | i;
+                        svc.submit(&[
+                            Request::alloc_as(id, 1 + (i % 32), Tenant::new(t)),
+                            Request::free(id),
+                        ]);
+                    }
+                });
+            }
+        });
+        for t in 0..4 {
+            assert_eq!(
+                svc.tenants().in_use(t),
+                0,
+                "tenant {t} books settle to zero"
+            );
+        }
+        assert_eq!(svc.occupied(), 0);
+        svc.check_reconciliation();
+    }
+
+    /// A probe that panics the first time it sees its trigger event —
+    /// the *real* panic-while-holding-lock: the freelist emits
+    /// `Alloc`/`Free` after its mutation, inside the shard mutex, so
+    /// the unwind poisons the lock mid-operation.
+    struct PanicOn {
+        armed: bool,
+        trigger: fn(&EventKind) -> bool,
+    }
+
+    impl Probe for PanicOn {
+        fn record(&mut self, event: &Event) {
+            if self.armed && (self.trigger)(&event.kind) {
+                self.armed = false;
+                panic!("probe panic injected for the poison ride-out test");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_panic_mid_alloc_poisons_the_lock_but_not_the_books() {
+        let mut svc = ArenaService::striped(2, 512, Placement::FirstFit);
+        svc.register_tenant(Tenant::new(0), 1024);
+        assert!(svc.submit(&[Request::alloc(1, 40)])[0].is_ok());
+        // Panic on the success emission of the next alloc: the freelist
+        // has already placed the block when the probe fires, and every
+        // book — registry, quota, occupancy — was settled before it.
+        let torn = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let mut probe = PanicOn {
+                        armed: true,
+                        trigger: |k| matches!(k, EventKind::Alloc { .. }),
+                    };
+                    let _ = svc.submit_with(&[Request::alloc(2, 48)], &mut probe);
+                })
+                .join()
+        });
+        assert!(torn.is_err(), "the probe must actually panic");
+        svc.check_reconciliation();
+        assert_eq!(svc.occupied(), 40 + 48, "the torn alloc is fully booked");
+        // The poisoned shard mutex is ridden out via PoisonError::
+        // into_inner: traffic continues, and the torn id is live — it
+        // frees like any other block.
+        let r = svc.submit(&[Request::free(2), Request::free(1)]);
+        assert!(r.iter().all(Response::is_ok));
+        assert_eq!(svc.occupied(), 0);
+        svc.check_reconciliation();
+    }
+
+    #[test]
+    fn probe_panic_mid_free_leaves_the_books_reconciled() {
+        let mut svc = ArenaService::striped(2, 512, Placement::FirstFit);
+        svc.register_tenant(Tenant::new(0), 1024);
+        let r = svc.submit(&[Request::alloc(1, 40), Request::alloc(2, 48)]);
+        assert!(r.iter().all(Response::is_ok));
+        // The free path settles registry, quota, and occupancy before
+        // the backend mutates, and the backend emits only after its own
+        // mutation — so the panic tears nothing.
+        let torn = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let mut probe = PanicOn {
+                        armed: true,
+                        trigger: |k| matches!(k, EventKind::Free { .. }),
+                    };
+                    let _ = svc.submit_with(&[Request::free(2)], &mut probe);
+                })
+                .join()
+        });
+        assert!(torn.is_err(), "the probe must actually panic");
+        svc.check_reconciliation();
+        assert_eq!(svc.occupied(), 40, "the torn free completed");
+        // The torn id is really gone — a second free reports it unknown.
+        assert!(matches!(
+            svc.submit(&[Request::free(2)])[0],
+            Response::Failed { .. }
+        ));
+        assert!(svc.submit(&[Request::free(1)])[0].is_ok());
+        assert_eq!(svc.occupied(), 0);
+        svc.check_reconciliation();
+    }
+
+    /// Chaos at 1, 2, and 8 worker threads: forced failures, delays and
+    /// shard corruption healed under live traffic, with conservation
+    /// and the per-tenant books intact at every width.
+    #[test]
+    fn chaos_churn_conserves_storage_at_any_thread_count() {
+        use dsa_faults::{FaultConfig, SyncFaultInjector};
+        for &threads in &[1usize, 2, 8] {
+            let mut svc = ArenaService::striped(4, 2048, Placement::FirstFit)
+                .with_overload(crate::OverloadConfig::default());
+            for t in 0..threads as u32 {
+                svc.register_tenant(Tenant::new(t), 2048);
+            }
+            let inj = SyncFaultInjector::new(
+                0xC4A05,
+                FaultConfig {
+                    alloc_fail_rate: 0.02,
+                    channel_delay_rate: 0.01,
+                    channel_delay: dsa_core::clock::Cycles::from_micros(5),
+                    shard_corruption_rate: 0.01,
+                    burst_len: 1,
+                    ..FaultConfig::default()
+                },
+            );
+            std::thread::scope(|scope| {
+                for w in 0..threads {
+                    let svc = &svc;
+                    let inj = &inj;
+                    scope.spawn(move || {
+                        let mut worker = inj.worker(w as u64);
+                        let tenant = Tenant::new(w as u32);
+                        for i in 0..600u64 {
+                            let id = ((w as u64) << 32) | i;
+                            let _ = svc.submit_chaos(
+                                &[
+                                    Request::alloc_as(id, 1 + (i % 48), tenant),
+                                    Request::free(id),
+                                ],
+                                &mut worker,
+                                &mut NullProbe,
+                            );
+                        }
+                    });
+                }
+            });
+            svc.check_reconciliation();
+            let arena = svc.arena().expect("striped service has an arena");
+            arena.check_invariants();
+            assert_eq!(
+                arena.quarantined_count(),
+                0,
+                "{threads} threads: every corruption healed and readmitted"
+            );
+            assert_eq!(svc.occupied(), 0, "{threads} threads: drained to zero");
+            let report = inj.report();
+            assert!(
+                report.shard_corruptions > 0,
+                "{threads} threads: the corruption path must actually run"
+            );
+            assert!(
+                report.forced_alloc_failures > 0,
+                "{threads} threads: forced failures must actually fire"
+            );
+        }
     }
 }

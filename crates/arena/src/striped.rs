@@ -21,13 +21,16 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 
 use dsa_core::error::AllocError;
 use dsa_core::ids::{PhysAddr, Words};
+use dsa_freelist::compaction::{compact_probed, CompactionReport};
 use dsa_freelist::freelist::{AllocSnapshot, FreeListAllocator, FreeListStats, Placement};
-use dsa_probe::{NullProbe, Probe, Stamp};
+use dsa_probe::{EventKind, NullProbe, Probe, Stamp};
+
+use crate::tenant::TenantOccupancy;
 
 /// Marks an id whose steal attempt is still in flight in the home
 /// shard's ownership map.
@@ -70,6 +73,30 @@ pub enum ArenaError {
         /// Fullness of every shard, in shard order.
         per_shard: Vec<ShardFullness>,
     },
+    /// The request would push its tenant past its word quota. The
+    /// storage may have room — the *tenant* does not.
+    QuotaExceeded {
+        /// The tenant that was refused.
+        tenant: u32,
+        /// The size that was requested, in words.
+        requested: Words,
+        /// The tenant's configured quota, in words.
+        quota: Words,
+        /// The tenant's occupancy at refusal time, in words.
+        in_use: Words,
+    },
+    /// Admission control refused the request before it touched storage:
+    /// the service is past its overload watermark and the tenant's
+    /// priority did not clear the bar.
+    AdmissionDenied {
+        /// The tenant that was refused.
+        tenant: u32,
+    },
+    /// The request named a tenant the service has no quota entry for.
+    UnknownTenant {
+        /// The unregistered tenant id.
+        tenant: u32,
+    },
 }
 
 impl fmt::Display for ArenaError {
@@ -87,6 +114,25 @@ impl fmt::Display for ArenaError {
                      extent anywhere {largest}",
                     per_shard.len()
                 )
+            }
+            ArenaError::QuotaExceeded {
+                tenant,
+                requested,
+                quota,
+                in_use,
+            } => write!(
+                f,
+                "tenant {tenant} over quota: requested {requested} words with {in_use} \
+                 of {quota} in use"
+            ),
+            ArenaError::AdmissionDenied { tenant } => {
+                write!(
+                    f,
+                    "admission denied for tenant {tenant}: service overloaded"
+                )
+            }
+            ArenaError::UnknownTenant { tenant } => {
+                write!(f, "unknown tenant {tenant}")
             }
         }
     }
@@ -118,6 +164,9 @@ pub struct ShardSnapshot {
     pub alloc: AllocSnapshot,
     /// Live ids homed to this shard (owned here or stolen elsewhere).
     pub homed: usize,
+    /// Whether the shard is quarantined (out of the placement rotation,
+    /// frees still drain).
+    pub quarantined: bool,
 }
 
 /// A point-in-time view of the whole arena.
@@ -127,6 +176,9 @@ pub struct ArenaSnapshot {
     pub shards: Vec<ShardSnapshot>,
     /// Allocations that landed on a non-home shard, cumulatively.
     pub steals: u64,
+    /// Per-tenant occupancy, in tenant order. Empty when the arena is
+    /// driven bare — the [`crate::ArenaService`] front-end fills it.
+    pub tenants: Vec<TenantOccupancy>,
 }
 
 impl ArenaSnapshot {
@@ -186,6 +238,10 @@ impl ArenaSnapshot {
 #[derive(Debug)]
 pub struct ShardedArena {
     shards: Vec<Mutex<Shard>>,
+    /// Per-shard quarantine flags: a quarantined shard is skipped by
+    /// placement (home and steal rotation alike) until readmitted;
+    /// frees still reach it so it can drain while sidelined.
+    quarantined: Vec<AtomicBool>,
     shard_capacity: Words,
     steals: AtomicU64,
 }
@@ -200,6 +256,7 @@ impl ShardedArena {
     #[must_use]
     pub fn new(shards: u32, shard_capacity: Words, policy: Placement) -> ShardedArena {
         assert!(shards > 0, "an arena needs at least one shard");
+        let quarantined = (0..shards).map(|_| AtomicBool::new(false)).collect();
         let shards = (0..shards)
             .map(|_| {
                 Mutex::new(Shard {
@@ -210,6 +267,7 @@ impl ShardedArena {
             .collect();
         ShardedArena {
             shards,
+            quarantined,
             shard_capacity,
             steals: AtomicU64::new(0),
         }
@@ -290,22 +348,43 @@ impl ShardedArena {
             if g.homed.contains_key(&id) {
                 return Err(ArenaError::Alloc(AllocError::AlreadyAllocated));
             }
-            match g.alloc.alloc_probed(id, size, at, probe) {
-                Ok(addr) => {
-                    g.homed.insert(id, home);
-                    return Ok(self.global(home, addr));
+            if self.is_quarantined(home) {
+                // The home shard still does the bookkeeping — only its
+                // free list is out of rotation. Reserve and steal.
+                g.homed.insert(id, RESERVED);
+            } else {
+                // Record ownership *before* mutating the allocator. The
+                // only unwind point inside `alloc_probed` is probe
+                // emission, which fires after the free list is updated
+                // and only on success — so a panicking probe leaves
+                // both books agreeing the block is live and homed, and
+                // the poison ride-out in `lock` keeps serving.
+                g.homed.insert(id, home);
+                match g.alloc.alloc_probed(id, size, at, probe) {
+                    Ok(addr) => return Ok(self.global(home, addr)),
+                    Err(AllocError::OutOfStorage { .. }) => {
+                        // Reserve the id while we steal, so a racing
+                        // duplicate alloc is refused.
+                        g.homed.insert(id, RESERVED);
+                    }
+                    Err(e) => {
+                        g.homed.remove(&id);
+                        return Err(ArenaError::Alloc(e));
+                    }
                 }
-                Err(AllocError::OutOfStorage { .. }) => {
-                    // Reserve the id while we steal, so a racing
-                    // duplicate alloc is refused.
-                    g.homed.insert(id, RESERVED);
-                }
-                Err(e) => return Err(ArenaError::Alloc(e)),
             }
         }
-        // Steal rotation: deterministic order, one lock at a time.
+        // Steal rotation: deterministic order, one lock at a time,
+        // skipping quarantined shards. The ownership entry is pointed at
+        // the candidate *before* its allocator is tried (same panic-safe
+        // ordering as the home path); per-id request ordering means no
+        // well-formed free can observe the provisional owner.
         for k in 1..n {
             let s = (home + k) % n;
+            if self.is_quarantined(s) {
+                continue;
+            }
+            self.lock(home).homed.insert(id, s);
             let stolen = {
                 let mut g = self.lock(s);
                 match g.alloc.alloc_probed(id, size, at, probe) {
@@ -316,7 +395,6 @@ impl ShardedArena {
             };
             match stolen {
                 Some(Ok(addr)) => {
-                    self.lock(home).homed.insert(id, s);
                     self.steals.fetch_add(1, Ordering::Relaxed);
                     return Ok(self.global(s, addr));
                 }
@@ -324,7 +402,9 @@ impl ShardedArena {
                     self.lock(home).homed.remove(&id);
                     return Err(ArenaError::Alloc(e));
                 }
-                None => {}
+                None => {
+                    self.lock(home).homed.insert(id, RESERVED);
+                }
             }
         }
         // Nothing anywhere: drop the reservation and report honestly.
@@ -375,8 +455,14 @@ impl ShardedArena {
                 None => return Err(ArenaError::Alloc(AllocError::UnknownUnit)),
                 Some(&RESERVED) => return Err(ArenaError::Alloc(AllocError::UnknownUnit)),
                 Some(&owner) if owner == home => {
-                    g.alloc.free_probed(id, at, probe)?;
+                    // Drop the ownership entry *before* the release: if
+                    // the probe panics it does so after the free list
+                    // has absorbed the block, so the books still agree.
                     g.homed.remove(&id);
+                    if let Err(e) = g.alloc.free_probed(id, at, probe) {
+                        g.homed.insert(id, home);
+                        return Err(ArenaError::Alloc(e));
+                    }
                     return Ok(());
                 }
                 Some(&owner) => {
@@ -420,6 +506,118 @@ impl ShardedArena {
         self.steals.load(Ordering::Relaxed)
     }
 
+    /// Whether shard `s` is currently quarantined.
+    #[must_use]
+    pub fn is_quarantined(&self, s: u32) -> bool {
+        self.quarantined[s as usize].load(Ordering::Acquire)
+    }
+
+    /// Quarantines shard `s`: placement (home and steal rotation) skips
+    /// it until [`ShardedArena::readmit`]; frees still drain into it.
+    /// Returns `true` if this call changed the state.
+    pub fn quarantine(&self, s: u32) -> bool {
+        !self.quarantined[s as usize].swap(true, Ordering::AcqRel)
+    }
+
+    /// Readmits shard `s` to the placement rotation. Returns `true` if
+    /// this call changed the state.
+    pub fn readmit(&self, s: u32) -> bool {
+        self.quarantined[s as usize].swap(false, Ordering::AcqRel)
+    }
+
+    /// Number of shards currently quarantined.
+    #[must_use]
+    pub fn quarantined_count(&self) -> u32 {
+        self.quarantined
+            .iter()
+            .filter(|q| q.load(Ordering::Acquire))
+            .count() as u32
+    }
+
+    /// Audits shard `s`'s free-list invariants without panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, described.
+    pub fn audit_shard(&self, s: u32) -> Result<(), String> {
+        self.lock(s).alloc.audit()
+    }
+
+    /// Compacts shard `s` in place — the pressured-shard coalesce rung
+    /// of the degradation ladder. Live blocks slide toward the shard
+    /// base (relocation is transparent here exactly as in
+    /// `dsa_freelist::compaction`: addresses are logical), and the pass
+    /// is bracketed by `CompactionStart`/`CompactionDone` events.
+    pub fn compact_shard<P: Probe + ?Sized>(
+        &self,
+        s: u32,
+        at: Stamp,
+        probe: &mut P,
+    ) -> CompactionReport {
+        let mut g = self.lock(s);
+        compact_probed(&mut g.alloc, |_, _, _, _| {}, at, probe)
+    }
+
+    /// Quarantines shard `s`, rebuilds its free list from the
+    /// live-allocation book of record, audits the rebuilt state
+    /// (including word conservation), and readmits it — the
+    /// self-healing path taken when corruption is detected.
+    ///
+    /// Emits `ShardQuarantined` on entry and `ShardRestored` on
+    /// successful readmission. On failure the shard *stays quarantined*
+    /// (frees drain, placement avoids it) and the violated invariant is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the audit failure if the rebuilt shard still violates an
+    /// invariant.
+    pub fn heal_shard<P: Probe + ?Sized>(
+        &self,
+        s: u32,
+        at: Stamp,
+        probe: &mut P,
+    ) -> Result<(), String> {
+        if self.quarantine(s) {
+            probe.emit(EventKind::ShardQuarantined { shard: s }, at);
+        }
+        {
+            let mut g = self.lock(s);
+            // Sum the allocation book directly — `allocated_words()`
+            // is capacity minus the (corrupt) free store right now.
+            let live: Words = g
+                .alloc
+                .allocations_by_address()
+                .iter()
+                .map(|&(_, _, size)| size)
+                .sum();
+            g.alloc.rebuild_from_live();
+            g.alloc.audit()?;
+            // Conservation, stated independently of the audit: the
+            // rebuilt free store must be exactly the complement of the
+            // live blocks that survived.
+            let free = g.alloc.free_words();
+            if live + free != self.shard_capacity {
+                return Err(format!(
+                    "rebuild lost words: {live} live + {free} free != {} capacity",
+                    self.shard_capacity
+                ));
+            }
+        }
+        self.readmit(s);
+        probe.emit(EventKind::ShardRestored { shard: s }, at);
+        Ok(())
+    }
+
+    /// Deliberately corrupts shard `s`'s free list (chaos injection
+    /// hook). The damage is always detectable by
+    /// [`ShardedArena::audit_shard`] and healable by
+    /// [`ShardedArena::heal_shard`]. Not for production use.
+    #[doc(hidden)]
+    pub fn corrupt_shard_for_chaos(&self, s: u32) {
+        self.lock(s).alloc.corrupt_free_list_for_chaos();
+    }
+
     /// The arena-wide hole map: every shard's free holes as
     /// `(global_address, size)`, in address order (shards visited in
     /// stripe order, each copied under its own lock).
@@ -448,12 +646,14 @@ impl ShardedArena {
                     shard: s,
                     alloc: g.alloc.snapshot(),
                     homed: g.homed.len(),
+                    quarantined: self.is_quarantined(s),
                 }
             })
             .collect();
         ArenaSnapshot {
             shards,
             steals: self.steals(),
+            tenants: Vec::new(),
         }
     }
 
@@ -601,6 +801,72 @@ mod tests {
             arena.free(99),
             Err(ArenaError::Alloc(AllocError::UnknownUnit))
         );
+    }
+
+    #[test]
+    fn quarantined_shard_is_skipped_but_still_drains() {
+        let arena = ShardedArena::new(2, 100, Placement::FirstFit);
+        let home = arena.home_shard(0);
+        arena.alloc(0, 30).unwrap();
+        // Sideline the home shard: the next alloc homing there must be
+        // placed on the neighbour, counted as a steal.
+        assert!(arena.quarantine(home));
+        let id2 = (1..).find(|&i| arena.home_shard(i) == home).unwrap();
+        let addr = arena.alloc(id2, 30).unwrap();
+        assert_eq!(addr.value() / 100, u64::from(1 - home), "steered away");
+        assert_eq!(arena.steals(), 1);
+        // Frees still drain into the quarantined shard.
+        arena.free(0).unwrap();
+        assert!(arena.readmit(home));
+        let id3 = (id2 + 1..).find(|&i| arena.home_shard(i) == home).unwrap();
+        let back = arena.alloc(id3, 30).unwrap();
+        assert_eq!(back.value() / 100, u64::from(home), "readmitted");
+        arena.check_invariants();
+        let snap = arena.snapshot();
+        assert!(snap.shards.iter().all(|s| !s.quarantined));
+    }
+
+    #[test]
+    fn every_shard_quarantined_reports_honest_exhaustion() {
+        let arena = ShardedArena::new(2, 100, Placement::FirstFit);
+        arena.quarantine(0);
+        arena.quarantine(1);
+        assert_eq!(arena.quarantined_count(), 2);
+        match arena.alloc(5, 10).unwrap_err() {
+            ArenaError::Exhausted { requested, .. } => assert_eq!(requested, 10),
+            other => panic!("expected Exhausted, got {other:?}"),
+        }
+        assert_eq!(arena.lookup(5), None, "no reservation residue");
+        arena.check_invariants();
+    }
+
+    #[test]
+    fn injected_corruption_is_detected_and_healed_in_place() {
+        let arena = ShardedArena::new(2, 100, Placement::BestFit);
+        for id in 0..6 {
+            arena.alloc(id, 10).unwrap();
+        }
+        arena.free(2).unwrap();
+        let live_before = arena.snapshot().allocated_words();
+        let victim = 0;
+        arena.corrupt_shard_for_chaos(victim);
+        assert!(arena.audit_shard(victim).is_err(), "corruption detected");
+        let mut probe = dsa_probe::CountingProbe::default();
+        arena
+            .heal_shard(victim, Stamp::default(), &mut probe)
+            .unwrap();
+        assert_eq!(probe.shards_quarantined, 1);
+        assert_eq!(probe.shards_restored, 1);
+        assert!(!arena.is_quarantined(victim), "readmitted after heal");
+        assert!(arena.audit_shard(victim).is_ok());
+        assert_eq!(arena.snapshot().allocated_words(), live_before);
+        arena.check_invariants();
+        // The healed shard keeps serving.
+        for id in 0..6 {
+            let _ = arena.free(id);
+        }
+        assert_eq!(arena.snapshot().free_words(), 200);
+        arena.check_invariants();
     }
 
     #[test]

@@ -36,20 +36,15 @@ fn worker_stream(worker: u64, max_words: u64) -> Vec<Request> {
         if grow {
             let id = (worker << 40) | next;
             next += 1;
-            out.push(Request::Alloc {
-                id,
-                words: 8 + rng.next_u64() % max_words,
-            });
+            out.push(Request::alloc(id, 8 + rng.next_u64() % max_words));
             live.push(id);
         } else {
             let i = (rng.next_u64() as usize) % live.len();
-            out.push(Request::Free {
-                id: live.swap_remove(i),
-            });
+            out.push(Request::free(live.swap_remove(i)));
         }
     }
     for id in live {
-        out.push(Request::Free { id });
+        out.push(Request::free(id));
     }
     out
 }

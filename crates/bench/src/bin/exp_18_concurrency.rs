@@ -56,16 +56,16 @@ fn worker_stream(worker: u64, max_words: u64) -> Vec<Request> {
             let id = (worker << 40) | next;
             next += 1;
             let words = 8 + rng.next_u64() % max_words;
-            out.push(Request::Alloc { id, words });
+            out.push(Request::alloc(id, words));
             live.push(id);
         } else {
             let i = (rng.next_u64() as usize) % live.len();
             let id = live.swap_remove(i);
-            out.push(Request::Free { id });
+            out.push(Request::free(id));
         }
     }
     for id in live {
-        out.push(Request::Free { id });
+        out.push(Request::free(id));
     }
     out
 }

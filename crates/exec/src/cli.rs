@@ -54,6 +54,21 @@ pub const SHARDS: FlagSpec = FlagSpec {
     help: "largest shard count in the scaling sweep (default: 8)",
 };
 
+/// The `--chaos` switch of the overload experiment: run the
+/// deterministic fault-injection section on top of the overload grid.
+pub const CHAOS: FlagSpec = FlagSpec {
+    name: "--chaos",
+    value: None,
+    help: "also run the deterministic chaos-injection section",
+};
+
+/// Whether a bare switch (a [`FlagSpec`] with no value) is present in
+/// the process arguments.
+#[must_use]
+pub fn switch_from_env(flag: FlagSpec) -> bool {
+    std::env::args().skip(1).any(|a| a == flag.name)
+}
+
 /// The `--metrics-out PATH` flag every experiment binary accepts: dump
 /// end-of-run metrics to PATH (`.json` for JSON, anything else for
 /// Prometheus text exposition format).

@@ -23,6 +23,10 @@ pub struct FaultConfig {
     pub channel_delay: Cycles,
     /// Probability an allocation request is refused outright.
     pub alloc_fail_rate: f64,
+    /// Probability (rolled per chaos batch) that one shard's free list
+    /// is corrupted in place, forcing quarantine and a rebuild from the
+    /// live-allocation snapshot.
+    pub shard_corruption_rate: f64,
     /// When a transfer error fires, the `burst_len - 1` following
     /// transfer-error rolls also fail — drum errors cluster (a speck on
     /// the surface ruins consecutive sectors). `1` means independent
@@ -40,6 +44,7 @@ impl FaultConfig {
             channel_delay_rate: 0.0,
             channel_delay: Cycles::ZERO,
             alloc_fail_rate: 0.0,
+            shard_corruption_rate: 0.0,
             burst_len: 1,
         }
     }
@@ -76,6 +81,13 @@ impl FaultConfig {
         self
     }
 
+    /// Sets the shard-corruption rate.
+    #[must_use]
+    pub fn with_shard_corruption(mut self, rate: f64) -> FaultConfig {
+        self.shard_corruption_rate = rate;
+        self
+    }
+
     /// Sets the transfer-error burst length.
     #[must_use]
     pub fn with_burst(mut self, burst_len: u32) -> FaultConfig {
@@ -90,6 +102,7 @@ impl FaultConfig {
             && self.bad_frame_rate == 0.0
             && self.channel_delay_rate == 0.0
             && self.alloc_fail_rate == 0.0
+            && self.shard_corruption_rate == 0.0
     }
 }
 
@@ -115,13 +128,16 @@ mod tests {
             .with_bad_frames(0.2)
             .with_channel_delays(0.3, Cycles::from_micros(5))
             .with_alloc_failures(0.4)
+            .with_shard_corruption(0.05)
             .with_burst(3);
         assert_eq!(c.transfer_error_rate, 0.1);
         assert_eq!(c.bad_frame_rate, 0.2);
         assert_eq!(c.channel_delay_rate, 0.3);
         assert_eq!(c.channel_delay, Cycles::from_micros(5));
         assert_eq!(c.alloc_fail_rate, 0.4);
+        assert_eq!(c.shard_corruption_rate, 0.05);
         assert_eq!(c.burst_len, 3);
+        assert!(!FaultConfig::off().with_shard_corruption(0.1).is_off());
     }
 
     #[test]

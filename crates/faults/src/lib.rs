@@ -22,16 +22,25 @@
 //! The graceful-degradation ladder itself (coalesce → compact → evict →
 //! shed load → typed error) lives where the storage is: the segment
 //! store and paging engine climb the rungs; this crate defines the
-//! vocabulary and the accounting.
+//! vocabulary ([`ladder::DegradationStep`], the shared rung enum both
+//! the machine drivers and the concurrent arena's overload guard report
+//! through) and the accounting. For `std::thread::scope` workers the
+//! [`SyncFaultInjector`] hands out deterministic per-stream
+//! [`WorkerInjector`]s whose merged report is identical at any thread
+//! count.
 
 pub mod config;
 pub mod injector;
+pub mod ladder;
 pub mod quarantine;
 pub mod report;
 pub mod retry;
+pub mod sync;
 
 pub use config::FaultConfig;
 pub use injector::FaultInjector;
+pub use ladder::{AtomicShedBudget, DegradationStep, ShedBudget};
 pub use quarantine::FrameQuarantine;
 pub use report::RecoveryReport;
 pub use retry::RetryPolicy;
+pub use sync::{SyncFaultInjector, WorkerInjector};

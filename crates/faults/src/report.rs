@@ -25,6 +25,9 @@ pub struct RecoveryReport {
     pub channel_delays: u64,
     /// Allocation requests refused by the injector.
     pub forced_alloc_failures: u64,
+    /// Shard free lists corrupted in place by the injector (the
+    /// quarantine-and-rebuild path's trigger).
+    pub shard_corruptions: u64,
     /// Transfer retries performed.
     pub retry_attempts: u64,
     /// Transfers whose retry budget ran out (completed from the duplexed
@@ -59,6 +62,7 @@ impl RecoveryReport {
         self.bad_frames += other.bad_frames;
         self.channel_delays += other.channel_delays;
         self.forced_alloc_failures += other.forced_alloc_failures;
+        self.shard_corruptions += other.shard_corruptions;
         self.retry_attempts += other.retry_attempts;
         self.retries_exhausted += other.retries_exhausted;
         self.frames_quarantined += other.frames_quarantined;
@@ -73,13 +77,14 @@ impl fmt::Display for RecoveryReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} injected ({} xfer / {} frame / {} delay / {} alloc), \
+            "{} injected ({} xfer / {} frame / {} delay / {} alloc / {} corrupt), \
              {} retries ({} exhausted), {} quarantined, {} degradations ({} shed)",
             self.faults_injected,
             self.transfer_errors,
             self.bad_frames,
             self.channel_delays,
             self.forced_alloc_failures,
+            self.shard_corruptions,
             self.retry_attempts,
             self.retries_exhausted,
             self.frames_quarantined,

@@ -590,13 +590,36 @@ impl FreeListAllocator {
     /// Panics if free/allocated regions overlap, accounting is wrong, or
     /// two free holes are adjacent (coalescing must be maximal).
     pub fn check_invariants(&self) {
+        if let Err(why) = self.audit() {
+            panic!("{why}");
+        }
+    }
+
+    /// Non-panicking invariant check: the self-healing path's detector.
+    ///
+    /// Runs exactly the checks of [`FreeListAllocator::check_invariants`]
+    /// but returns the first violation as a description instead of
+    /// panicking — a concurrent service auditing a possibly-corrupted
+    /// shard must be able to *observe* the damage while holding the
+    /// shard lock, quarantine, and heal, not unwind.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant, described.
+    pub fn audit(&self) -> Result<(), String> {
         // Free holes: in-bounds, disjoint, non-adjacent.
         let mut prev_end: Option<u64> = None;
         for (&addr, &size) in &self.free {
-            assert!(size > 0, "zero-size hole at {addr}");
-            assert!(addr + size <= self.capacity, "hole beyond capacity");
+            if size == 0 {
+                return Err(format!("zero-size hole at {addr}"));
+            }
+            if addr + size > self.capacity {
+                return Err(format!("hole at {addr} beyond capacity"));
+            }
             if let Some(end) = prev_end {
-                assert!(end < addr, "holes overlap or are adjacent at {addr}");
+                if end >= addr {
+                    return Err(format!("holes overlap or are adjacent at {addr}"));
+                }
             }
             prev_end = Some(addr + size);
         }
@@ -610,60 +633,124 @@ impl FreeListAllocator {
             .collect();
         regions.sort_unstable();
         for w in regions.windows(2) {
-            assert!(w[0].1 <= w[1].0, "regions overlap: {w:?}");
+            if w[0].1 > w[1].0 {
+                return Err(format!("regions overlap: {w:?}"));
+            }
         }
         // Accounting.
         let total: Words =
             self.free_words() + self.allocated.values().map(|&(_, s)| s).sum::<Words>();
-        assert_eq!(total, self.capacity, "words leaked or duplicated");
+        if total != self.capacity {
+            return Err(format!(
+                "words leaked or duplicated: {total} accounted of {} capacity",
+                self.capacity
+            ));
+        }
         // The secondary structures mirror the hole list exactly.
         match self.policy {
             Placement::BestFit | Placement::WorstFit => {
-                assert_eq!(
-                    self.by_size.len(),
-                    self.free.len(),
-                    "size index out of step"
-                );
-                for (&addr, &size) in &self.free {
-                    assert!(
-                        self.by_size.contains(&(size, addr)),
-                        "hole at {addr} missing from size index"
-                    );
+                if self.by_size.len() != self.free.len() {
+                    return Err("size index out of step".to_string());
                 }
-                if self.policy == Placement::BestFit {
-                    assert!(
-                        self.hole_addrs
-                            .iter()
-                            .copied()
-                            .eq(self.free.keys().copied()),
-                        "rank vector out of step with the hole list"
-                    );
+                for (&addr, &size) in &self.free {
+                    if !self.by_size.contains(&(size, addr)) {
+                        return Err(format!("hole at {addr} missing from size index"));
+                    }
+                }
+                if self.policy == Placement::BestFit
+                    && !self
+                        .hole_addrs
+                        .iter()
+                        .copied()
+                        .eq(self.free.keys().copied())
+                {
+                    return Err("rank vector out of step with the hole list".to_string());
                 }
             }
             _ => {
                 if let Some(m) = self.largest_cache.get() {
-                    assert_eq!(
-                        m,
-                        self.free.values().copied().max().unwrap_or(0),
-                        "stale largest-hole cache"
-                    );
+                    let actual = self.free.values().copied().max().unwrap_or(0);
+                    if m != actual {
+                        return Err(format!("stale largest-hole cache: {m} vs {actual}"));
+                    }
                 }
             }
         }
         // A cached sorted view, when present, mirrors the id map.
         if let Some(sorted) = self.sorted_allocs.borrow().as_ref() {
-            assert_eq!(sorted.len(), self.allocated.len(), "stale sorted view");
-            for &(id, addr, size) in sorted {
-                assert_eq!(
-                    self.allocated.get(&id),
-                    Some(&(addr, size)),
-                    "allocation {id} stale in sorted view"
-                );
+            if sorted.len() != self.allocated.len() {
+                return Err("stale sorted view".to_string());
             }
-            assert!(
-                sorted.windows(2).all(|w| w[0].1 < w[1].1),
-                "sorted view out of order"
-            );
+            for &(id, addr, size) in sorted {
+                if self.allocated.get(&id) != Some(&(addr, size)) {
+                    return Err(format!("allocation {id} stale in sorted view"));
+                }
+            }
+            if !sorted.windows(2).all(|w| w[0].1 < w[1].1) {
+                return Err("sorted view out of order".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the hole list, the policy indexes, and every cache from
+    /// the live-allocation book alone, discarding whatever (possibly
+    /// corrupt) free-list state was there. Returns the free words after
+    /// the rebuild.
+    ///
+    /// This is the self-healing half of the quarantine protocol: the
+    /// `allocated` map is the book of record (it is what `free(id)`
+    /// consults, and the corruption model covers the derived hole
+    /// structures, not the book), so the complement of the live blocks
+    /// *is* the free store. Holes are reconstructed maximal — adjacent
+    /// free runs become one hole — so a healed allocator passes
+    /// [`FreeListAllocator::audit`] including the coalescing invariant.
+    pub fn rebuild_from_live(&mut self) -> Words {
+        let mut blocks: Vec<(u64, Words)> = self.allocated.values().copied().collect();
+        blocks.sort_unstable_by_key(|&(addr, _)| addr);
+        self.free.clear();
+        self.by_size.clear();
+        self.hole_addrs.clear();
+        self.largest_cache.set(Some(0));
+        self.sorted_allocs.replace(None);
+        let mut cursor = 0u64;
+        for &(addr, size) in &blocks {
+            if addr > cursor {
+                self.free.insert(cursor, addr - cursor);
+                self.index_insert(cursor, addr - cursor);
+            }
+            cursor = addr + size;
+        }
+        if cursor < self.capacity {
+            self.free.insert(cursor, self.capacity - cursor);
+            self.index_insert(cursor, self.capacity - cursor);
+        }
+        self.rover = 0;
+        self.free_words()
+    }
+
+    /// Deliberately corrupts the derived free-list state (never the
+    /// live-allocation book): the chaos injector's shard-corruption
+    /// payload. The damage is deterministic and always detectable by
+    /// [`FreeListAllocator::audit`] — either a word leaks from the first
+    /// hole or, with no holes to damage, a bogus hole is fabricated over
+    /// allocated storage.
+    #[doc(hidden)]
+    pub fn corrupt_free_list_for_chaos(&mut self) {
+        if let Some((&addr, &size)) = self.free.iter().next() {
+            self.index_remove(addr, size);
+            self.free.remove(&addr);
+            if size > 1 {
+                // Shrink the hole by one word: conservation now fails.
+                self.free.insert(addr, size - 1);
+                self.index_insert(addr, size - 1);
+            }
+            // size == 1: the hole vanishes entirely — also a leak.
+        } else {
+            // Saturated shard: fabricate a hole overlapping an
+            // allocation.
+            self.free.insert(0, 1);
+            self.index_insert(0, 1);
         }
     }
 }
@@ -684,6 +771,43 @@ mod tests {
         a.free(2).unwrap();
         assert_eq!(a.free_words(), 100);
         assert_eq!(a.hole_count(), 1, "frees must coalesce back to one hole");
+        a.check_invariants();
+    }
+
+    #[test]
+    fn audit_detects_chaos_corruption_and_rebuild_heals_it() {
+        for policy in [
+            Placement::FirstFit,
+            Placement::BestFit,
+            Placement::WorstFit,
+            Placement::NextFit,
+        ] {
+            let mut a = FreeListAllocator::new(400, policy);
+            a.alloc(1, 50).unwrap();
+            a.alloc(2, 60).unwrap();
+            a.alloc(3, 70).unwrap();
+            a.free(2).unwrap();
+            assert!(a.audit().is_ok(), "{policy:?}");
+            a.corrupt_free_list_for_chaos();
+            assert!(a.audit().is_err(), "{policy:?}: corruption must be seen");
+            let free = a.rebuild_from_live();
+            assert_eq!(free, 400 - 50 - 70, "{policy:?}");
+            a.check_invariants();
+            // The healed allocator still places and frees correctly.
+            a.alloc(4, 60).unwrap();
+            a.free(1).unwrap();
+            a.check_invariants();
+        }
+    }
+
+    #[test]
+    fn corruption_of_a_saturated_allocator_is_detected() {
+        let mut a = FreeListAllocator::new(64, Placement::FirstFit);
+        a.alloc(1, 64).unwrap();
+        assert_eq!(a.hole_count(), 0);
+        a.corrupt_free_list_for_chaos();
+        assert!(a.audit().is_err());
+        assert_eq!(a.rebuild_from_live(), 0);
         a.check_invariants();
     }
 

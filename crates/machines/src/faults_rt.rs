@@ -10,9 +10,9 @@
 //! one for one — that is what makes the end-of-run reconciliation exact.
 
 use dsa_core::clock::Cycles;
+use dsa_faults::ladder::ShedBudget;
 use dsa_faults::{FaultConfig, FaultInjector, RecoveryReport, RetryPolicy};
 use dsa_probe::{DegradationStep, EventKind, InjectedFault, Probe, Stamp};
-use dsa_sched::load_control::LoadShedder;
 
 /// Shed-load rungs a single machine may take per run before allocation
 /// failures are surfaced to the program.
@@ -22,7 +22,7 @@ const SHED_BUDGET: u32 = 8;
 pub(crate) struct FaultState {
     injector: FaultInjector,
     retry: RetryPolicy,
-    shedder: LoadShedder,
+    shedder: ShedBudget,
     /// Recovery accounting for the current run (reset by `begin_run`).
     pub(crate) recovery: RecoveryReport,
 }
@@ -32,7 +32,7 @@ impl FaultState {
         FaultState {
             injector: FaultInjector::new(seed, config),
             retry: RetryPolicy::default_policy(),
-            shedder: LoadShedder::new(SHED_BUDGET),
+            shedder: ShedBudget::new(SHED_BUDGET),
             recovery: RecoveryReport::default(),
         }
     }
@@ -42,7 +42,7 @@ impl FaultState {
     /// runs of one machine see distinct fault schedules.
     pub(crate) fn begin_run(&mut self) {
         self.recovery = RecoveryReport::default();
-        self.shedder = LoadShedder::new(SHED_BUDGET);
+        self.shedder = ShedBudget::new(SHED_BUDGET);
     }
 
     /// Rolls the hazards for one transfer whose base duration is

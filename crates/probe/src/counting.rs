@@ -41,10 +41,17 @@ pub struct CountingProbe {
     pub bad_frames_injected: u64,
     pub channel_delays_injected: u64,
     pub alloc_failures_injected: u64,
+    pub shard_corruptions_injected: u64,
     pub retry_attempts: u64,
     pub frames_quarantined: u64,
     pub degradation_steps: u64,
     pub shed_loads: u64,
+    pub quota_denials: u64,
+    pub admission_rejects: u64,
+    pub tenants_shed: u64,
+    pub tenant_shed_words: Words,
+    pub shards_quarantined: u64,
+    pub shards_restored: u64,
 }
 
 impl CountingProbe {
@@ -73,6 +80,11 @@ impl CountingProbe {
             + self.retry_attempts
             + self.frames_quarantined
             + self.degradation_steps
+            + self.quota_denials
+            + self.admission_rejects
+            + self.tenants_shed
+            + self.shards_quarantined
+            + self.shards_restored
     }
 
     /// Field-wise difference `self - earlier`: what happened in the
@@ -123,10 +135,17 @@ impl CountingProbe {
             bad_frames_injected,
             channel_delays_injected,
             alloc_failures_injected,
+            shard_corruptions_injected,
             retry_attempts,
             frames_quarantined,
             degradation_steps,
             shed_loads,
+            quota_denials,
+            admission_rejects,
+            tenants_shed,
+            tenant_shed_words,
+            shards_quarantined,
+            shards_restored,
         )
     }
 }
@@ -192,6 +211,7 @@ impl Probe for CountingProbe {
                     InjectedFault::BadFrame => self.bad_frames_injected += 1,
                     InjectedFault::ChannelDelay => self.channel_delays_injected += 1,
                     InjectedFault::AllocFailure => self.alloc_failures_injected += 1,
+                    InjectedFault::ShardCorruption => self.shard_corruptions_injected += 1,
                 }
             }
             EventKind::RetryAttempt { .. } => self.retry_attempts += 1,
@@ -202,6 +222,14 @@ impl Probe for CountingProbe {
                     self.shed_loads += 1;
                 }
             }
+            EventKind::QuotaDenied { .. } => self.quota_denials += 1,
+            EventKind::AdmissionReject { .. } => self.admission_rejects += 1,
+            EventKind::TenantShed { words, .. } => {
+                self.tenants_shed += 1;
+                self.tenant_shed_words += words;
+            }
+            EventKind::ShardQuarantined { .. } => self.shards_quarantined += 1,
+            EventKind::ShardRestored { .. } => self.shards_restored += 1,
         }
     }
 }
@@ -269,6 +297,23 @@ mod tests {
             },
             s,
         );
+        c.emit(EventKind::QuotaDenied { tenant: 3 }, s);
+        c.emit(EventKind::AdmissionReject { tenant: 4 }, s);
+        c.emit(
+            EventKind::TenantShed {
+                tenant: 5,
+                words: 256,
+            },
+            s,
+        );
+        c.emit(EventKind::ShardQuarantined { shard: 1 }, s);
+        c.emit(EventKind::ShardRestored { shard: 1 }, s);
+        c.emit(
+            EventKind::FaultInjected {
+                fault: InjectedFault::ShardCorruption,
+            },
+            s,
+        );
 
         assert_eq!(c.touches, 2);
         assert_eq!(c.writes, 1);
@@ -295,15 +340,22 @@ mod tests {
         assert_eq!(c.map_lookups, 2);
         assert_eq!(c.map_hits, 1);
         assert_eq!(c.map_misses, 1);
-        assert_eq!(c.faults_injected, 2);
+        assert_eq!(c.faults_injected, 3);
         assert_eq!(c.transfer_errors_injected, 1);
         assert_eq!(c.bad_frames_injected, 1);
         assert_eq!(c.channel_delays_injected, 0);
         assert_eq!(c.alloc_failures_injected, 0);
+        assert_eq!(c.shard_corruptions_injected, 1);
         assert_eq!(c.retry_attempts, 1);
         assert_eq!(c.frames_quarantined, 1);
         assert_eq!(c.degradation_steps, 2);
         assert_eq!(c.shed_loads, 1);
-        assert_eq!(c.total_events(), 22);
+        assert_eq!(c.quota_denials, 1);
+        assert_eq!(c.admission_rejects, 1);
+        assert_eq!(c.tenants_shed, 1);
+        assert_eq!(c.tenant_shed_words, 256);
+        assert_eq!(c.shards_quarantined, 1);
+        assert_eq!(c.shards_restored, 1);
+        assert_eq!(c.total_events(), 28);
     }
 }

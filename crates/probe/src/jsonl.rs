@@ -1,6 +1,6 @@
 //! Bounded in-memory event recorder with JSONL export.
 
-use crate::{DegradationStep, Event, EventKind, InjectedFault, Probe};
+use crate::{Event, EventKind, InjectedFault, Probe};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -131,6 +131,7 @@ fn append_event(out: &mut String, e: &Event) {
                 InjectedFault::BadFrame => "bad_frame",
                 InjectedFault::ChannelDelay => "channel_delay",
                 InjectedFault::AllocFailure => "alloc_failure",
+                InjectedFault::ShardCorruption => "shard_corruption",
             };
             let _ = write!(out, ",\"kind\":\"fault_injected\",\"fault\":\"{mode}\"");
         }
@@ -139,13 +140,29 @@ fn append_event(out: &mut String, e: &Event) {
         }
         EventKind::FrameQuarantined => out.push_str(",\"kind\":\"frame_quarantined\""),
         EventKind::DegradationStep { step } => {
-            let rung = match step {
-                DegradationStep::Coalesce => "coalesce",
-                DegradationStep::Compact => "compact",
-                DegradationStep::EvictVictims => "evict_victims",
-                DegradationStep::ShedLoad => "shed_load",
-            };
-            let _ = write!(out, ",\"kind\":\"degradation_step\",\"step\":\"{rung}\"");
+            let _ = write!(
+                out,
+                ",\"kind\":\"degradation_step\",\"step\":\"{}\"",
+                step.label()
+            );
+        }
+        EventKind::QuotaDenied { tenant } => {
+            let _ = write!(out, ",\"kind\":\"quota_denied\",\"tenant\":{tenant}");
+        }
+        EventKind::AdmissionReject { tenant } => {
+            let _ = write!(out, ",\"kind\":\"admission_reject\",\"tenant\":{tenant}");
+        }
+        EventKind::TenantShed { tenant, words } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"tenant_shed\",\"tenant\":{tenant},\"words\":{words}"
+            );
+        }
+        EventKind::ShardQuarantined { shard } => {
+            let _ = write!(out, ",\"kind\":\"shard_quarantined\",\"shard\":{shard}");
+        }
+        EventKind::ShardRestored { shard } => {
+            let _ = write!(out, ",\"kind\":\"shard_restored\",\"shard\":{shard}");
         }
     }
     out.push('}');
@@ -164,7 +181,7 @@ impl Probe for JsonlRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Stamp;
+    use crate::{DegradationStep, Stamp};
     use dsa_core::clock::Cycles;
 
     #[test]

@@ -83,21 +83,19 @@ pub enum InjectedFault {
     ChannelDelay,
     /// An allocation request was failed outright.
     AllocFailure,
+    /// A shard's free list was corrupted in place; the shard must be
+    /// quarantined and rebuilt from the live-allocation snapshot.
+    ShardCorruption,
 }
 
 /// One rung of the graceful-degradation ladder a system climbs under
 /// storage pressure before giving up with a typed error.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum DegradationStep {
-    /// Adjacent free blocks were combined.
-    Coalesce,
-    /// Allocated blocks were slid together to consolidate free storage.
-    Compact,
-    /// Resident units were evicted to make room.
-    EvictVictims,
-    /// The load controller shed speculative/pinned claims on storage.
-    ShedLoad,
-}
+///
+/// The enum itself lives in `dsa-faults` (`dsa_faults::ladder`) so the
+/// machine drivers and the concurrent arena's overload guard share one
+/// vocabulary; this re-export keeps the probe-side spelling
+/// (`dsa_probe::DegradationStep`) working.
+pub use dsa_faults::ladder::DegradationStep;
 
 /// What happened. Payloads carry the quantities reports aggregate, so a
 /// counting sink can reconcile exactly with a `MachineReport`.
@@ -140,6 +138,21 @@ pub enum EventKind {
     FrameQuarantined,
     /// A degradation rung was climbed under storage pressure.
     DegradationStep { step: DegradationStep },
+    /// A tenant's allocation was refused because it would exceed the
+    /// tenant's word quota.
+    QuotaDenied { tenant: u32 },
+    /// The overload guard refused a tenant's allocation at admission,
+    /// before touching any shard.
+    AdmissionReject { tenant: u32 },
+    /// A lower-priority tenant's live allocations (`words` in total)
+    /// were shed to admit a higher-priority demand.
+    TenantShed { tenant: u32, words: Words },
+    /// A shard failed its audit and was quarantined: routed out of the
+    /// home/steal rotation until healed.
+    ShardQuarantined { shard: u32 },
+    /// A quarantined shard's free list was rebuilt from the live
+    /// allocations, re-verified, and readmitted to the rotation.
+    ShardRestored { shard: u32 },
 }
 
 /// One traced occurrence: an [`EventKind`] plus the dual timestamp.

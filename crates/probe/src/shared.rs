@@ -58,10 +58,17 @@ pub struct SharedProbe {
     bad_frames_injected: AtomicU64,
     channel_delays_injected: AtomicU64,
     alloc_failures_injected: AtomicU64,
+    shard_corruptions_injected: AtomicU64,
     retry_attempts: AtomicU64,
     frames_quarantined: AtomicU64,
     degradation_steps: AtomicU64,
     shed_loads: AtomicU64,
+    quota_denials: AtomicU64,
+    admission_rejects: AtomicU64,
+    tenants_shed: AtomicU64,
+    tenant_shed_words: AtomicU64,
+    shards_quarantined: AtomicU64,
+    shards_restored: AtomicU64,
 }
 
 impl SharedProbe {
@@ -136,6 +143,7 @@ impl SharedProbe {
                     InjectedFault::BadFrame => add(&self.bad_frames_injected),
                     InjectedFault::ChannelDelay => add(&self.channel_delays_injected),
                     InjectedFault::AllocFailure => add(&self.alloc_failures_injected),
+                    InjectedFault::ShardCorruption => add(&self.shard_corruptions_injected),
                 }
             }
             EventKind::RetryAttempt { .. } => add(&self.retry_attempts),
@@ -146,6 +154,14 @@ impl SharedProbe {
                     add(&self.shed_loads);
                 }
             }
+            EventKind::QuotaDenied { .. } => add(&self.quota_denials),
+            EventKind::AdmissionReject { .. } => add(&self.admission_rejects),
+            EventKind::TenantShed { words, .. } => {
+                add(&self.tenants_shed);
+                add_n(&self.tenant_shed_words, words);
+            }
+            EventKind::ShardQuarantined { .. } => add(&self.shards_quarantined),
+            EventKind::ShardRestored { .. } => add(&self.shards_restored),
         }
     }
 
@@ -189,10 +205,17 @@ impl SharedProbe {
             bad_frames_injected: get(&self.bad_frames_injected),
             channel_delays_injected: get(&self.channel_delays_injected),
             alloc_failures_injected: get(&self.alloc_failures_injected),
+            shard_corruptions_injected: get(&self.shard_corruptions_injected),
             retry_attempts: get(&self.retry_attempts),
             frames_quarantined: get(&self.frames_quarantined),
             degradation_steps: get(&self.degradation_steps),
             shed_loads: get(&self.shed_loads),
+            quota_denials: get(&self.quota_denials),
+            admission_rejects: get(&self.admission_rejects),
+            tenants_shed: get(&self.tenants_shed),
+            tenant_shed_words: get(&self.tenant_shed_words),
+            shards_quarantined: get(&self.shards_quarantined),
+            shards_restored: get(&self.shards_restored),
         }
     }
 

@@ -55,42 +55,13 @@ pub struct GlobalJobSpec {
 /// let the demand through. The shedder bounds how many times a run may
 /// fall back on that before allocation failures are surfaced to the
 /// program, so a pathological workload degrades instead of livelocking.
-#[derive(Clone, Copy, Debug)]
-pub struct LoadShedder {
-    /// Sheds still permitted.
-    remaining: u32,
-    /// Sheds performed.
-    sheds: u64,
-}
-
-impl LoadShedder {
-    /// A shedder allowing at most `max_sheds` shed-load rungs per run.
-    #[must_use]
-    pub fn new(max_sheds: u32) -> LoadShedder {
-        LoadShedder {
-            remaining: max_sheds,
-            sheds: 0,
-        }
-    }
-
-    /// Attempts to take a shed-load rung. Returns `true` (and counts
-    /// it) while the budget lasts; after that the caller must surface
-    /// the failure.
-    pub fn try_shed(&mut self) -> bool {
-        if self.remaining == 0 {
-            return false;
-        }
-        self.remaining -= 1;
-        self.sheds += 1;
-        true
-    }
-
-    /// Shed-load rungs taken so far.
-    #[must_use]
-    pub fn sheds(&self) -> u64 {
-        self.sheds
-    }
-}
+///
+/// The mechanics now live in `dsa-faults` as
+/// [`dsa_faults::ladder::ShedBudget`], the one shed-budget type shared
+/// by the machine drivers and the concurrent arena's overload guard
+/// (which uses the atomic form); this alias keeps the scheduling-side
+/// name.
+pub use dsa_faults::ladder::ShedBudget as LoadShedder;
 
 /// The admission policy: the scheduler/allocator integration knob.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -63,6 +63,11 @@ mod tag {
     pub const RETRY_ATTEMPT: u64 = 15;
     pub const FRAME_QUARANTINED: u64 = 16;
     pub const DEGRADATION_STEP: u64 = 17;
+    pub const QUOTA_DENIED: u64 = 18;
+    pub const ADMISSION_REJECT: u64 = 19;
+    pub const TENANT_SHED: u64 = 20;
+    pub const SHARD_QUARANTINED: u64 = 21;
+    pub const SHARD_RESTORED: u64 = 22;
 }
 
 /// Packs an event kind into `(meta, a, b)`.
@@ -91,6 +96,7 @@ fn encode(kind: EventKind) -> (u64, u64, u64) {
                 InjectedFault::BadFrame => 1,
                 InjectedFault::ChannelDelay => 2,
                 InjectedFault::AllocFailure => 3,
+                InjectedFault::ShardCorruption => 4,
             };
             (meta(tag::FAULT_INJECTED, f), 0, 0)
         }
@@ -102,9 +108,23 @@ fn encode(kind: EventKind) -> (u64, u64, u64) {
                 DegradationStep::Compact => 1,
                 DegradationStep::EvictVictims => 2,
                 DegradationStep::ShedLoad => 3,
+                DegradationStep::RetryBackoff => 4,
+                DegradationStep::StealGlobal => 5,
+                DegradationStep::ShedTenant => 6,
             };
             (meta(tag::DEGRADATION_STEP, s), 0, 0)
         }
+        EventKind::QuotaDenied { tenant } => (meta(tag::QUOTA_DENIED, 0), u64::from(tenant), 0),
+        EventKind::AdmissionReject { tenant } => {
+            (meta(tag::ADMISSION_REJECT, 0), u64::from(tenant), 0)
+        }
+        EventKind::TenantShed { tenant, words } => {
+            (meta(tag::TENANT_SHED, 0), u64::from(tenant), words)
+        }
+        EventKind::ShardQuarantined { shard } => {
+            (meta(tag::SHARD_QUARANTINED, 0), u64::from(shard), 0)
+        }
+        EventKind::ShardRestored { shard } => (meta(tag::SHARD_RESTORED, 0), u64::from(shard), 0),
     }
 }
 
@@ -139,7 +159,8 @@ fn decode(meta: u64, a: u64, b: u64) -> Option<EventKind> {
                 0 => InjectedFault::TransferError,
                 1 => InjectedFault::BadFrame,
                 2 => InjectedFault::ChannelDelay,
-                _ => InjectedFault::AllocFailure,
+                3 => InjectedFault::AllocFailure,
+                _ => InjectedFault::ShardCorruption,
             },
         },
         tag::RETRY_ATTEMPT => EventKind::RetryAttempt { attempt: a as u32 },
@@ -149,9 +170,20 @@ fn decode(meta: u64, a: u64, b: u64) -> Option<EventKind> {
                 0 => DegradationStep::Coalesce,
                 1 => DegradationStep::Compact,
                 2 => DegradationStep::EvictVictims,
-                _ => DegradationStep::ShedLoad,
+                3 => DegradationStep::ShedLoad,
+                4 => DegradationStep::RetryBackoff,
+                5 => DegradationStep::StealGlobal,
+                _ => DegradationStep::ShedTenant,
             },
         },
+        tag::QUOTA_DENIED => EventKind::QuotaDenied { tenant: a as u32 },
+        tag::ADMISSION_REJECT => EventKind::AdmissionReject { tenant: a as u32 },
+        tag::TENANT_SHED => EventKind::TenantShed {
+            tenant: a as u32,
+            words: b,
+        },
+        tag::SHARD_QUARANTINED => EventKind::ShardQuarantined { shard: a as u32 },
+        tag::SHARD_RESTORED => EventKind::ShardRestored { shard: a as u32 },
         _ => return None,
     })
 }
@@ -412,6 +444,26 @@ mod tests {
             EventKind::DegradationStep {
                 step: DegradationStep::ShedLoad,
             },
+            EventKind::DegradationStep {
+                step: DegradationStep::RetryBackoff,
+            },
+            EventKind::DegradationStep {
+                step: DegradationStep::StealGlobal,
+            },
+            EventKind::DegradationStep {
+                step: DegradationStep::ShedTenant,
+            },
+            EventKind::FaultInjected {
+                fault: InjectedFault::ShardCorruption,
+            },
+            EventKind::QuotaDenied { tenant: 7 },
+            EventKind::AdmissionReject { tenant: 8 },
+            EventKind::TenantShed {
+                tenant: 9,
+                words: 4096,
+            },
+            EventKind::ShardQuarantined { shard: 2 },
+            EventKind::ShardRestored { shard: 2 },
         ]
     }
 

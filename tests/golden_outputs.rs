@@ -1,4 +1,4 @@
-//! The golden-output gauntlet: four fast experiment binaries, pinned
+//! The golden-output gauntlet: six fast experiment binaries, pinned
 //! stdout, byte-for-byte.
 //!
 //! Two invariants at once:
@@ -25,11 +25,13 @@ use std::process::Command;
 
 /// The gauntlet: fast (all under ~100 ms in a debug build) and fully
 /// deterministic, including every printed column.
-const GAUNTLET: [&str; 4] = [
+const GAUNTLET: [&str; 6] = [
     "exp_01_artificial_contiguity",
+    "exp_06_faults",
     "exp_11_multics_dual",
     "exp_14_promotion",
     "exp_17_drum_queueing",
+    "exp_19_overload",
 ];
 
 /// `target/<profile>/` for the build running this test: the test

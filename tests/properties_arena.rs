@@ -51,13 +51,13 @@ proptest! {
             let req = match *op {
                 Op::Alloc(words) => {
                     next += 1;
-                    Request::Alloc { id: next - 1, words }
+                    Request::alloc(next - 1, words)
                 }
                 Op::FreeNth(i) => {
                     if live.is_empty() {
                         continue;
                     }
-                    Request::Free { id: live.swap_remove(i % live.len()) }
+                    Request::free(live.swap_remove(i % live.len()))
                 }
             };
             match (req, &svc.submit(&[req])[0]) {
@@ -91,7 +91,7 @@ proptest! {
                     Op::Alloc(words) => {
                         let id = next;
                         next += 1;
-                        let got = &svc.submit(&[Request::Alloc { id, words }])[0];
+                        let got = &svc.submit(&[Request::alloc(id, words)])[0];
                         match (got, bare.alloc(id, words)) {
                             (Response::Allocated { addr, .. }, Ok(want)) => {
                                 prop_assert_eq!(
@@ -114,7 +114,7 @@ proptest! {
                             continue;
                         }
                         let id = live.swap_remove(i % live.len());
-                        prop_assert!(svc.submit(&[Request::Free { id }])[0].is_ok());
+                        prop_assert!(svc.submit(&[Request::free(id)])[0].is_ok());
                         bare.free(id).expect("live id");
                     }
                 }
@@ -185,7 +185,7 @@ fn churn_no_double_handout(threads: u64) {
                         next += 1;
                         let words = 1 + rng.next_u64() % 96;
                         if let Response::Allocated { addr, .. } =
-                            &svc.submit(&[Request::Alloc { id, words }])[0]
+                            &svc.submit(&[Request::alloc(id, words)])[0]
                         {
                             if !claims.claim(addr.value(), words) {
                                 overlaps.fetch_add(1, Ordering::Relaxed);
@@ -199,12 +199,12 @@ fn churn_no_double_handout(threads: u64) {
                         // racing re-allocation of the words would trip
                         // the map spuriously.
                         claims.release(addr, words);
-                        assert!(svc.submit(&[Request::Free { id }])[0].is_ok());
+                        assert!(svc.submit(&[Request::free(id)])[0].is_ok());
                     }
                 }
                 for (id, addr, words) in live {
                     claims.release(addr, words);
-                    assert!(svc.submit(&[Request::Free { id }])[0].is_ok());
+                    assert!(svc.submit(&[Request::free(id)])[0].is_ok());
                 }
             });
         }

@@ -16,6 +16,7 @@ use dsa::probe::CountingProbe;
 use dsa::trace::allocstream::SizeDist;
 use dsa::trace::program::ProgramCfg;
 use dsa::trace::rng::Rng64;
+use proptest::prelude::*;
 
 /// A workload heavy enough to overflow every preset's working storage:
 /// faults (and therefore transfers, the injector's hazard sites) must
@@ -242,4 +243,85 @@ fn hostile_schedules_actually_exercise_the_recovery_paths() {
         .map(|(_, r, _)| r.recovery.frames_quarantined)
         .sum();
     assert!(quarantined > 0, "no frame was ever quarantined");
+}
+
+/// One stream's full decision schedule, byte-encoded: every roll the
+/// worker makes, in call order. Two runs with the same (seed, stream)
+/// must produce identical bytes no matter how streams are packed onto
+/// threads.
+fn stream_schedule(worker: &mut dsa::faults::WorkerInjector<'_>, rolls: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(rolls * 5);
+    for _ in 0..rolls {
+        out.push(u8::from(worker.transfer_error()));
+        out.push(u8::from(worker.frame_bad()));
+        out.push(match worker.channel_delay() {
+            Some(_) => 1,
+            None => 0,
+        });
+        out.push(u8::from(worker.alloc_failure()));
+        if worker.shard_corruption() {
+            out.push(1);
+            out.push(worker.corruption_target(8) as u8);
+        } else {
+            out.push(0);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The thread-safe injector is deterministic *per stream*: running
+    /// the same 8 streams on 1, 2, or 8 worker threads yields
+    /// byte-identical fault schedules for every stream and an identical
+    /// end-of-run `RecoveryReport`, for any seed.
+    #[test]
+    fn sync_injector_schedule_is_identical_at_1_2_and_8_threads(seed in any::<u64>()) {
+        use std::sync::Mutex;
+        use dsa::faults::SyncFaultInjector;
+        const STREAMS: usize = 8;
+        const ROLLS: usize = 200;
+        let config = FaultConfig::transfer_errors(0.03)
+            .with_bad_frames(0.02)
+            .with_channel_delays(0.04, Cycles::from_micros(10))
+            .with_alloc_failures(0.05);
+        let mut baseline: Option<(Vec<Vec<u8>>, dsa::faults::RecoveryReport)> = None;
+        for threads in [1usize, 2, 8] {
+            let inj = SyncFaultInjector::new(seed, config);
+            let schedules: Vec<Mutex<Vec<u8>>> =
+                (0..STREAMS).map(|_| Mutex::new(Vec::new())).collect();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let inj = &inj;
+                    let schedules = &schedules;
+                    scope.spawn(move || {
+                        // Streams are packed round-robin onto threads:
+                        // every width covers the same stream set.
+                        for s in (t..STREAMS).step_by(threads) {
+                            let mut worker = inj.worker(s as u64);
+                            *schedules[s].lock().unwrap() =
+                                stream_schedule(&mut worker, ROLLS);
+                        }
+                    });
+                }
+            });
+            let got: Vec<Vec<u8>> = schedules
+                .into_iter()
+                .map(|m| m.into_inner().unwrap())
+                .collect();
+            let report = inj.report();
+            match &baseline {
+                None => baseline = Some((got, report)),
+                Some((want_sched, want_report)) => {
+                    prop_assert_eq!(
+                        &got, want_sched,
+                        "fault schedule changed with thread count {}", threads
+                    );
+                    prop_assert_eq!(
+                        &report, want_report,
+                        "RecoveryReport changed with thread count {}", threads
+                    );
+                }
+            }
+        }
+    }
 }

@@ -28,7 +28,7 @@ use std::process::Command;
 /// Every experiment binary in `dsa-bench` — kept in sync by the loud
 /// failure below if one is missing, and by code review if one is added
 /// without being listed here.
-const ALL_BINARIES: [&str; 19] = [
+const ALL_BINARIES: [&str; 20] = [
     "exp_01_artificial_contiguity",
     "exp_02_space_time",
     "exp_03_mapping_overhead",
@@ -48,6 +48,7 @@ const ALL_BINARIES: [&str; 19] = [
     "exp_16_load_control",
     "exp_17_drum_queueing",
     "exp_18_concurrency",
+    "exp_19_overload",
 ];
 
 /// `target/<profile>/` for the build running this test: the test
@@ -169,6 +170,51 @@ fn exp_01_json_export_is_identical_across_jobs_widths() {
         "exp_01 --metrics-out JSON differs between --jobs 1 and --jobs 4 — \
          parallel merge leaked scheduling into the metrics; {}",
         first_diff(&a, &b)
+    );
+}
+
+/// The overload experiment's export carries the multi-tenant series —
+/// per-tenant quota/occupancy gauges, shed and quota-denial counters,
+/// the per-shard quarantine gauge, and the guard's admission/shed
+/// totals — in pinned tenant order. A drift in any of them (or in the
+/// exposition renderer) fails here with a diff.
+#[test]
+fn exp_19_tenant_series_match_golden() {
+    let golden_path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/exp_19_metrics.prom");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", golden_path.display()));
+    for series in [
+        "tenant_quota_words",
+        "tenant_in_use_words",
+        "tenant_shed_total",
+        "tenant_quota_denials_total",
+        "shard_quarantined",
+        "admission_rejects_total",
+        "tenant_sheds_granted_total",
+    ] {
+        assert!(
+            golden.contains(series),
+            "tests/golden/exp_19_metrics.prom lost the {series} series — \
+             the multi-tenant export contract broke"
+        );
+    }
+    let out = scratch("exp_19.prom");
+    run(
+        "exp_19_overload",
+        &[
+            "--jobs",
+            "1",
+            "--metrics-out",
+            out.to_str().expect("utf-8 path"),
+        ],
+    );
+    let got = std::fs::read_to_string(&out).expect("metrics file written");
+    assert!(
+        got == golden,
+        "exp_19 Prometheus export drifted from tests/golden/exp_19_metrics.prom — {}\n\
+         (if the change is intentional, regenerate the golden file)",
+        first_diff(&got, &golden)
     );
 }
 

@@ -250,6 +250,26 @@ impl ArenaService {
         self
     }
 
+    /// Arms the small-size quick-list fast path in every shard of a
+    /// striped backend (no-op over a slab backend, which is already
+    /// O(1)). Host-speed mode: placement behavior changes and the
+    /// quick path charges no modeled probes, so modeled (golden)
+    /// experiments must not use it. Reconciliation is unaffected —
+    /// parked blocks count as free words, so charged words still equal
+    /// arena-allocated words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero or exceeds the shard capacity, or
+    /// if `depth` is zero.
+    #[must_use]
+    pub fn with_quick_lists(self, max_size: Words, depth: usize) -> ArenaService {
+        if let Backend::Striped(arena) = &self.backend {
+            arena.enable_quick_lists(max_size, depth);
+        }
+        self
+    }
+
     /// Registers (or re-registers) a tenant with a word quota. Once any
     /// tenant is registered, *every* request must allocate as a
     /// registered tenant — unknown tenants fail typed.
@@ -963,6 +983,29 @@ mod tests {
         assert_eq!(c.freed_words, 250);
         assert_eq!(svc.arena().unwrap().snapshot().allocated_words(), 250);
         svc.check_reconciliation();
+    }
+
+    #[test]
+    fn quick_lists_reconcile_and_drain_to_zero() {
+        let svc = ArenaService::striped(4, 4096, Placement::FirstFit).with_quick_lists(64, 16);
+        // Churn small blocks so frees park on the quick lists, then
+        // re-allocate through them; charged words must track arena
+        // words at every quiescent point.
+        for round in 0..8u64 {
+            let batch: Vec<Request> = (0..32)
+                .map(|i| Request::alloc(round * 32 + i, 8 + (i % 4) * 8))
+                .collect();
+            assert!(svc.submit(&batch).iter().all(Response::is_ok));
+            svc.check_reconciliation();
+            let frees: Vec<Request> = (0..32).map(|i| Request::free(round * 32 + i)).collect();
+            assert!(svc.submit(&frees).iter().all(Response::is_ok));
+            svc.check_reconciliation();
+        }
+        // Parked blocks are free words: a fully-drained service shows
+        // zero allocated even with blocks still on the quick lists.
+        let snap = svc.arena().unwrap().snapshot();
+        assert_eq!(snap.allocated_words(), 0);
+        svc.arena().unwrap().check_invariants();
     }
 
     #[test]

@@ -273,6 +273,23 @@ impl ShardedArena {
         }
     }
 
+    /// Enables the exact-size quick lists (deferred coalescing) in
+    /// every shard's allocator — the small-size fast path for churn-
+    /// heavy hosts. Host-speed mode only: placement behavior changes
+    /// and quick-path requests charge no modeled probes, so this must
+    /// never be enabled in a modeled (golden) experiment. See
+    /// `FreeListAllocator::enable_quick_lists`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero or exceeds the shard capacity, or
+    /// if `depth` is zero.
+    pub fn enable_quick_lists(&self, max_size: Words, depth: usize) {
+        for s in 0..self.shard_count() {
+            self.lock(s).alloc.enable_quick_lists(max_size, depth);
+        }
+    }
+
     /// Number of shards.
     #[must_use]
     pub fn shard_count(&self) -> u32 {

@@ -12,9 +12,15 @@
 //! * `slab_raw` — the bare `FixedSlab::alloc`/`free` pair without the
 //!   service front-end, isolating the Treiber-stack cost from the
 //!   registry/probe overhead around it.
+//! * `striped_raw` — the bare `ShardedArena` alloc/free pair against a
+//!   fragmented shard, with and without the quick-list fast path; the
+//!   quick variant is the small-size arena fast path `BENCH_06.json`
+//!   records.
+//! * `striped_submit_quick` — the `striped_submit` sweep with quick
+//!   lists armed, the service-level view of the same fast path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsa_arena::{ArenaService, FixedSlab, Request, Response};
+use dsa_arena::{ArenaService, FixedSlab, Request, Response, ShardedArena};
 use dsa_freelist::Placement;
 use dsa_trace::rng::Rng64;
 
@@ -110,6 +116,75 @@ fn slab_submit(c: &mut Criterion) {
     g.finish();
 }
 
+fn striped_submit_quick(c: &mut Criterion) {
+    let streams: Vec<Vec<Request>> = (0..WORKERS).map(|w| worker_stream(w, 120)).collect();
+    let mut g = c.benchmark_group("striped_submit_quick");
+    for shards in [1u32, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(shards),
+            &streams,
+            |b, streams| {
+                b.iter_with_setup(
+                    || {
+                        ArenaService::striped(
+                            shards,
+                            TOTAL_WORDS / u64::from(shards),
+                            Placement::FirstFit,
+                        )
+                        // Streams request 8..=127 words: cover them all.
+                        .with_quick_lists(128, 64)
+                    },
+                    |svc| drive(&svc, streams),
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+/// A fragmented 4-shard arena: persistent blocks with every other one
+/// freed, so the pair under test works against a populated hole list —
+/// the regime where the fast path matters.
+fn fragmented_arena(quick: bool) -> ShardedArena {
+    let arena = ShardedArena::new(4, TOTAL_WORDS / 4, Placement::FirstFit);
+    if quick {
+        arena.enable_quick_lists(128, 64);
+    }
+    let mut rng = Rng64::new(0xF4A6);
+    for id in 0..2000u64 {
+        let _ = arena.alloc(1 << 50 | id, 8 + rng.next_u64() % 120);
+    }
+    for id in (0..2000u64).step_by(2) {
+        let _ = arena.free(1 << 50 | id);
+    }
+    arena
+}
+
+fn striped_raw(c: &mut Criterion) {
+    let mut g = c.benchmark_group("striped_raw");
+    g.bench_function("alloc_free_pair", |b| {
+        let arena = fragmented_arena(false);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let addr = arena.alloc(id, 16).expect("churn block fits");
+            arena.free(id).expect("just allocated");
+            addr
+        })
+    });
+    g.bench_function("alloc_free_pair_quick", |b| {
+        let arena = fragmented_arena(true);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let addr = arena.alloc(id, 16).expect("churn block fits");
+            arena.free(id).expect("just allocated");
+            addr
+        })
+    });
+    g.finish();
+}
+
 fn slab_raw(c: &mut Criterion) {
     let mut g = c.benchmark_group("slab_raw");
     g.bench_function("alloc_free_pair", |b| {
@@ -129,6 +204,6 @@ criterion_group!(
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = striped_submit, slab_submit, slab_raw
+    targets = striped_submit, striped_submit_quick, slab_submit, striped_raw, slab_raw
 );
 criterion_main!(arena_churn);

@@ -80,6 +80,52 @@ fn alloc_churn(c: &mut Criterion) {
     g.finish();
 }
 
+/// The first-fit *search* isolated: an alloc/free pair against a field
+/// of ~1024 small splinter holes that the request does not fit, so the
+/// linear scan walks all of them and the segregated bins jump straight
+/// to the first adequate class. `TwoEnds {threshold: u64::MAX}` routes
+/// every request through its bottom-up scan — operationally identical
+/// to first-fit's linear scan and still in the tree — so the baseline
+/// and the indexed path can be raced in one binary on the same
+/// workload (the pair's placement, and the heap it leaves behind, are
+/// identical under both).
+fn first_fit_search(c: &mut Criterion) {
+    fn fragmented(policy: Placement) -> FreeListAllocator {
+        let mut a = FreeListAllocator::new(CAPACITY, policy);
+        for id in 0..2048u64 {
+            a.alloc(id, 64).expect("setup fits");
+        }
+        for id in (0..2048u64).step_by(2) {
+            a.free(id).expect("just allocated");
+        }
+        a
+    }
+    let mut g = c.benchmark_group("first_fit_search");
+    g.bench_function("linear_scan", |b| {
+        let mut a = fragmented(Placement::TwoEnds {
+            threshold: u64::MAX,
+        });
+        let mut id = 1u64 << 32;
+        b.iter(|| {
+            id += 1;
+            let addr = a.alloc(id, 128).expect("large hole fits");
+            a.free(id).expect("just allocated");
+            addr
+        })
+    });
+    g.bench_function("segregated_bins", |b| {
+        let mut a = fragmented(Placement::FirstFit);
+        let mut id = 1u64 << 32;
+        b.iter(|| {
+            id += 1;
+            let addr = a.alloc(id, 128).expect("large hole fits");
+            a.free(id).expect("just allocated");
+            addr
+        })
+    });
+    g.finish();
+}
+
 /// LRU and MIN victim selection with a large frame pool and a miss-heavy
 /// uniform trace: nearly every reference evicts, so victim choice
 /// dominates.
@@ -166,6 +212,6 @@ criterion_group!(
         .sample_size(10)
         .warm_up_time(std::time::Duration::from_millis(200))
         .measurement_time(std::time::Duration::from_secs(2));
-    targets = alloc_churn, victim_select, belady_curve
+    targets = alloc_churn, first_fit_search, victim_select, belady_curve
 );
 criterion_main!(hotpath);

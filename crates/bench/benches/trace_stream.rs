@@ -1,0 +1,81 @@
+//! Streaming vs. materialized trace traversal: what a reference
+//! costs to *produce and consume*, each way.
+//!
+//! The streaming layer's pitch is constant memory at identical
+//! throughput — the iterator does exactly the draws the materializing
+//! generator does, so per-reference host cost should match (and the
+//! stream never pays the allocation or the cache misses of an
+//! 800 MB `Vec` at 10⁸ references). This group measures both paths at
+//! a CI-friendly length; `BENCH_06.json` records the 10⁸-reference
+//! runs (where the materialized path stops being measurable on small
+//! hosts, which is the point).
+//!
+//! Consumers are the real ones: the LRU machine via `run_pages_iter`
+//! and the streaming Mattson engine, against their `Vec`-driven
+//! twins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsa_paging::paged::PagedMemory;
+use dsa_paging::replacement::lru::LruRepl;
+use dsa_stackdist::lru_success;
+use dsa_stackdist::streaming::StreamingLru;
+use dsa_trace::refstring::RefStringCfg;
+use dsa_trace::rng::Rng64;
+
+const REFS: usize = 1_000_000;
+const FRAMES: usize = 256;
+
+fn cfg() -> RefStringCfg {
+    RefStringCfg::HotCold {
+        hot: 128,
+        cold: 8064,
+        p_hot: 0.85,
+    }
+}
+
+/// Generate-and-traverse, both ways: the whole producer+consumer cost,
+/// which is what an experiment binary actually pays per reference.
+fn trace_stream(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_stream");
+    g.bench_function("materialized_machine", |b| {
+        b.iter(|| {
+            let trace = cfg().generate_pages(REFS, &mut Rng64::new(42));
+            let mut m = PagedMemory::new(FRAMES, Box::new(LruRepl::new()));
+            m.run_pages(&trace).expect("no pinning").faults
+        })
+    });
+    g.bench_function("streamed_machine", |b| {
+        b.iter(|| {
+            let mut m = PagedMemory::new(FRAMES, Box::new(LruRepl::new()));
+            m.run_pages_iter(cfg().stream(0.0, 42).pages().take(REFS))
+                .expect("no pinning")
+                .faults
+        })
+    });
+    g.bench_function("materialized_stackdist", |b| {
+        b.iter(|| {
+            let trace = cfg().generate_pages(REFS, &mut Rng64::new(42));
+            lru_success(&trace).faults(FRAMES)
+        })
+    });
+    g.bench_function("streamed_stackdist", |b| {
+        b.iter(|| {
+            let mut s = StreamingLru::new();
+            for p in cfg().stream(0.0, 42).pages().take(REFS) {
+                s.record(p);
+            }
+            s.success().faults(FRAMES)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = streams;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = trace_stream
+);
+criterion_main!(streams);

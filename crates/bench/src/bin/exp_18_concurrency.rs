@@ -152,7 +152,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let max_shards = cli::shards_from_env().unwrap_or(8);
+    let max_shards = cli::shards_or(8);
     println!("E18: concurrent allocation service — scaling with shard count\n");
     println!(
         "{workers} workers x {OPS_PER_WORKER} ops, batches of {BATCH}; striped arena \
@@ -165,15 +165,10 @@ fn main() {
     );
 
     // Part 1: variable units — the sharded free-list arena.
-    let mut shard_counts: Vec<u32> = Vec::new();
-    let mut s = 1u32;
-    while u64::from(s) <= max_shards as u64 {
-        shard_counts.push(s);
-        s *= 2;
-    }
-    if shard_counts.last() != Some(&(max_shards as u32)) {
-        shard_counts.push(max_shards as u32);
-    }
+    let shard_counts: Vec<u32> = cli::doubling_sweep(max_shards)
+        .into_iter()
+        .map(|s| s as u32)
+        .collect();
     let streams: Vec<Vec<Request>> = (0..workers as u64).map(|w| worker_stream(w, 120)).collect();
     let total_ops: usize = streams.iter().map(Vec::len).sum();
 
@@ -357,8 +352,7 @@ fn main() {
     .with_title(&format!(
         "lock-free fixed-size slab ({SLAB_UNITS} units x {UNIT_WORDS} words)"
     ));
-    let mut w = 1usize;
-    while w <= workers.max(1) {
+    for w in cli::doubling_sweep(workers.max(1)) {
         let slab_streams: Vec<Vec<Request>> = (0..w as u64)
             .map(|i| worker_stream(i, UNIT_WORDS - 8))
             .collect();
@@ -382,10 +376,6 @@ fn main() {
             .to_owned(),
             format!("{:.2}", ops as f64 / elapsed / 1e6),
         ]);
-        if w == workers.max(1) {
-            break;
-        }
-        w = (w * 2).min(workers.max(1));
     }
     println!("{t}");
     metrics.table("slab_sweep", &t);

@@ -5,7 +5,7 @@
 //! experiment asks the same of the *service*. A tenant grid offers more
 //! storage than the striped arena holds — tenants × offered load, with
 //! priorities striped across tenants — once with the service bare and
-//! once behind the [`OverloadGuard`]. Without admission control the
+//! once behind the `OverloadGuard`. Without admission control the
 //! arena fills and every class fails alike (collapse: the highest
 //! priority is exactly as dead as the lowest). With the guard, low
 //! classes are refused at the door past the occupancy watermarks and
@@ -31,14 +31,30 @@ use dsa_metrics::table::Table;
 use dsa_telemetry::FlightRecorder;
 use dsa_trace::rng::Rng64;
 
-/// Striped-arena geometry for the grid cells.
-const SHARDS: u32 = 4;
+/// Words per shard; the shard *count* comes from `--shards`
+/// (default 4, the golden configuration), derived once in `main` and
+/// threaded everywhere as [`Geometry`].
 const SHARD_WORDS: u64 = 4096;
-const CAPACITY: u64 = SHARDS as u64 * SHARD_WORDS;
 
-/// Offered load per cell, as words requested: past twice the capacity,
-/// so every cell runs deep into overload.
-const OFFERED_TARGET: u64 = CAPACITY * 22 / 10;
+/// Striped-arena geometry for the grid cells — the one place capacity
+/// and offered load derive from the shard count.
+#[derive(Clone, Copy)]
+struct Geometry {
+    shards: u32,
+    shard_words: u64,
+}
+
+impl Geometry {
+    fn capacity(self) -> u64 {
+        u64::from(self.shards) * self.shard_words
+    }
+
+    /// Offered load per cell, as words requested: past twice the
+    /// capacity, so every cell runs deep into overload.
+    fn offered_target(self) -> u64 {
+        self.capacity() * 22 / 10
+    }
+}
 
 /// The priority a tenant index allocates at: striped Low / Normal /
 /// High so every class is present (from three tenants up) and the
@@ -74,8 +90,8 @@ struct CellOut {
 /// clients with 3 × C ∕ t: more than the watermarks can ever clear, so
 /// serving them forces the guard all the way down the ladder to the
 /// shed rung. Guarded or bare.
-fn cell_service(tenants: u32, guarded: bool) -> ArenaService {
-    let mut svc = ArenaService::striped(SHARDS, SHARD_WORDS, Placement::FirstFit);
+fn cell_service(geo: Geometry, tenants: u32, guarded: bool) -> ArenaService {
+    let mut svc = ArenaService::striped(geo.shards, geo.shard_words, Placement::FirstFit);
     if guarded {
         svc = svc.with_overload(OverloadConfig {
             shed_budget: 1024,
@@ -85,8 +101,8 @@ fn cell_service(tenants: u32, guarded: bool) -> ArenaService {
     for i in 0..tenants {
         let p = tenant_priority(i);
         let quota = match p {
-            Priority::High => CAPACITY * 30 / (10 * u64::from(tenants)),
-            _ => CAPACITY * 12 / (10 * u64::from(tenants)),
+            Priority::High => geo.capacity() * 30 / (10 * u64::from(tenants)),
+            _ => geo.capacity() * 12 / (10 * u64::from(tenants)),
         };
         svc.register_tenant(Tenant::with_priority(i, p), quota);
     }
@@ -101,13 +117,13 @@ fn cell_service(tenants: u32, guarded: bool) -> ArenaService {
 /// keeps churn (and fragmentation for the coalesce/compact rungs) in
 /// the hole pattern. Single-threaded and seeded per cell — a pure
 /// function of the coordinates.
-fn drive_cell(svc: &ArenaService, tenants: u32) -> CellOut {
+fn drive_cell(svc: &ArenaService, geo: Geometry, tenants: u32) -> CellOut {
     let mut rng = Rng64::new(0xE19_0000 + u64::from(tenants));
     let mut live: Vec<Vec<(u64, u64)>> = vec![Vec::new(); tenants as usize];
     let mut live_words: Vec<u64> = vec![0; tenants as usize];
     let target_for = |t: u32| match tenant_priority(t) {
-        Priority::High => CAPACITY * 28 / (10 * u64::from(tenants)),
-        _ => CAPACITY * 11 / (10 * u64::from(tenants)),
+        Priority::High => geo.capacity() * 28 / (10 * u64::from(tenants)),
+        _ => geo.capacity() * 11 / (10 * u64::from(tenants)),
     };
     let mut next_id = 0u64;
     let mut offered = 0u64;
@@ -120,7 +136,7 @@ fn drive_cell(svc: &ArenaService, tenants: u32) -> CellOut {
     };
     'offer: loop {
         for t in 0..tenants {
-            if offered >= OFFERED_TARGET {
+            if offered >= geo.offered_target() {
                 break 'offer;
             }
             let slot = t as usize;
@@ -198,11 +214,14 @@ fn churn_stream(worker: u64, tenant: Tenant, ops: usize) -> Vec<Request> {
 }
 
 /// A guarded 4-tenant service for the multithreaded sections.
-fn mt_service(tenants: u32) -> ArenaService {
-    let mut svc = ArenaService::striped(SHARDS, SHARD_WORDS, Placement::FirstFit);
+fn mt_service(geo: Geometry, tenants: u32) -> ArenaService {
+    let mut svc = ArenaService::striped(geo.shards, geo.shard_words, Placement::FirstFit);
     svc = svc.with_overload(OverloadConfig::default());
     for i in 0..tenants {
-        svc.register_tenant(Tenant::with_priority(i, tenant_priority(i)), CAPACITY / 3);
+        svc.register_tenant(
+            Tenant::with_priority(i, tenant_priority(i)),
+            geo.capacity() / 3,
+        );
     }
     svc
 }
@@ -216,14 +235,24 @@ fn yes(b: bool) -> &'static str {
 }
 
 fn main() {
-    cli::enforce_standard_flags("exp_19_overload", &[cli::CHAOS]);
+    cli::enforce_standard_flags("exp_19_overload", &[cli::CHAOS, cli::SHARDS]);
     let chaos = cli::switch_from_env(cli::CHAOS);
     let jobs = cli::jobs_from_env();
+    let geo = Geometry {
+        shards: cli::shards_or(4) as u32,
+        shard_words: SHARD_WORDS,
+    };
+    let (shards, shard_words, capacity, offered) = (
+        geo.shards,
+        geo.shard_words,
+        geo.capacity(),
+        geo.offered_target(),
+    );
     let mut metrics = RunMetrics::new("exp_19_overload");
     println!("E19: overload-hardened service — collapse vs graceful saturation\n");
     println!(
-        "striped arena: {SHARDS} shards x {SHARD_WORDS} words = {CAPACITY} words; every cell \
-         offers {OFFERED_TARGET} words\n(2.2x capacity) from t tenants with priorities striped \
+        "striped arena: {shards} shards x {shard_words} words = {capacity} words; every cell \
+         offers {offered} words\n(2.2x capacity) from t tenants with priorities striped \
          low/normal/high and\nquotas of 1.2 x C/t (low/normal, live target 1.1 x C/t) — except \
          the high\nclass, surge clients at 3 x C/t whose appetite only the shed rung can\n\
          clear; cells are single-threaded deterministic replays (no high tenant\n\
@@ -233,8 +262,8 @@ fn main() {
     // Part 1: the tenant grid, bare vs guarded.
     let cells: Vec<(u32, bool)> = product2(&[2u32, 4, 8, 16], &[false, true]);
     let outs = par_map(jobs, &cells, |_, &(tenants, guarded)| {
-        let svc = cell_service(tenants, guarded);
-        drive_cell(&svc, tenants)
+        let svc = cell_service(geo, tenants, guarded);
+        drive_cell(&svc, geo, tenants)
     });
     let mut t = Table::new(&[
         "tenants",
@@ -312,7 +341,7 @@ fn main() {
     // `--jobs` flag fans grid cells, never this traffic) churn one
     // guarded service as four tenants; only interleaving-independent
     // verdicts are printed.
-    let svc = mt_service(4);
+    let svc = mt_service(geo, 4);
     let streams: Vec<Vec<Request>> = (0..4u64)
         .map(|w| {
             churn_stream(
@@ -360,7 +389,7 @@ fn main() {
         ])
         .with_title("fault schedule deterministic per stream; verdicts only");
         for &workers in &[1u64, 2, 8] {
-            let svc = mt_service(8);
+            let svc = mt_service(geo, 8);
             let inj = SyncFaultInjector::new(
                 0x19C4A05,
                 FaultConfig {

@@ -254,6 +254,46 @@ pub fn shards_from_env() -> Option<usize> {
     }
 }
 
+/// The `--shards` value from the process arguments, or `default` when
+/// the flag is absent — the one place the experiment binaries derive
+/// their shard count. Exits with status 2 on a malformed flag, like
+/// [`jobs_from_env`].
+#[must_use]
+pub fn shards_or(default: usize) -> usize {
+    shards_from_env().unwrap_or(default)
+}
+
+/// A binary-local positive-count flag (a [`FlagSpec`] with a value)
+/// read from the process arguments, `None` when absent. Exits with
+/// status 2 on a malformed flag, like [`jobs_from_env`].
+#[must_use]
+pub fn count_flag_from_env(flag: FlagSpec) -> Option<usize> {
+    match parse_count(std::env::args().skip(1), flag.name) {
+        Ok(n) => n,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The standard sweep axis of the scaling experiments: powers of two
+/// `1, 2, 4, …` up to `max`, with `max` itself appended when it is not
+/// a power of two. Empty when `max` is zero.
+#[must_use]
+pub fn doubling_sweep(max: usize) -> Vec<usize> {
+    let mut points = Vec::new();
+    let mut n = 1;
+    while n < max {
+        points.push(n);
+        n *= 2;
+    }
+    if max > 0 {
+        points.push(max);
+    }
+    points
+}
+
 /// The `--jobs` value from the process arguments, defaulting to all
 /// hardware threads. Exits with status 2 on a malformed flag, like the
 /// binaries' other flag parsers.
@@ -523,5 +563,14 @@ mod tests {
             ),
             Ok(())
         );
+    }
+
+    #[test]
+    fn doubling_sweep_covers_powers_of_two_and_the_max() {
+        assert_eq!(doubling_sweep(0), Vec::<usize>::new());
+        assert_eq!(doubling_sweep(1), vec![1]);
+        assert_eq!(doubling_sweep(8), vec![1, 2, 4, 8]);
+        assert_eq!(doubling_sweep(6), vec![1, 2, 4, 6]);
+        assert_eq!(doubling_sweep(13), vec![1, 2, 4, 8, 13]);
     }
 }

@@ -135,10 +135,31 @@ pub struct FreeListAllocator {
     /// policy consults it — the scanning policies must not pay for an
     /// index they never read.
     by_size: BTreeSet<(Words, u64)>,
-    /// Hole start addresses in ascending order, best-fit only: answers
-    /// "how many holes precede this one" — the modeled probe count when
-    /// the exact-fit early exit would have fired — by binary search.
-    hole_addrs: Vec<u64>,
+    /// Hole start addresses in ascending order, best-fit and first-fit:
+    /// answers "how many holes precede this one" — the modeled probe
+    /// count at the point the scan would have stopped. A sorted-block
+    /// structure rather than one flat `Vec`: first-fit churns the low
+    /// end of the address space, and a flat vector would memmove nearly
+    /// every element on each of those inserts and removals.
+    hole_addrs: AddrRank,
+    /// Segregated size-class bins, first-fit only: `bins[c]` maps the
+    /// start address to the size of each hole whose size `s` satisfies
+    /// `s.ilog2() == c`. Finding the lowest-addressed adequate hole
+    /// inspects at most one bin per size class instead of the whole
+    /// hole list; the modeled linear-scan search length is still
+    /// charged via `hole_addrs` (see `choose_hole`).
+    bins: Vec<BTreeMap<u64, Words>>,
+    /// `bin_min[c]` is the lowest address in `bins[c]` (`u64::MAX` when
+    /// empty) — a flat mirror of each bin's `first()`, so the
+    /// higher-class walk in `choose_hole` reads an array instead of
+    /// descending a B-tree per populated class.
+    bin_min: Vec<u64>,
+    /// Bit `c` set iff `bins[c]` is nonempty — the bitmap-of-free-
+    /// classes word walked with `trailing_zeros` in `choose_hole`.
+    class_bitmap: u64,
+    /// Opt-in exact-size quick lists (deferred coalescing): `None`
+    /// unless [`FreeListAllocator::enable_quick_lists`] was called.
+    quick: Option<QuickLists>,
     /// Cached largest hole for the policies without the size index;
     /// `None` after a removal that may have retired the maximum.
     largest_cache: Cell<Option<Words>>,
@@ -152,6 +173,148 @@ pub struct FreeListAllocator {
     /// Roving pointer for next-fit.
     rover: u64,
     stats: FreeListStats,
+}
+
+/// Exact-size LIFO free lists in front of the coalescing hole list —
+/// the classic "quick fit" arrangement. A freed block of size
+/// `s <= max_size` is parked (uncoalesced) on `lists[s]` unless that
+/// list is already `depth` deep; a later request for exactly `s` words
+/// pops it back in O(1). Parked blocks are *free* storage: they count
+/// toward `free_words()` and are flushed into the real hole list when
+/// a request cannot otherwise be satisfied, when the arena compacts,
+/// or when a shard heals.
+///
+/// This trades the paper's immediate-coalescing discipline for host
+/// speed, so it is strictly opt-in and never enabled in the modeled
+/// (golden) experiments; see DESIGN.md "Simulated cost vs host cost".
+/// An ordered multiset of hole start addresses supporting O(√n)
+/// insert, remove, and rank — the structure behind the modeled probe
+/// charge. Addresses live in sorted blocks of at most `2 * RANK_BLOCK`
+/// elements, so a mutation memmoves one small block instead of the
+/// whole address list, and `rank_le` sums whole-block counts until the
+/// block containing the query.
+#[derive(Clone, Debug, Default)]
+struct AddrRank {
+    /// Sorted, non-empty blocks; block `i+1`'s first element is greater
+    /// than block `i`'s last.
+    blocks: Vec<Vec<u64>>,
+}
+
+/// Target block size for [`AddrRank`]; blocks split at twice this.
+const RANK_BLOCK: usize = 128;
+
+impl AddrRank {
+    /// Index of the block that does (or would) contain `addr`.
+    fn block_for(&self, addr: u64) -> usize {
+        self.blocks
+            .partition_point(|b| b[0] <= addr)
+            .saturating_sub(1)
+    }
+
+    /// Inserts `addr` (addresses are unique: one hole per start).
+    fn insert(&mut self, addr: u64) {
+        if self.blocks.is_empty() {
+            self.blocks.push(vec![addr]);
+            return;
+        }
+        let i = self.block_for(addr);
+        let b = &mut self.blocks[i];
+        let j = b.partition_point(|&a| a < addr);
+        b.insert(j, addr);
+        if b.len() > 2 * RANK_BLOCK {
+            let tail = b.split_off(b.len() / 2);
+            self.blocks.insert(i + 1, tail);
+        }
+    }
+
+    /// Replaces `old` with `new` in place. Only legal when no stored
+    /// address lies between them, so the rank position is unchanged —
+    /// the hole-split and coalesce paths, where a hole's start slides
+    /// within its own extent. O(√n) search, zero memmove.
+    fn replace(&mut self, old: u64, new: u64) {
+        let i = self.block_for(old);
+        // Internal invariant: callers only replace an address they hold
+        // in the structure (the hole being split or merged).
+        #[allow(clippy::expect_used)]
+        let j = self.blocks[i]
+            .binary_search(&old)
+            .expect("replaced address is present");
+        #[cfg(debug_assertions)]
+        {
+            let b = &self.blocks[i];
+            #[allow(clippy::expect_used)] // blocks are never empty
+            let lo_ok = if j > 0 {
+                b[j - 1] < new
+            } else {
+                i == 0 || *self.blocks[i - 1].last().expect("blocks are non-empty") < new
+            };
+            let hi_ok = if j + 1 < b.len() {
+                new < b[j + 1]
+            } else {
+                i + 1 >= self.blocks.len() || new < self.blocks[i + 1][0]
+            };
+            debug_assert!(lo_ok && hi_ok, "replace would reorder");
+        }
+        self.blocks[i][j] = new;
+    }
+
+    /// Removes `addr` if present.
+    fn remove(&mut self, addr: u64) {
+        if self.blocks.is_empty() {
+            return;
+        }
+        let i = self.block_for(addr);
+        let b = &mut self.blocks[i];
+        if let Ok(j) = b.binary_search(&addr) {
+            b.remove(j);
+            if b.is_empty() {
+                self.blocks.remove(i);
+            }
+        }
+    }
+
+    /// How many stored addresses are `<= addr` — the rank of the hole
+    /// the scan stopped at, counting the holes scanned past plus
+    /// itself.
+    fn rank_le(&self, addr: u64) -> u64 {
+        let mut rank = 0u64;
+        for b in &self.blocks {
+            if b[0] > addr {
+                break;
+            }
+            // Internal invariant: empty blocks are removed on the spot.
+            #[allow(clippy::expect_used)]
+            if *b.last().expect("blocks are non-empty") <= addr {
+                rank += b.len() as u64;
+            } else {
+                rank += b.partition_point(|&a| a <= addr) as u64;
+                break;
+            }
+        }
+        rank
+    }
+
+    /// All addresses in ascending order.
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.blocks.iter().flatten().copied()
+    }
+
+    fn clear(&mut self) {
+        self.blocks.clear();
+    }
+}
+
+#[derive(Clone, Debug)]
+struct QuickLists {
+    /// Largest size eligible for parking.
+    max_size: Words,
+    /// Per-size depth cap, bounding fragmentation from deferred
+    /// coalescing.
+    depth: usize,
+    /// `lists[s]` holds start addresses of parked blocks of size `s`.
+    lists: Vec<Vec<u64>>,
+    /// Total words parked across all lists.
+    words: Words,
 }
 
 impl FreeListAllocator {
@@ -168,7 +331,11 @@ impl FreeListAllocator {
             policy,
             free: BTreeMap::new(),
             by_size: BTreeSet::new(),
-            hole_addrs: Vec::new(),
+            hole_addrs: AddrRank::default(),
+            bins: vec![BTreeMap::new(); 64],
+            bin_min: vec![u64::MAX; 64],
+            class_bitmap: 0,
+            quick: None,
             largest_cache: Cell::new(Some(0)),
             allocated: HashMap::new(),
             sorted_allocs: RefCell::new(None),
@@ -180,16 +347,36 @@ impl FreeListAllocator {
         a
     }
 
-    /// Records a hole in whatever secondary structure the policy needs.
-    fn index_insert(&mut self, addr: u64, size: Words) {
+    /// The segregated size class of a hole: floor(log2(size)).
+    fn class_of(size: Words) -> usize {
+        debug_assert!(size > 0);
+        size.ilog2() as usize
+    }
+
+    /// Whether the policy maintains the `hole_addrs` rank structure
+    /// (the policies whose modeled probe charge is computed from it).
+    fn tracks_ranks(&self) -> bool {
+        matches!(self.policy, Placement::BestFit | Placement::FirstFit)
+    }
+
+    /// Records a hole in the policy's size-keyed structures (`by_size`,
+    /// the segregated bins, the largest-hole cache) — everything except
+    /// the rank structure, which the callers manage so the split and
+    /// coalesce paths can slide an address in place instead of paying a
+    /// remove + insert.
+    fn size_index_insert(&mut self, addr: u64, size: Words) {
         match self.policy {
-            Placement::BestFit => {
+            Placement::BestFit | Placement::WorstFit => {
                 self.by_size.insert((size, addr));
-                let i = self.hole_addrs.partition_point(|&a| a < addr);
-                self.hole_addrs.insert(i, addr);
             }
-            Placement::WorstFit => {
-                self.by_size.insert((size, addr));
+            Placement::FirstFit => {
+                let c = Self::class_of(size);
+                self.bins[c].insert(addr, size);
+                self.bin_min[c] = self.bin_min[c].min(addr);
+                self.class_bitmap |= 1 << c;
+                if let Some(m) = self.largest_cache.get() {
+                    self.largest_cache.set(Some(m.max(size)));
+                }
             }
             _ => {
                 if let Some(m) = self.largest_cache.get() {
@@ -199,23 +386,52 @@ impl FreeListAllocator {
         }
     }
 
-    /// Drops a hole from the policy's secondary structure.
-    fn index_remove(&mut self, addr: u64, size: Words) {
+    /// Drops a hole from the policy's size-keyed structures; see
+    /// [`FreeListAllocator::size_index_insert`].
+    fn size_index_remove(&mut self, addr: u64, size: Words) {
         match self.policy {
-            Placement::BestFit => {
+            Placement::BestFit | Placement::WorstFit => {
                 self.by_size.remove(&(size, addr));
-                if let Ok(i) = self.hole_addrs.binary_search(&addr) {
-                    self.hole_addrs.remove(i);
-                }
             }
-            Placement::WorstFit => {
-                self.by_size.remove(&(size, addr));
+            Placement::FirstFit => {
+                let c = Self::class_of(size);
+                self.bins[c].remove(&addr);
+                if self.bins[c].is_empty() {
+                    self.class_bitmap &= !(1 << c);
+                    self.bin_min[c] = u64::MAX;
+                } else if self.bin_min[c] == addr {
+                    // Internal invariant: the branch above handles the
+                    // bin going empty.
+                    #[allow(clippy::expect_used)]
+                    {
+                        self.bin_min[c] = *self.bins[c].keys().next().expect("non-empty bin");
+                    }
+                }
+                if self.largest_cache.get() == Some(size) {
+                    self.largest_cache.set(None);
+                }
             }
             _ => {
                 if self.largest_cache.get() == Some(size) {
                     self.largest_cache.set(None);
                 }
             }
+        }
+    }
+
+    /// Records a hole in whatever secondary structure the policy needs.
+    fn index_insert(&mut self, addr: u64, size: Words) {
+        self.size_index_insert(addr, size);
+        if self.tracks_ranks() {
+            self.hole_addrs.insert(addr);
+        }
+    }
+
+    /// Drops a hole from the policy's secondary structure.
+    fn index_remove(&mut self, addr: u64, size: Words) {
+        self.size_index_remove(addr, size);
+        if self.tracks_ranks() {
+            self.hole_addrs.remove(addr);
         }
     }
 
@@ -231,10 +447,11 @@ impl FreeListAllocator {
         self.policy
     }
 
-    /// Words currently free.
+    /// Words currently free (including any blocks parked on the quick
+    /// lists — parked storage is free storage, merely uncoalesced).
     #[must_use]
     pub fn free_words(&self) -> Words {
-        self.free.values().sum()
+        self.free.values().sum::<Words>() + self.quick.as_ref().map_or(0, |q| q.words)
     }
 
     /// Words currently allocated.
@@ -345,7 +562,30 @@ impl FreeListAllocator {
         if self.allocated.contains_key(&id) {
             return Err(AllocError::AlreadyAllocated);
         }
-        let chosen = self.choose_hole(size);
+        // Quick-fit fast path: an exact-size parked block satisfies the
+        // request in O(1), no search, no split. Charges zero modeled
+        // probes — quick lists are opt-in host-speed mode, never part
+        // of the modeled experiments.
+        if let Some(q) = self.quick.as_mut() {
+            if size <= q.max_size {
+                if let Some(addr) = q.lists[size as usize].pop() {
+                    q.words -= size;
+                    self.rover = addr + size;
+                    self.allocated.insert(id, (addr, size));
+                    self.sorted_allocs.replace(None);
+                    self.stats.allocs += 1;
+                    return Ok(PhysAddr(addr));
+                }
+            }
+        }
+        let mut chosen = self.choose_hole(size);
+        if chosen.is_none() && self.quick.as_ref().is_some_and(|q| q.words > 0) {
+            // Before declaring exhaustion, return every parked block to
+            // the coalescing hole list and search once more: deferred
+            // coalescing must not manufacture failures.
+            self.flush_quick_lists();
+            chosen = self.choose_hole(size);
+        }
         let Some((hole_addr, hole_size, place_high)) = chosen else {
             self.stats.failures += 1;
             return Err(AllocError::OutOfStorage {
@@ -354,19 +594,30 @@ impl FreeListAllocator {
             });
         };
         self.free.remove(&hole_addr);
-        self.index_remove(hole_addr, hole_size);
+        self.size_index_remove(hole_addr, hole_size);
         let addr = if place_high {
-            // Two-ends large request: take the top of the hole.
+            // Two-ends large request: take the top of the hole; the
+            // remainder keeps its start address, so the rank structure
+            // (were it maintained for this policy) would be untouched.
             let addr = hole_addr + hole_size - size;
             if hole_size > size {
                 self.free.insert(hole_addr, hole_size - size);
-                self.index_insert(hole_addr, hole_size - size);
+                self.size_index_insert(hole_addr, hole_size - size);
+            } else if self.tracks_ranks() {
+                self.hole_addrs.remove(hole_addr);
             }
             addr
         } else {
             if hole_size > size {
+                // The remainder's start slides within the old hole's
+                // extent: same rank, no remove + insert.
                 self.free.insert(hole_addr + size, hole_size - size);
-                self.index_insert(hole_addr + size, hole_size - size);
+                self.size_index_insert(hole_addr + size, hole_size - size);
+                if self.tracks_ranks() {
+                    self.hole_addrs.replace(hole_addr, hole_addr + size);
+                }
+            } else if self.tracks_ranks() {
+                self.hole_addrs.remove(hole_addr);
             }
             hole_addr
         };
@@ -416,6 +667,15 @@ impl FreeListAllocator {
         let (addr, size) = self.allocated.remove(&id).ok_or(AllocError::UnknownUnit)?;
         self.sorted_allocs.replace(None);
         self.stats.frees += 1;
+        // Quick-fit fast path: park small blocks uncoalesced, up to the
+        // per-size depth cap.
+        if let Some(q) = self.quick.as_mut() {
+            if size <= q.max_size && q.lists[size as usize].len() < q.depth {
+                q.lists[size as usize].push(addr);
+                q.words += size;
+                return Ok(());
+            }
+        }
         self.insert_free(addr, size);
         Ok(())
     }
@@ -447,14 +707,19 @@ impl FreeListAllocator {
 
     /// Inserts a free hole, merging with adjacent holes.
     fn insert_free(&mut self, mut addr: u64, mut size: Words) {
+        // Whether the final hole's start address is already present in
+        // the rank structure (true after a predecessor merge: the
+        // merged hole keeps the predecessor's start).
+        let mut rank_present = false;
         // Merge with predecessor.
         if let Some((&paddr, &psize)) = self.free.range(..addr).next_back() {
             debug_assert!(paddr + psize <= addr, "overlapping free blocks");
             if paddr + psize == addr {
                 self.free.remove(&paddr);
-                self.index_remove(paddr, psize);
+                self.size_index_remove(paddr, psize);
                 addr = paddr;
                 size += psize;
+                rank_present = true;
                 self.stats.coalesces += 1;
             }
         }
@@ -462,13 +727,27 @@ impl FreeListAllocator {
         if let Some((&saddr, &ssize)) = self.free.range(addr + size..).next() {
             if addr + size == saddr {
                 self.free.remove(&saddr);
-                self.index_remove(saddr, ssize);
+                self.size_index_remove(saddr, ssize);
                 size += ssize;
                 self.stats.coalesces += 1;
+                if self.tracks_ranks() {
+                    if rank_present {
+                        self.hole_addrs.remove(saddr);
+                    } else {
+                        // The merged hole inherits the successor's rank
+                        // slot: its start slides down within the merged
+                        // extent.
+                        self.hole_addrs.replace(saddr, addr);
+                        rank_present = true;
+                    }
+                }
             }
         }
         self.free.insert(addr, size);
-        self.index_insert(addr, size);
+        self.size_index_insert(addr, size);
+        if self.tracks_ranks() && !rank_present {
+            self.hole_addrs.insert(addr);
+        }
     }
 
     /// Chooses a hole per the placement policy. Returns
@@ -476,13 +755,53 @@ impl FreeListAllocator {
     fn choose_hole(&mut self, size: Words) -> Option<(u64, Words, bool)> {
         match self.policy {
             Placement::FirstFit => {
-                for (&addr, &hsize) in &self.free {
-                    self.stats.probes += 1;
+                // Segregated-bin lookup: first-fit wants the lowest-
+                // addressed adequate hole. In the request's own (floor)
+                // class, holes may be smaller than the request, so that
+                // bin is scanned in address order for the first that
+                // fits; in any strictly higher class every hole fits
+                // (its size is at least 2^(c+1) > size), so only each
+                // such bin's minimum address competes. The candidate
+                // with the lowest address overall is exactly the hole
+                // the address-ordered scan finds.
+                let c = Self::class_of(size);
+                // Higher classes first: their minimum addresses are one
+                // `first()` away and need no size check, and the best of
+                // them caps the floor-bin scan below.
+                let mask = if c + 1 >= 64 { 0 } else { !0u64 << (c + 1) };
+                let mut higher = self.class_bitmap & mask;
+                let mut cap = u64::MAX;
+                while higher != 0 {
+                    let k = higher.trailing_zeros() as usize;
+                    higher &= higher - 1;
+                    cap = cap.min(self.bin_min[k]);
+                }
+                // Floor bin, address order: the first fitting hole wins
+                // — but once addresses pass `cap`, the higher-class
+                // candidate is the lower-addressed adequate hole no
+                // matter what the rest of this bin holds.
+                let mut chosen: Option<(u64, Words)> = None;
+                for (&addr, &hsize) in &self.bins[c] {
+                    if cap < addr {
+                        break;
+                    }
                     if hsize >= size {
-                        return Some((addr, hsize, false));
+                        chosen = Some((addr, hsize));
+                        break;
                     }
                 }
-                None
+                if chosen.is_none() && cap != u64::MAX {
+                    let hsize = self.free.get(&cap).copied().unwrap_or(0);
+                    chosen = Some((cap, hsize));
+                }
+                // The *modeled* cost stays the address-ordered scan's:
+                // every hole up to and including the chosen one, or the
+                // whole list on failure.
+                self.stats.probes += match chosen {
+                    Some((addr, _)) => self.hole_addrs.rank_le(addr),
+                    None => self.free.len() as u64,
+                };
+                chosen.map(|(a, s)| (a, s, false))
             }
             Placement::NextFit => {
                 let rover = self.rover;
@@ -507,9 +826,7 @@ impl FreeListAllocator {
                 // hole when the exact-fit exit would have fired there,
                 // the whole list otherwise (including on failure).
                 self.stats.probes += match chosen {
-                    Some((addr, hsize)) if hsize == size => {
-                        self.hole_addrs.partition_point(|&a| a <= addr) as u64
-                    }
+                    Some((addr, hsize)) if hsize == size => self.hole_addrs.rank_le(addr),
                     _ => self.free.len() as u64,
                 };
                 chosen.map(|(a, s)| (a, s, false))
@@ -550,6 +867,77 @@ impl FreeListAllocator {
         }
     }
 
+    /// Enables exact-size quick lists (deferred coalescing) for sizes
+    /// up to `max_size`, at most `depth` parked blocks per size. This
+    /// is a host-speed fast path: it changes *placement behavior* (a
+    /// parked block is reused before any hole is searched) and charges
+    /// zero modeled probes on the quick path, so it must never be
+    /// enabled in a modeled experiment. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_size` is zero or exceeds the capacity, or if
+    /// `depth` is zero.
+    pub fn enable_quick_lists(&mut self, max_size: Words, depth: usize) {
+        assert!(max_size > 0, "max_size must be positive");
+        assert!(max_size <= self.capacity, "max_size beyond capacity");
+        assert!(depth > 0, "depth must be positive");
+        if self.quick.is_none() {
+            self.quick = Some(QuickLists {
+                max_size,
+                depth,
+                lists: vec![Vec::new(); max_size as usize + 1],
+                words: 0,
+            });
+        }
+    }
+
+    /// Whether quick lists are enabled.
+    #[must_use]
+    pub fn quick_lists_enabled(&self) -> bool {
+        self.quick.is_some()
+    }
+
+    /// Words currently parked on the quick lists (0 when disabled).
+    #[must_use]
+    pub fn quick_parked_words(&self) -> Words {
+        self.quick.as_ref().map_or(0, |q| q.words)
+    }
+
+    /// Returns every parked block to the coalescing hole list. Called
+    /// automatically before a request is allowed to fail, before
+    /// compaction, and on heal; callable directly to restore the
+    /// maximally-coalesced invariant at a quiescent point.
+    pub fn flush_quick_lists(&mut self) {
+        let Some(q) = self.quick.as_mut() else { return };
+        if q.words == 0 {
+            return;
+        }
+        let mut parked: Vec<(u64, Words)> = Vec::new();
+        for (size, list) in q.lists.iter_mut().enumerate() {
+            for addr in list.drain(..) {
+                parked.push((addr, size as Words));
+            }
+        }
+        q.words = 0;
+        for (addr, size) in parked {
+            self.insert_free(addr, size);
+        }
+    }
+
+    /// Empties the quick lists *without* re-inserting blocks — for the
+    /// paths that rebuild the hole list wholesale from the live book
+    /// (compaction, heal), where parked storage is re-covered by the
+    /// reconstructed holes.
+    fn clear_quick_lists(&mut self) {
+        if let Some(q) = self.quick.as_mut() {
+            for list in &mut q.lists {
+                list.clear();
+            }
+            q.words = 0;
+        }
+    }
+
     /// Slides every allocation toward address zero, preserving address
     /// order, leaving a single hole at the top of storage. Returns
     /// `(id, old address, new address, size)` for each block that moved,
@@ -574,6 +962,12 @@ impl FreeListAllocator {
         self.free.clear();
         self.by_size.clear();
         self.hole_addrs.clear();
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+        self.bin_min.fill(u64::MAX);
+        self.class_bitmap = 0;
+        self.clear_quick_lists();
         self.largest_cache.set(Some(0));
         if cursor < self.capacity {
             self.free.insert(cursor, self.capacity - cursor);
@@ -623,13 +1017,45 @@ impl FreeListAllocator {
             }
             prev_end = Some(addr + size);
         }
-        // Allocations: in-bounds, disjoint from each other and from
-        // holes.
+        // Quick lists: parked blocks sized by their list, words
+        // accounted exactly, every block in bounds.
+        if let Some(q) = self.quick.as_ref() {
+            let mut parked_words: Words = 0;
+            for (size, list) in q.lists.iter().enumerate() {
+                if size == 0 && !list.is_empty() {
+                    return Err("zero-size block parked on quick list".to_string());
+                }
+                parked_words += size as Words * list.len() as Words;
+                for &addr in list {
+                    if addr + size as Words > self.capacity {
+                        return Err(format!("parked block at {addr} beyond capacity"));
+                    }
+                }
+            }
+            if parked_words != q.words {
+                return Err(format!(
+                    "quick-list words out of step: {parked_words} parked, {} recorded",
+                    q.words
+                ));
+            }
+        }
+        // Allocations and parked quick-list blocks: in-bounds, disjoint
+        // from each other and from holes. (Parked blocks may be
+        // *adjacent* to holes — coalescing is deferred — but never
+        // overlapping.)
+        let quick_regions: Vec<(u64, u64)> = self.quick.as_ref().map_or_else(Vec::new, |q| {
+            q.lists
+                .iter()
+                .enumerate()
+                .flat_map(|(size, list)| list.iter().map(move |&a| (a, a + size as Words)))
+                .collect()
+        });
         let mut regions: Vec<(u64, u64)> = self
             .free
             .iter()
             .map(|(&a, &s)| (a, a + s))
             .chain(self.allocated.values().map(|&(a, s)| (a, a + s)))
+            .chain(quick_regions)
             .collect();
         regions.sort_unstable();
         for w in regions.windows(2) {
@@ -658,13 +1084,41 @@ impl FreeListAllocator {
                     }
                 }
                 if self.policy == Placement::BestFit
-                    && !self
-                        .hole_addrs
-                        .iter()
-                        .copied()
-                        .eq(self.free.keys().copied())
+                    && !self.hole_addrs.iter().eq(self.free.keys().copied())
                 {
-                    return Err("rank vector out of step with the hole list".to_string());
+                    return Err("rank structure out of step with the hole list".to_string());
+                }
+            }
+            Placement::FirstFit => {
+                if let Some(m) = self.largest_cache.get() {
+                    let actual = self.free.values().copied().max().unwrap_or(0);
+                    if m != actual {
+                        return Err(format!("stale largest-hole cache: {m} vs {actual}"));
+                    }
+                }
+                if !self.hole_addrs.iter().eq(self.free.keys().copied()) {
+                    return Err("rank structure out of step with the hole list".to_string());
+                }
+                let binned: usize = self.bins.iter().map(BTreeMap::len).sum();
+                if binned != self.free.len() {
+                    return Err(format!(
+                        "segregated bins out of step: {binned} binned, {} holes",
+                        self.free.len()
+                    ));
+                }
+                for (&addr, &size) in &self.free {
+                    if self.bins[Self::class_of(size)].get(&addr) != Some(&size) {
+                        return Err(format!("hole at {addr} missing from its size-class bin"));
+                    }
+                }
+                for (c, bin) in self.bins.iter().enumerate() {
+                    if (self.class_bitmap & (1 << c) != 0) == bin.is_empty() {
+                        return Err(format!("class bitmap out of step at class {c}"));
+                    }
+                    let min = bin.keys().next().copied().unwrap_or(u64::MAX);
+                    if self.bin_min[c] != min {
+                        return Err(format!("stale bin-min cache at class {c}"));
+                    }
                 }
             }
             _ => {
@@ -711,6 +1165,12 @@ impl FreeListAllocator {
         self.free.clear();
         self.by_size.clear();
         self.hole_addrs.clear();
+        for bin in &mut self.bins {
+            bin.clear();
+        }
+        self.bin_min.fill(u64::MAX);
+        self.class_bitmap = 0;
+        self.clear_quick_lists();
         self.largest_cache.set(Some(0));
         self.sorted_allocs.replace(None);
         let mut cursor = 0u64;
@@ -1016,5 +1476,141 @@ mod probe_tests {
         assert!(a.alloc_probed(1, 99, at, &mut probe).is_err());
         assert!(a.free_probed(9, at, &mut probe).is_err());
         assert_eq!(probe.total_events(), 0);
+    }
+
+    /// A first-fit scan over the hole list, straight from the paper:
+    /// the reference the segregated bins must agree with.
+    fn first_fit_reference(a: &FreeListAllocator, size: Words) -> (Option<u64>, u64) {
+        let holes: Vec<(u64, Words)> = a.holes().collect();
+        for (i, &(addr, hsize)) in holes.iter().enumerate() {
+            if hsize >= size {
+                return (Some(addr), i as u64 + 1);
+            }
+        }
+        (None, holes.len() as u64)
+    }
+
+    #[test]
+    fn segregated_first_fit_matches_linear_scan_under_churn() {
+        let mut a = FreeListAllocator::new(8192, Placement::FirstFit);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut live: Vec<u64> = Vec::new();
+        for id in 0..4000u64 {
+            if step() % 3 != 0 || live.is_empty() {
+                let size = 1 + step() % 300;
+                let (want_addr, want_probes) = first_fit_reference(&a, size);
+                let before = a.stats().probes;
+                match a.alloc(id, size) {
+                    Ok(addr) => {
+                        assert_eq!(Some(addr.value()), want_addr, "placement diverged");
+                        live.push(id);
+                    }
+                    Err(_) => assert!(want_addr.is_none(), "scan found a hole the bins missed"),
+                }
+                assert_eq!(
+                    a.stats().probes - before,
+                    want_probes,
+                    "modeled cost diverged"
+                );
+            } else {
+                let victim = live.swap_remove((step() % live.len() as u64) as usize);
+                a.free(victim).unwrap();
+            }
+            if id % 512 == 0 {
+                a.check_invariants();
+            }
+        }
+        a.check_invariants();
+    }
+
+    #[test]
+    fn quick_lists_round_trip_and_account_words() {
+        let mut a = FreeListAllocator::new(1000, Placement::FirstFit);
+        a.enable_quick_lists(64, 8);
+        let p1 = a.alloc(1, 16).unwrap();
+        a.alloc(2, 16).unwrap();
+        a.free(1).unwrap();
+        assert_eq!(a.quick_parked_words(), 16);
+        assert_eq!(a.free_words(), 1000 - 16, "parked storage is free storage");
+        // The exact-size request reuses the parked block, no search.
+        let probes_before = a.stats().probes;
+        let p3 = a.alloc(3, 16).unwrap();
+        assert_eq!(p3, p1, "quick list must hand back the parked block");
+        assert_eq!(
+            a.stats().probes,
+            probes_before,
+            "quick path charges no probes"
+        );
+        assert_eq!(a.quick_parked_words(), 0);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn quick_lists_flush_before_failing() {
+        let mut a = FreeListAllocator::new(100, Placement::FirstFit);
+        a.enable_quick_lists(50, 8);
+        for id in 0..4u64 {
+            a.alloc(id, 25).unwrap();
+        }
+        for id in 0..4u64 {
+            a.free(id).unwrap();
+        }
+        assert_eq!(a.quick_parked_words(), 100);
+        assert_eq!(a.hole_count(), 0, "parked blocks are not holes yet");
+        // No single hole fits 100 words until the parked blocks are
+        // flushed and coalesced — which alloc must do before failing.
+        let addr = a.alloc(9, 100).unwrap();
+        assert_eq!(addr, PhysAddr(0));
+        a.check_invariants();
+    }
+
+    #[test]
+    fn quick_lists_respect_depth_and_size_caps() {
+        let mut a = FreeListAllocator::new(1000, Placement::FirstFit);
+        a.enable_quick_lists(16, 2);
+        for id in 0..3u64 {
+            a.alloc(id, 8).unwrap();
+        }
+        a.alloc(3, 100).unwrap();
+        for id in 0..3u64 {
+            a.free(id).unwrap();
+        }
+        // Depth cap 2: the third freed 8-word block coalesces normally.
+        assert_eq!(a.quick_parked_words(), 16);
+        a.free(3).unwrap();
+        // Size cap 16: the 100-word block goes straight to the holes.
+        assert_eq!(a.quick_parked_words(), 16);
+        a.check_invariants();
+        a.flush_quick_lists();
+        assert_eq!(a.quick_parked_words(), 0);
+        assert_eq!(a.free_words(), 1000);
+        a.check_invariants();
+    }
+
+    #[test]
+    fn rebuild_and_pack_down_clear_quick_lists() {
+        let mut a = FreeListAllocator::new(500, Placement::FirstFit);
+        a.enable_quick_lists(32, 8);
+        for id in 0..6u64 {
+            a.alloc(id, 20).unwrap();
+        }
+        a.free(1).unwrap();
+        a.free(3).unwrap();
+        assert_eq!(a.quick_parked_words(), 40);
+        a.rebuild_from_live();
+        assert_eq!(a.quick_parked_words(), 0);
+        assert_eq!(a.free_words(), 500 - 4 * 20);
+        a.check_invariants();
+        a.free(5).unwrap();
+        assert!(a.quick_parked_words() > 0);
+        let _ = a.pack_down();
+        assert_eq!(a.quick_parked_words(), 0);
+        a.check_invariants();
     }
 }

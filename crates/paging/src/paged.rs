@@ -508,6 +508,25 @@ impl PagedMemory {
         self.run_pages_probed(trace, &mut NullProbe)
     }
 
+    /// [`PagedMemory::run_pages`] over any page iterator — the
+    /// streaming entry point: a `dsa-trace` stream (or any other
+    /// constant-memory source) drives the machine without a `Vec` ever
+    /// materializing. Equivalent to `run_pages` on the collected
+    /// sequence, touch for touch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`CoreError`] (possible only with pinning).
+    pub fn run_pages_iter<I>(&mut self, pages: I) -> Result<PagingStats, CoreError>
+    where
+        I: IntoIterator<Item = PageNo>,
+    {
+        for (i, page) in pages.into_iter().enumerate() {
+            self.touch(page, false, i as VirtualTime)?;
+        }
+        Ok(self.stats)
+    }
+
     /// [`PagedMemory::run_pages`] with event emission: a `Touch` per
     /// reference plus the fault/evict/prefetch stream, stamped with
     /// reference time.
@@ -611,6 +630,19 @@ mod tests {
         assert_eq!(m.stats().references, 3);
         assert_eq!(m.resident_count(), 2);
         m.check_invariants();
+    }
+
+    #[test]
+    fn run_pages_iter_matches_run_pages() {
+        let trace: Vec<PageNo> = (0..500u64).map(|i| PageNo((i * 7 + i * i) % 23)).collect();
+        let mut batch = lru(8);
+        let mut streamed = lru(8);
+        let a = batch.run_pages(&trace).unwrap();
+        let b = streamed.run_pages_iter(trace.iter().copied()).unwrap();
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.references, b.references);
+        assert_eq!(a.evictions, b.evictions);
+        streamed.check_invariants();
     }
 
     #[test]

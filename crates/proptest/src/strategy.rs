@@ -96,6 +96,16 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
 
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        // 53 uniform mantissa bits in [0, 1), scaled to the range.
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))+) => {
         $(

@@ -23,6 +23,11 @@
 //!   [`dsa_paging::replacement::min::next_use_times`]); the stack is
 //!   repaired top-down by priority on every reference.
 //!
+//! For traces too long to materialize, [`streaming::StreamingLru`]
+//! computes the same LRU curve from any page iterator in O(distinct
+//! pages) memory (stamp compaction keeps the Fenwick tree bounded);
+//! OPT stays batch-only, since its priorities need a backward pass.
+//!
 //! Which of this workspace's policies qualify: LRU and MIN do. FIFO and
 //! Clock do **not** (no inclusion — Belady's anomaly, reproduced in the
 //! `dsa-paging` tests, is the proof by counterexample), Random and
@@ -41,9 +46,11 @@
 pub mod fenwick;
 pub mod lru;
 pub mod opt;
+pub mod streaming;
 pub mod success;
 
 pub use fenwick::Fenwick;
 pub use lru::{lru_distances, lru_success};
 pub use opt::{opt_distances, opt_success};
+pub use streaming::{lru_success_streamed, StreamingLru};
 pub use success::{StackDistances, SuccessFunction, INFINITE};

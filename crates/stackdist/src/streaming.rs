@@ -1,0 +1,242 @@
+//! Streaming LRU stack distances in memory bounded by the page
+//! universe, not the trace length.
+//!
+//! [`crate::lru::lru_distances`] sizes its [`Fenwick`] tree by the
+//! trace length — each reference gets a permanent stamp — so a
+//! 10⁸-reference pass costs 800 MB of tree before the distance vector
+//! is even counted. But at any instant only the *most recent* stamp of
+//! each distinct page is marked: the live marks number at most the
+//! page universe. [`StreamingLru`] exploits this with periodic stamp
+//! **compaction**: when the stamp cursor reaches the tree's capacity,
+//! the live `(page, stamp)` pairs are renumbered `0..live` in stamp
+//! order (preserving every between-count) and the tree is rebuilt at
+//! `max(128, 2 × live)` — so compaction amortizes to O(1) per
+//! reference and the whole engine is O(distinct pages) space.
+//!
+//! Distances are accumulated directly into a histogram (finite
+//! distances never exceed the page universe) and collapsed via
+//! [`SuccessFunction::from_histogram`], which is exactly
+//! [`SuccessFunction::from_distances`] minus the materialized vector.
+//! What is *lost* relative to the batch pass is the per-reference
+//! distance vector — fault positions at a chosen size cannot be
+//! replayed afterwards. OPT stays batch-only: its priority is next
+//! *use* time, which only a backward pass over a materialized trace
+//! can know.
+
+use std::collections::HashMap;
+
+use dsa_core::ids::PageNo;
+
+use crate::fenwick::Fenwick;
+use crate::success::{SuccessFunction, INFINITE};
+
+/// Minimum Fenwick capacity, so tiny traces don't compact every few
+/// references.
+const MIN_CAPACITY: usize = 128;
+
+/// A one-pass LRU stack-distance engine with O(distinct pages) memory.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_core::ids::PageNo;
+/// use dsa_stackdist::streaming::StreamingLru;
+/// use dsa_stackdist::lru::lru_success;
+///
+/// let trace: Vec<PageNo> = (0..1000u64).map(|i| PageNo(i % 7)).collect();
+/// let mut s = StreamingLru::new();
+/// for &p in &trace {
+///     s.record(p);
+/// }
+/// let batch = lru_success(&trace);
+/// assert_eq!(s.success().curve(&[1, 4, 7]), batch.curve(&[1, 4, 7]));
+/// ```
+#[derive(Clone, Debug)]
+pub struct StreamingLru {
+    /// Marks over *stamps*: bit set at a page's most recent stamp.
+    marks: Fenwick,
+    /// Most recent stamp of each page seen so far.
+    last: HashMap<PageNo, usize>,
+    /// Next stamp to assign (== stamps consumed since last compaction).
+    cursor: usize,
+    /// `hist[d]` = references at finite distance `d`.
+    hist: Vec<u64>,
+    /// First touches.
+    compulsory: u64,
+    /// Total references recorded.
+    references: u64,
+}
+
+impl Default for StreamingLru {
+    fn default() -> StreamingLru {
+        StreamingLru::new()
+    }
+}
+
+impl StreamingLru {
+    /// A fresh engine (no references recorded).
+    #[must_use]
+    pub fn new() -> StreamingLru {
+        StreamingLru {
+            marks: Fenwick::new(MIN_CAPACITY),
+            last: HashMap::new(),
+            cursor: 0,
+            hist: Vec::new(),
+            compulsory: 0,
+            references: 0,
+        }
+    }
+
+    /// Records one reference and returns its LRU stack distance
+    /// ([`INFINITE`] for a first touch) — identical, reference for
+    /// reference, to what [`crate::lru::lru_distances`] reports.
+    pub fn record(&mut self, p: PageNo) -> u64 {
+        if self.cursor == self.marks.len() {
+            self.compact();
+        }
+        let i = self.cursor;
+        self.cursor += 1;
+        self.references += 1;
+        let d = match self.last.insert(p, i) {
+            Some(prev) => {
+                // Marks strictly between the previous and current
+                // stamps are the pages above `p` in the LRU stack.
+                let d = self.marks.between(prev, i) + 1;
+                self.marks.clear(prev);
+                if self.hist.len() <= d as usize {
+                    self.hist.resize(d as usize + 1, 0);
+                }
+                self.hist[d as usize] += 1;
+                d
+            }
+            None => {
+                self.compulsory += 1;
+                INFINITE
+            }
+        };
+        self.marks.mark(i);
+        d
+    }
+
+    /// Renumbers the live stamps `0..live` in stamp order and rebuilds
+    /// the tree at `max(128, 2 × live)`. Order-preserving renumbering
+    /// keeps every future between-count exact; doubling headroom makes
+    /// the rebuild amortized O(1) per reference.
+    fn compact(&mut self) {
+        let mut live: Vec<(PageNo, usize)> = self.last.iter().map(|(&p, &s)| (p, s)).collect();
+        live.sort_unstable_by_key(|&(_, s)| s);
+        let capacity = MIN_CAPACITY.max(2 * live.len());
+        self.marks = Fenwick::new(capacity);
+        for (rank, (p, _)) in live.into_iter().enumerate() {
+            self.last.insert(p, rank);
+            self.marks.mark(rank);
+        }
+        self.cursor = self.last.len();
+    }
+
+    /// References recorded so far.
+    #[must_use]
+    pub fn references(&self) -> u64 {
+        self.references
+    }
+
+    /// Distinct pages seen so far — the memory bound.
+    #[must_use]
+    pub fn distinct_pages(&self) -> usize {
+        self.last.len()
+    }
+
+    /// Compulsory (first-touch) faults so far.
+    #[must_use]
+    pub fn compulsory(&self) -> u64 {
+        self.compulsory
+    }
+
+    /// The success function over everything recorded so far. Callable
+    /// mid-stream: the curve is exact for the prefix consumed.
+    #[must_use]
+    pub fn success(&self) -> SuccessFunction {
+        SuccessFunction::from_histogram(&self.hist, self.compulsory)
+    }
+}
+
+/// Drains `pages` through a [`StreamingLru`] and returns the curve —
+/// the streaming twin of [`crate::lru::lru_success`].
+#[must_use]
+pub fn lru_success_streamed<I: IntoIterator<Item = PageNo>>(pages: I) -> SuccessFunction {
+    let mut s = StreamingLru::new();
+    for p in pages {
+        s.record(p);
+    }
+    s.success()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lru::{lru_distances, lru_success};
+
+    fn pages(xs: &[u64]) -> Vec<PageNo> {
+        xs.iter().map(|&x| PageNo(x)).collect()
+    }
+
+    #[test]
+    fn per_reference_distances_match_batch() {
+        let trace = pages(&[1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5]);
+        let batch = lru_distances(&trace);
+        let mut s = StreamingLru::new();
+        let streamed: Vec<u64> = trace.iter().map(|&p| s.record(p)).collect();
+        assert_eq!(streamed, batch.distances());
+    }
+
+    #[test]
+    fn success_function_matches_batch_across_compactions() {
+        // Long enough to force many compactions at MIN_CAPACITY=128.
+        let mut x = 12345u64;
+        let trace: Vec<PageNo> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                PageNo(x % 97)
+            })
+            .collect();
+        let batch = lru_success(&trace);
+        let streamed = lru_success_streamed(trace.iter().copied());
+        assert_eq!(streamed.references(), batch.references());
+        assert_eq!(streamed.compulsory(), batch.compulsory());
+        assert_eq!(streamed.saturation_frames(), batch.saturation_frames());
+        for c in 0..=batch.saturation_frames() + 2 {
+            assert_eq!(streamed.faults(c), batch.faults(c), "at {c} frames");
+        }
+    }
+
+    #[test]
+    fn memory_is_bounded_by_the_page_universe() {
+        let mut s = StreamingLru::new();
+        for i in 0..1_000_000u64 {
+            s.record(PageNo(i % 50));
+        }
+        assert_eq!(s.distinct_pages(), 50);
+        assert!(
+            s.marks.len() <= MIN_CAPACITY.max(100),
+            "tree grew to {} stamps",
+            s.marks.len()
+        );
+        // Cyclic sweep of 50 pages: steady-state distance is 50.
+        let f = s.success();
+        assert_eq!(f.faults(49), 1_000_000);
+        assert_eq!(f.faults(50), 50);
+    }
+
+    #[test]
+    fn mid_stream_curve_is_exact_for_the_prefix() {
+        let trace = pages(&[0, 1, 2, 1, 0, 3, 2, 0]);
+        let mut s = StreamingLru::new();
+        for (i, &p) in trace.iter().enumerate() {
+            s.record(p);
+            let batch = lru_success(&trace[..=i]);
+            assert_eq!(s.success().curve(&[1, 2, 3, 4]), batch.curve(&[1, 2, 3, 4]));
+        }
+    }
+}

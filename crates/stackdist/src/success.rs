@@ -109,6 +109,28 @@ impl SuccessFunction {
         }
     }
 
+    /// Builds the curve from a distance *histogram* (`hist[d]` =
+    /// references at finite distance `d`) plus the compulsory count —
+    /// the shape a streaming pass accumulates without ever holding the
+    /// per-reference vector. Trailing zero buckets are ignored, so the
+    /// result is identical to [`SuccessFunction::from_distances`] over
+    /// the distances the histogram summarizes.
+    #[must_use]
+    pub fn from_histogram(hist: &[u64], compulsory: u64) -> SuccessFunction {
+        let max_finite = hist.iter().rposition(|&n| n > 0).unwrap_or(0);
+        let mut faults_at = vec![0u64; max_finite + 1];
+        let mut beyond = 0u64;
+        for c in (0..=max_finite).rev() {
+            faults_at[c] = compulsory + beyond;
+            beyond += hist.get(c).copied().unwrap_or(0);
+        }
+        SuccessFunction {
+            references: compulsory + hist.iter().sum::<u64>(),
+            faults_at,
+            compulsory,
+        }
+    }
+
     /// References in the trace.
     #[must_use]
     pub fn references(&self) -> u64 {

@@ -19,16 +19,21 @@
 //!   advice accuracy and bounds-violation injection;
 //! * [`planner`] — the "authoritarian compiler": exact whole-program
 //!   advice planning in the ACSI-MATIC program-description tradition,
-//!   the upper bound on what predictive information can be worth.
+//!   the upper bound on what predictive information can be worth;
+//! * [`stream`] — seedable, resumable, constant-memory iterator
+//!   equivalents of the materializing generators, under an exact-replay
+//!   contract (same seed ⇒ byte-identical sequence, at any scale).
 
 pub mod allocstream;
 pub mod planner;
 pub mod program;
 pub mod refstring;
 pub mod rng;
+pub mod stream;
 
 pub use allocstream::{AllocStreamCfg, SizeDist};
 pub use planner::{AdvicePlanner, PlannerCfg};
 pub use program::{ProgramCfg, SyntheticProgram};
 pub use refstring::RefStringCfg;
 pub use rng::Rng64;
+pub use stream::{AllocEventStream, AllocStream, RefStream, RefStringStream};

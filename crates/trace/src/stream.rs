@@ -1,0 +1,521 @@
+//! Streaming workload generation: seedable, resumable, constant-memory
+//! iterators over references and allocation events.
+//!
+//! The materializing generators ([`RefStringCfg::generate`],
+//! [`AllocStreamCfg::generate`]) cap experiment scale at whatever `Vec`
+//! fits in memory. Every model's internal state, however, is bounded by
+//! the *page universe* (or the live-block population), not by the trace
+//! length — so the same sequences can be produced one reference at a
+//! time in constant memory. This module does exactly that, under an
+//! **exact-replay contract**:
+//!
+//! 1. **Prefix equality.** For every configuration, seed and length,
+//!    `cfg.stream(wf, seed).take(len)` yields byte-for-byte the sequence
+//!    `cfg.generate(len, wf, &mut Rng64::new(seed))` materializes. The
+//!    legacy generators are untouched (golden outputs cannot drift); the
+//!    property tests in `tests/properties_trace_stream.rs` pin the two
+//!    paths together across every [`RefStringCfg`] regime.
+//! 2. **Checkpoint/resume.** Streams are `Clone`: a clone is an O(state)
+//!    checkpoint, and continuing the original and the clone produces
+//!    identical suffixes. [`RefStringCfg::stream_at`] /
+//!    [`AllocStreamCfg::stream_at`] reconstruct the same point from
+//!    `(seed, position)` alone by fast-forwarding — O(position) time,
+//!    O(state) memory — so a resumed run needs no serialized state.
+//! 3. **Constant memory.** Per-item work never allocates proportionally
+//!    to the position; state is O(page universe) for reference strings
+//!    and O(live blocks) for allocation streams.
+//!
+//! Streams are *infinite* (`next()` never returns `None` for reference
+//! models; allocation streams likewise run forever): length is the
+//! caller's cut, exactly as `len` was an argument to `generate`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dsa_core::access::{Access, AccessKind, AllocEvent, AllocRequest};
+use dsa_core::ids::{PageNo, Words};
+
+use crate::allocstream::AllocStreamCfg;
+use crate::refstring::RefStringCfg;
+use crate::rng::Rng64;
+
+/// A resumable reference-string iterator.
+///
+/// See the module docs for the exact-replay contract. `position()` is
+/// the number of references already yielded; together with the
+/// construction seed it identifies the stream's exact point.
+pub trait RefStream: Iterator<Item = Access> + Clone {
+    /// References yielded so far.
+    fn position(&self) -> u64;
+}
+
+/// A resumable allocation-event iterator (same contract as
+/// [`RefStream`], for [`AllocEvent`] streams).
+pub trait AllocStream: Iterator<Item = AllocEvent> + Clone {
+    /// Events yielded so far.
+    fn position(&self) -> u64;
+}
+
+/// Per-regime generator state. Each variant holds exactly the state the
+/// corresponding arm of [`RefStringCfg::generate`] carries across loop
+/// iterations, so the draw order (and hence the output) is identical.
+#[derive(Clone, Debug)]
+enum Regime {
+    Uniform {
+        pages: u64,
+    },
+    LruStack {
+        pages: u64,
+        theta: f64,
+        /// The LRU stack, most recent first — shuffled once at
+        /// construction, exactly as `generate` shuffles before its loop.
+        stack: Vec<u64>,
+    },
+    WorkingSetPhases {
+        set: u64,
+        phase_len: u64,
+        all: Vec<u64>,
+        current: Vec<u64>,
+        remaining: u64,
+    },
+    SequentialSweep {
+        pages: u64,
+    },
+    LoopNest {
+        inner: u64,
+        outer: u64,
+        period: u64,
+        /// Iteration counter (the legacy `iter`).
+        iter: u64,
+        /// Cursor within the iteration: `p < inner` walks the inner
+        /// pages, `inner + q` (q < outer) walks the outer candidates.
+        cursor: u64,
+    },
+    HotCold {
+        hot: u64,
+        cold: u64,
+        p_hot: f64,
+    },
+}
+
+/// A seedable, resumable, constant-memory reference-string stream.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_trace::refstring::RefStringCfg;
+/// use dsa_trace::rng::Rng64;
+/// use dsa_trace::stream::RefStream;
+///
+/// let cfg = RefStringCfg::LruStack { pages: 16, theta: 1.0 };
+/// let streamed: Vec<_> = cfg.stream(0.3, 42).take(100).collect();
+/// let materialized = cfg.generate(100, 0.3, &mut Rng64::new(42));
+/// assert_eq!(streamed, materialized);
+///
+/// // Checkpoint at 60, resume from (seed, position) alone.
+/// let resumed: Vec<_> = cfg.stream_at(0.3, 42, 60).take(40).collect();
+/// assert_eq!(resumed, materialized[60..]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct RefStringStream {
+    regime: Regime,
+    write_fraction: f64,
+    rng: Rng64,
+    pos: u64,
+}
+
+impl RefStringCfg {
+    /// A streaming equivalent of [`RefStringCfg::generate`], seeded by
+    /// `seed` (the stream draws from `Rng64::new(seed)` in exactly the
+    /// order `generate` would).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has an empty page universe.
+    #[must_use]
+    pub fn stream(&self, write_fraction: f64, seed: u64) -> RefStringStream {
+        self.stream_with_rng(write_fraction, Rng64::new(seed))
+    }
+
+    /// [`RefStringCfg::stream`] over a caller-positioned generator, for
+    /// composing with other draws from the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has an empty page universe.
+    #[must_use]
+    pub fn stream_with_rng(&self, write_fraction: f64, mut rng: Rng64) -> RefStringStream {
+        assert!(self.page_universe() > 0, "empty page universe");
+        let regime = match *self {
+            RefStringCfg::Uniform { pages } => Regime::Uniform { pages },
+            RefStringCfg::LruStack { pages, theta } => {
+                let mut stack: Vec<u64> = (0..pages).collect();
+                rng.shuffle(&mut stack);
+                Regime::LruStack {
+                    pages,
+                    theta,
+                    stack,
+                }
+            }
+            RefStringCfg::WorkingSetPhases {
+                pages,
+                set,
+                phase_len,
+            } => Regime::WorkingSetPhases {
+                set: set.min(pages).max(1),
+                phase_len,
+                all: (0..pages).collect(),
+                current: Vec::new(),
+                remaining: 0,
+            },
+            RefStringCfg::SequentialSweep { pages } => Regime::SequentialSweep { pages },
+            RefStringCfg::LoopNest {
+                inner,
+                outer,
+                period,
+            } => Regime::LoopNest {
+                inner,
+                outer,
+                period: period.max(1),
+                iter: 0,
+                cursor: 0,
+            },
+            RefStringCfg::HotCold { hot, cold, p_hot } => Regime::HotCold { hot, cold, p_hot },
+        };
+        RefStringStream {
+            regime,
+            write_fraction,
+            rng,
+            pos: 0,
+        }
+    }
+
+    /// The stream fast-forwarded to `position`: yields the suffix a
+    /// fresh stream would produce after `position` references. O(state)
+    /// memory, O(position) time — resume-from-seed needs no serialized
+    /// checkpoint (clone the stream instead when O(1) resume matters).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has an empty page universe.
+    #[must_use]
+    pub fn stream_at(&self, write_fraction: f64, seed: u64, position: u64) -> RefStringStream {
+        let mut s = self.stream(write_fraction, seed);
+        s.advance_by_draining(position);
+        s
+    }
+}
+
+impl RefStringStream {
+    /// Drops `n` references (cheaper than `nth` only in intent: every
+    /// draw must still happen for replay exactness).
+    fn advance_by_draining(&mut self, n: u64) {
+        for _ in 0..n {
+            let _ = self.next();
+        }
+    }
+
+    /// Projects the stream to bare page numbers (the shape the paging
+    /// machines and the stack-distance engines consume).
+    pub fn pages(self) -> impl Iterator<Item = PageNo> + Clone {
+        self.map(|a| PageNo(a.name.value()))
+    }
+
+    fn emit(&mut self, page: u64) -> Access {
+        let kind = if self.rng.chance(self.write_fraction) {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        self.pos += 1;
+        Access {
+            name: dsa_core::ids::Name(page),
+            kind,
+        }
+    }
+}
+
+impl Iterator for RefStringStream {
+    type Item = Access;
+
+    fn next(&mut self) -> Option<Access> {
+        // Select the page exactly as the corresponding `generate` arm
+        // does, *then* roll the write fraction (the draw order is part
+        // of the replay contract).
+        let page = match self.regime {
+            Regime::Uniform { pages } => self.rng.below(pages),
+            Regime::LruStack {
+                pages,
+                theta,
+                ref mut stack,
+            } => {
+                let depth = self.rng.zipf(pages, theta) as usize;
+                let page = stack.remove(depth);
+                stack.insert(0, page);
+                page
+            }
+            Regime::WorkingSetPhases {
+                set,
+                phase_len,
+                ref mut all,
+                ref mut current,
+                ref mut remaining,
+            } => {
+                if *remaining == 0 {
+                    self.rng.shuffle(all);
+                    *current = all[..set as usize].to_vec();
+                    *remaining = phase_len.max(1);
+                }
+                *remaining -= 1;
+                *self.rng.pick(current)
+            }
+            Regime::SequentialSweep { pages } => self.pos % pages,
+            Regime::LoopNest {
+                inner,
+                outer,
+                period,
+                ref mut iter,
+                ref mut cursor,
+            } => loop {
+                // `cursor < inner`: the inner pages, touched every
+                // iteration. `inner <= cursor < inner + outer`: the
+                // staggered outer candidates, of which only those with
+                // q % period == iter % period fire.
+                if *cursor < inner {
+                    let p = *cursor;
+                    *cursor += 1;
+                    break p;
+                }
+                if *cursor < inner + outer {
+                    let q = *cursor - inner;
+                    *cursor += 1;
+                    if q % period == *iter % period {
+                        break inner + q;
+                    }
+                } else {
+                    *iter += 1;
+                    *cursor = 0;
+                }
+            },
+            Regime::HotCold { hot, cold, p_hot } => {
+                if self.rng.chance(p_hot) {
+                    self.rng.below(hot)
+                } else {
+                    hot + self.rng.below(cold.max(1))
+                }
+            }
+        };
+        Some(self.emit(page))
+    }
+}
+
+impl RefStream for RefStringStream {
+    fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+/// A seedable, resumable allocation/free event stream; memory is
+/// bounded by the live-block population the target load factor allows,
+/// independent of how many events have been drawn.
+///
+/// # Examples
+///
+/// ```
+/// use dsa_trace::allocstream::{AllocStreamCfg, SizeDist};
+/// use dsa_trace::rng::Rng64;
+///
+/// let cfg = AllocStreamCfg {
+///     sizes: SizeDist::Uniform { lo: 10, hi: 100 },
+///     mean_lifetime: 40.0,
+///     target_live_words: 5_000,
+/// };
+/// let streamed: Vec<_> = cfg.stream(7).take(500).collect();
+/// assert_eq!(streamed, cfg.generate(500, &mut Rng64::new(7)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AllocEventStream {
+    cfg: AllocStreamCfg,
+    /// Min-heap of `(expiry, id, size)` over live blocks — the same
+    /// structure `generate` carries across its loop.
+    live: BinaryHeap<Reverse<(u64, u64, Words)>>,
+    live_words: Words,
+    next_id: u64,
+    t: u64,
+    pos: u64,
+    rng: Rng64,
+}
+
+impl AllocStreamCfg {
+    /// A streaming equivalent of [`AllocStreamCfg::generate`]: the
+    /// prefix-equality, checkpoint/resume and constant-memory contract
+    /// of [`crate::stream`] applies.
+    #[must_use]
+    pub fn stream(&self, seed: u64) -> AllocEventStream {
+        self.stream_with_rng(Rng64::new(seed))
+    }
+
+    /// [`AllocStreamCfg::stream`] over a caller-positioned generator.
+    #[must_use]
+    pub fn stream_with_rng(&self, rng: Rng64) -> AllocEventStream {
+        AllocEventStream {
+            cfg: self.clone(),
+            live: BinaryHeap::new(),
+            live_words: 0,
+            next_id: 0,
+            t: 0,
+            pos: 0,
+            rng,
+        }
+    }
+
+    /// The stream fast-forwarded to `position` (see
+    /// [`RefStringCfg::stream_at`]).
+    #[must_use]
+    pub fn stream_at(&self, seed: u64, position: u64) -> AllocEventStream {
+        let mut s = self.stream(seed);
+        for _ in 0..position {
+            let _ = s.next();
+        }
+        s
+    }
+}
+
+impl Iterator for AllocEventStream {
+    type Item = AllocEvent;
+
+    fn next(&mut self) -> Option<AllocEvent> {
+        let e = if self.live_words < self.cfg.target_live_words {
+            let size = self.cfg.sizes.sample(&mut self.rng);
+            let lifetime = self.rng.exponential(self.cfg.mean_lifetime) as u64;
+            let id = self.next_id;
+            self.next_id += 1;
+            self.live
+                .push(Reverse((self.t + lifetime.max(1), id, size)));
+            self.live_words += size;
+            AllocEvent::Alloc(AllocRequest { id, size })
+        } else {
+            // Invariant: live_words >= target > 0 here, so at least one
+            // live block exists to retire (as in `generate`).
+            #[allow(clippy::expect_used)]
+            let Reverse((_, id, size)) = self.live.pop().expect("target > 0 implies live blocks");
+            self.live_words -= size;
+            AllocEvent::Free { id }
+        };
+        self.t += 1;
+        self.pos += 1;
+        Some(e)
+    }
+}
+
+impl AllocStream for AllocEventStream {
+    fn position(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allocstream::SizeDist;
+
+    fn cfgs() -> Vec<RefStringCfg> {
+        vec![
+            RefStringCfg::Uniform { pages: 10 },
+            RefStringCfg::LruStack {
+                pages: 12,
+                theta: 1.1,
+            },
+            RefStringCfg::WorkingSetPhases {
+                pages: 20,
+                set: 5,
+                phase_len: 7,
+            },
+            RefStringCfg::SequentialSweep { pages: 4 },
+            RefStringCfg::LoopNest {
+                inner: 3,
+                outer: 6,
+                period: 3,
+            },
+            RefStringCfg::HotCold {
+                hot: 3,
+                cold: 17,
+                p_hot: 0.8,
+            },
+        ]
+    }
+
+    #[test]
+    fn stream_prefix_equals_generate() {
+        for cfg in cfgs() {
+            let materialized = cfg.generate(400, 0.3, &mut Rng64::new(99));
+            let streamed: Vec<Access> = cfg.stream(0.3, 99).take(400).collect();
+            assert_eq!(streamed, materialized, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn clone_checkpoint_resumes_identically() {
+        for cfg in cfgs() {
+            let mut s = cfg.stream(0.2, 5);
+            let head: Vec<Access> = s.by_ref().take(123).collect();
+            assert_eq!(s.position(), 123);
+            let checkpoint = s.clone();
+            let a: Vec<Access> = s.take(77).collect();
+            let b: Vec<Access> = checkpoint.take(77).collect();
+            assert_eq!(a, b, "{cfg:?}");
+            assert_eq!(head.len(), 123);
+        }
+    }
+
+    #[test]
+    fn stream_at_fast_forwards_exactly() {
+        for cfg in cfgs() {
+            let full: Vec<Access> = cfg.stream(0.4, 11).take(300).collect();
+            let tail: Vec<Access> = cfg.stream_at(0.4, 11, 120).take(180).collect();
+            assert_eq!(tail, full[120..], "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn pages_projection_matches_generate_pages() {
+        for cfg in cfgs() {
+            let materialized = cfg.generate_pages(200, &mut Rng64::new(3));
+            let streamed: Vec<PageNo> = cfg.stream(0.0, 3).pages().take(200).collect();
+            assert_eq!(streamed, materialized, "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn alloc_stream_matches_generate_and_resumes() {
+        let cfg = AllocStreamCfg {
+            sizes: SizeDist::Exponential {
+                mean: 30.0,
+                cap: 200,
+            },
+            mean_lifetime: 50.0,
+            target_live_words: 3_000,
+        };
+        let materialized = cfg.generate(800, &mut Rng64::new(21));
+        let streamed: Vec<AllocEvent> = cfg.stream(21).take(800).collect();
+        assert_eq!(streamed, materialized);
+        let tail: Vec<AllocEvent> = cfg.stream_at(21, 500).take(300).collect();
+        assert_eq!(tail, materialized[500..]);
+    }
+
+    #[test]
+    fn alloc_stream_state_is_bounded_by_live_population() {
+        let cfg = AllocStreamCfg {
+            sizes: SizeDist::Fixed { size: 10 },
+            mean_lifetime: 25.0,
+            target_live_words: 1_000,
+        };
+        let mut s = cfg.stream(1);
+        for _ in 0..50_000 {
+            let _ = s.next();
+        }
+        // At most target/size + 1 blocks can ever be live.
+        assert!(s.live.len() <= 101, "heap grew to {}", s.live.len());
+        assert_eq!(s.position(), 50_000);
+    }
+}

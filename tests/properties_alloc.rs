@@ -285,10 +285,23 @@ fn worst_fit_scan(holes: &[(u64, u64)], size: u64) -> (Option<u64>, u64) {
     )
 }
 
+/// Reference linear-scan first fit: the first adequate hole in
+/// address order. The scan stops at the chosen hole, so the modeled
+/// search length is its rank; on failure the whole list was examined.
+fn first_fit_scan(holes: &[(u64, u64)], size: u64) -> (Option<u64>, u64) {
+    for (i, &(addr, hsize)) in holes.iter().enumerate() {
+        if hsize >= size {
+            return (Some(addr), i as u64 + 1);
+        }
+    }
+    (None, holes.len() as u64)
+}
+
 proptest! {
-    /// The size-indexed best-fit/worst-fit lookups pick the same hole
-    /// and report the same modeled search length as the linear scans
-    /// they replaced, under any op stream.
+    /// The size-indexed best-fit/worst-fit lookups and the segregated
+    /// first-fit bins pick the same hole and report the same modeled
+    /// search length as the linear scans they replaced, under any op
+    /// stream.
     #[test]
     fn size_index_matches_linear_scan(ops in arb_ops()) {
         for (policy, scan) in [
@@ -297,6 +310,7 @@ proptest! {
                 best_fit_scan as fn(&[(u64, u64)], u64) -> (Option<u64>, u64),
             ),
             (Placement::WorstFit, worst_fit_scan),
+            (Placement::FirstFit, first_fit_scan),
         ] {
             let mut a = FreeListAllocator::new(4096, policy);
             let mut live: Vec<u64> = Vec::new();
@@ -335,6 +349,61 @@ proptest! {
                 a.check_invariants();
             }
         }
+    }
+
+    /// Quick lists (deferred coalescing) never change *accounting*:
+    /// under any op stream, an allocator with quick lists enabled
+    /// reports the same allocated and free words as a twin without
+    /// them, every parked word is counted free, and after flushing and
+    /// freeing everything the storage coalesces back to one hole.
+    #[test]
+    fn quick_lists_preserve_accounting(ops in arb_ops()) {
+        let mut plain = FreeListAllocator::new(4096, Placement::FirstFit);
+        let mut quick = FreeListAllocator::new(4096, Placement::FirstFit);
+        quick.enable_quick_lists(64, 8);
+        let mut live: Vec<u64> = Vec::new();
+        let mut next = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Alloc(size) => {
+                    // Placement may differ (that is the point of the
+                    // fast path); success/failure may too, so keep the
+                    // twins in step by driving both and only tracking
+                    // ids live in both.
+                    let a = plain.alloc(next, size).is_ok();
+                    let b = quick.alloc(next, size).is_ok();
+                    if a && b {
+                        live.push(next);
+                    } else {
+                        if a {
+                            plain.free(next).expect("just allocated");
+                        }
+                        if b {
+                            quick.free(next).expect("just allocated");
+                        }
+                    }
+                    next += 1;
+                }
+                Op::FreeNth(i) => {
+                    if !live.is_empty() {
+                        let id = live.swap_remove(i % live.len());
+                        plain.free(id).expect("live id");
+                        quick.free(id).expect("live id");
+                    }
+                }
+            }
+            prop_assert_eq!(plain.allocated_words(), quick.allocated_words());
+            prop_assert_eq!(plain.free_words(), quick.free_words());
+            prop_assert!(quick.quick_parked_words() <= quick.free_words());
+            quick.check_invariants();
+        }
+        for id in live {
+            quick.free(id).expect("live id");
+        }
+        quick.flush_quick_lists();
+        quick.check_invariants();
+        prop_assert_eq!(quick.free_words(), 4096);
+        prop_assert_eq!(quick.hole_count(), 1);
     }
 
     /// The incrementally maintained `largest_free` and the lazily

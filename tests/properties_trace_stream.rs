@@ -1,0 +1,117 @@
+//! Property-based tests pinning the streaming trace layer's
+//! exact-replay contract: a stream is a drop-in replacement for the
+//! materializing generator — same configuration, same seed, same
+//! references — and any clone or fast-forward resumes the identical
+//! tail.
+
+use dsa::trace::allocstream::{AllocStreamCfg, SizeDist};
+use dsa::trace::refstring::RefStringCfg;
+use dsa::trace::rng::Rng64;
+use dsa::trace::RefStream;
+use proptest::prelude::*;
+
+/// Every reference-string regime, with parameters drawn from the
+/// ranges the experiments actually use.
+fn arb_cfg() -> impl Strategy<Value = RefStringCfg> {
+    prop_oneof![
+        (1u64..200).prop_map(|pages| RefStringCfg::Uniform { pages }),
+        (1u64..100, 0.2f64..1.4).prop_map(|(pages, theta)| RefStringCfg::LruStack { pages, theta }),
+        (2u64..100, 1u64..40, 1u64..50).prop_map(|(pages, set, phase_len)| {
+            RefStringCfg::WorkingSetPhases {
+                pages,
+                set: set.min(pages),
+                phase_len,
+            }
+        }),
+        (1u64..200).prop_map(|pages| RefStringCfg::SequentialSweep { pages }),
+        (1u64..20, 0u64..40, 1u64..10).prop_map(|(inner, outer, period)| {
+            RefStringCfg::LoopNest {
+                inner,
+                outer,
+                period,
+            }
+        }),
+        (1u64..50, 1u64..200, 0.0f64..1.0)
+            .prop_map(|(hot, cold, p_hot)| { RefStringCfg::HotCold { hot, cold, p_hot } }),
+    ]
+}
+
+proptest! {
+    /// Collecting a stream reproduces the legacy `Vec` generator
+    /// byte-for-byte, for every regime: same pages, same access kinds,
+    /// same order.
+    #[test]
+    fn stream_collects_to_the_generator(
+        cfg in arb_cfg(),
+        seed in any::<u64>(),
+        len in 0usize..600,
+        wf in 0.0f64..1.0,
+    ) {
+        let legacy = cfg.generate(len, wf, &mut Rng64::new(seed));
+        let streamed: Vec<_> = cfg.stream(wf, seed).take(len).collect();
+        prop_assert_eq!(streamed, legacy);
+    }
+
+    /// Same seed ⇒ byte-identical sequence across any resume point:
+    /// a clone taken mid-stream and a `stream_at` fast-forwarded to the
+    /// same position both continue with exactly the suffix the
+    /// uninterrupted stream produces.
+    #[test]
+    fn stream_resumes_identically(
+        cfg in arb_cfg(),
+        seed in any::<u64>(),
+        len in 1usize..400,
+        split_frac in 0.0f64..1.0,
+        wf in 0.0f64..1.0,
+    ) {
+        let split = ((len as f64 * split_frac) as usize).min(len - 1);
+        let full: Vec<_> = cfg.stream(wf, seed).take(len).collect();
+
+        // Checkpoint by cloning: O(1), resumes the exact tail.
+        let mut s = cfg.stream(wf, seed);
+        for _ in 0..split {
+            s.next();
+        }
+        let checkpoint = s.clone();
+        prop_assert_eq!(checkpoint.position(), split as u64);
+        let tail: Vec<_> = checkpoint.take(len - split).collect();
+        prop_assert_eq!(&tail, &full[split..]);
+
+        // Checkpoint by fast-forward: `stream_at` lands on the same
+        // suffix from nothing but (cfg, wf, seed, position).
+        let resumed: Vec<_> = cfg
+            .stream_at(wf, seed, split as u64)
+            .take(len - split)
+            .collect();
+        prop_assert_eq!(&resumed, &full[split..]);
+    }
+
+    /// The allocation-event stream obeys the same contract: collect
+    /// equals the legacy generator, and fast-forward resumes exactly.
+    #[test]
+    fn alloc_stream_collects_and_resumes(
+        mean in 1.0f64..80.0,
+        cap in 1u64..500,
+        lifetime in 1.0f64..2000.0,
+        target in 100u64..20_000,
+        seed in any::<u64>(),
+        len in 1usize..400,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let cfg = AllocStreamCfg {
+            sizes: SizeDist::Exponential { mean, cap },
+            mean_lifetime: lifetime,
+            target_live_words: target,
+        };
+        let legacy = cfg.generate(len, &mut Rng64::new(seed));
+        let streamed: Vec<_> = cfg.stream(seed).take(len).collect();
+        prop_assert_eq!(&streamed, &legacy);
+
+        let split = ((len as f64 * split_frac) as usize).min(len - 1);
+        let resumed: Vec<_> = cfg
+            .stream_at(seed, split as u64)
+            .take(len - split)
+            .collect();
+        prop_assert_eq!(&resumed, &legacy[split..]);
+    }
+}

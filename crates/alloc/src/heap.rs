@@ -1,0 +1,843 @@
+//! The size-class slab heap: real memory behind the simulated books.
+//!
+//! A [`DsaHeap`] owns one contiguous region obtained from
+//! [`std::alloc::System`] (page-aligned, sized in words like every
+//! arena in this workspace) and splits it two ways:
+//!
+//! * **Slab pages.** At construction, one span per size class is carved
+//!   out of the backing [`ShardedArena`] and handed to a lock-free
+//!   [`FixedSlab`]. Each span's base is rounded up to a 4096-byte
+//!   boundary inside the region, so every power-of-two class is
+//!   naturally aligned — that is how over-aligned small requests are
+//!   served without headers.
+//! * **The large path.** Everything past the ladder (or overflowing an
+//!   exhausted slab) is allocated from the arena directly, id-keyed,
+//!   with a striped side table mapping the returned pointer's word
+//!   offset back to its arena id for the free side.
+//!
+//! Nothing in the region carries a header: small frees recompute the
+//! class from the caller's `Layout` and the slab's span answers "is
+//! this mine"; large frees hit the side table. A pointer outside the
+//! region belongs to [`System`] (the fallback of last resort, and the
+//! destination of the heap's own bookkeeping allocations when used
+//! through [`crate::GlobalDsa`]).
+//!
+//! The probe discipline mirrors the simulators: every *backend*
+//! operation — slab pop/push, arena alloc/free — emits
+//! `Alloc { words, searched }` / `Free { words }` into the heap's
+//! [`TelemetryProbe`]. Magazine hits are invisible here by design (they
+//! are the fast path being fast); [`DsaHeap::check_reconciliation`]
+//! proves the probe's net ledger equals slab-live plus arena-live
+//! words, magazines included, because a magazine-parked object is
+//! backend-live.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use dsa_arena::{FixedSlab, ShardedArena};
+use dsa_core::ids::Words;
+use dsa_core::sizeclass::SizeClasses;
+use dsa_freelist::freelist::Placement;
+use dsa_probe::{EventKind, Probe, Stamp};
+use dsa_telemetry::TelemetryProbe;
+
+use crate::magazine::{Depot, MAG_MAX};
+
+/// Bytes per storage word, the unit the backing arena accounts in.
+pub(crate) const BYTES_PER_WORD: u64 = 8;
+
+/// Slab spans are based at multiples of this many words (4096 bytes),
+/// so power-of-two unit sizes are naturally aligned.
+const PAGE_ALIGN_WORDS: u64 = 512;
+
+/// Alignment of the backing region itself, in bytes.
+const REGION_ALIGN: usize = 4096;
+
+/// Stripes of the large-pointer side table.
+const LARGE_STRIPES: usize = 16;
+
+/// Arena ids at and above this are slab-span carves (one per class);
+/// ids below are large allocations, issued sequentially from 1.
+const CARVE_ID_BASE: u64 = 1 << 60;
+
+/// Full magazines a depot retains per class before overflow is flushed
+/// back to the slab.
+const DEPOT_MAX_FULL: usize = 8;
+
+/// Quick-list geometry for the large path (see `ShardedArena`): blocks
+/// up to this many words ride the per-shard LIFO caches.
+const QUICK_MAX_WORDS: Words = 256;
+const QUICK_DEPTH: usize = 16;
+
+/// Construction parameters for a [`DsaHeap`].
+///
+/// `const`-constructible so a [`crate::GlobalDsa`] can be a `static`.
+#[derive(Clone, Copy, Debug)]
+pub struct HeapConfig {
+    /// Backing region size in words (bytes = `arena_words * 8`). Must
+    /// be divisible by `shards`.
+    pub arena_words: Words,
+    /// Shards of the backing arena (large-path concurrency).
+    pub shards: u32,
+    /// Units per size-class slab.
+    pub class_units: u32,
+    /// Objects per magazine, `1..=`[`MAG_MAX`].
+    pub magazine_depth: usize,
+    /// Arm the arena's per-shard quick lists for the large path.
+    pub quick_lists: bool,
+}
+
+impl HeapConfig {
+    /// The default geometry: a 32 MiB region, 8 shards, 1024 units per
+    /// class (~13 MiB of slab pages), 32-object magazines.
+    pub const DEFAULT: HeapConfig = HeapConfig {
+        arena_words: 4 << 20,
+        shards: 8,
+        class_units: 1024,
+        magazine_depth: 32,
+        quick_lists: true,
+    };
+
+    /// A small geometry for tests: a 2 MiB region, 4 shards, 64 units
+    /// per class, 8-object magazines.
+    #[must_use]
+    pub const fn small() -> HeapConfig {
+        HeapConfig {
+            arena_words: 1 << 18,
+            shards: 4,
+            class_units: 64,
+            magazine_depth: 8,
+            quick_lists: true,
+        }
+    }
+}
+
+impl Default for HeapConfig {
+    fn default() -> HeapConfig {
+        HeapConfig::DEFAULT
+    }
+}
+
+/// The backing region: one `System` allocation the whole heap lives in.
+struct Region {
+    base: *mut u8,
+    bytes: usize,
+    layout: Layout,
+}
+
+/// One size class: a lock-free slab over a span of the region.
+struct ClassSlab {
+    slab: FixedSlab,
+    /// Word offset of unit 0 within the region (multiple of
+    /// [`PAGE_ALIGN_WORDS`]).
+    base_words: u64,
+    /// Words the units cover (`class_units * unit_words`).
+    span_words: u64,
+}
+
+/// Operation counters, snapshotted with [`DsaHeap::stats`].
+///
+/// Magazine counters are accumulated thread-locally and folded in when
+/// a cache flushes (depot overflow, explicit flush, thread exit), so
+/// they trail the instantaneous truth by up to one magazine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HeapStats {
+    /// Small allocations served from a thread's magazines (no atomics).
+    pub magazine_allocs: u64,
+    /// Small frees absorbed by a thread's magazines (no atomics).
+    pub magazine_frees: u64,
+    /// Magazine exchanges with a per-class depot.
+    pub depot_exchanges: u64,
+    /// Small allocations that fell to the large path because the class
+    /// slab was exhausted.
+    pub slab_exhausted: u64,
+    /// Allocations served by the arena's large path.
+    pub large_allocs: u64,
+    /// Frees returned to the arena's large path.
+    pub large_frees: u64,
+    /// Allocations passed through to [`System`] (arena exhausted).
+    pub system_allocs: u64,
+    /// Frees passed through to [`System`].
+    pub system_frees: u64,
+    /// Frees of pointers the heap does not recognize.
+    pub bad_frees: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    magazine_allocs: AtomicU64,
+    magazine_frees: AtomicU64,
+    depot_exchanges: AtomicU64,
+    slab_exhausted: AtomicU64,
+    large_allocs: AtomicU64,
+    large_frees: AtomicU64,
+    system_allocs: AtomicU64,
+    system_frees: AtomicU64,
+    bad_frees: AtomicU64,
+}
+
+/// The three-layer heap. See the [module docs](self) for the layout.
+///
+/// All methods take `&self`; the slab layer is lock-free, the large
+/// path locks one arena shard plus one side-table stripe, and the
+/// magazine depots lock per class. [`crate::ThreadCache`] sits on top
+/// and removes even the atomics from the common path.
+pub struct DsaHeap {
+    config: HeapConfig,
+    classes: SizeClasses,
+    region: Region,
+    arena: ShardedArena,
+    slabs: Vec<ClassSlab>,
+    depots: Vec<Mutex<Depot>>,
+    /// Large side table: word offset of the returned pointer -> arena
+    /// id, striped by offset.
+    large: Vec<Mutex<HashMap<u64, u64>>>,
+    next_large_id: AtomicU64,
+    clock: AtomicU64,
+    telemetry: TelemetryProbe,
+    counters: Counters,
+}
+
+// SAFETY: the raw region pointer is owned exclusively by the heap; all
+// access to the memory behind it is mediated by the lock-free slabs,
+// the shard locks, and the side-table stripes.
+unsafe impl Send for DsaHeap {}
+// SAFETY: as above — `&DsaHeap` exposes only atomic/locked operations.
+unsafe impl Sync for DsaHeap {}
+
+impl DsaHeap {
+    /// Builds the heap: maps the region, carves one aligned slab span
+    /// per size class out of the backing arena, and arms the quick
+    /// lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (`arena_words` not
+    /// divisible by `shards`, zero or oversized `magazine_depth`) or
+    /// too small for the slab spans to fit, and aborts via
+    /// [`std::alloc::handle_alloc_error`] if the system refuses the
+    /// region.
+    #[must_use]
+    pub fn new(config: HeapConfig) -> DsaHeap {
+        assert!(config.shards > 0, "need at least one shard");
+        assert!(
+            config.arena_words % u64::from(config.shards) == 0,
+            "arena_words must divide evenly into shards"
+        );
+        assert!(
+            (1..=MAG_MAX).contains(&config.magazine_depth),
+            "magazine_depth must be 1..={MAG_MAX}"
+        );
+        assert!(config.class_units > 0, "need at least one unit per class");
+        let classes = SizeClasses::jemalloc(BYTES_PER_WORD, 2048);
+
+        let bytes = usize::try_from(config.arena_words * BYTES_PER_WORD)
+            .unwrap_or_else(|_| panic!("region too large for this platform"));
+        let Ok(layout) = Layout::from_size_align(bytes, REGION_ALIGN) else {
+            panic!("degenerate region layout ({bytes} bytes)");
+        };
+        // SAFETY: `layout` has non-zero size (arena_words >= shards > 0).
+        let base = unsafe { System.alloc(layout) };
+        if base.is_null() {
+            std::alloc::handle_alloc_error(layout);
+        }
+        let region = Region {
+            base,
+            bytes,
+            layout,
+        };
+
+        let arena = ShardedArena::new(
+            config.shards,
+            config.arena_words / u64::from(config.shards),
+            Placement::FirstFit,
+        );
+        if config.quick_lists {
+            arena.enable_quick_lists(QUICK_MAX_WORDS, QUICK_DEPTH);
+        }
+        let telemetry = TelemetryProbe::new();
+
+        // Carve one span per class, with enough slack to round the base
+        // up to a page boundary. The carves stay live for the heap's
+        // lifetime and are part of the probe ledger.
+        let mut slabs = Vec::with_capacity(classes.count());
+        let mut depots = Vec::with_capacity(classes.count());
+        let mut clock = 0u64;
+        for (c, &class_bytes) in classes.classes().iter().enumerate() {
+            let unit_words = class_bytes / BYTES_PER_WORD;
+            let span_words = unit_words * u64::from(config.class_units);
+            let carve = span_words + PAGE_ALIGN_WORDS;
+            let mut probe = &telemetry;
+            let addr = arena
+                .alloc_probed(
+                    CARVE_ID_BASE + c as u64,
+                    carve,
+                    Stamp::vtime(clock),
+                    &mut probe,
+                )
+                .unwrap_or_else(|e| {
+                    panic!("arena too small for the class-{class_bytes} slab span: {e}")
+                });
+            clock += 1;
+            let base_words = addr.0.next_multiple_of(PAGE_ALIGN_WORDS);
+            debug_assert!(base_words + span_words <= addr.0 + carve);
+            slabs.push(ClassSlab {
+                slab: FixedSlab::new(config.class_units, unit_words),
+                base_words,
+                span_words,
+            });
+            depots.push(Mutex::new(Depot::default()));
+        }
+
+        DsaHeap {
+            config,
+            classes,
+            region,
+            arena,
+            slabs,
+            depots,
+            large: (0..LARGE_STRIPES)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            next_large_id: AtomicU64::new(1),
+            clock: AtomicU64::new(clock),
+            telemetry,
+            counters: Counters::default(),
+        }
+    }
+
+    /// The configuration the heap was built with.
+    #[must_use]
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// The size-class ladder (sizes in bytes).
+    #[must_use]
+    pub fn classes(&self) -> &SizeClasses {
+        &self.classes
+    }
+
+    /// The live telemetry probe every backend operation flows through.
+    #[must_use]
+    pub fn telemetry(&self) -> &TelemetryProbe {
+        &self.telemetry
+    }
+
+    /// Is `ptr` inside the heap's backing region?
+    #[must_use]
+    pub fn contains(&self, ptr: *const u8) -> bool {
+        let p = ptr as usize;
+        let b = self.region.base as usize;
+        p >= b && p < b + self.region.bytes
+    }
+
+    /// Snapshot of the operation counters.
+    #[must_use]
+    pub fn stats(&self) -> HeapStats {
+        let c = &self.counters;
+        HeapStats {
+            magazine_allocs: c.magazine_allocs.load(Ordering::Relaxed),
+            magazine_frees: c.magazine_frees.load(Ordering::Relaxed),
+            depot_exchanges: c.depot_exchanges.load(Ordering::Relaxed),
+            slab_exhausted: c.slab_exhausted.load(Ordering::Relaxed),
+            large_allocs: c.large_allocs.load(Ordering::Relaxed),
+            large_frees: c.large_frees.load(Ordering::Relaxed),
+            system_allocs: c.system_allocs.load(Ordering::Relaxed),
+            system_frees: c.system_frees.load(Ordering::Relaxed),
+            bad_frees: c.bad_frees.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Words live in the backend: arena-allocated (slab spans + large
+    /// blocks) plus slab-live units. Objects parked in magazines and
+    /// depots count as live — the backend has handed them out.
+    #[must_use]
+    pub fn live_words(&self) -> Words {
+        // Keep the arena snapshot's own vector out of the books when
+        // this heap is the global allocator (see check_reconciliation).
+        let _guard = crate::global::DepthGuard::enter();
+        let slab_live: Words = self
+            .slabs
+            .iter()
+            .map(|s| s.slab.live_units() * s.slab.unit_words())
+            .sum();
+        self.arena.snapshot().allocated_words() + slab_live
+    }
+
+    /// Objects currently parked in full depot magazines, per class sum.
+    #[must_use]
+    pub fn depot_parked(&self) -> u64 {
+        (0..self.depots.len())
+            .map(|c| self.depot(c).parked() as u64)
+            .sum()
+    }
+
+    // ---- allocation paths -------------------------------------------------
+
+    /// The size class a layout routes to, or `None` for the large path.
+    /// Over-aligned small requests map to the covering power-of-two
+    /// class (naturally aligned in the page-aligned spans).
+    #[must_use]
+    pub(crate) fn small_class(&self, layout: Layout) -> Option<usize> {
+        let size = layout.size() as u64;
+        let align = layout.align() as u64;
+        if align <= BYTES_PER_WORD {
+            self.classes.class_of(size)
+        } else {
+            self.classes.aligned_class_of(size, align)
+        }
+    }
+
+    /// Does `ptr` fall inside class `c`'s slab span?
+    #[must_use]
+    pub(crate) fn in_class_slab(&self, c: usize, ptr: *const u8) -> bool {
+        let Some(off) = self.word_off_of(ptr) else {
+            return false;
+        };
+        let cs = &self.slabs[c];
+        off >= cs.base_words && off < cs.base_words + cs.span_words
+    }
+
+    /// Pops one unit from class `c`'s slab, emitting `Alloc` to the
+    /// probe. `None` when the slab is exhausted (caller falls to the
+    /// large path).
+    pub(crate) fn slab_pop(&self, c: usize) -> Option<*mut u8> {
+        let cs = &self.slabs[c];
+        match cs.slab.alloc() {
+            Ok(unit) => {
+                let mut probe = &self.telemetry;
+                probe.emit(
+                    EventKind::Alloc {
+                        words: cs.slab.unit_words(),
+                        searched: u64::from(unit.attempts),
+                    },
+                    self.stamp(),
+                );
+                Some(self.ptr_at(cs.base_words + unit.addr.0))
+            }
+            Err(_) => {
+                self.counters.slab_exhausted.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Pushes a unit back onto class `c`'s slab, emitting `Free`.
+    /// Misrouted pointers (not on a unit boundary of this span) are
+    /// counted, not freed.
+    pub(crate) fn slab_push(&self, c: usize, ptr: *mut u8) {
+        let cs = &self.slabs[c];
+        let Some(off) = self.word_off_of(ptr) else {
+            self.counters.bad_frees.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        debug_assert!(off >= cs.base_words && off < cs.base_words + cs.span_words);
+        let rel = off - cs.base_words;
+        debug_assert_eq!(rel % cs.slab.unit_words(), 0);
+        #[allow(clippy::cast_possible_truncation)] // units fit u32 by construction
+        let unit = (rel / cs.slab.unit_words()) as u32;
+        if cs.slab.free(unit).is_ok() {
+            let mut probe = &self.telemetry;
+            probe.emit(
+                EventKind::Free {
+                    words: cs.slab.unit_words(),
+                },
+                self.stamp(),
+            );
+        } else {
+            self.counters.bad_frees.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Allocates via the arena's large path (side table keyed by the
+    /// returned pointer), falling back to [`System`] when the arena is
+    /// exhausted. Never returns null unless `System` does.
+    pub(crate) fn large_alloc(&self, layout: Layout) -> *mut u8 {
+        let bytes = layout.size().max(1) as u64;
+        let align = layout.align() as u64;
+        // Over-aligned blocks get `align` slack bytes so the aligned
+        // pointer always fits (arena addresses are only word-aligned).
+        let extra = if align > BYTES_PER_WORD { align } else { 0 };
+        let words = (bytes + extra).div_ceil(BYTES_PER_WORD);
+        let id = self.next_large_id.fetch_add(1, Ordering::Relaxed);
+        let mut probe = &self.telemetry;
+        match self.arena.alloc_probed(id, words, self.stamp(), &mut probe) {
+            Ok(addr) => {
+                let raw = self.ptr_at(addr.0) as usize;
+                let aligned = if align > BYTES_PER_WORD {
+                    (raw + (layout.align() - 1)) & !(layout.align() - 1)
+                } else {
+                    raw
+                };
+                let key = ((aligned - self.region.base as usize) as u64) / BYTES_PER_WORD;
+                self.large_stripe(key).insert(key, id);
+                self.counters.large_allocs.fetch_add(1, Ordering::Relaxed);
+                aligned as *mut u8
+            }
+            Err(_) => {
+                // Roll back the id is unnecessary — ids are only
+                // uniqueness tokens. Hand the request to the system.
+                self.counters.system_allocs.fetch_add(1, Ordering::Relaxed);
+                // SAFETY: the layout is padded to non-zero size.
+                unsafe { System.alloc(nonzero(layout)) }
+            }
+        }
+    }
+
+    /// Frees a pointer that is not a live slab unit: large-path blocks
+    /// by side-table lookup, anything outside the region via
+    /// [`System`].
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been returned by this heap (or `System` through
+    /// it) with the same `layout`, and not freed since.
+    pub(crate) unsafe fn dealloc_outside_slab(&self, ptr: *mut u8, layout: Layout) {
+        if let Some(off) = self.word_off_of(ptr) {
+            let id = self.large_stripe(off).remove(&off);
+            match id {
+                Some(id) => {
+                    let mut probe = &self.telemetry;
+                    if self.arena.free_probed(id, self.stamp(), &mut probe).is_ok() {
+                        self.counters.large_frees.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        self.counters.bad_frees.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                None => {
+                    self.counters.bad_frees.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        } else {
+            self.counters.system_frees.fetch_add(1, Ordering::Relaxed);
+            // SAFETY: outside the region means the block came from
+            // `System` with this (padded) layout — the caller's
+            // contract.
+            unsafe { System.dealloc(ptr, nonzero(layout)) }
+        }
+    }
+
+    /// Allocates without a thread cache: slab pop for ladder sizes
+    /// (large-path overflow when exhausted), large path otherwise.
+    ///
+    /// This is the "no-magazine" baseline the benchmarks compare the
+    /// cached path against, and the fallback when thread-local storage
+    /// is unavailable.
+    #[must_use]
+    pub fn alloc_direct(&self, layout: Layout) -> *mut u8 {
+        match self.small_class(layout) {
+            Some(c) => self.slab_pop(c).unwrap_or_else(|| self.large_alloc(layout)),
+            None => self.large_alloc(layout),
+        }
+    }
+
+    /// Frees a block from [`DsaHeap::alloc_direct`] (or any heap path —
+    /// routing is by layout and region geometry, not by who allocated).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be live and have been allocated with `layout` from
+    /// this heap.
+    pub unsafe fn dealloc_direct(&self, ptr: *mut u8, layout: Layout) {
+        if let Some(c) = self.small_class(layout) {
+            if self.in_class_slab(c, ptr) {
+                self.slab_push(c, ptr);
+                return;
+            }
+        }
+        // SAFETY: forwarded caller contract.
+        unsafe { self.dealloc_outside_slab(ptr, layout) }
+    }
+
+    // ---- magazine support -------------------------------------------------
+
+    /// Locks class `c`'s depot (poison rides out — the books are
+    /// guarded by their own invariants, not by lock cleanliness).
+    pub(crate) fn depot(&self, c: usize) -> MutexGuard<'_, Depot> {
+        match self.depots[c].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Records a depot exchange and, when the depot holds more than
+    /// [`DEPOT_MAX_FULL`] full magazines, drains the overflow back to
+    /// the slab (bounding parked memory).
+    pub(crate) fn after_depot_exchange(&self, c: usize) {
+        self.counters
+            .depot_exchanges
+            .fetch_add(1, Ordering::Relaxed);
+        loop {
+            let overflow = {
+                let mut depot = self.depot(c);
+                if depot.full.len() > DEPOT_MAX_FULL {
+                    depot.full.pop()
+                } else {
+                    None
+                }
+            };
+            let Some(mut mag) = overflow else { break };
+            while let Some(p) = mag.pop() {
+                self.slab_push(c, p);
+            }
+            self.depot(c).empty.push(mag);
+        }
+    }
+
+    /// Folds a cache's local magazine counters into the heap's.
+    pub(crate) fn fold_magazine_counters(&self, allocs: u64, frees: u64) {
+        self.counters
+            .magazine_allocs
+            .fetch_add(allocs, Ordering::Relaxed);
+        self.counters
+            .magazine_frees
+            .fetch_add(frees, Ordering::Relaxed);
+    }
+
+    /// Drains every depot's full magazines back to the slabs. Parked
+    /// *thread* magazines are untouched — flush those via their caches.
+    pub fn flush_depots(&self) {
+        for c in 0..self.depots.len() {
+            loop {
+                let mag = self.depot(c).full.pop();
+                let Some(mut mag) = mag else { break };
+                while let Some(p) = mag.pop() {
+                    self.slab_push(c, p);
+                }
+                self.depot(c).empty.push(mag);
+            }
+        }
+    }
+
+    // ---- verification -----------------------------------------------------
+
+    /// Proves the books balance: the probe's net ledger (allocs minus
+    /// frees, in operations and in words) must equal what the backend
+    /// holds live — the class carves, live slab units, and live large
+    /// blocks. Objects parked in magazines or depots are backend-live
+    /// and therefore *included*; the identity holds at any quiescent
+    /// point without flushing caches.
+    ///
+    /// Also replays the arena's and every slab's own invariant checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any ledger disagrees.
+    pub fn check_reconciliation(&self) {
+        // Self-hosting hazard: this method's own allocations (the arena
+        // snapshot's vector, the invariant sweeps' scratch) would land
+        // in the books between the ledger read and the backend reads if
+        // they went through an installed `GlobalDsa`. The depth guard
+        // routes them to `System` so reading the books cannot move them.
+        let _guard = crate::global::DepthGuard::enter();
+        let c = self.telemetry.counters();
+        let arena_allocated = self.arena.snapshot().allocated_words();
+        let slab_live_words: Words = self
+            .slabs
+            .iter()
+            .map(|s| s.slab.live_units() * s.slab.unit_words())
+            .sum();
+        let slab_live_units: u64 = self.slabs.iter().map(|s| s.slab.live_units()).sum();
+        let large_live: u64 = (0..LARGE_STRIPES)
+            .map(|s| self.large_stripe_by_index(s).len() as u64)
+            .sum();
+        assert_eq!(
+            c.alloc_words - c.freed_words,
+            arena_allocated + slab_live_words,
+            "probe word ledger diverged from backend-live words \
+             (allocs {} frees {} alloc_words {} freed_words {} arena {} \
+             slab_words {} slab_units {} large_live {})",
+            c.allocs,
+            c.frees,
+            c.alloc_words,
+            c.freed_words,
+            arena_allocated,
+            slab_live_words,
+            slab_live_units,
+            large_live,
+        );
+        assert_eq!(
+            c.allocs - c.frees,
+            self.slabs.len() as u64 + slab_live_units + large_live,
+            "probe operation ledger diverged from backend-live blocks \
+             (allocs {} frees {} slab_units {} large_live {})",
+            c.allocs,
+            c.frees,
+            slab_live_units,
+            large_live,
+        );
+        self.arena.check_invariants();
+        for s in &self.slabs {
+            s.slab.check_invariants();
+        }
+    }
+
+    // ---- internals --------------------------------------------------------
+
+    fn stamp(&self) -> Stamp {
+        Stamp::vtime(self.clock.fetch_add(1, Ordering::Relaxed))
+    }
+
+    fn ptr_at(&self, word_off: u64) -> *mut u8 {
+        debug_assert!(((word_off * BYTES_PER_WORD) as usize) < self.region.bytes);
+        // SAFETY: word_off is inside the region by construction.
+        unsafe { self.region.base.add((word_off * BYTES_PER_WORD) as usize) }
+    }
+
+    /// The word offset of `ptr` within the region, or `None` outside.
+    fn word_off_of(&self, ptr: *const u8) -> Option<u64> {
+        let p = ptr as usize;
+        let b = self.region.base as usize;
+        if p >= b && p < b + self.region.bytes {
+            Some(((p - b) as u64) / BYTES_PER_WORD)
+        } else {
+            None
+        }
+    }
+
+    fn large_stripe(&self, key: u64) -> MutexGuard<'_, HashMap<u64, u64>> {
+        self.large_stripe_by_index((key as usize) % LARGE_STRIPES)
+    }
+
+    fn large_stripe_by_index(&self, s: usize) -> MutexGuard<'_, HashMap<u64, u64>> {
+        match self.large[s].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl Drop for DsaHeap {
+    fn drop(&mut self) {
+        // SAFETY: the region was allocated with exactly this layout in
+        // `new`. Outstanding pointers into the region dangle after
+        // this — the heap must outlive its allocations (a
+        // `GlobalDsa` static never drops).
+        unsafe { System.dealloc(self.region.base, self.region.layout) }
+    }
+}
+
+/// `System` refuses zero-size layouts; pad them to one aligned unit.
+/// Used symmetrically on the alloc and dealloc fallbacks.
+fn nonzero(layout: Layout) -> Layout {
+    if layout.size() == 0 {
+        Layout::from_size_align(layout.align(), layout.align()).unwrap_or(layout)
+    } else {
+        layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(size: usize, align: usize) -> Layout {
+        Layout::from_size_align(size, align).unwrap()
+    }
+
+    #[test]
+    fn direct_roundtrip_reconciles() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        heap.check_reconciliation();
+        let l = layout(24, 8);
+        let p = heap.alloc_direct(l);
+        assert!(!p.is_null());
+        assert!(heap.contains(p));
+        // The block is writable real memory.
+        unsafe {
+            p.write_bytes(0xAB, 24);
+            assert_eq!(*p, 0xAB);
+        }
+        heap.check_reconciliation();
+        unsafe { heap.dealloc_direct(p, l) };
+        heap.check_reconciliation();
+    }
+
+    #[test]
+    fn small_sizes_hit_their_class_slab() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        for size in [1usize, 8, 9, 100, 2048] {
+            let l = layout(size, 8);
+            let c = heap.small_class(l).unwrap();
+            assert!(heap.classes().size_of(c) >= size as u64);
+            let p = heap.alloc_direct(l);
+            assert!(heap.in_class_slab(c, p), "size {size} missed its slab");
+            unsafe { heap.dealloc_direct(p, l) };
+        }
+        heap.check_reconciliation();
+    }
+
+    #[test]
+    fn large_sizes_take_the_arena_path() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let l = layout(4096, 8);
+        assert!(heap.small_class(l).is_none());
+        let p = heap.alloc_direct(l);
+        assert!(heap.contains(p));
+        unsafe {
+            p.write_bytes(0xCD, 4096);
+        }
+        assert_eq!(heap.stats().large_allocs, 1);
+        heap.check_reconciliation();
+        unsafe { heap.dealloc_direct(p, l) };
+        assert_eq!(heap.stats().large_frees, 1);
+        heap.check_reconciliation();
+    }
+
+    #[test]
+    fn over_aligned_requests_are_actually_aligned() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        for (size, align) in [(24usize, 64usize), (100, 256), (10, 2048), (100, 4096)] {
+            let l = layout(size, align);
+            let p = heap.alloc_direct(l);
+            assert!(!p.is_null());
+            assert_eq!(p as usize % align, 0, "{size}/{align} misaligned");
+            unsafe { heap.dealloc_direct(p, l) };
+        }
+        heap.check_reconciliation();
+    }
+
+    #[test]
+    fn slab_exhaustion_overflows_to_the_large_path() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let l = layout(8, 8);
+        let units = heap.config().class_units as usize;
+        let mut ptrs: Vec<*mut u8> = (0..units + 10).map(|_| heap.alloc_direct(l)).collect();
+        assert!(ptrs.iter().all(|p| !p.is_null()));
+        let s = heap.stats();
+        assert!(s.slab_exhausted >= 10);
+        heap.check_reconciliation();
+        for p in ptrs.drain(..) {
+            unsafe { heap.dealloc_direct(p, l) };
+        }
+        heap.check_reconciliation();
+        assert_eq!(heap.stats().bad_frees, 0);
+    }
+
+    #[test]
+    fn distinct_pointers_until_freed() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let l = layout(64, 8);
+        let a = heap.alloc_direct(l);
+        let b = heap.alloc_direct(l);
+        assert_ne!(a, b);
+        unsafe {
+            heap.dealloc_direct(a, l);
+            heap.dealloc_direct(b, l);
+        }
+        heap.check_reconciliation();
+    }
+
+    #[test]
+    fn zero_size_requests_are_served() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let l = layout(0, 1);
+        let p = heap.alloc_direct(l);
+        assert!(!p.is_null());
+        unsafe { heap.dealloc_direct(p, l) };
+        heap.check_reconciliation();
+    }
+}

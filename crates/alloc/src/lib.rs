@@ -1,0 +1,48 @@
+//! A real allocator built from the workspace's concurrent primitives.
+//!
+//! Every other crate in this workspace *simulates* dynamic storage
+//! allocation: addresses are words in an imaginary core store, and the
+//! experiments measure policies against each other. This crate closes
+//! the loop and runs the same machinery as an actual Rust heap:
+//!
+//! 1. **Size-class slab heap** ([`DsaHeap`]) — a ladder of lock-free
+//!    [`dsa_arena::FixedSlab`]s (one per jemalloc-style size class from
+//!    the shared [`dsa_core::sizeclass`] geometry, 8..=2048 bytes) over
+//!    pages carved from a backing [`dsa_arena::ShardedArena`]. Small
+//!    allocations are a single tagged-CAS pop; frees a single push.
+//! 2. **Per-thread magazine caches** ([`ThreadCache`]) — Bonwick's
+//!    two-magazine scheme: each thread holds a *loaded* and a
+//!    *previous* magazine per class, so the common alloc/free path
+//!    touches no shared state at all. When both run dry (or full) the
+//!    thread swaps a magazine with a per-class depot under a short
+//!    lock, amortizing one lock acquisition over a whole magazine of
+//!    operations.
+//! 3. **Sharded large path** — requests past the ladder go through the
+//!    [`dsa_arena::ShardedArena`] proper (first-fit shards, overflow
+//!    stealing, quick lists), with a striped side table mapping the
+//!    returned pointer back to its arena id on free.
+//!
+//! [`GlobalDsa`] packages the three layers behind
+//! [`core::alloc::GlobalAlloc`], so the whole thing can be installed
+//! with `#[global_allocator]`; the `nightly` feature additionally
+//! implements the unstable `core::alloc::Allocator` trait. The heap's
+//! own bookkeeping (shard maps, depot vectors, the large side table)
+//! routes to [`std::alloc::System`] through a reentrancy guard, which
+//! is what makes self-hosting safe.
+//!
+//! Telemetry is not bolted on: every backend operation (slab pop/push,
+//! arena alloc/free) flows through the crate's
+//! [`dsa_telemetry::TelemetryProbe`], and
+//! [`DsaHeap::check_reconciliation`] proves the probe's ledger equals
+//! the heap's — the same books-must-balance discipline the simulators
+//! enforce, now over real memory.
+
+#![cfg_attr(feature = "nightly", feature(allocator_api))]
+
+mod global;
+mod heap;
+mod magazine;
+
+pub use global::GlobalDsa;
+pub use heap::{DsaHeap, HeapConfig, HeapStats};
+pub use magazine::{ThreadCache, MAG_MAX};

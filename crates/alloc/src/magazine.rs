@@ -1,0 +1,388 @@
+//! Per-thread magazine caches, after Bonwick's vmem/slab design.
+//!
+//! A *magazine* is a fixed-capacity stack of object pointers. Each
+//! thread keeps two per size class — *loaded* and *previous* — and
+//! serves allocations by popping the loaded magazine and frees by
+//! pushing it: no atomics, no locks, no shared cache lines on the
+//! common path. The protocol on exhaustion is Bonwick's:
+//!
+//! * **alloc, loaded empty**: if the previous magazine has objects,
+//!   swap the two and pop (still lock-free). Otherwise exchange an
+//!   empty magazine for a full one at the per-class *depot* under a
+//!   short lock; if the depot is dry, take one object straight from
+//!   the slab — magazines fill up on the free side.
+//! * **free, loaded full**: if the previous magazine is empty, swap
+//!   and push. Otherwise hand a full magazine to the depot, take an
+//!   empty one, and push.
+//!
+//! The depot bounds its stock ([`crate::DsaHeap`] drains overflow back
+//! to the slab), so parked memory per class is capped at
+//! `(DEPOT_MAX_FULL + 2 × threads) × depth` objects.
+//!
+//! Accounting: magazine hits are counted in plain (non-atomic)
+//! thread-local counters and folded into the heap's [`HeapStats`] on
+//! flush and thread exit. The telemetry probe never sees a magazine
+//! hit — it tracks backend traffic, and an object parked in a magazine
+//! is still backend-live. That is what keeps
+//! [`DsaHeap::check_reconciliation`] exact without quiescing threads.
+
+use std::alloc::Layout;
+
+use crate::heap::DsaHeap;
+#[allow(unused_imports)] // doc links
+use crate::heap::HeapStats;
+
+/// Hard capacity of a magazine; the runtime depth
+/// ([`crate::HeapConfig::magazine_depth`]) may be anything up to this.
+pub const MAG_MAX: usize = 64;
+
+/// A fixed stack of cached object pointers for one size class.
+pub(crate) struct Magazine {
+    ptrs: [*mut u8; MAG_MAX],
+    len: usize,
+}
+
+// SAFETY: the pointers are cached heap objects whose ownership moves
+// with the magazine; a magazine is only ever touched by one thread at
+// a time (its owner, or a depot holder under the depot lock).
+unsafe impl Send for Magazine {}
+
+impl Magazine {
+    pub(crate) const EMPTY: Magazine = Magazine {
+        ptrs: [std::ptr::null_mut(); MAG_MAX],
+        len: 0,
+    };
+
+    pub(crate) fn push(&mut self, p: *mut u8) {
+        debug_assert!(self.len < MAG_MAX);
+        self.ptrs[self.len] = p;
+        self.len += 1;
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<*mut u8> {
+        if self.len == 0 {
+            None
+        } else {
+            self.len -= 1;
+            Some(self.ptrs[self.len])
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// The per-class exchange point: full magazines waiting for hungry
+/// threads, empty shells waiting for full ones.
+#[derive(Default)]
+pub(crate) struct Depot {
+    pub(crate) full: Vec<Magazine>,
+    pub(crate) empty: Vec<Magazine>,
+}
+
+impl Depot {
+    /// Objects parked in this depot's full magazines.
+    pub(crate) fn parked(&self) -> usize {
+        self.full.iter().map(Magazine::len).sum()
+    }
+}
+
+/// The loaded/previous pair for one size class.
+struct ClassMags {
+    loaded: Magazine,
+    prev: Magazine,
+}
+
+/// A per-thread front-end for a [`DsaHeap`].
+///
+/// Not `Send`/`Sync` (it owns raw cached pointers): create one per
+/// thread. Dropping the cache flushes every parked object back to the
+/// heap and folds the hit counters in, so books balance at thread
+/// exit.
+pub struct ThreadCache<'h> {
+    heap: &'h DsaHeap,
+    depth: usize,
+    mags: Vec<ClassMags>,
+    local_allocs: u64,
+    local_frees: u64,
+}
+
+impl<'h> ThreadCache<'h> {
+    /// A cache with the heap's configured magazine depth.
+    #[must_use]
+    pub fn new(heap: &'h DsaHeap) -> ThreadCache<'h> {
+        ThreadCache::with_depth(heap, heap.config().magazine_depth)
+    }
+
+    /// A cache with an explicit magazine depth (the depth-sweep
+    /// experiments use this).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= depth <= `[`MAG_MAX`].
+    #[must_use]
+    pub fn with_depth(heap: &'h DsaHeap, depth: usize) -> ThreadCache<'h> {
+        assert!(
+            (1..=MAG_MAX).contains(&depth),
+            "depth must be 1..={MAG_MAX}"
+        );
+        let mags = (0..heap.classes().count())
+            .map(|_| ClassMags {
+                loaded: Magazine::EMPTY,
+                prev: Magazine::EMPTY,
+            })
+            .collect();
+        ThreadCache {
+            heap,
+            depth,
+            mags,
+            local_allocs: 0,
+            local_frees: 0,
+        }
+    }
+
+    /// The heap this cache fronts (identity check for global installs).
+    #[must_use]
+    pub fn heap_ptr(&self) -> *const DsaHeap {
+        self.heap
+    }
+
+    /// Objects currently parked in this cache's magazines.
+    #[must_use]
+    pub fn parked(&self) -> usize {
+        self.mags
+            .iter()
+            .map(|m| m.loaded.len() + m.prev.len())
+            .sum()
+    }
+
+    /// Allocates a block for `layout`. Ladder sizes go through the
+    /// magazines; larger (or hyper-aligned) requests pass straight to
+    /// the heap's large path. Null only if the final `System` fallback
+    /// fails.
+    #[must_use]
+    pub fn alloc(&mut self, layout: Layout) -> *mut u8 {
+        let Some(class) = self.heap.small_class(layout) else {
+            return self.heap.large_alloc(layout);
+        };
+        let m = &mut self.mags[class];
+        if let Some(p) = m.loaded.pop() {
+            self.local_allocs += 1;
+            return p;
+        }
+        if m.prev.len() > 0 {
+            std::mem::swap(&mut m.loaded, &mut m.prev);
+            if let Some(p) = m.loaded.pop() {
+                self.local_allocs += 1;
+                return p;
+            }
+        }
+        self.alloc_slow(class, layout)
+    }
+
+    /// Frees a block allocated with `layout`.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must be live and must have been allocated from this
+    /// cache's heap (any thread) with the same `layout`.
+    pub unsafe fn dealloc(&mut self, ptr: *mut u8, layout: Layout) {
+        if let Some(class) = self.heap.small_class(layout) {
+            if self.heap.in_class_slab(class, ptr) {
+                let m = &mut self.mags[class];
+                if m.loaded.len() < self.depth {
+                    m.loaded.push(ptr);
+                    self.local_frees += 1;
+                    return;
+                }
+                if m.prev.len() == 0 {
+                    std::mem::swap(&mut m.loaded, &mut m.prev);
+                    m.loaded.push(ptr);
+                    self.local_frees += 1;
+                    return;
+                }
+                self.dealloc_slow(class, ptr);
+                return;
+            }
+        }
+        // SAFETY: forwarded caller contract.
+        unsafe { self.heap.dealloc_outside_slab(ptr, layout) }
+    }
+
+    /// Returns every parked object to the heap and folds the hit
+    /// counters into [`HeapStats`]. The cache stays usable.
+    pub fn flush(&mut self) {
+        for class in 0..self.mags.len() {
+            loop {
+                let p = {
+                    let m = &mut self.mags[class];
+                    m.loaded.pop().or_else(|| m.prev.pop())
+                };
+                let Some(p) = p else { break };
+                self.heap.slab_push(class, p);
+            }
+        }
+        self.heap
+            .fold_magazine_counters(self.local_allocs, self.local_frees);
+        self.local_allocs = 0;
+        self.local_frees = 0;
+    }
+
+    /// Cold alloc path: depot exchange, then the raw slab, then the
+    /// large path (slab exhausted).
+    fn alloc_slow(&mut self, class: usize, layout: Layout) -> *mut u8 {
+        let exchanged = {
+            let mut depot = self.heap.depot(class);
+            if let Some(full) = depot.full.pop() {
+                let shell = std::mem::replace(&mut self.mags[class].loaded, full);
+                depot.empty.push(shell);
+                true
+            } else {
+                false
+            }
+        };
+        if exchanged {
+            self.heap.after_depot_exchange(class);
+            if let Some(p) = self.mags[class].loaded.pop() {
+                self.local_allocs += 1;
+                return p;
+            }
+        }
+        // Depot dry: serve one object straight from the slab. Magazines
+        // fill on the free side — pre-filling here would just move the
+        // miss cost around.
+        self.heap
+            .slab_pop(class)
+            .unwrap_or_else(|| self.heap.large_alloc(layout))
+    }
+
+    /// Cold free path: trade the full loaded magazine for an empty one
+    /// at the depot, then push.
+    fn dealloc_slow(&mut self, class: usize, ptr: *mut u8) {
+        {
+            let mut depot = self.heap.depot(class);
+            let shell = depot.empty.pop().unwrap_or(Magazine::EMPTY);
+            let full = std::mem::replace(&mut self.mags[class].loaded, shell);
+            depot.full.push(full);
+        }
+        self.heap.after_depot_exchange(class);
+        self.mags[class].loaded.push(ptr);
+        self.local_frees += 1;
+    }
+}
+
+impl Drop for ThreadCache<'_> {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapConfig;
+
+    fn layout(size: usize) -> Layout {
+        Layout::from_size_align(size, 8).unwrap()
+    }
+
+    #[test]
+    fn magazine_is_a_lifo_stack() {
+        let mut m = Magazine::EMPTY;
+        assert_eq!(m.pop(), None);
+        m.push(8 as *mut u8);
+        m.push(16 as *mut u8);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.pop(), Some(16 as *mut u8));
+        assert_eq!(m.pop(), Some(8 as *mut u8));
+        assert_eq!(m.pop(), None);
+    }
+
+    #[test]
+    fn cached_roundtrip_reconciles_after_flush() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let mut cache = ThreadCache::new(&heap);
+        let l = layout(40);
+        let mut ptrs: Vec<*mut u8> = (0..100).map(|_| cache.alloc(l)).collect();
+        assert!(ptrs.iter().all(|p| !p.is_null()));
+        // Books balance even with objects parked in the magazines.
+        heap.check_reconciliation();
+        for p in ptrs.drain(..) {
+            unsafe { cache.dealloc(p, l) };
+        }
+        heap.check_reconciliation();
+        drop(cache);
+        heap.flush_depots();
+        heap.check_reconciliation();
+        let s = heap.stats();
+        assert!(s.magazine_allocs + s.magazine_frees > 0);
+        assert_eq!(s.bad_frees, 0);
+    }
+
+    #[test]
+    fn magazine_hits_dominate_after_warmup() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let mut cache = ThreadCache::new(&heap);
+        let l = layout(64);
+        // Warm the magazines, then churn.
+        let warm: Vec<*mut u8> = (0..16).map(|_| cache.alloc(l)).collect();
+        for p in warm {
+            unsafe { cache.dealloc(p, l) };
+        }
+        for _ in 0..1000 {
+            let p = cache.alloc(l);
+            unsafe { cache.dealloc(p, l) };
+        }
+        cache.flush();
+        let s = heap.stats();
+        assert!(
+            s.magazine_allocs >= 1000,
+            "expected magazine hits, got {s:?}"
+        );
+        drop(cache);
+        heap.flush_depots();
+        heap.check_reconciliation();
+    }
+
+    #[test]
+    fn cross_thread_free_through_the_depot() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let l = layout(96);
+        // Producer allocates, consumer frees: objects come back via the
+        // consumer's magazines and the shared depot.
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel::<usize>();
+            let heap_ref = &heap;
+            scope.spawn(move || {
+                let mut producer = ThreadCache::new(heap_ref);
+                for _ in 0..500 {
+                    tx.send(producer.alloc(l) as usize).unwrap();
+                }
+            });
+            scope.spawn(move || {
+                let mut consumer = ThreadCache::new(heap_ref);
+                for p in rx {
+                    unsafe { consumer.dealloc(p as *mut u8, l) };
+                }
+            });
+        });
+        heap.flush_depots();
+        heap.check_reconciliation();
+        assert_eq!(heap.stats().bad_frees, 0);
+    }
+
+    #[test]
+    fn depth_one_cache_still_balances() {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let mut cache = ThreadCache::with_depth(&heap, 1);
+        let l = layout(8);
+        let ptrs: Vec<*mut u8> = (0..50).map(|_| cache.alloc(l)).collect();
+        for p in ptrs {
+            unsafe { cache.dealloc(p, l) };
+        }
+        drop(cache);
+        heap.flush_depots();
+        heap.check_reconciliation();
+    }
+}

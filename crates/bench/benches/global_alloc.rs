@@ -1,0 +1,134 @@
+//! The operational allocator vs the system allocator (E21 substrate).
+//!
+//! Three ways through the same mixed-size churn — `std::alloc::System`,
+//! the shared slab path (`DsaHeap::alloc_direct`), and the per-thread
+//! magazine path (`ThreadCache`) — plus a magazine-depth pair showing
+//! what depot amortization the depth buys. `BENCH_07.json` records the
+//! full runs; this group is the CI-friendly twin.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsa_alloc::{DsaHeap, HeapConfig, ThreadCache};
+use dsa_trace::rng::Rng64;
+
+const OPS: u64 = 100_000;
+const WINDOW: usize = 512;
+const SMALL_SIZES: [usize; 12] = [16, 24, 32, 48, 64, 96, 128, 192, 256, 512, 1024, 2048];
+
+fn next_layout(rng: &mut Rng64) -> Layout {
+    let size = if rng.below(32) == 0 {
+        rng.range(4_096, 32_768) as usize
+    } else {
+        SMALL_SIZES[rng.below(SMALL_SIZES.len() as u64) as usize]
+    };
+    Layout::from_size_align(size, 8).expect("valid")
+}
+
+/// Replays the fixed churn sequence through `alloc`/`dealloc`,
+/// draining the window at the end so every run leaves the heap empty.
+fn drive(
+    mut alloc: impl FnMut(Layout) -> *mut u8,
+    mut dealloc: impl FnMut(*mut u8, Layout),
+) -> u64 {
+    let mut rng = Rng64::new(7);
+    let mut slots: Vec<Option<(*mut u8, Layout)>> = vec![None; WINDOW];
+    let mut made = 0;
+    for _ in 0..OPS {
+        let i = rng.below(WINDOW as u64) as usize;
+        match slots[i].take() {
+            Some((p, l)) => dealloc(p, l),
+            None => {
+                let l = next_layout(&mut rng);
+                let p = alloc(l);
+                assert!(!p.is_null());
+                unsafe { p.write(1) };
+                made += 1;
+                slots[i] = Some((p, l));
+            }
+        }
+    }
+    for slot in &mut slots {
+        if let Some((p, l)) = slot.take() {
+            dealloc(p, l);
+        }
+    }
+    made
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("global_alloc_churn_100k");
+    g.bench_function("system", |b| {
+        b.iter(|| {
+            drive(
+                |l| unsafe { System.alloc(l) },
+                |p, l| unsafe { System.dealloc(p, l) },
+            )
+        })
+    });
+    let heap = DsaHeap::new(HeapConfig::DEFAULT);
+    g.bench_function("dsa_slab_direct", |b| {
+        b.iter(|| {
+            drive(
+                |l| heap.alloc_direct(l),
+                |p, l| unsafe { heap.dealloc_direct(p, l) },
+            )
+        })
+    });
+    g.bench_function("dsa_magazines", |b| {
+        b.iter(|| {
+            let cache = std::cell::RefCell::new(ThreadCache::new(&heap));
+            let made = drive(
+                |l| cache.borrow_mut().alloc(l),
+                |p, l| unsafe { cache.borrow_mut().dealloc(p, l) },
+            );
+            drop(cache);
+            made
+        })
+    });
+    g.finish();
+    heap.check_reconciliation();
+}
+
+fn bench_depth(c: &mut Criterion) {
+    let heap = DsaHeap::new(HeapConfig::DEFAULT);
+    let layout = Layout::from_size_align(64, 8).expect("valid");
+    let mut g = c.benchmark_group("magazine_depth_64B");
+    for depth in [1usize, 8, 64] {
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                let cache = std::cell::RefCell::new(ThreadCache::with_depth(&heap, depth));
+                let mut rng = Rng64::new(9);
+                let mut slots: Vec<Option<*mut u8>> = vec![None; WINDOW];
+                for _ in 0..OPS {
+                    let i = rng.below(WINDOW as u64) as usize;
+                    match slots[i].take() {
+                        Some(p) => unsafe { cache.borrow_mut().dealloc(p, layout) },
+                        None => {
+                            let p = cache.borrow_mut().alloc(layout);
+                            assert!(!p.is_null());
+                            slots[i] = Some(p);
+                        }
+                    }
+                }
+                for slot in &mut slots {
+                    if let Some(p) = slot.take() {
+                        unsafe { cache.borrow_mut().dealloc(p, layout) }
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+    heap.check_reconciliation();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_churn, bench_depth
+}
+criterion_main!(benches);

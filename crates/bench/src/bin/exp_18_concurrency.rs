@@ -70,6 +70,18 @@ fn worker_stream(worker: u64, max_words: u64) -> Vec<Request> {
     out
 }
 
+/// Arms the arena's quick lists when `--quick-lists` was passed — an
+/// opt-in accelerator for the recurring small sizes in the worker
+/// streams. The acknowledgment goes to stderr (in `main`), never
+/// stdout, so default output is byte-identical with the flag absent.
+fn arm_quick(svc: ArenaService) -> ArenaService {
+    if cli::quick_lists_from_env() {
+        svc.with_quick_lists(64, 16)
+    } else {
+        svc
+    }
+}
+
 /// Per-worker response tallies, for reconciliation against the shared
 /// probe.
 #[derive(Default)]
@@ -153,6 +165,9 @@ fn main() {
         }
     };
     let max_shards = cli::shards_or(8);
+    if cli::quick_lists_from_env() {
+        eprintln!("exp_18_concurrency: arena quick lists armed (max 64 words, depth 16)");
+    }
     println!("E18: concurrent allocation service — scaling with shard count\n");
     println!(
         "{workers} workers x {OPS_PER_WORKER} ops, batches of {BATCH}; striped arena \
@@ -184,8 +199,11 @@ fn main() {
     ])
     .with_title("striped variable-size arena (first-fit shards, overflow stealing)");
     for &shards in &shard_counts {
-        let svc =
-            ArenaService::striped(shards, TOTAL_WORDS / u64::from(shards), Placement::FirstFit);
+        let svc = arm_quick(ArenaService::striped(
+            shards,
+            TOTAL_WORDS / u64::from(shards),
+            Placement::FirstFit,
+        ));
         let (elapsed, tally) = drive(&svc, &streams);
         let arena = svc.arena().expect("striped service has an arena");
         arena.check_invariants();
@@ -220,7 +238,11 @@ fn main() {
     // scraper would chart, and the metrics file is rewritten after
     // every interval (periodic emission, not just end-of-run).
     let shards = *shard_counts.last().expect("the sweep has a shard count");
-    let svc = ArenaService::striped(shards, TOTAL_WORDS / u64::from(shards), Placement::FirstFit);
+    let svc = arm_quick(ArenaService::striped(
+        shards,
+        TOTAL_WORDS / u64::from(shards),
+        Placement::FirstFit,
+    ));
     let mut prev = CountingProbe::new();
     for round in 0..2u32 {
         let (elapsed, _) = drive(&svc, &streams);
@@ -292,7 +314,7 @@ fn main() {
     // Fragmentation heatmap: a deterministic single-threaded replay of
     // one worker's stream against a small 4-shard arena, the global
     // hole map sampled every 4096 ops.
-    let small = ArenaService::striped(4, 8192, Placement::FirstFit);
+    let small = arm_quick(ArenaService::striped(4, 8192, Placement::FirstFit));
     let arena = small.arena().expect("striped service has an arena");
     let mut sampler = HeatmapSampler::new(4096, 64);
     for (i, req) in streams[0].iter().enumerate() {

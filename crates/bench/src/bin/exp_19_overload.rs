@@ -90,8 +90,24 @@ struct CellOut {
 /// clients with 3 × C ∕ t: more than the watermarks can ever clear, so
 /// serving them forces the guard all the way down the ladder to the
 /// shed rung. Guarded or bare.
+/// Arms the arena's quick lists when `--quick-lists` was passed — an
+/// opt-in accelerator for the recurring tenant block sizes. The
+/// acknowledgment goes to stderr (in `main`), never stdout, so the
+/// golden output is byte-identical with the flag absent.
+fn arm_quick(svc: ArenaService) -> ArenaService {
+    if cli::quick_lists_from_env() {
+        svc.with_quick_lists(64, 16)
+    } else {
+        svc
+    }
+}
+
 fn cell_service(geo: Geometry, tenants: u32, guarded: bool) -> ArenaService {
-    let mut svc = ArenaService::striped(geo.shards, geo.shard_words, Placement::FirstFit);
+    let mut svc = arm_quick(ArenaService::striped(
+        geo.shards,
+        geo.shard_words,
+        Placement::FirstFit,
+    ));
     if guarded {
         svc = svc.with_overload(OverloadConfig {
             shed_budget: 1024,
@@ -215,7 +231,11 @@ fn churn_stream(worker: u64, tenant: Tenant, ops: usize) -> Vec<Request> {
 
 /// A guarded 4-tenant service for the multithreaded sections.
 fn mt_service(geo: Geometry, tenants: u32) -> ArenaService {
-    let mut svc = ArenaService::striped(geo.shards, geo.shard_words, Placement::FirstFit);
+    let mut svc = arm_quick(ArenaService::striped(
+        geo.shards,
+        geo.shard_words,
+        Placement::FirstFit,
+    ));
     svc = svc.with_overload(OverloadConfig::default());
     for i in 0..tenants {
         svc.register_tenant(
@@ -237,6 +257,9 @@ fn yes(b: bool) -> &'static str {
 fn main() {
     cli::enforce_standard_flags("exp_19_overload", &[cli::CHAOS, cli::SHARDS]);
     let chaos = cli::switch_from_env(cli::CHAOS);
+    if cli::quick_lists_from_env() {
+        eprintln!("exp_19_overload: arena quick lists armed (max 64 words, depth 16)");
+    }
     let jobs = cli::jobs_from_env();
     let geo = Geometry {
         shards: cli::shards_or(4) as u32,

@@ -26,6 +26,7 @@ pub mod advice;
 pub mod clock;
 pub mod error;
 pub mod ids;
+pub mod sizeclass;
 pub mod taxonomy;
 
 pub use access::{Access, AccessKind, AllocEvent, AllocRequest, ProgramOp, ReferenceString};
@@ -33,6 +34,7 @@ pub use advice::{Advice, AdviceUnit};
 pub use clock::{Cycles, SimClock, VirtualTime};
 pub use error::{AccessFault, AllocError, CoreError};
 pub use ids::{FrameNo, JobId, Name, PageNo, PhysAddr, SegId, Words};
+pub use sizeclass::SizeClasses;
 pub use taxonomy::{
     AllocationUnit, Contiguity, NameSpaceKind, PredictiveInfo, SystemCharacteristics,
 };

@@ -347,10 +347,10 @@ impl FreeListAllocator {
         a
     }
 
-    /// The segregated size class of a hole: floor(log2(size)).
+    /// The segregated size class of a hole: floor(log2(size)), the
+    /// shared indexing geometry from [`dsa_core::sizeclass`].
     fn class_of(size: Words) -> usize {
-        debug_assert!(size > 0);
-        size.ilog2() as usize
+        dsa_core::sizeclass::log2_class(size)
     }
 
     /// Whether the policy maintains the `hole_addrs` rank structure

@@ -80,20 +80,15 @@ impl SegregatedAllocator {
         }
     }
 
-    /// Power-of-two classes from `min` doubling up to at least `max`.
+    /// Power-of-two classes from `min` doubling up to at least `max`,
+    /// using the shared ladder from [`dsa_core::sizeclass`].
     ///
     /// # Panics
     ///
     /// Panics (via [`SegregatedAllocator::new`]) on degenerate inputs.
     #[must_use]
     pub fn power_of_two(capacity: Words, min: Words, max: Words) -> SegregatedAllocator {
-        let mut classes = Vec::new();
-        let mut c = min.max(1);
-        while c < max {
-            classes.push(c);
-            c *= 2;
-        }
-        classes.push(c);
+        let classes = dsa_core::sizeclass::power_of_two_classes(min, max);
         SegregatedAllocator::new(capacity, &classes)
     }
 

@@ -24,6 +24,16 @@ impl Fenwick {
         }
     }
 
+    /// Zeroes the tree and resizes it to cover positions `0..n`,
+    /// reusing the existing buffer. Equivalent to `*self =
+    /// Fenwick::new(n)` without the allocation when `n` fits the
+    /// buffer's capacity — the streaming engine calls this on every
+    /// stamp compaction, so the rebuild is a memset, not a malloc.
+    pub fn reset(&mut self, n: usize) {
+        self.tree.clear();
+        self.tree.resize(n + 1, 0);
+    }
+
     /// Number of positions.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -117,6 +127,23 @@ mod tests {
         assert_eq!(f.between(2, 3), 0);
         assert_eq!(f.between(2, 2), 0);
         assert_eq!(f.between(0, 7), 6);
+    }
+
+    #[test]
+    fn reset_clears_marks_and_resizes_in_place() {
+        let mut f = Fenwick::new(8);
+        for pos in 0..8 {
+            f.mark(pos);
+        }
+        f.reset(16);
+        assert_eq!(f.len(), 16);
+        assert_eq!(f.prefix(15), 0);
+        f.mark(12);
+        assert_eq!(f.prefix(15), 1);
+        // Shrinking works too and behaves like a fresh tree.
+        f.reset(4);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.prefix(3), 0);
     }
 
     #[test]

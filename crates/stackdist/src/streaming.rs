@@ -65,6 +65,9 @@ pub struct StreamingLru {
     compulsory: u64,
     /// Total references recorded.
     references: u64,
+    /// Scratch for compaction's live `(page, stamp)` pairs, reused
+    /// across compactions so the steady state allocates nothing.
+    scratch: Vec<(PageNo, usize)>,
 }
 
 impl Default for StreamingLru {
@@ -84,6 +87,7 @@ impl StreamingLru {
             hist: Vec::new(),
             compulsory: 0,
             references: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -122,12 +126,19 @@ impl StreamingLru {
     /// the tree at `max(128, 2 × live)`. Order-preserving renumbering
     /// keeps every future between-count exact; doubling headroom makes
     /// the rebuild amortized O(1) per reference.
+    ///
+    /// Both compaction buffers are reused: the live pairs land in a
+    /// scratch vector that keeps its capacity, and the tree is
+    /// [`Fenwick::reset`] in place. Steady-state compaction therefore
+    /// allocates nothing, which is most of the streaming engine's
+    /// former overhead over the batch pass.
     fn compact(&mut self) {
-        let mut live: Vec<(PageNo, usize)> = self.last.iter().map(|(&p, &s)| (p, s)).collect();
-        live.sort_unstable_by_key(|&(_, s)| s);
-        let capacity = MIN_CAPACITY.max(2 * live.len());
-        self.marks = Fenwick::new(capacity);
-        for (rank, (p, _)) in live.into_iter().enumerate() {
+        self.scratch.clear();
+        self.scratch.extend(self.last.iter().map(|(&p, &s)| (p, s)));
+        self.scratch.sort_unstable_by_key(|&(_, s)| s);
+        let capacity = MIN_CAPACITY.max(2 * self.scratch.len());
+        self.marks.reset(capacity);
+        for (rank, &(p, _)) in self.scratch.iter().enumerate() {
             self.last.insert(p, rank);
             self.marks.mark(rank);
         }

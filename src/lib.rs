@@ -5,6 +5,10 @@
 //!
 //! This facade crate re-exports the whole workspace under one name:
 //!
+//! * [`alloc`] — a *real* allocator built from the same primitives: a
+//!   size-class slab heap, Bonwick-style per-thread magazine caches,
+//!   and a [`core::alloc::GlobalAlloc`] backend installable with
+//!   `#[global_allocator]`, benchmarked against the system allocator;
 //! * [`arena`] — the concurrent allocation service: lock-free
 //!   fixed-size slabs (uniform units) and a sharded variable-size
 //!   arena over the free-list allocators, behind a batching request
@@ -55,6 +59,7 @@
 //! assert!(report.touches > 0);
 //! ```
 
+pub use dsa_alloc as alloc;
 pub use dsa_arena as arena;
 pub use dsa_core as core;
 pub use dsa_exec as exec;

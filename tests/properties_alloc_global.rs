@@ -1,0 +1,196 @@
+//! Property-based tests on the operational allocator's magazine
+//! accounting: whatever the op stream and thread count, no byte is
+//! lost or handed out twice across thread-local caches, the per-class
+//! depots, and the shared slabs.
+//!
+//! The load-bearing oracle is [`DsaHeap::check_reconciliation`]: the
+//! telemetry ledger (backend ops only) must equal backend-live words
+//! exactly, with magazine- and depot-parked blocks counted as live.
+//! These tests drive that identity through randomized churn at 1, 2,
+//! and 8 threads, through cross-thread hand-offs, and through
+//! flush-on-thread-exit.
+
+use std::alloc::Layout;
+use std::collections::HashSet;
+
+use dsa::alloc::{DsaHeap, HeapConfig, ThreadCache};
+use proptest::prelude::*;
+
+/// Ladder sizes the random streams draw from — spanning several
+/// classes so magazines, depots, and slabs all see traffic — plus one
+/// large-path size to keep the routing honest.
+const SIZES: [usize; 7] = [16, 48, 64, 256, 1024, 2048, 5000];
+
+/// One step of a churn stream.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// Allocate `SIZES[i]` bytes.
+    Alloc(usize),
+    /// Free the `n % live`-th live block, if any.
+    FreeNth(usize),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0usize..SIZES.len()).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::FreeNth),
+        ],
+        1..120,
+    )
+}
+
+fn layout_for(i: usize) -> Layout {
+    Layout::from_size_align(SIZES[i], 8).expect("valid layout")
+}
+
+/// Runs one op stream through a cache, freeing everything before the
+/// cache drops (and flushes).
+fn churn_to_empty(heap: &DsaHeap, ops: &[Op]) {
+    let mut cache = ThreadCache::new(heap);
+    let mut live: Vec<(*mut u8, Layout)> = Vec::new();
+    for op in ops {
+        match *op {
+            Op::Alloc(i) => {
+                let l = layout_for(i);
+                let p = cache.alloc(l);
+                assert!(!p.is_null());
+                live.push((p, l));
+            }
+            Op::FreeNth(n) => {
+                if !live.is_empty() {
+                    let (p, l) = live.swap_remove(n % live.len());
+                    // SAFETY: `p` is live from this heap with layout `l`.
+                    unsafe { cache.dealloc(p, l) };
+                }
+            }
+        }
+    }
+    for (p, l) in live {
+        // SAFETY: remaining blocks are live with their layouts.
+        unsafe { cache.dealloc(p, l) };
+    }
+}
+
+/// A pointer+layout parcel made `Send` so blocks can change threads;
+/// ownership moves with it.
+struct Parcel(*mut u8, Layout);
+
+// SAFETY: a parcel is the unique handle to a live block of a `Sync`
+// heap; sending it transfers ownership.
+unsafe impl Send for Parcel {}
+
+proptest! {
+    /// Conservation at 1, 2, and 8 threads: every thread churns the
+    /// same random stream through its own cache and frees everything;
+    /// after caches flush on exit and the depots drain, live words are
+    /// exactly the baseline carves and the ledger balances.
+    #[test]
+    fn allocated_bytes_conserve_across_caches(ops in arb_ops(), t in 0usize..3) {
+        let threads = [1usize, 2, 8][t];
+        let heap = DsaHeap::new(HeapConfig::small());
+        let baseline = heap.live_words();
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let (heap, ops) = (&heap, &ops);
+                s.spawn(move || churn_to_empty(heap, ops));
+            }
+        });
+        // Mid-state sanity: parked blocks count as live, so the books
+        // balance even before the depots are drained.
+        heap.check_reconciliation();
+        heap.flush_depots();
+        heap.check_reconciliation();
+        prop_assert_eq!(heap.live_words(), baseline);
+        prop_assert_eq!(heap.stats().bad_frees, 0);
+    }
+
+    /// No double hand-out: two threads allocating from the same class
+    /// ladder never receive the same pointer while both blocks are
+    /// live, even with magazines refilled through the shared depot.
+    #[test]
+    fn no_block_handed_out_twice(count in 1usize..200, size in 0usize..SIZES.len()) {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let l = layout_for(size);
+        let (tx, rx) = std::sync::mpsc::channel::<Parcel>();
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let (heap, tx) = (&heap, tx.clone());
+                s.spawn(move || {
+                    let mut cache = ThreadCache::new(heap);
+                    for _ in 0..count {
+                        let p = cache.alloc(l);
+                        assert!(!p.is_null());
+                        tx.send(Parcel(p, l)).expect("receiver alive");
+                    }
+                });
+            }
+            drop(tx);
+        });
+        let parcels: Vec<Parcel> = rx.into_iter().collect();
+        let distinct: HashSet<*mut u8> = parcels.iter().map(|p| p.0).collect();
+        prop_assert_eq!(distinct.len(), parcels.len());
+        prop_assert_eq!(parcels.len(), 2 * count);
+        for Parcel(p, l) in parcels {
+            // SAFETY: each parcel owns a live block with layout `l`.
+            unsafe { heap.dealloc_direct(p, l) };
+        }
+        heap.flush_depots();
+        heap.check_reconciliation();
+        prop_assert_eq!(heap.stats().bad_frees, 0);
+    }
+
+    /// Flush-on-thread-exit reconciles: a thread allocates, frees a
+    /// random subset through its cache (parking blocks in magazines),
+    /// ships the survivors out, and exits — the drop-flush plus a
+    /// depot drain must leave zero parked blocks and balanced books,
+    /// with exactly the survivors still live.
+    #[test]
+    fn thread_exit_flush_reconciles(ops in arb_ops()) {
+        let heap = DsaHeap::new(HeapConfig::small());
+        let baseline = heap.live_words();
+        let (tx, rx) = std::sync::mpsc::channel::<Parcel>();
+        std::thread::scope(|s| {
+            let heap = &heap;
+            s.spawn(move || {
+                let mut cache = ThreadCache::new(heap);
+                let mut live: Vec<(*mut u8, Layout)> = Vec::new();
+                for op in &ops {
+                    match *op {
+                        Op::Alloc(i) => {
+                            let l = layout_for(i);
+                            let p = cache.alloc(l);
+                            assert!(!p.is_null());
+                            live.push((p, l));
+                        }
+                        Op::FreeNth(n) => {
+                            if !live.is_empty() {
+                                let (p, l) = live.swap_remove(n % live.len());
+                                // SAFETY: `p` is live with layout `l`.
+                                unsafe { cache.dealloc(p, l) };
+                            }
+                        }
+                    }
+                }
+                for (p, l) in live {
+                    tx.send(Parcel(p, l)).expect("receiver alive");
+                }
+                // `cache` drops here: flush-on-thread-exit.
+            });
+        });
+        heap.check_reconciliation();
+        heap.flush_depots();
+        prop_assert_eq!(heap.depot_parked(), 0);
+        heap.check_reconciliation();
+        let survivors: Vec<Parcel> = rx.into_iter().collect();
+        prop_assert!(heap.live_words() >= baseline);
+        for Parcel(p, l) in survivors {
+            // SAFETY: each parcel owns a live block with layout `l`.
+            unsafe { heap.dealloc_direct(p, l) };
+        }
+        heap.flush_depots();
+        heap.check_reconciliation();
+        prop_assert_eq!(heap.live_words(), baseline);
+        prop_assert_eq!(heap.stats().bad_frees, 0);
+    }
+}

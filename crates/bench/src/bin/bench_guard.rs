@@ -1,0 +1,119 @@
+//! `bench_guard` — CI's gate on the committed performance records.
+//!
+//! Two modes, both driven from the repo root:
+//!
+//! * `bench_guard` — schema-only: every `BENCH_*.json` at the root
+//!   must parse as strict JSON and carry the record spine
+//!   (`pr`/`title`/`bench`/`units`/`host`).
+//! * `bench_guard --log smoke.txt` — schema plus regression: the log
+//!   is a captured `DSA_BENCH_SMOKE=1 cargo bench` run; every guarded
+//!   median (see `dsa_bench::guard::GUARDS`) must come in at or under
+//!   3× its committed value. A guard whose benchmark vanished from the
+//!   log fails too — renames must update the guard table, not dodge
+//!   it.
+//!
+//! Exit status is the verdict: 0 clean, 1 with every violation listed
+//! on stderr. No flags beyond `--log` and `--root` — this is a CI
+//! tool, not an experiment, so it takes none of the experiment flags.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dsa_bench::guard::{
+    check_guards, parse, parse_smoke_log, render_verdicts, validate_bench_record, Json,
+};
+
+fn parse_args() -> Result<(PathBuf, Option<PathBuf>), String> {
+    let mut root = PathBuf::from(".");
+    let mut log = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--log" => {
+                log = Some(PathBuf::from(args.next().ok_or("--log needs a path")?));
+            }
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a path")?);
+            }
+            other => {
+                return Err(format!(
+                    "unrecognized argument: {other}\nusage: bench_guard [--root DIR] [--log FILE]"
+                ))
+            }
+        }
+    }
+    Ok((root, log))
+}
+
+fn load_records(root: &PathBuf) -> Result<Vec<(String, Json)>, String> {
+    let mut names: Vec<String> = std::fs::read_dir(root)
+        .map_err(|e| format!("reading {}: {e}", root.display()))?
+        .filter_map(|entry| {
+            entry
+                .ok()
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+        })
+        .filter(|name| name.starts_with("BENCH_") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!("no BENCH_*.json records under {}", root.display()));
+    }
+    let mut records = Vec::new();
+    for name in names {
+        let path = root.join(&name);
+        let text = std::fs::read_to_string(&path).map_err(|e| format!("reading {name}: {e}"))?;
+        let json = parse(&text).map_err(|e| format!("{name}: {e}"))?;
+        validate_bench_record(&name, &json)?;
+        records.push((name, json));
+    }
+    Ok(records)
+}
+
+fn run() -> Result<(), String> {
+    let (root, log) = parse_args()?;
+    let records = load_records(&root)?;
+    println!(
+        "bench_guard: {} committed record(s) parse and carry the record spine",
+        records.len()
+    );
+    let Some(log_path) = log else {
+        println!("bench_guard: no --log given, schema-only run");
+        return Ok(());
+    };
+    let log_text = std::fs::read_to_string(&log_path)
+        .map_err(|e| format!("reading {}: {e}", log_path.display()))?;
+    let smoke = parse_smoke_log(&log_text);
+    if smoke.is_empty() {
+        return Err(format!(
+            "{}: no '  name: median N ns/iter' lines — is this a cargo bench log?",
+            log_path.display()
+        ));
+    }
+    let verdicts = check_guards(&records, &smoke)?;
+    print!("{}", render_verdicts(&verdicts));
+    let failed: Vec<_> = verdicts.iter().filter(|v| !v.pass).collect();
+    if failed.is_empty() {
+        println!(
+            "bench_guard: {} guarded median(s) within 3x of their committed values",
+            verdicts.len()
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "{} guarded median(s) regressed beyond 3x — either fix the \
+             regression or re-measure and update the committed record",
+            failed.len()
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("bench_guard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! E22 — population-scale multi-tenant scheduling: the thrashing cliff
+//! and its working-set rescue.
+//!
+//! The paper's conclusion (i) at the scale modern shared infrastructure
+//! actually runs: not four jobs over one drum but a *population* of
+//! tenants over a shared frame pool. The event-driven simulator
+//! (`dsa_sched::EventSim`) makes the experiment affordable — blocked
+//! time is jumped through a binary-heap event queue and per-tenant
+//! state is a stream recipe plus a compact LRU summary, so the default
+//! run puts 100 000 tenants through the machine.
+//!
+//! The sweep crosses population size × frames-per-tenant × admission
+//! policy. With open admission and a tight pool (one frame per
+//! tenant), every tenant holds a sliver of its working set, nearly
+//! every reference faults, the finite transfer channels queue, and
+//! virtual throughput falls off a cliff. Working-set admission holds
+//! the surplus tenants in a backlog and runs the population in
+//! shifts: the same tight pool saturates gracefully instead.
+//!
+//! Each grid cell is an independent simulation on the `dsa-exec`
+//! engine: stdout is byte-identical at any `--jobs` width (the golden
+//! gauntlet pins `--tenants 1000`). `--metrics-out` adds Prometheus
+//! series — per-cell admission decisions and per-tenant faults and
+//! working-set estimates for a sampled cohort — without touching
+//! stdout.
+
+use dsa_bench::metrics::RunMetrics;
+use dsa_core::clock::Cycles;
+use dsa_exec::{cli, jobs_from_env};
+use dsa_metrics::table::Table;
+use dsa_sched::admission::{estimate_ws, AdmissionPolicy, LoadControlCfg};
+use dsa_sched::sim::SimConfig;
+use dsa_sched::sweep::{tenant_sweep, SweepCell, SweepPoint};
+use dsa_sched::tenant::{TenantSpec, TraceSpec};
+use dsa_trace::refstring::RefStringCfg;
+
+/// References per tenant: short sessions, population-scale count.
+const REFS_PER_TENANT: u64 = 200;
+/// Per-tenant page universe and working-set size.
+const PAGES: u64 = 16;
+const SET: u64 = 8;
+/// Upper bound on any tenant's allotment.
+const QUOTA: usize = 16;
+
+/// The `--tenants N` flag: population at the largest sweep point.
+const TENANTS: cli::FlagSpec = cli::FlagSpec {
+    name: "--tenants",
+    value: Some("N"),
+    help: "population at the largest sweep point (default 100000, min 100)",
+};
+
+fn sim_cfg() -> SimConfig {
+    SimConfig {
+        instr_time: Cycles::from_micros(10),
+        fetch_time: Cycles::from_millis(2),
+        page_size: 512,
+        quantum_refs: 20,
+        fetch_channels: Some(8), // eight transfer channels, shared
+    }
+}
+
+fn load_cfg() -> LoadControlCfg {
+    LoadControlCfg::default()
+}
+
+/// A point's tenant population — a pure function of the point, so the
+/// sweep is byte-identical at any worker count.
+fn tenant_specs(point: SweepPoint) -> Vec<TenantSpec> {
+    (0..point.tenants as u32).map(tenant_spec).collect()
+}
+
+fn tenant_spec(i: u32) -> TenantSpec {
+    TenantSpec::new(
+        i,
+        TraceSpec::Stream {
+            cfg: RefStringCfg::WorkingSetPhases {
+                pages: PAGES,
+                set: SET,
+                phase_len: 80,
+            },
+            write_fraction: 0.0,
+            seed: u64::from(i) + 1,
+            len: REFS_PER_TENANT,
+        },
+        QUOTA,
+    )
+}
+
+fn policy_label(policy: AdmissionPolicy) -> &'static str {
+    match policy {
+        AdmissionPolicy::Open => "open",
+        AdmissionPolicy::WorkingSet => "working-set",
+        AdmissionPolicy::Fixed => "fixed",
+    }
+}
+
+fn main() {
+    cli::enforce_standard_flags("exp_22_tenant_sweep", &[TENANTS]);
+    let max = cli::count_flag_from_env(TENANTS)
+        .unwrap_or(100_000)
+        .max(100);
+    let mut metrics = RunMetrics::new("exp_22_tenant_sweep");
+    println!("E22: population-scale multi-tenant scheduling\n");
+    println!(
+        "populations up to {max} tenants, ~{SET}-page working sets over\n\
+         {PAGES} pages, {REFS_PER_TENANT} references each, eight transfer\n\
+         channels; 'tight' pools hold one frame per tenant, 'ample' eight\n"
+    );
+
+    let populations = [max / 100, max / 10, max];
+    let regimes = [("tight", 1usize), ("ample", 8usize)];
+    let policies = [AdmissionPolicy::Open, AdmissionPolicy::WorkingSet];
+    let mut points = Vec::new();
+    for &tenants in &populations {
+        for &(_, per) in &regimes {
+            for &policy in &policies {
+                points.push(SweepPoint {
+                    tenants,
+                    frames: tenants * per,
+                    policy,
+                });
+            }
+        }
+    }
+
+    let cells: Vec<SweepCell> =
+        tenant_sweep(jobs_from_env(), points, sim_cfg(), load_cfg(), tenant_specs)
+            .into_iter()
+            .map(|r| r.expect("compact resident sets cannot fail"))
+            .collect();
+
+    let mut t = Table::new(&[
+        "tenants",
+        "pool",
+        "policy",
+        "peak active",
+        "swaps",
+        "faults/ref",
+        "cpu util",
+        "refs/s",
+    ])
+    .with_title("tenant-count x memory-size sweep");
+    for cell in &cells {
+        let p = cell.point;
+        let r = &cell.report;
+        let pool = regimes
+            .iter()
+            .find(|&&(_, per)| p.frames == p.tenants * per)
+            .map_or("?", |&(label, _)| label);
+        t.row_owned(vec![
+            p.tenants.to_string(),
+            pool.to_owned(),
+            policy_label(p.policy).to_owned(),
+            r.peak_active.to_string(),
+            r.deactivations.to_string(),
+            format!("{:.3}", r.fault_rate()),
+            format!("{:.1}%", r.cpu_utilization() * 100.0),
+            format!("{:.0}", r.refs_per_second()),
+        ]);
+    }
+    println!("{t}");
+    metrics.table("tenant_sweep", &t);
+
+    // Prometheus series: per-cell admission decisions, and a sampled
+    // per-tenant cohort from the largest tight working-set cell.
+    for cell in &cells {
+        let p = cell.point;
+        let r = &cell.report;
+        let tenants = p.tenants.to_string();
+        let frames = p.frames.to_string();
+        let labels = [
+            ("tenants", tenants.as_str()),
+            ("frames", frames.as_str()),
+            ("policy", policy_label(p.policy)),
+        ];
+        metrics.counter(
+            "dsa_sweep_admissions_total",
+            "tenant activations (re-admissions included)",
+            &labels,
+            r.admissions,
+        );
+        metrics.counter(
+            "dsa_sweep_admission_rejects_total",
+            "tenants the working-set gate deferred at least once",
+            &labels,
+            r.admission_rejects,
+        );
+        metrics.counter(
+            "dsa_sweep_deactivations_total",
+            "swap-outs taken by the degradation ladder",
+            &labels,
+            r.deactivations,
+        );
+        metrics.counter(
+            "dsa_sweep_faults_total",
+            "demand faults across the population",
+            &labels,
+            r.faults,
+        );
+        metrics.gauge(
+            "dsa_sweep_mean_ws_estimate_pages",
+            "mean working-set estimate over sampled tenants",
+            &labels,
+            r.mean_ws_estimate,
+        );
+        metrics.gauge(
+            "dsa_sweep_refs_per_second",
+            "virtual throughput of the cell",
+            &labels,
+            r.refs_per_second(),
+        );
+    }
+    if let Some(cohort) = cells.iter().rfind(|c| {
+        c.point.policy == AdmissionPolicy::WorkingSet && c.point.frames == c.point.tenants
+    }) {
+        let lc = load_cfg();
+        for report in cohort.report.tenants.iter().take(8) {
+            let id = report.id.to_string();
+            let labels = [("tenant", id.as_str())];
+            metrics.counter(
+                "dsa_tenant_faults_total",
+                "demand faults taken by the tenant",
+                &labels,
+                report.faults,
+            );
+            let spec = tenant_spec(report.id);
+            let est = estimate_ws(&spec.trace.sample(lc.ws_sample), lc.ws_window);
+            metrics.gauge(
+                "dsa_tenant_ws_estimate_pages",
+                "windowed working-set estimate from the admission sample",
+                &labels,
+                est as f64,
+            );
+        }
+    }
+    metrics.emit();
+
+    println!(
+        "with one frame per tenant, open admission gives every tenant a\n\
+         sliver of its working set: nearly every reference faults, the\n\
+         eight channels queue, and throughput collapses — and the cliff\n\
+         deepens as the population grows. working-set admission runs the\n\
+         same pool in shifts: fewer tenants at a time, each with its\n\
+         estimated appetite, so the fault rate stays near the ample-pool\n\
+         floor and saturation is graceful. conclusion (i), at population\n\
+         scale."
+    );
+}

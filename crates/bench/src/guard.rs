@@ -1,0 +1,606 @@
+//! The bench-regression guard: committed medians vs a smoke rerun.
+//!
+//! Every PR that records performance numbers commits them as a
+//! `BENCH_*.json` at the repo root. Those files are claims, and claims
+//! rot: a later change can triple a guarded path without touching any
+//! correctness test. The guard closes that hole in two passes, both
+//! cheap enough for every CI run:
+//!
+//! 1. **Schema** — every committed `BENCH_*.json` must parse (a strict
+//!    hand-rolled JSON parser — the workspace takes no external
+//!    dependencies) and carry the record's spine: `pr`, `title`,
+//!    `bench`, `units`, `host`.
+//! 2. **Regression** — CI reruns the benchmark harness under
+//!    `DSA_BENCH_SMOKE=1` (one unwarmed sample per benchmark) and the
+//!    guard compares the smoke medians of a *guarded subset* against
+//!    the committed medians. A guarded median more than
+//!    [`TOLERANCE`]× its committed value fails the build.
+//!
+//! Only millisecond-scale benchmarks are guarded: at one smoke sample
+//! on a shared single-core runner, a 3× move on a 3 ms benchmark is
+//! signal, while a 3× move on a 300 ns one is scheduler noise. The
+//! sub-millisecond entries in the JSON records stay informational.
+
+use std::fmt::Write as _;
+
+/// Smoke-to-committed ratio above which a guarded benchmark fails.
+pub const TOLERANCE: f64 = 3.0;
+
+// ---------------------------------------------------------------------
+// A strict, dependency-free JSON value and recursive-descent parser.
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Object member order is preserved.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// JSON numbers are finite by construction — the grammar has no
+    /// NaN or infinity, and the parser rejects overflow to them.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object; `None` on other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Dotted-path lookup: `get("a").get("b")…` in one call.
+    #[must_use]
+    pub fn path(&self, dotted: &str) -> Option<&Json> {
+        dotted.split('.').try_fold(self, |v, k| v.get(k))
+    }
+
+    /// The numeric value, if this is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parses a complete JSON document; trailing content is an error.
+///
+/// # Errors
+///
+/// Returns a message with byte offset on any syntax violation —
+/// including the lenient forms real JSON forbids (trailing commas,
+/// unquoted keys, comments), which a schema gate must reject.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after document"));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("invalid literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if members.iter().any(|(k, _)| *k == key) {
+                return Err(self.err(&format!("duplicate key {key:?}")));
+            }
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            members.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            // Surrogates are not paired here; the
+                            // committed records are ASCII/BMP text.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("\\u escape is not a scalar"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is valid UTF-8:
+                    // it arrived as &str).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit must follow '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("digit must follow exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number bytes"))?;
+        let n: f64 = text.parse().map_err(|_| self.err("unparseable number"))?;
+        if !n.is_finite() {
+            return Err(self.err("number overflows f64"));
+        }
+        Ok(Json::Num(n))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Schema validation for committed BENCH_*.json records.
+// ---------------------------------------------------------------------
+
+/// Validates the spine every committed bench record must carry.
+///
+/// # Errors
+///
+/// Returns the first violated requirement, prefixed with `name`.
+pub fn validate_bench_record(name: &str, record: &Json) -> Result<(), String> {
+    let Json::Obj(_) = record else {
+        return Err(format!("{name}: top level must be an object"));
+    };
+    match record.get("pr") {
+        Some(Json::Num(n)) if *n >= 1.0 && n.fract() == 0.0 => {}
+        _ => return Err(format!("{name}: \"pr\" must be a positive integer")),
+    }
+    for key in ["title", "bench", "units"] {
+        match record.get(key) {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("{name}: \"{key}\" must be a non-empty string")),
+        }
+    }
+    match record.get("host") {
+        Some(Json::Obj(_)) => {}
+        _ => return Err(format!("{name}: \"host\" must be an object")),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The guarded medians and the smoke-log comparison.
+// ---------------------------------------------------------------------
+
+/// One guarded benchmark: where its committed median lives and what
+/// the smoke log calls it.
+pub struct Guard {
+    /// `group/name`, exactly as the criterion shim prints it.
+    pub bench: &'static str,
+    /// The committed record at the repo root.
+    pub file: &'static str,
+    /// Dotted path to the committed median (ns) inside the record.
+    pub path: &'static str,
+}
+
+/// The guarded subset: every millisecond-scale median the committed
+/// records claim. Sub-millisecond entries are informational — one
+/// unwarmed smoke sample cannot hold them to a 3× band.
+pub const GUARDS: &[Guard] = &[
+    Guard {
+        bench: "global_alloc_churn_100k/system",
+        file: "BENCH_07.json",
+        path: "global_alloc_churn_100k.system_ns",
+    },
+    Guard {
+        bench: "global_alloc_churn_100k/dsa_slab_direct",
+        file: "BENCH_07.json",
+        path: "global_alloc_churn_100k.dsa_slab_direct_ns",
+    },
+    Guard {
+        bench: "global_alloc_churn_100k/dsa_magazines",
+        file: "BENCH_07.json",
+        path: "global_alloc_churn_100k.dsa_magazines_ns",
+    },
+    Guard {
+        bench: "trace_stream/streamed_stackdist",
+        file: "BENCH_07.json",
+        path: "streaming_compaction_delta.after_ns",
+    },
+    Guard {
+        bench: "sched_events/stepper_1k",
+        file: "BENCH_08.json",
+        path: "sched_events.stepper_1k_ns",
+    },
+    Guard {
+        bench: "sched_events/event_1k",
+        file: "BENCH_08.json",
+        path: "sched_events.event_1k_ns",
+    },
+    Guard {
+        bench: "sched_events/event_10k",
+        file: "BENCH_08.json",
+        path: "sched_events.event_10k_ns",
+    },
+    Guard {
+        bench: "sched_events/event_100k",
+        file: "BENCH_08.json",
+        path: "sched_events.event_100k_ns",
+    },
+];
+
+/// Extracts `(bench, median_ns)` pairs from a captured `cargo bench`
+/// log — lines of the shim's `  group/name: median N ns/iter` form.
+/// Unrelated lines (cargo chatter, group headers) are skipped.
+#[must_use]
+pub fn parse_smoke_log(log: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in log.lines() {
+        let Some(rest) = line.strip_prefix("  ") else {
+            continue;
+        };
+        let Some((name, tail)) = rest.split_once(": median ") else {
+            continue;
+        };
+        let Some(ns_text) = tail.strip_suffix(" ns/iter") else {
+            continue;
+        };
+        if let Ok(ns) = ns_text.trim().parse::<f64>() {
+            out.push((name.to_owned(), ns));
+        }
+    }
+    out
+}
+
+/// The verdict for one guarded benchmark.
+#[derive(Debug)]
+pub struct Verdict {
+    pub bench: &'static str,
+    pub committed_ns: f64,
+    pub smoke_ns: f64,
+    pub ratio: f64,
+    pub pass: bool,
+}
+
+/// Compares the smoke log against the committed medians for every
+/// guard whose record is present in `records` (`(file name, parsed
+/// json)` pairs).
+///
+/// # Errors
+///
+/// A guard whose committed value is missing from its record, or whose
+/// benchmark is absent from the smoke log, is itself a failure — a
+/// silently vanished guard is how regressions walk in.
+pub fn check_guards(
+    records: &[(String, Json)],
+    smoke: &[(String, f64)],
+) -> Result<Vec<Verdict>, String> {
+    let mut verdicts = Vec::new();
+    for g in GUARDS {
+        let Some((_, record)) = records.iter().find(|(name, _)| name == g.file) else {
+            return Err(format!("guard {}: record {} not found", g.bench, g.file));
+        };
+        let committed = record
+            .path(g.path)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("guard {}: {} has no number at {}", g.bench, g.file, g.path))?;
+        if committed <= 0.0 {
+            return Err(format!(
+                "guard {}: committed median must be positive",
+                g.bench
+            ));
+        }
+        let smoke_ns = smoke
+            .iter()
+            .find(|(name, _)| name == g.bench)
+            .map(|&(_, ns)| ns)
+            .ok_or_else(|| {
+                format!(
+                    "guard {}: benchmark missing from the smoke log — renamed or not run",
+                    g.bench
+                )
+            })?;
+        let ratio = smoke_ns / committed;
+        verdicts.push(Verdict {
+            bench: g.bench,
+            committed_ns: committed,
+            smoke_ns,
+            ratio,
+            pass: ratio <= TOLERANCE,
+        });
+    }
+    Ok(verdicts)
+}
+
+/// Renders the verdict table the CI log shows.
+#[must_use]
+pub fn render_verdicts(verdicts: &[Verdict]) -> String {
+    let mut out = String::new();
+    for v in verdicts {
+        let _ = writeln!(
+            out,
+            "  {:<40} committed {:>14.1} ns  smoke {:>14.1} ns  ratio {:>5.2}x  {}",
+            v.bench,
+            v.committed_ns,
+            v.smoke_ns,
+            v.ratio,
+            if v.pass { "ok" } else { "REGRESSED" }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_committed_record_shapes() {
+        let doc = r#"{
+            "pr": 10,
+            "title": "t",
+            "bench": "b",
+            "units": "u",
+            "host": {"cpus": 1},
+            "group": {"a_ns": 123.5, "deep": {"k": [1, 2.5, -3e2]}},
+            "esc": "a\"b\\c\ndA"
+        }"#;
+        let v = parse(doc).expect("valid document");
+        validate_bench_record("doc", &v).expect("valid record");
+        assert_eq!(v.path("group.a_ns").and_then(Json::as_f64), Some(123.5));
+        assert_eq!(
+            v.path("group.deep.k"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-300.0)
+            ]))
+        );
+        assert_eq!(v.get("esc").and_then(Json::as_str), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\": 1,}",
+            "{\"a\": 01}",
+            "{a: 1}",
+            "{\"a\": 1} extra",
+            "{\"a\": NaN}",
+            "{\"a\": 1e999}",
+            "{\"a\": \"unterminated}",
+            "[1, 2,]",
+            "{\"a\": 1, \"a\": 2}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn schema_requires_the_spine() {
+        let missing_pr =
+            parse(r#"{"title": "t", "bench": "b", "units": "u", "host": {}}"#).expect("valid json");
+        assert!(validate_bench_record("x", &missing_pr).is_err());
+        let bad_pr = parse(r#"{"pr": 0, "title": "t", "bench": "b", "units": "u", "host": {}}"#)
+            .expect("valid json");
+        assert!(validate_bench_record("x", &bad_pr).is_err());
+    }
+
+    #[test]
+    fn smoke_log_parsing_and_guard_check() {
+        let log = "group: sched_events\n\
+                   \x20 sched_events/event_1k: median 100.0 ns/iter\n\
+                   warning: something unrelated\n\
+                   \x20 other/thing: median 5.5 ns/iter\n";
+        let smoke = parse_smoke_log(log);
+        assert_eq!(smoke.len(), 2);
+        assert_eq!(smoke[0], ("sched_events/event_1k".to_owned(), 100.0));
+
+        let record = parse(r#"{"sched_events": {"event_1k_ns": 50.0}}"#).expect("valid json");
+        let records = [("BENCH_08.json".to_owned(), record)];
+        let one_guard = [Guard {
+            bench: "sched_events/event_1k",
+            file: "BENCH_08.json",
+            path: "sched_events.event_1k_ns",
+        }];
+        // check_guards walks the static table; exercise the comparison
+        // arithmetic directly on the one guard.
+        let g = &one_guard[0];
+        let committed = records[0]
+            .1
+            .path(g.path)
+            .and_then(Json::as_f64)
+            .expect("present");
+        let ratio = smoke[0].1 / committed;
+        assert!((ratio - 2.0).abs() < 1e-12);
+        assert!(ratio <= TOLERANCE);
+    }
+
+    #[test]
+    fn missing_guard_is_an_error_not_a_pass() {
+        // No records at all: the first guard's record is missing.
+        let err = check_guards(&[], &[]).expect_err("records are absent");
+        assert!(err.contains("not found"), "{err}");
+
+        // Record present but the benchmark vanished from the smoke log:
+        // also an error, not a silent pass.
+        let records = vec![(
+            "BENCH_07.json".to_owned(),
+            parse(r#"{"global_alloc_churn_100k": {"system_ns": 1.0}}"#).expect("valid json"),
+        )];
+        let err = check_guards(&records, &[]).expect_err("smoke log is empty");
+        assert!(err.contains("missing from the smoke log"), "{err}");
+    }
+}

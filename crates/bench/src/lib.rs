@@ -6,5 +6,6 @@
 //! `benches/` time the underlying mechanisms. Shared workload builders
 //! live here.
 
+pub mod guard;
 pub mod metrics;
 pub mod workloads;

@@ -17,11 +17,13 @@
 //!   study \[1\] used), and a working-set simulator;
 //! * [`page_size`] — helpers for page-size sweeps (experiment E6).
 
+pub mod compact;
 pub mod page_size;
 pub mod paged;
 pub mod replacement;
 pub mod sensors;
 
+pub use compact::CompactLru;
 pub use paged::{AdviceOutcome, PagedMemory, PagingStats, TouchOutcome};
 pub use replacement::{
     atlas::AtlasLearning, clock::ClockRepl, fifo::FifoRepl, lfu::LfuRepl, lru::LruRepl,

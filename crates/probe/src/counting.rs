@@ -52,6 +52,11 @@ pub struct CountingProbe {
     pub tenant_shed_words: Words,
     pub shards_quarantined: u64,
     pub shards_restored: u64,
+    pub tenants_admitted: u64,
+    pub tenants_deactivated: u64,
+    pub deactivated_resident_pages: u64,
+    pub ws_estimates: u64,
+    pub ws_estimate_pages: u64,
 }
 
 impl CountingProbe {
@@ -85,6 +90,9 @@ impl CountingProbe {
             + self.tenants_shed
             + self.shards_quarantined
             + self.shards_restored
+            + self.tenants_admitted
+            + self.tenants_deactivated
+            + self.ws_estimates
     }
 
     /// Field-wise difference `self - earlier`: what happened in the
@@ -146,6 +154,11 @@ impl CountingProbe {
             tenant_shed_words,
             shards_quarantined,
             shards_restored,
+            tenants_admitted,
+            tenants_deactivated,
+            deactivated_resident_pages,
+            ws_estimates,
+            ws_estimate_pages,
         )
     }
 }
@@ -230,6 +243,15 @@ impl Probe for CountingProbe {
             }
             EventKind::ShardQuarantined { .. } => self.shards_quarantined += 1,
             EventKind::ShardRestored { .. } => self.shards_restored += 1,
+            EventKind::TenantAdmitted { .. } => self.tenants_admitted += 1,
+            EventKind::TenantDeactivated { resident, .. } => {
+                self.tenants_deactivated += 1;
+                self.deactivated_resident_pages += u64::from(resident);
+            }
+            EventKind::WsEstimate { pages, .. } => {
+                self.ws_estimates += 1;
+                self.ws_estimate_pages += u64::from(pages);
+            }
         }
     }
 }
@@ -309,6 +331,27 @@ mod tests {
         c.emit(EventKind::ShardQuarantined { shard: 1 }, s);
         c.emit(EventKind::ShardRestored { shard: 1 }, s);
         c.emit(
+            EventKind::TenantAdmitted {
+                tenant: 6,
+                frames: 12,
+            },
+            s,
+        );
+        c.emit(
+            EventKind::TenantDeactivated {
+                tenant: 6,
+                resident: 7,
+            },
+            s,
+        );
+        c.emit(
+            EventKind::WsEstimate {
+                tenant: 6,
+                pages: 9,
+            },
+            s,
+        );
+        c.emit(
             EventKind::FaultInjected {
                 fault: InjectedFault::ShardCorruption,
             },
@@ -356,6 +399,11 @@ mod tests {
         assert_eq!(c.tenant_shed_words, 256);
         assert_eq!(c.shards_quarantined, 1);
         assert_eq!(c.shards_restored, 1);
-        assert_eq!(c.total_events(), 28);
+        assert_eq!(c.tenants_admitted, 1);
+        assert_eq!(c.tenants_deactivated, 1);
+        assert_eq!(c.deactivated_resident_pages, 7);
+        assert_eq!(c.ws_estimates, 1);
+        assert_eq!(c.ws_estimate_pages, 9);
+        assert_eq!(c.total_events(), 31);
     }
 }

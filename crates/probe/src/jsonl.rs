@@ -164,6 +164,24 @@ fn append_event(out: &mut String, e: &Event) {
         EventKind::ShardRestored { shard } => {
             let _ = write!(out, ",\"kind\":\"shard_restored\",\"shard\":{shard}");
         }
+        EventKind::TenantAdmitted { tenant, frames } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"tenant_admitted\",\"tenant\":{tenant},\"frames\":{frames}"
+            );
+        }
+        EventKind::TenantDeactivated { tenant, resident } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"tenant_deactivated\",\"tenant\":{tenant},\"resident\":{resident}"
+            );
+        }
+        EventKind::WsEstimate { tenant, pages } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"ws_estimate\",\"tenant\":{tenant},\"pages\":{pages}"
+            );
+        }
     }
     out.push('}');
 }

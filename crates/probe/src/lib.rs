@@ -153,6 +153,15 @@ pub enum EventKind {
     /// A quarantined shard's free list was rebuilt from the live
     /// allocations, re-verified, and readmitted to the rotation.
     ShardRestored { shard: u32 },
+    /// A tenant passed admission and was activated with `frames` page
+    /// frames of allotment.
+    TenantAdmitted { tenant: u32, frames: u32 },
+    /// An active tenant was swapped out by the load controller;
+    /// `resident` resident pages were dropped.
+    TenantDeactivated { tenant: u32, resident: u32 },
+    /// The load controller estimated a tenant's working-set size at
+    /// `pages` pages (windowed, from a trace sample).
+    WsEstimate { tenant: u32, pages: u32 },
 }
 
 /// One traced occurrence: an [`EventKind`] plus the dual timestamp.

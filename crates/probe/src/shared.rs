@@ -69,6 +69,11 @@ pub struct SharedProbe {
     tenant_shed_words: AtomicU64,
     shards_quarantined: AtomicU64,
     shards_restored: AtomicU64,
+    tenants_admitted: AtomicU64,
+    tenants_deactivated: AtomicU64,
+    deactivated_resident_pages: AtomicU64,
+    ws_estimates: AtomicU64,
+    ws_estimate_pages: AtomicU64,
 }
 
 impl SharedProbe {
@@ -162,6 +167,15 @@ impl SharedProbe {
             }
             EventKind::ShardQuarantined { .. } => add(&self.shards_quarantined),
             EventKind::ShardRestored { .. } => add(&self.shards_restored),
+            EventKind::TenantAdmitted { .. } => add(&self.tenants_admitted),
+            EventKind::TenantDeactivated { resident, .. } => {
+                add(&self.tenants_deactivated);
+                add_n(&self.deactivated_resident_pages, u64::from(resident));
+            }
+            EventKind::WsEstimate { pages, .. } => {
+                add(&self.ws_estimates);
+                add_n(&self.ws_estimate_pages, u64::from(pages));
+            }
         }
     }
 
@@ -216,6 +230,11 @@ impl SharedProbe {
             tenant_shed_words: get(&self.tenant_shed_words),
             shards_quarantined: get(&self.shards_quarantined),
             shards_restored: get(&self.shards_restored),
+            tenants_admitted: get(&self.tenants_admitted),
+            tenants_deactivated: get(&self.tenants_deactivated),
+            deactivated_resident_pages: get(&self.deactivated_resident_pages),
+            ws_estimates: get(&self.ws_estimates),
+            ws_estimate_pages: get(&self.ws_estimate_pages),
         }
     }
 

@@ -1,0 +1,168 @@
+//! The load-control layer: working-set admission and online allotments.
+//!
+//! Denning's working-set argument, applied to the paper's conclusion
+//! (i): a tenant should be activated only if its *working set* fits in
+//! the frames the pool still has free, because a tenant running with
+//! less than its working set faults continuously and converts processor
+//! time into drum queueing for everyone. The controller therefore
+//! estimates each tenant's appetite from a short trace sample before
+//! activation:
+//!
+//! * [`estimate_ws`] — the windowed working-set size (mean resident set
+//!   under a window of `tau` references, via
+//!   [`dsa_paging::replacement::ws::working_set_sim`]);
+//! * [`pick_allotment`] — the frame allotment actually granted, chosen
+//!   online from the one-pass LRU success function
+//!   ([`dsa_stackdist::lru::lru_success`]): the smallest frame count
+//!   whose predicted fault rate meets the target, capped by the
+//!   working-set estimate and the tenant's quota.
+//!
+//! Both are pure functions of the sample, so admission decisions are a
+//! deterministic function of the tenant population — the property the
+//! parallel sweep's byte-identity rests on.
+
+use dsa_core::ids::PageNo;
+use dsa_paging::replacement::ws::working_set_sim;
+use dsa_stackdist::lru::lru_success;
+
+/// How tenants are activated against the shared frame pool.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdmissionPolicy {
+    /// Admit every tenant at time zero; the pool is equipartitioned
+    /// (each tenant gets `frames / population`, floor one). The
+    /// "entirely independent decisions" case: past saturation the
+    /// population thrashes.
+    Open,
+    /// Admit a tenant only while the granted allotments fit the pool;
+    /// the rest wait in a priority-ordered backlog and enter as earlier
+    /// tenants finish or are swapped out. Allotments come from
+    /// [`pick_allotment`].
+    WorkingSet,
+    /// Admit every tenant at time zero with its full quota as the
+    /// allotment and no pool accounting. This reproduces
+    /// [`crate::sim::MultiprogramSim`]'s private-allotment semantics
+    /// exactly — the parity mode the property tests compare against
+    /// the reference stepper.
+    Fixed,
+}
+
+/// Load-controller tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadControlCfg {
+    /// Working-set window `tau`, in references.
+    pub ws_window: u64,
+    /// References sampled from the head of each trace for estimation.
+    pub ws_sample: u64,
+    /// Target fault rate the allotment picker aims for on the sampled
+    /// success curve.
+    pub target_fault_rate: f64,
+    /// References between thrash checks on an active tenant.
+    pub thrash_refs: u32,
+    /// Fault rate (over the last `thrash_refs` references) above which
+    /// the degradation ladder is climbed for the tenant.
+    pub thrash_fault_rate: f64,
+    /// Total swap-outs (`ShedLoad` rungs) the run may take before the
+    /// ladder stops deactivating — the same bounded-shed discipline as
+    /// [`dsa_faults::ladder::ShedBudget`].
+    pub shed_budget: u64,
+}
+
+impl Default for LoadControlCfg {
+    fn default() -> Self {
+        LoadControlCfg {
+            ws_window: 128,
+            ws_sample: 256,
+            target_fault_rate: 0.05,
+            thrash_refs: 64,
+            thrash_fault_rate: 0.5,
+            shed_budget: 1024,
+        }
+    }
+}
+
+/// Windowed working-set size estimate: the mean resident set under a
+/// window of `tau` references over `sample`, rounded up, plus one frame
+/// of slack for phase transitions. At least 1.
+#[must_use]
+pub fn estimate_ws(sample: &[PageNo], tau: u64) -> usize {
+    if sample.is_empty() {
+        return 1;
+    }
+    let report = working_set_sim(sample, tau.max(1));
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let mean = report.mean_resident.ceil() as usize;
+    mean.saturating_add(1).max(1)
+}
+
+/// The frame allotment granted to a tenant: the smallest frame count
+/// whose fault rate on the sampled LRU success curve is at or below
+/// `target_fault_rate`, capped by the working-set estimate `est_ws` and
+/// by `quota`, floor 1.
+///
+/// The success function comes from one Mattson pass over the sample, so
+/// the whole curve costs one traversal — the reason the controller can
+/// afford a per-tenant curve at population scale.
+#[must_use]
+pub fn pick_allotment(
+    sample: &[PageNo],
+    est_ws: usize,
+    quota: usize,
+    target_fault_rate: f64,
+) -> usize {
+    let cap = est_ws.max(1).min(quota.max(1));
+    if sample.is_empty() {
+        return cap;
+    }
+    let success = lru_success(sample);
+    let limit = cap.min(success.saturation_frames().max(1));
+    for frames in 1..=limit {
+        if success.fault_rate(frames) <= target_fault_rate {
+            return frames;
+        }
+    }
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(xs: &[u64]) -> Vec<PageNo> {
+        xs.iter().map(|&x| PageNo(x)).collect()
+    }
+
+    #[test]
+    fn estimate_tracks_the_loop_size() {
+        // A tight 3-page loop: mean resident ~3, estimate 4.
+        let sample = p(&[1, 2, 3].repeat(50));
+        let est = estimate_ws(&sample, 64);
+        assert!((3..=4).contains(&est), "estimate {est}");
+        assert_eq!(estimate_ws(&[], 64), 1);
+    }
+
+    #[test]
+    fn allotment_meets_the_target_on_the_curve() {
+        // 3-page loop: at 3 frames LRU stops faulting entirely.
+        let sample = p(&[1, 2, 3].repeat(50));
+        let a = pick_allotment(&sample, 10, 10, 0.05);
+        assert_eq!(a, 3);
+    }
+
+    #[test]
+    fn allotment_is_capped_by_estimate_and_quota() {
+        // A sweep over 20 pages never meets the target below 20 frames;
+        // the cap wins.
+        let sweep: Vec<u64> = (0..200).map(|i| i % 20).collect();
+        let sample = p(&sweep);
+        assert_eq!(pick_allotment(&sample, 6, 100, 0.01), 6);
+        assert_eq!(pick_allotment(&sample, 100, 4, 0.01), 4);
+        assert_eq!(pick_allotment(&[], 5, 3, 0.01), 3);
+    }
+
+    #[test]
+    fn single_page_tenant_needs_one_frame() {
+        let sample = p(&[9; 100]);
+        assert_eq!(estimate_ws(&sample, 32), 2);
+        assert_eq!(pick_allotment(&sample, 2, 8, 0.05), 1);
+    }
+}

@@ -1,0 +1,898 @@
+//! The event-driven population-scale multiprogramming simulator.
+//!
+//! [`crate::sim::MultiprogramSim`] steps one reference at a time and
+//! carries a full paging engine and a space-time meter per job; at a
+//! handful of jobs that is the right fidelity, at 100k+ tenants it is
+//! the bottleneck. [`EventSim`] keeps the *semantics* of the reference
+//! stepper — round-robin quanta, demand faults that re-execute the
+//! faulting reference, fetches overlapped with execution, finite
+//! transfer channels that queue — but reorganizes the run around a
+//! [`BinaryHeap`] event queue keyed by virtual time:
+//!
+//! * blocked time is never stepped through: a fault schedules one
+//!   `FetchDone` event at its completion instant (queueing delay
+//!   included), and an idle processor jumps the clock straight to the
+//!   next event;
+//! * per-tenant state is compact ([`crate::tenant::TenantSpec`] recipes
+//!   and stream cursors instead of materialized traces,
+//!   [`dsa_paging::compact::CompactLru`] summaries instead of the full
+//!   engine), so a 100k-tenant population is tens of megabytes, not
+//!   gigabytes;
+//! * every probe emission is stamped through one [`crate::vclock::VClock`]
+//!   — fetch-channel queueing and degradation-ladder interventions
+//!   read the same clock the event queue is keyed by, so
+//!   `LatencyProbe` percentiles reconcile with the queue's chronology
+//!   by construction.
+//!
+//! On top sits the load-control layer of [`crate::admission`]: working-set
+//! admission gates activation, per-tenant allotments are picked online
+//! from one-pass success-function curves, and a thrashing tenant is
+//! walked down PR 2's degradation ladder
+//! (coalesce → compact → evict-victims → shed-load), the final rung
+//! being deactivation — the swap-out that converts a thrashing
+//! population into one that runs in shifts.
+//!
+//! In [`AdmissionPolicy::Fixed`] mode the simulator reproduces
+//! [`crate::sim::MultiprogramSim`] report-for-report (the property
+//! tests in `tests/properties_sched.rs` pin the two together across
+//! every registry replacement policy and channel configuration); the
+//! reference stepper stays in-tree as the oracle.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use dsa_core::clock::{Cycles, VirtualTime};
+use dsa_core::error::CoreError;
+use dsa_core::ids::PageNo;
+use dsa_faults::ladder::{DegradationStep, ShedBudget, MACHINE_LADDER};
+use dsa_paging::compact::CompactLru;
+use dsa_paging::paged::PagedMemory;
+use dsa_paging::replacement::Replacer;
+use dsa_probe::{EventKind, Probe, Stamp};
+
+use crate::admission::{estimate_ws, pick_allotment, AdmissionPolicy, LoadControlCfg};
+use crate::sim::SimConfig;
+use crate::tenant::{TenantSpec, TraceCursor, TraceSpec};
+use crate::vclock::VClock;
+
+/// A tenant's resident-set representation.
+enum Memory {
+    /// Not yet activated, or already finished (state released).
+    Idle,
+    /// The compact LRU summary — the population-scale default.
+    Compact(CompactLru),
+    /// The full paging engine under an arbitrary replacement policy —
+    /// parity mode ([`EventSim::with_full_memory`]).
+    Full(Box<PagedMemory>),
+}
+
+impl Memory {
+    /// References `page` at reference time `vt`; `Ok(true)` on a fault.
+    fn touch(&mut self, page: PageNo, vt: VirtualTime) -> Result<bool, CoreError> {
+        match self {
+            Memory::Idle => Ok(true),
+            Memory::Compact(m) => Ok(m.touch(page)),
+            Memory::Full(m) => Ok(m.touch(page, false, vt)?.is_fault()),
+        }
+    }
+
+    fn resident_count(&self) -> usize {
+        match self {
+            Memory::Idle => 0,
+            Memory::Compact(m) => m.resident_count(),
+            Memory::Full(m) => m.resident_count(),
+        }
+    }
+}
+
+/// Live state of one tenant: a few hundred bytes, streams included.
+struct TenantState {
+    id: u32,
+    quota: u32,
+    priority: u8,
+    /// The trace recipe; taken when the cursor is built at first
+    /// activation.
+    spec: Option<TraceSpec>,
+    cursor: Option<TraceCursor>,
+    /// A faulted reference awaiting re-execution after its fetch.
+    pending: Option<PageNo>,
+    memory: Memory,
+    /// Parity-mode replacement policy; taken at first activation.
+    replacer: Option<Box<dyn Replacer>>,
+    len: u64,
+    executed: u64,
+    faults: u64,
+    finished_at: Option<Cycles>,
+    /// Cached working-set estimate (pages) from the admission sample.
+    est_ws: Option<u32>,
+    /// The allotment granted at (re-)admission.
+    allot_base: u32,
+    /// The current allotment (the ladder may have shrunk it).
+    allot: u32,
+    active: bool,
+    rejected_once: bool,
+    ladder_pos: u8,
+    recent_refs: u32,
+    recent_faults: u32,
+}
+
+/// Per-tenant results.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantReport {
+    /// The tenant.
+    pub id: u32,
+    /// References executed.
+    pub references: u64,
+    /// Demand faults taken.
+    pub faults: u64,
+    /// Completion time.
+    pub finished_at: Cycles,
+}
+
+/// Whole-run results.
+#[derive(Clone, Debug)]
+pub struct EventReport {
+    /// Per-tenant reports, in tenant order.
+    pub tenants: Vec<TenantReport>,
+    /// Total time the processor executed references.
+    pub cpu_busy: Cycles,
+    /// Time the last tenant finished.
+    pub makespan: Cycles,
+    /// References executed across the population.
+    pub references: u64,
+    /// Demand faults across the population.
+    pub faults: u64,
+    /// Peak number of concurrently active tenants.
+    pub peak_active: usize,
+    /// Activations (re-admissions after swap-out included).
+    pub admissions: u64,
+    /// Tenants the working-set gate deferred at least once.
+    pub admission_rejects: u64,
+    /// Swap-outs taken by the degradation ladder's shed-load rung.
+    pub deactivations: u64,
+    /// Degradation-ladder rungs climbed in total.
+    pub ladder_steps: u64,
+    /// Mean working-set estimate over the tenants the controller
+    /// sampled (0 when no estimates were taken).
+    pub mean_ws_estimate: f64,
+}
+
+impl EventReport {
+    /// Fraction of the makespan the processor was executing.
+    #[must_use]
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            0.0
+        } else {
+            self.cpu_busy.as_nanos() as f64 / self.makespan.as_nanos() as f64
+        }
+    }
+
+    /// References executed per simulated second — the population's
+    /// virtual throughput (this is what collapses under thrashing).
+    #[must_use]
+    pub fn refs_per_second(&self) -> f64 {
+        if self.makespan == Cycles::ZERO {
+            0.0
+        } else {
+            self.references as f64 / (self.makespan.as_nanos() as f64 / 1e9)
+        }
+    }
+
+    /// Faults per executed reference.
+    #[must_use]
+    pub fn fault_rate(&self) -> f64 {
+        if self.references == 0 {
+            0.0
+        } else {
+            self.faults as f64 / self.references as f64
+        }
+    }
+}
+
+/// The event-driven simulator. Construct, then [`EventSim::run`].
+pub struct EventSim {
+    cfg: SimConfig,
+    policy: AdmissionPolicy,
+    lc: LoadControlCfg,
+    frames: usize,
+    tenants: Vec<TenantState>,
+}
+
+impl EventSim {
+    /// Builds the simulator over `frames` pooled page frames with
+    /// compact per-tenant resident sets (LRU).
+    #[must_use]
+    pub fn new(
+        cfg: SimConfig,
+        frames: usize,
+        policy: AdmissionPolicy,
+        lc: LoadControlCfg,
+        specs: Vec<TenantSpec>,
+    ) -> EventSim {
+        Self::build(cfg, frames, policy, lc, specs, None::<fn(&TenantSpec) -> _>)
+    }
+
+    /// Parity-mode constructor: every tenant pages through a full
+    /// [`PagedMemory`] whose replacement policy `build` supplies —
+    /// the configuration the property tests run against
+    /// [`crate::sim::MultiprogramSim`] under [`AdmissionPolicy::Fixed`].
+    #[must_use]
+    pub fn with_full_memory(
+        cfg: SimConfig,
+        frames: usize,
+        policy: AdmissionPolicy,
+        lc: LoadControlCfg,
+        specs: Vec<TenantSpec>,
+        build: impl Fn(&TenantSpec) -> Box<dyn Replacer>,
+    ) -> EventSim {
+        Self::build(cfg, frames, policy, lc, specs, Some(build))
+    }
+
+    fn build(
+        cfg: SimConfig,
+        frames: usize,
+        policy: AdmissionPolicy,
+        lc: LoadControlCfg,
+        specs: Vec<TenantSpec>,
+        replacers: Option<impl Fn(&TenantSpec) -> Box<dyn Replacer>>,
+    ) -> EventSim {
+        let tenants = specs
+            .into_iter()
+            .map(|s| {
+                let replacer = replacers.as_ref().map(|f| f(&s));
+                let len = s.trace.len();
+                TenantState {
+                    id: s.id,
+                    quota: s.quota.max(1) as u32,
+                    priority: s.priority,
+                    spec: Some(s.trace),
+                    cursor: None,
+                    pending: None,
+                    memory: Memory::Idle,
+                    replacer,
+                    len,
+                    executed: 0,
+                    faults: 0,
+                    finished_at: None,
+                    est_ws: None,
+                    allot_base: 0,
+                    allot: 0,
+                    active: false,
+                    rejected_once: false,
+                    ladder_pos: 0,
+                    recent_refs: 0,
+                    recent_faults: 0,
+                }
+            })
+            .collect();
+        EventSim {
+            cfg,
+            policy,
+            lc,
+            frames: frames.max(1),
+            tenants,
+        }
+    }
+
+    /// Runs the population to completion, emitting probe events into
+    /// `probe` (pass a `NullProbe` for a silent run).
+    ///
+    /// # Errors
+    ///
+    /// Propagates paging errors from full-memory tenants (impossible
+    /// without pinning); compact resident sets cannot fail.
+    #[allow(clippy::too_many_lines)]
+    pub fn run<P: Probe>(mut self, probe: &mut P) -> Result<EventReport, CoreError> {
+        let cfg = self.cfg;
+        let lc = self.lc;
+        let policy = self.policy;
+        let frames = self.frames;
+
+        let mut clock = VClock::new();
+        let mut cpu_busy = Cycles::ZERO;
+        // Global reference time: executed references across tenants.
+        let mut gvt: VirtualTime = 0;
+        let mut ready: VecDeque<u32> = VecDeque::new();
+        // THE event queue: `FetchDone` completions keyed by (virtual
+        // time in nanoseconds, tenant) — the only future the simulator
+        // ever has to wait for, so idle time is one heap pop, not a
+        // step loop.
+        let mut events: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+        // Next-free instants of the transfer channels (empty = ample).
+        let mut channels: Vec<u64> = vec![0; cfg.fetch_channels.unwrap_or(0)];
+        let mut shed = ShedBudget::new(u32::try_from(lc.shed_budget).unwrap_or(u32::MAX));
+
+        let mut pool_used: usize = 0;
+        let mut active_count: usize = 0;
+        let mut peak_active: usize = 0;
+        let mut admissions: u64 = 0;
+        let mut rejects: u64 = 0;
+        let mut deactivations: u64 = 0;
+        let mut ladder_steps: u64 = 0;
+        let mut ws_est_sum: u64 = 0;
+        let mut ws_est_count: u64 = 0;
+
+        for t in self.tenants.iter_mut().filter(|t| t.len == 0) {
+            t.finished_at = Some(Cycles::ZERO);
+        }
+        // Backlog: higher priority first, ties in tenant order.
+        let mut order: Vec<u32> = (0..self.tenants.len() as u32)
+            .filter(|&i| self.tenants[i as usize].len > 0)
+            .collect();
+        order.sort_by_key(|&i| (Reverse(self.tenants[i as usize].priority), i));
+        let mut backlog: VecDeque<u32> = order.into();
+        // Open admission equipartitions the pool across the population.
+        let equi = match policy {
+            AdmissionPolicy::Open => (frames / backlog.len().max(1)).max(1),
+            _ => 0,
+        };
+
+        loop {
+            // Admission review: move backlog tenants in while the
+            // policy allows.
+            while let Some(&cand) = backlog.front() {
+                let ci = cand as usize;
+                let allot = match policy {
+                    AdmissionPolicy::Fixed => self.tenants[ci].quota as usize,
+                    AdmissionPolicy::Open => equi.min(self.tenants[ci].quota as usize),
+                    AdmissionPolicy::WorkingSet => {
+                        let allot = grant(&mut self.tenants[ci], &lc, probe, clock.stamp(gvt));
+                        if pool_used + allot > frames && pool_used > 0 {
+                            let t = &mut self.tenants[ci];
+                            if !t.rejected_once {
+                                t.rejected_once = true;
+                                rejects += 1;
+                                probe.emit(
+                                    EventKind::AdmissionReject { tenant: t.id },
+                                    clock.stamp(gvt),
+                                );
+                            }
+                            break;
+                        }
+                        allot
+                    }
+                };
+                backlog.pop_front();
+                let t = &mut self.tenants[ci];
+                if let Some(est) = t.est_ws {
+                    if !t.active && t.allot == 0 {
+                        // First activation of a sampled tenant:
+                        // account its estimate in the report mean.
+                        ws_est_sum += u64::from(est);
+                        ws_est_count += 1;
+                    }
+                }
+                activate(t, allot, probe, clock.stamp(gvt));
+                pool_used += allot;
+                active_count += 1;
+                admissions += 1;
+                peak_active = peak_active.max(active_count);
+                ready.push_back(cand);
+            }
+
+            if ready.is_empty() {
+                if let Some(&Reverse((wake, _))) = events.peek() {
+                    // Idle processor: jump straight to the next event.
+                    clock.advance_to(Cycles::from_nanos(wake));
+                    while let Some(&Reverse((w, j))) = events.peek() {
+                        if w <= clock.nanos() {
+                            events.pop();
+                            ready.push_back(j);
+                        } else {
+                            break;
+                        }
+                    }
+                    continue;
+                }
+                if backlog.is_empty() {
+                    break; // population drained
+                }
+                // Admission refused everything while nothing runs:
+                // force the front tenant in to preserve progress.
+                // Invariant: the surrounding branch checked non-empty.
+                #[allow(clippy::expect_used)]
+                let cand = backlog.pop_front().expect("non-empty backlog");
+                let ci = cand as usize;
+                let allot = match policy {
+                    AdmissionPolicy::Fixed => self.tenants[ci].quota as usize,
+                    AdmissionPolicy::Open => equi.min(self.tenants[ci].quota as usize),
+                    AdmissionPolicy::WorkingSet => {
+                        grant(&mut self.tenants[ci], &lc, probe, clock.stamp(gvt))
+                    }
+                };
+                activate(&mut self.tenants[ci], allot, probe, clock.stamp(gvt));
+                pool_used += allot;
+                active_count += 1;
+                admissions += 1;
+                peak_active = peak_active.max(active_count);
+                ready.push_back(cand);
+                continue;
+            }
+
+            // Invariant: the empty-ready case continued above.
+            #[allow(clippy::expect_used)]
+            let i = ready.pop_front().expect("checked non-empty");
+            let ii = i as usize;
+
+            // Load control: a tenant whose recent fault rate says it is
+            // thrashing climbs the degradation ladder at dispatch.
+            if policy == AdmissionPolicy::WorkingSet
+                && self.tenants[ii].recent_refs >= lc.thrash_refs
+            {
+                let t = &mut self.tenants[ii];
+                let rate = f64::from(t.recent_faults) / f64::from(t.recent_refs.max(1));
+                t.recent_refs = 0;
+                t.recent_faults = 0;
+                if rate > lc.thrash_fault_rate && !backlog.is_empty() {
+                    let rung =
+                        MACHINE_LADDER[(t.ladder_pos as usize).min(MACHINE_LADDER.len() - 1)];
+                    ladder_steps += 1;
+                    probe.emit(EventKind::DegradationStep { step: rung }, clock.stamp(gvt));
+                    match rung {
+                        DegradationStep::EvictVictims => {
+                            // Halve the allotment; freed frames return
+                            // to the pool.
+                            let new_allot = (t.allot / 2).max(1);
+                            let freed = (t.allot - new_allot) as usize;
+                            t.allot = new_allot;
+                            pool_used -= freed;
+                            if let Memory::Compact(ref mut m) = t.memory {
+                                m.resize(new_allot as usize);
+                            }
+                            t.ladder_pos += 1;
+                        }
+                        DegradationStep::ShedLoad => {
+                            if shed.try_shed() {
+                                // Swap the tenant out entirely.
+                                let resident = t.memory.resident_count() as u32;
+                                if let Memory::Compact(ref mut m) = t.memory {
+                                    m.clear();
+                                }
+                                probe.emit(
+                                    EventKind::TenantDeactivated {
+                                        tenant: t.id,
+                                        resident,
+                                    },
+                                    clock.stamp(gvt),
+                                );
+                                deactivations += 1;
+                                pool_used -= t.allot as usize;
+                                t.allot = 0;
+                                t.active = false;
+                                t.ladder_pos = 0;
+                                active_count -= 1;
+                                backlog.push_back(i);
+                                continue;
+                            }
+                        }
+                        // Coalesce and Compact have nothing to give
+                        // back in a paged pool; they mark the climb.
+                        _ => t.ladder_pos += 1,
+                    }
+                }
+            }
+
+            // One round-robin quantum.
+            let mut blocked_now = false;
+            for _ in 0..cfg.quantum_refs {
+                let t = &mut self.tenants[ii];
+                let page = match t.pending {
+                    Some(p) => p,
+                    None => {
+                        if t.executed >= t.len {
+                            break;
+                        }
+                        match t.cursor.as_mut().and_then(TraceCursor::next_page) {
+                            Some(p) => p,
+                            None => break,
+                        }
+                    }
+                };
+                let vt = t.executed;
+                let fault = t.memory.touch(page, vt)?;
+                if fault {
+                    t.faults += 1;
+                    t.recent_faults += 1;
+                    // The faulting reference re-executes once the page
+                    // arrives; the page is already installed.
+                    t.pending = Some(page);
+                    probe.emit(EventKind::Fault, clock.stamp(gvt));
+                    // Queue for a transfer channel if capacity is
+                    // limited: the fetch starts when the least-loaded
+                    // channel frees.
+                    let start = match channels.iter_mut().min() {
+                        Some(slot) => {
+                            let start = (*slot).max(clock.nanos());
+                            *slot = start + cfg.fetch_time.as_nanos();
+                            Cycles::from_nanos(start)
+                        }
+                        None => clock.now(),
+                    };
+                    let wake = start + cfg.fetch_time;
+                    probe.emit(
+                        EventKind::FetchStart {
+                            words: cfg.page_size,
+                        },
+                        clock.stamp_at(start, gvt),
+                    );
+                    probe.emit(
+                        EventKind::FetchDone {
+                            words: cfg.page_size,
+                        },
+                        clock.stamp_at(wake, gvt),
+                    );
+                    events.push(Reverse((wake.as_nanos(), i)));
+                    blocked_now = true;
+                    break;
+                }
+                t.pending = None;
+                t.executed += 1;
+                t.recent_refs += 1;
+                gvt += 1;
+                clock.advance(cfg.instr_time);
+                cpu_busy += cfg.instr_time;
+            }
+
+            // Deliver any fetch completions that arrived while this
+            // tenant's quantum ran.
+            while let Some(&Reverse((w, j))) = events.peek() {
+                if w <= clock.nanos() {
+                    events.pop();
+                    ready.push_back(j);
+                } else {
+                    break;
+                }
+            }
+            if blocked_now {
+                continue;
+            }
+            let t = &mut self.tenants[ii];
+            if t.executed >= t.len && t.pending.is_none() {
+                t.finished_at = Some(clock.now());
+                // Release the tenant's state and its pool share.
+                t.memory = Memory::Idle;
+                t.cursor = None;
+                t.active = false;
+                pool_used -= t.allot as usize;
+                t.allot = 0;
+                active_count -= 1;
+            } else {
+                ready.push_back(i);
+            }
+        }
+
+        let makespan = clock.now();
+        let mut references = 0u64;
+        let mut faults = 0u64;
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| {
+                references += t.executed;
+                faults += t.faults;
+                TenantReport {
+                    id: t.id,
+                    references: t.executed,
+                    faults: t.faults,
+                    finished_at: t.finished_at.unwrap_or(makespan),
+                }
+            })
+            .collect();
+        Ok(EventReport {
+            tenants,
+            cpu_busy,
+            makespan,
+            references,
+            faults,
+            peak_active,
+            admissions,
+            admission_rejects: rejects,
+            deactivations,
+            ladder_steps,
+            mean_ws_estimate: if ws_est_count == 0 {
+                0.0
+            } else {
+                ws_est_sum as f64 / ws_est_count as f64
+            },
+        })
+    }
+}
+
+/// Computes (once) and returns the tenant's granted allotment under
+/// working-set admission, emitting the `WsEstimate` probe event at
+/// first computation.
+fn grant<P: Probe>(t: &mut TenantState, lc: &LoadControlCfg, probe: &mut P, at: Stamp) -> usize {
+    if t.est_ws.is_none() {
+        let sample = t
+            .spec
+            .as_ref()
+            .map(|s| s.sample(lc.ws_sample))
+            .unwrap_or_default();
+        let est = estimate_ws(&sample, lc.ws_window);
+        let allot = pick_allotment(&sample, est, t.quota as usize, lc.target_fault_rate);
+        t.est_ws = Some(u32::try_from(est).unwrap_or(u32::MAX));
+        t.allot_base = u32::try_from(allot).unwrap_or(u32::MAX);
+        probe.emit(
+            EventKind::WsEstimate {
+                tenant: t.id,
+                pages: u32::try_from(est).unwrap_or(u32::MAX),
+            },
+            at,
+        );
+    }
+    (t.allot_base as usize).max(1)
+}
+
+/// Activates a tenant with `allot` frames: builds its cursor and
+/// resident set on first activation, resizes them on re-admission, and
+/// emits the `TenantAdmitted` probe event.
+fn activate<P: Probe>(t: &mut TenantState, allot: usize, probe: &mut P, at: Stamp) {
+    let allot = allot.max(1);
+    t.allot = u32::try_from(allot).unwrap_or(u32::MAX);
+    if t.allot_base == 0 {
+        t.allot_base = t.allot;
+    }
+    if t.cursor.is_none() {
+        if let Some(spec) = t.spec.take() {
+            t.cursor = Some(spec.into_cursor());
+        }
+    }
+    match t.memory {
+        Memory::Idle => {
+            t.memory = match t.replacer.take() {
+                Some(r) => Memory::Full(Box::new(PagedMemory::new(allot, r))),
+                None => Memory::Compact(CompactLru::new(allot)),
+            };
+        }
+        Memory::Compact(ref mut m) => {
+            m.resize(allot);
+        }
+        Memory::Full(_) => {}
+    }
+    t.active = true;
+    t.ladder_pos = 0;
+    t.recent_refs = 0;
+    t.recent_faults = 0;
+    probe.emit(
+        EventKind::TenantAdmitted {
+            tenant: t.id,
+            frames: t.allot,
+        },
+        at,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsa_probe::{CountingProbe, NullProbe};
+    use dsa_trace::refstring::RefStringCfg;
+
+    fn cfg(channels: Option<usize>) -> SimConfig {
+        SimConfig {
+            instr_time: Cycles::from_micros(10),
+            fetch_time: Cycles::from_millis(2),
+            page_size: 512,
+            quantum_refs: 20,
+            fetch_channels: channels,
+        }
+    }
+
+    fn stream_tenants(n: u32, refs: u64) -> Vec<TenantSpec> {
+        (0..n)
+            .map(|i| {
+                TenantSpec::new(
+                    i,
+                    TraceSpec::Stream {
+                        cfg: RefStringCfg::WorkingSetPhases {
+                            pages: 16,
+                            set: 6,
+                            phase_len: 200,
+                        },
+                        write_fraction: 0.0,
+                        seed: u64::from(i) + 1,
+                        len: refs,
+                    },
+                    16,
+                )
+            })
+            .collect()
+    }
+
+    fn run(policy: AdmissionPolicy, n: u32, frames: usize) -> EventReport {
+        EventSim::new(
+            cfg(Some(2)),
+            frames,
+            policy,
+            LoadControlCfg::default(),
+            stream_tenants(n, 800),
+        )
+        .run(&mut NullProbe)
+        .expect("compact sets cannot fail")
+    }
+
+    #[test]
+    fn every_tenant_completes_under_both_policies() {
+        for policy in [AdmissionPolicy::Open, AdmissionPolicy::WorkingSet] {
+            let r = run(policy, 12, 48);
+            assert_eq!(r.tenants.len(), 12);
+            for t in &r.tenants {
+                assert_eq!(t.references, 800, "{policy:?} tenant {}", t.id);
+                assert!(t.finished_at <= r.makespan);
+            }
+            assert_eq!(r.references, 12 * 800);
+        }
+    }
+
+    #[test]
+    fn working_set_admission_beats_open_under_overcommit() {
+        // 16 tenants of ~7-page working sets over 24 frames: open
+        // admission gives everyone 1 frame and thrashes; the gate runs
+        // a few at a time.
+        let open = run(AdmissionPolicy::Open, 16, 24);
+        let ws = run(AdmissionPolicy::WorkingSet, 16, 24);
+        assert!(ws.peak_active < open.peak_active);
+        assert!(
+            ws.faults * 2 < open.faults,
+            "admission control must cut faults sharply: {} vs {}",
+            ws.faults,
+            open.faults
+        );
+        assert!(
+            ws.refs_per_second() > 2.0 * open.refs_per_second(),
+            "throughput must collapse without the gate: {} vs {}",
+            ws.refs_per_second(),
+            open.refs_per_second()
+        );
+    }
+
+    #[test]
+    fn ample_frames_make_the_policies_agree_on_faults() {
+        let open = run(AdmissionPolicy::Open, 6, 6 * 16);
+        let ws = run(AdmissionPolicy::WorkingSet, 6, 6 * 16);
+        // With a full quota each under Open and estimates under WS,
+        // neither regime steals frames; both see only per-phase faults.
+        assert!(open.fault_rate() < 0.2);
+        assert!(ws.fault_rate() < 0.2);
+    }
+
+    #[test]
+    fn probe_events_reconcile_with_the_report() {
+        let mut probe = CountingProbe::new();
+        let r = EventSim::new(
+            cfg(Some(2)),
+            24,
+            AdmissionPolicy::WorkingSet,
+            LoadControlCfg::default(),
+            stream_tenants(10, 600),
+        )
+        .run(&mut probe)
+        .expect("compact sets cannot fail");
+        assert_eq!(probe.faults, r.faults);
+        assert_eq!(probe.fetch_starts, r.faults);
+        assert_eq!(probe.fetches, r.faults);
+        assert_eq!(probe.tenants_admitted, r.admissions);
+        assert_eq!(probe.tenants_deactivated, r.deactivations);
+        assert_eq!(probe.degradation_steps, r.ladder_steps);
+        assert!(probe.ws_estimates >= 1);
+    }
+
+    #[test]
+    fn oversized_tenant_is_force_admitted() {
+        // One tenant whose estimate exceeds the pool must still run.
+        let specs = stream_tenants(1, 300);
+        let r = EventSim::new(
+            cfg(None),
+            2,
+            AdmissionPolicy::WorkingSet,
+            LoadControlCfg::default(),
+            specs,
+        )
+        .run(&mut NullProbe)
+        .expect("compact sets cannot fail");
+        assert_eq!(r.tenants[0].references, 300);
+    }
+
+    #[test]
+    fn empty_population_and_empty_traces() {
+        let r = EventSim::new(
+            cfg(None),
+            8,
+            AdmissionPolicy::Open,
+            LoadControlCfg::default(),
+            vec![],
+        )
+        .run(&mut NullProbe)
+        .expect("compact sets cannot fail");
+        assert_eq!(r.makespan, Cycles::ZERO);
+        assert_eq!(r.refs_per_second(), 0.0);
+
+        let empty = TenantSpec::new(0, TraceSpec::Pages(vec![]), 4);
+        let r = EventSim::new(
+            cfg(None),
+            8,
+            AdmissionPolicy::Open,
+            LoadControlCfg::default(),
+            vec![empty],
+        )
+        .run(&mut NullProbe)
+        .expect("compact sets cannot fail");
+        assert_eq!(r.tenants[0].references, 0);
+        assert_eq!(r.tenants[0].finished_at, Cycles::ZERO);
+    }
+
+    #[test]
+    fn quota_capped_thrashers_walk_the_ladder_to_swap_out() {
+        // Quota 1 pins every allotment below the ~7-page working set,
+        // so admitted tenants thrash no matter what admission decided;
+        // with a standing backlog the dispatcher must climb the ladder
+        // and reach the shed-load rung (swap-out), and the swapped
+        // tenants must still finish after re-admission.
+        let specs: Vec<TenantSpec> = (0..10)
+            .map(|i| {
+                TenantSpec::new(
+                    i,
+                    TraceSpec::Stream {
+                        cfg: RefStringCfg::WorkingSetPhases {
+                            pages: 16,
+                            set: 6,
+                            phase_len: 200,
+                        },
+                        write_fraction: 0.0,
+                        seed: u64::from(i) + 1,
+                        len: 600,
+                    },
+                    1,
+                )
+            })
+            .collect();
+        let mut probe = CountingProbe::new();
+        let r = EventSim::new(
+            cfg(Some(2)),
+            4,
+            AdmissionPolicy::WorkingSet,
+            LoadControlCfg::default(),
+            specs,
+        )
+        .run(&mut probe)
+        .expect("compact sets cannot fail");
+        assert!(
+            r.ladder_steps > 0,
+            "thrashing tenants must climb the ladder"
+        );
+        assert!(r.deactivations > 0, "the final rung must swap tenants out");
+        assert_eq!(probe.tenants_deactivated, r.deactivations);
+        assert!(
+            r.admissions > 10,
+            "swapped-out tenants re-admit: {} admissions",
+            r.admissions
+        );
+        for t in &r.tenants {
+            assert_eq!(t.references, 600, "tenant {} must finish", t.id);
+        }
+    }
+
+    #[test]
+    fn priorities_admit_high_before_low() {
+        // Pool fits one tenant at a time; the high-priority tenant must
+        // finish first even though it has the higher id.
+        let mut specs = stream_tenants(2, 400);
+        specs[1].priority = 9;
+        let r = EventSim::new(
+            cfg(None),
+            8,
+            AdmissionPolicy::WorkingSet,
+            LoadControlCfg::default(),
+            specs,
+        )
+        .run(&mut NullProbe)
+        .expect("compact sets cannot fail");
+        assert!(
+            r.tenants[1].finished_at <= r.tenants[0].finished_at,
+            "priority 9 should finish no later: {} vs {}",
+            r.tenants[1].finished_at,
+            r.tenants[0].finished_at
+        );
+    }
+}

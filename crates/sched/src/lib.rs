@@ -24,11 +24,30 @@
 //! processor scheduling and storage allocation — admit everything and
 //! thrash, or admit by working-set estimate and run in shifts
 //! (experiment E16).
+//!
+//! [`event::EventSim`] is the population-scale version of the same
+//! story: an event-driven rebuild that jumps blocked time through a
+//! binary-heap event queue, keeps per-tenant state compact (stream
+//! recipes and LRU summaries instead of materialized traces and full
+//! paging engines), and layers load control on top — working-set
+//! admission ([`admission`]), online allotments from one-pass success
+//! curves, and the degradation ladder's swap-out as the final rung. It
+//! scales to 100k+ tenants (experiment E22) while staying
+//! report-identical to [`sim::MultiprogramSim`] in
+//! [`admission::AdmissionPolicy::Fixed`] mode.
 
+pub mod admission;
+pub mod event;
 pub mod load_control;
 pub mod sim;
 pub mod sweep;
+pub mod tenant;
+pub mod vclock;
 
+pub use admission::{estimate_ws, pick_allotment, AdmissionPolicy, LoadControlCfg};
+pub use event::{EventReport, EventSim, TenantReport};
 pub use load_control::{Admission, GlobalJobSpec, GlobalMultiprogramSim, GlobalReport};
 pub use sim::{JobReport, JobSpec, MultiprogramSim, SimConfig, SimReport};
-pub use sweep::{admission_sweep, level_sweep};
+pub use sweep::{admission_sweep, level_sweep, tenant_sweep, SweepCell, SweepPoint};
+pub use tenant::{TenantSpec, TraceSpec};
+pub use vclock::VClock;

@@ -68,6 +68,9 @@ mod tag {
     pub const TENANT_SHED: u64 = 20;
     pub const SHARD_QUARANTINED: u64 = 21;
     pub const SHARD_RESTORED: u64 = 22;
+    pub const TENANT_ADMITTED: u64 = 23;
+    pub const TENANT_DEACTIVATED: u64 = 24;
+    pub const WS_ESTIMATE: u64 = 25;
 }
 
 /// Packs an event kind into `(meta, a, b)`.
@@ -125,6 +128,21 @@ fn encode(kind: EventKind) -> (u64, u64, u64) {
             (meta(tag::SHARD_QUARANTINED, 0), u64::from(shard), 0)
         }
         EventKind::ShardRestored { shard } => (meta(tag::SHARD_RESTORED, 0), u64::from(shard), 0),
+        EventKind::TenantAdmitted { tenant, frames } => (
+            meta(tag::TENANT_ADMITTED, 0),
+            u64::from(tenant),
+            u64::from(frames),
+        ),
+        EventKind::TenantDeactivated { tenant, resident } => (
+            meta(tag::TENANT_DEACTIVATED, 0),
+            u64::from(tenant),
+            u64::from(resident),
+        ),
+        EventKind::WsEstimate { tenant, pages } => (
+            meta(tag::WS_ESTIMATE, 0),
+            u64::from(tenant),
+            u64::from(pages),
+        ),
     }
 }
 
@@ -184,6 +202,18 @@ fn decode(meta: u64, a: u64, b: u64) -> Option<EventKind> {
         },
         tag::SHARD_QUARANTINED => EventKind::ShardQuarantined { shard: a as u32 },
         tag::SHARD_RESTORED => EventKind::ShardRestored { shard: a as u32 },
+        tag::TENANT_ADMITTED => EventKind::TenantAdmitted {
+            tenant: a as u32,
+            frames: b as u32,
+        },
+        tag::TENANT_DEACTIVATED => EventKind::TenantDeactivated {
+            tenant: a as u32,
+            resident: b as u32,
+        },
+        tag::WS_ESTIMATE => EventKind::WsEstimate {
+            tenant: a as u32,
+            pages: b as u32,
+        },
         _ => return None,
     })
 }
@@ -464,6 +494,18 @@ mod tests {
             },
             EventKind::ShardQuarantined { shard: 2 },
             EventKind::ShardRestored { shard: 2 },
+            EventKind::TenantAdmitted {
+                tenant: 10,
+                frames: 12,
+            },
+            EventKind::TenantDeactivated {
+                tenant: 10,
+                resident: 5,
+            },
+            EventKind::WsEstimate {
+                tenant: 10,
+                pages: 9,
+            },
         ]
     }
 

@@ -12,8 +12,8 @@
 //!   silently rewriting the numbers the paper reproduction reports.
 //!
 //! Changing an experiment's output on purpose is fine — regenerate the
-//! file (`./target/debug/<bin> --jobs 1 > tests/golden/<bin>.txt`) and
-//! commit it so the diff is reviewable.
+//! file (`./target/debug/<bin> --jobs 1 <extra args from GAUNTLET> >
+//! tests/golden/<bin>.txt`) and commit it so the diff is reviewable.
 //!
 //! The binaries live in `dsa-bench`, a different package, so
 //! `CARGO_BIN_EXE_*` is not available here; we locate them in the
@@ -23,15 +23,18 @@
 use std::path::PathBuf;
 use std::process::Command;
 
-/// The gauntlet: fast (all under ~100 ms in a debug build) and fully
-/// deterministic, including every printed column.
-const GAUNTLET: [&str; 6] = [
-    "exp_01_artificial_contiguity",
-    "exp_06_faults",
-    "exp_11_multics_dual",
-    "exp_14_promotion",
-    "exp_17_drum_queueing",
-    "exp_19_overload",
+/// The gauntlet: fast (all under ~1 s in a debug build) and fully
+/// deterministic, including every printed column. Each entry carries
+/// the extra arguments its golden file was generated with (most need
+/// none; `exp_22` pins a small population so the gauntlet stays fast).
+const GAUNTLET: [(&str, &[&str]); 7] = [
+    ("exp_01_artificial_contiguity", &[]),
+    ("exp_06_faults", &[]),
+    ("exp_11_multics_dual", &[]),
+    ("exp_14_promotion", &[]),
+    ("exp_17_drum_queueing", &[]),
+    ("exp_19_overload", &[]),
+    ("exp_22_tenant_sweep", &["--tenants", "1000"]),
 ];
 
 /// `target/<profile>/` for the build running this test: the test
@@ -45,7 +48,7 @@ fn bin_dir() -> PathBuf {
     dir
 }
 
-fn run(bin: &str, jobs: &str) -> String {
+fn run(bin: &str, jobs: &str, extra: &[&str]) -> String {
     let path = bin_dir().join(bin);
     assert!(
         path.exists(),
@@ -54,6 +57,7 @@ fn run(bin: &str, jobs: &str) -> String {
     );
     let out = Command::new(&path)
         .args(["--jobs", jobs])
+        .args(extra)
         .output()
         .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
     assert!(
@@ -85,18 +89,18 @@ fn first_diff(a: &str, b: &str) -> String {
 #[test]
 fn golden_outputs_match_at_every_jobs_width() {
     let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
-    for bin in GAUNTLET {
+    for (bin, extra) in GAUNTLET {
         let golden_path = golden_dir.join(format!("{bin}.txt"));
         let golden = std::fs::read_to_string(&golden_path)
             .unwrap_or_else(|e| panic!("reading {}: {e}", golden_path.display()));
-        let seq = run(bin, "1");
+        let seq = run(bin, "1", extra);
         assert!(
             seq == golden,
             "{bin} --jobs 1 drifted from tests/golden/{bin}.txt — {}\n\
              (if the change is intentional, regenerate the golden file)",
             first_diff(&seq, &golden)
         );
-        let par = run(bin, "4");
+        let par = run(bin, "4", extra);
         assert!(
             par == seq,
             "{bin}: --jobs 4 output differs from --jobs 1 — parallel merge \

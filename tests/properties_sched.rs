@@ -1,0 +1,240 @@
+//! Property-based tests pinning the event-driven population simulator
+//! to its reference implementations.
+//!
+//! Three contracts:
+//!
+//! * [`dsa::sched::EventSim`] in `AdmissionPolicy::Fixed` mode with
+//!   full per-tenant paging engines is *report-identical* to
+//!   [`dsa::sched::MultiprogramSim`] — same references, faults,
+//!   completion times, CPU busy time, and makespan — across every
+//!   registry replacement policy and every fetch-channel configuration.
+//!   The event queue is an optimization of the stepper, not a
+//!   different machine.
+//! * [`dsa::paging::CompactLru`] (the compact resident-set summary the
+//!   population mode runs on) faults exactly like
+//!   [`dsa::paging::paged::PagedMemory`] under [`dsa::paging::LruRepl`].
+//! * [`dsa::sched::sweep::tenant_sweep`] — admission decisions
+//!   included — is a pure function of its grid: byte-identical reports
+//!   at any worker count.
+
+use dsa::core::clock::Cycles;
+use dsa::core::ids::{JobId, PageNo};
+use dsa::paging::paged::PagedMemory;
+use dsa::paging::replacement::registry::{policy_by_index, policy_count, policy_label};
+use dsa::paging::{CompactLru, LruRepl};
+use dsa::probe::NullProbe;
+use dsa::sched::sweep::{tenant_sweep, SweepCell, SweepPoint};
+use dsa::sched::{
+    AdmissionPolicy, EventSim, JobSpec, LoadControlCfg, MultiprogramSim, SimConfig, TenantSpec,
+    TraceSpec,
+};
+use dsa::trace::refstring::RefStringCfg;
+use proptest::prelude::*;
+
+fn arb_traces() -> impl Strategy<Value = Vec<Vec<PageNo>>> {
+    prop::collection::vec(
+        prop::collection::vec(0u64..16, 0..120).prop_map(|v| v.into_iter().map(PageNo).collect()),
+        1..5,
+    )
+}
+
+fn sim_cfg(quantum: u32, channels: Option<usize>) -> SimConfig {
+    SimConfig {
+        instr_time: Cycles::from_micros(10),
+        fetch_time: Cycles::from_millis(3),
+        page_size: 512,
+        quantum_refs: quantum,
+        fetch_channels: channels,
+    }
+}
+
+/// Runs the same mix through the reference stepper and the event-driven
+/// simulator in parity mode and asserts report identity.
+fn assert_parity(
+    traces: &[Vec<PageNo>],
+    frames: usize,
+    policy: usize,
+    quantum: u32,
+    channels: Option<usize>,
+) -> Result<(), String> {
+    let cfg = sim_cfg(quantum, channels);
+    let specs: Vec<JobSpec> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| JobSpec {
+            id: JobId(i as u32),
+            trace: t.clone(),
+            frames,
+            replacer: policy_by_index(policy, frames, t),
+        })
+        .collect();
+    let reference = MultiprogramSim::new(cfg, specs).run().expect("no pinning");
+
+    let tenants: Vec<TenantSpec> = traces
+        .iter()
+        .enumerate()
+        .map(|(i, t)| TenantSpec::new(i as u32, TraceSpec::Pages(t.clone()), frames))
+        .collect();
+    let event = EventSim::with_full_memory(
+        cfg,
+        frames * traces.len().max(1),
+        AdmissionPolicy::Fixed,
+        LoadControlCfg::default(),
+        tenants,
+        |spec| match &spec.trace {
+            TraceSpec::Pages(t) => policy_by_index(policy, frames, t),
+            TraceSpec::Stream { .. } => unreachable!("parity mixes are materialized"),
+        },
+    )
+    .run(&mut NullProbe)
+    .expect("no pinning");
+
+    let label = policy_label(policy);
+    prop_assert_eq!(
+        event.tenants.len(),
+        reference.jobs.len(),
+        "{} population size",
+        label
+    );
+    for (t, j) in event.tenants.iter().zip(reference.jobs.iter()) {
+        prop_assert_eq!(t.references, j.references, "{} references", label);
+        prop_assert_eq!(t.faults, j.faults, "{} faults", label);
+        prop_assert_eq!(t.finished_at, j.finished_at, "{} finished_at", label);
+    }
+    prop_assert_eq!(event.cpu_busy, reference.cpu_busy, "{} cpu_busy", label);
+    prop_assert_eq!(event.makespan, reference.makespan, "{} makespan", label);
+    prop_assert_eq!(
+        event.faults,
+        reference.jobs.iter().map(|j| j.faults).sum::<u64>(),
+        "{} total faults",
+        label
+    );
+    Ok(())
+}
+
+proptest! {
+    /// The event-driven simulator is report-identical to the reference
+    /// per-cycle stepper for every replacement policy in the registry,
+    /// with ample fetch capacity.
+    #[test]
+    fn event_sim_matches_reference_all_policies(
+        traces in arb_traces(),
+        frames in 1usize..6,
+        qi in 0usize..3,
+    ) {
+        let quantum = [1u32, 7, 50][qi];
+        for policy in 0..policy_count() {
+            assert_parity(&traces, frames, policy, quantum, None)?;
+        }
+    }
+
+    /// The same identity holds when fetches contend for finite transfer
+    /// channels — the queueing delays land on the same instants.
+    #[test]
+    fn event_sim_matches_reference_under_channel_contention(
+        traces in arb_traces(),
+        frames in 1usize..6,
+        qi in 0usize..3,
+        channels in 1usize..4,
+    ) {
+        let quantum = [1u32, 13, 50][qi];
+        for policy in [0usize, 1, 3] {
+            assert_parity(&traces, frames, policy, quantum, Some(channels))?;
+        }
+    }
+
+    /// The compact LRU resident-set summary faults exactly like the
+    /// full paging engine under LRU replacement.
+    #[test]
+    fn compact_lru_matches_paged_memory(
+        trace in prop::collection::vec(0u64..24, 0..400),
+        capacity in 1usize..12,
+    ) {
+        let trace: Vec<PageNo> = trace.into_iter().map(PageNo).collect();
+        let mut compact = CompactLru::new(capacity);
+        let mut full = PagedMemory::new(capacity, Box::new(LruRepl::new()));
+        for (vt, &p) in trace.iter().enumerate() {
+            let cf = compact.touch(p);
+            let ff = full
+                .touch(p, false, vt as u64)
+                .expect("no pinning")
+                .is_fault();
+            prop_assert_eq!(cf, ff, "fault disagreement at reference {}", vt);
+            prop_assert_eq!(compact.resident_count(), full.resident_count());
+        }
+    }
+}
+
+fn sweep_points() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &tenants in &[4usize, 12] {
+        for &frames in &[8usize, 48] {
+            for &policy in &[AdmissionPolicy::Open, AdmissionPolicy::WorkingSet] {
+                points.push(SweepPoint {
+                    tenants,
+                    frames,
+                    policy,
+                });
+            }
+        }
+    }
+    points
+}
+
+fn run_sweep(jobs: usize) -> Vec<SweepCell> {
+    let cfg = sim_cfg(20, Some(2));
+    tenant_sweep(jobs, sweep_points(), cfg, LoadControlCfg::default(), |p| {
+        (0..p.tenants as u32)
+            .map(|i| {
+                TenantSpec::new(
+                    i,
+                    TraceSpec::Stream {
+                        cfg: RefStringCfg::WorkingSetPhases {
+                            pages: 16,
+                            set: 6,
+                            phase_len: 120,
+                        },
+                        write_fraction: 0.0,
+                        seed: u64::from(i) + 1,
+                        len: 400,
+                    },
+                    16,
+                )
+            })
+            .collect()
+    })
+    .into_iter()
+    .map(|r| r.expect("compact sets cannot fail"))
+    .collect()
+}
+
+/// The tenant sweep — admission decisions, deactivations, and all — is
+/// identical no matter how many workers execute it.
+#[test]
+fn tenant_sweep_is_deterministic_across_worker_counts() {
+    let serial = run_sweep(1);
+    let parallel = run_sweep(4);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(a.report.makespan, b.report.makespan);
+        assert_eq!(a.report.cpu_busy, b.report.cpu_busy);
+        assert_eq!(a.report.references, b.report.references);
+        assert_eq!(a.report.faults, b.report.faults);
+        assert_eq!(a.report.peak_active, b.report.peak_active);
+        assert_eq!(a.report.admissions, b.report.admissions);
+        assert_eq!(a.report.admission_rejects, b.report.admission_rejects);
+        assert_eq!(a.report.deactivations, b.report.deactivations);
+        assert_eq!(a.report.ladder_steps, b.report.ladder_steps);
+        assert_eq!(
+            a.report.mean_ws_estimate.to_bits(),
+            b.report.mean_ws_estimate.to_bits()
+        );
+        for (ta, tb) in a.report.tenants.iter().zip(b.report.tenants.iter()) {
+            assert_eq!(ta.id, tb.id);
+            assert_eq!(ta.references, tb.references);
+            assert_eq!(ta.faults, tb.faults);
+            assert_eq!(ta.finished_at, tb.finished_at);
+        }
+    }
+}
